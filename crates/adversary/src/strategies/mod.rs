@@ -1,0 +1,82 @@
+//! The deviation-strategy suite.
+//!
+//! Theorem 7 quantifies over *every* restricted protocol `P'_C`; no finite
+//! suite can cover them all, but the proof's case analysis identifies the
+//! attack surfaces, and this suite implements the strongest concrete
+//! attack against each one:
+//!
+//! | strategy | attack surface | expected outcome (per the proofs) |
+//! |---|---|---|
+//! | [`forge_cert::ForgeCert`] | lie about `k` / fabricate `W` in Find-Min | caught by Verification (`BadSum` / ledger) ⇒ fail, no gain |
+//! | [`vote_rig::VoteRig`] | choose intentions non-randomly | undetectable but *neutral*: `k` stays uniform (Claim 2) |
+//! | [`spy_tune::SpyAndTune`] | adaptive commitment (the set `M` of Def. 5(3)) | one unknown honest vote keeps `k_leader` uniform ⇒ no gain |
+//! | [`play_dead::PlayDead`] | pretend to be a faulty node (§1) | votes from "faulty" agents fail Verification ⇒ sabotage only |
+//! | [`equivocate::Equivocate`] | different declarations to different pullers | first-declaration binding + Coherence ⇒ fail, no gain |
+//! | [`suppress_min::SuppressMin`] | censor the true minimum during Find-Min | honest pull-spreading routes around `o(n/log n)` censors |
+//! | [`spite_abort::SpiteAbort`] | force `⊥` when losing | turns losses (0) into failures (−χ): weakly worse |
+//!
+//! Every strategy implements [`Strategy`]: a factory that wraps a
+//! [`ProtocolCore`] (deviators still carry full protocol state — they must
+//! produce plausible traffic) plus the shared [`Coalition`] blackboard.
+
+pub mod equivocate;
+pub mod forge_cert;
+pub mod play_dead;
+pub mod spite_abort;
+pub mod spy_tune;
+pub mod suppress_min;
+pub mod vote_rig;
+
+use crate::coalition::Coalition;
+use rfc_core::engine::{ConsensusAgent, ProtocolCore};
+
+/// A named coalition strategy: builds the deviating agent for each member.
+pub trait Strategy: std::fmt::Debug + Send + Sync {
+    /// Stable identifier used in tables and reports.
+    fn name(&self) -> &'static str;
+
+    /// One-line description of the attack for reports.
+    fn description(&self) -> &'static str;
+
+    /// Build the agent for coalition member `core.id`.
+    fn build(&self, core: ProtocolCore, coalition: Coalition) -> Box<dyn ConsensusAgent>;
+}
+
+/// The standard attack suite (one instance of every concrete attack),
+/// in report order.
+pub fn standard_attacks() -> Vec<Box<dyn Strategy>> {
+    vec![
+        Box::new(forge_cert::ForgeCert::zero_k()),
+        Box::new(forge_cert::ForgeCert::tuned_vote()),
+        Box::new(forge_cert::ForgeCert::drop_votes()),
+        Box::new(vote_rig::VoteRig),
+        Box::new(spy_tune::SpyAndTune),
+        Box::new(play_dead::PlayDead::silent()),
+        Box::new(play_dead::PlayDead::voting()),
+        Box::new(equivocate::Equivocate),
+        Box::new(suppress_min::SuppressMin),
+        Box::new(spite_abort::SpiteAbort),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_ten_distinct_attacks() {
+        let attacks = standard_attacks();
+        assert_eq!(attacks.len(), 10);
+        let mut names: Vec<_> = attacks.iter().map(|a| a.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 10, "names must be unique");
+    }
+
+    #[test]
+    fn descriptions_are_nonempty() {
+        for a in standard_attacks() {
+            assert!(!a.description().is_empty(), "{} lacks description", a.name());
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! Behavioral tests for each deviation strategy: not just "does it fail
+//! to gain" (the harness tests cover that) but *how* each attack is
+//! caught — which verification rule fires, at which agents, and what the
+//! failure diagnostics look like.
+
+use adversary::coalition::{select_members, CoalitionSelection};
+use adversary::harness::{coalition_colors, run_attack_trial, COALITION_COLOR};
+use adversary::strategies::{
+    equivocate::Equivocate, forge_cert::ForgeCert, play_dead::PlayDead,
+    suppress_min::SuppressMin, vote_rig::VoteRig,
+};
+use adversary::Strategy;
+use rfc_core::ledger::ConsistencyError;
+use rfc_core::runner::{ColorSpec, RunConfig, RunReport};
+use rfc_core::{Outcome, VerifyFailure};
+
+const N: usize = 48;
+
+fn run_with(strategy: &dyn Strategy, t: usize, seed: u64) -> (RunReport, Vec<u32>) {
+    let members = select_members(N, t, CoalitionSelection::Random, seed);
+    let mut cfg = RunConfig::builder(N).gamma(3.0).build();
+    cfg.colors = ColorSpec::Explicit(coalition_colors(N, &members));
+    (run_attack_trial(&cfg, strategy, &members, seed), members)
+}
+
+/// Collect all failure kinds over several seeds.
+fn failure_kinds(strategy: &dyn Strategy, t: usize, seeds: u64) -> Vec<VerifyFailure> {
+    let mut kinds = Vec::new();
+    for seed in 0..seeds {
+        let (report, _) = run_with(strategy, t, seed);
+        for (k, _) in report.failure_histogram() {
+            if !kinds.contains(&k) {
+                kinds.push(k);
+            }
+        }
+    }
+    kinds
+}
+
+#[test]
+fn forge_zero_k_is_caught_by_the_sum_check() {
+    let kinds = failure_kinds(&ForgeCert::zero_k(), 2, 5);
+    assert!(
+        kinds.contains(&VerifyFailure::BadSum),
+        "zero-k must trip BadSum, saw {kinds:?}"
+    );
+}
+
+#[test]
+fn forge_tuned_vote_is_caught_by_ledger_checks() {
+    // The balancing vote is attributed to a fellow member whose honest
+    // declaration disagrees ⇒ VoteMismatch at verifiers that pulled it.
+    let kinds = failure_kinds(&ForgeCert::tuned_vote(), 2, 5);
+    assert!(
+        kinds
+            .iter()
+            .any(|k| matches!(k, VerifyFailure::Inconsistent(ConsistencyError::VoteMismatch { .. }))
+                || matches!(k, VerifyFailure::SelfVoteMismatch)),
+        "tuned-vote must trip a ledger/self mismatch, saw {kinds:?}"
+    );
+    assert!(
+        !kinds.contains(&VerifyFailure::BadSum),
+        "tuned-vote is built to pass the sum check, saw {kinds:?}"
+    );
+}
+
+#[test]
+fn forge_drop_votes_is_caught_as_missing_votes() {
+    let kinds = failure_kinds(&ForgeCert::drop_votes(), 2, 5);
+    assert!(
+        kinds
+            .iter()
+            .any(|k| matches!(k, VerifyFailure::Inconsistent(_))
+                || matches!(k, VerifyFailure::SelfVoteMismatch)),
+        "drop-votes must trip consistency checks, saw {kinds:?}"
+    );
+}
+
+#[test]
+fn play_dead_voting_is_caught_as_vote_from_faulty() {
+    // Needs enough "dead" voters that one of their votes reaches the
+    // winner: use a sizeable coalition and several seeds.
+    let mut saw_ghost = false;
+    for seed in 0..20 {
+        let (report, _) = run_with(&PlayDead::voting(), 10, seed);
+        if report
+            .failure_histogram()
+            .iter()
+            .any(|(k, _)| {
+                matches!(
+                    k,
+                    VerifyFailure::Inconsistent(ConsistencyError::VoteFromFaulty { .. })
+                )
+            })
+        {
+            saw_ghost = true;
+            break;
+        }
+    }
+    assert!(saw_ghost, "ghost votes from 'dead' agents never detected");
+}
+
+#[test]
+fn equivocation_failures_are_ledger_mismatches() {
+    let kinds = failure_kinds(&Equivocate, 6, 8);
+    assert!(
+        kinds
+            .iter()
+            .any(|k| matches!(k, VerifyFailure::Inconsistent(_))),
+        "equivocation must surface as ledger inconsistency, saw {kinds:?}"
+    );
+}
+
+#[test]
+fn suppress_min_failures_are_coherence_mismatches() {
+    let kinds = failure_kinds(&SuppressMin, 6, 8);
+    assert!(
+        kinds.contains(&VerifyFailure::FailedEarlier),
+        "suppression splits the network ⇒ Coherence mismatch, saw {kinds:?}"
+    );
+}
+
+#[test]
+fn vote_rig_produces_no_failures_at_all() {
+    for seed in 0..10 {
+        let (report, _) = run_with(&VoteRig, 6, seed);
+        assert!(
+            report.failure_histogram().is_empty(),
+            "vote-rig is undetectable; seed {seed} produced {:?}",
+            report.failure_histogram()
+        );
+        assert!(report.outcome.is_consensus());
+    }
+}
+
+#[test]
+fn vote_rig_winner_certificate_contains_rigged_votes() {
+    // When a coalition member's target (the leader) wins, the winning
+    // certificate legitimately contains the rigged votes — they were
+    // declared and delivered, so fairness is preserved without detection.
+    let mut observed_leader_win = false;
+    for seed in 0..200 {
+        let (report, members) = run_with(&VoteRig, 6, seed);
+        if let Outcome::Consensus(c) = report.outcome {
+            if c == COALITION_COLOR {
+                observed_leader_win = true;
+                assert!(
+                    members.contains(&report.winner.unwrap()),
+                    "coalition color won via a non-member?!"
+                );
+                break;
+            }
+        }
+    }
+    assert!(
+        observed_leader_win,
+        "with t=6/48 the coalition should win some run out of 200"
+    );
+}
+
+#[test]
+fn failed_runs_have_no_winner() {
+    for seed in 0..5 {
+        let (report, _) = run_with(&ForgeCert::zero_k(), 2, seed);
+        if report.outcome == Outcome::Fail {
+            assert_eq!(report.winner, None, "failed runs must not name a winner");
+        }
+    }
+}
+
+#[test]
+fn deviator_roles_are_visible_in_reports() {
+    // Coalition members appear with Decided(coalition color) even in
+    // failing runs (they "decide" their own color); honest failures are
+    // recorded as Failed.
+    let (report, members) = run_with(&ForgeCert::drop_votes(), 3, 1);
+    assert_eq!(report.outcome, Outcome::Fail);
+    let honest_failed = report
+        .decisions
+        .iter()
+        .enumerate()
+        .filter(|(id, d)| {
+            !members.contains(&(*id as u32))
+                && matches!(d, rfc_core::Decision::Failed)
+        })
+        .count();
+    assert!(honest_failed > 0, "some honest agent must have failed");
+}

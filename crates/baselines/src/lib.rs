@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+//! # baselines — comparison protocols for the reproduction
+//!
+//! Three baselines situate protocol `P`:
+//!
+//! * [`local_fair`] — the prior-work cost model: all-to-all commit/reveal
+//!   fair election in the LOCAL model, `Θ(n²)` messages and `Θ(n)` memory
+//!   per agent (Abraham et al. DISC'13 style). Used by experiment E3 for
+//!   the communication-complexity comparison the paper's introduction
+//!   makes.
+//! * [`naive_min_id`] — protocol `P` minus all its verification
+//!   machinery: random badges, min spreads, owner wins. Not an
+//!   equilibrium: a `claim-zero` cheater wins every run (experiment E8 —
+//!   the ablation that justifies Commitment/Coherence/Verification).
+//! * [`rumor`] — plain push/pull rumor spreading, the primitive behind
+//!   the Find-Min phase; validates its Θ(log n) budget (experiment E10)
+//!   and shows where it breaks on sparse topologies (E12).
+//! * [`plurality`] — 3-majority opinion dynamics (Becchetti et al.
+//!   SODA'15), the fast-but-unfair comparator motivating the fairness
+//!   property (part of E4).
+//! * [`voter`] — voter-model dynamics (Hassin–Peleg \[15\]): exactly fair
+//!   by martingale, but Θ(n)-slow and defenseless against a single
+//!   stubborn agent — separating "fair" from "rationally fair" (E4c).
+
+pub mod local_fair;
+pub mod naive_min_id;
+pub mod plurality;
+pub mod rumor;
+pub mod voter;
+
+pub use local_fair::{run_local_fair, LocalCost, LocalRun};
+pub use naive_min_id::{run_naive_election, Claim, NaiveBehavior, NaiveRun};
+pub use plurality::{run_plurality, PluralityRun};
+pub use rumor::{spread_rumor, Mechanism, RumorRun};
+pub use voter::{run_voter, VoterRun};

@@ -1,0 +1,230 @@
+//! The naive gossip election — and why protocol `P` needs its machinery.
+//!
+//! Strip protocol `P` of Commitment, Coherence, and Verification and you
+//! get the "obvious" GOSSIP fair election: every agent draws a random
+//! badge `r_u ~ U[m]`, the minimum badge spreads by pull-gossip, and its
+//! owner's color wins. Fast, cheap… and trivially rigged: a selfish agent
+//! simply *claims* badge 0 and wins every time, because nothing binds the
+//! claim.
+//!
+//! Experiment E8 runs this protocol with a single `claim-zero` deviator
+//! and shows the coalition win rate jump from `1/n` to ≈ 1, then runs the
+//! same deviation shape against `P` where it is caught — the ablation
+//! that justifies every extra phase the paper adds.
+
+use gossip_net::agent::{Agent, Op, RoundCtx};
+use gossip_net::fault::FaultPlan;
+use gossip_net::ids::{AgentId, ColorId};
+use gossip_net::network::Network;
+use gossip_net::rng::DetRng;
+use gossip_net::size::{MsgSize, SizeEnv};
+use gossip_net::topology::Topology;
+
+/// Wire message: a claim "agent `owner` holds badge `badge` and supports
+/// `color`".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Claim {
+    /// Badge value (smaller wins).
+    pub badge: u64,
+    /// Badge owner.
+    pub owner: AgentId,
+    /// Owner's color.
+    pub color: ColorId,
+}
+
+/// Messages: a query or a claim.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NaiveMsg {
+    /// "Send me your best claim."
+    Query,
+    /// A claim.
+    Best(Claim),
+}
+
+impl MsgSize for NaiveMsg {
+    fn size_bits(&self, env: &SizeEnv) -> u64 {
+        SizeEnv::TAG_BITS
+            + match self {
+                NaiveMsg::Query => 0,
+                NaiveMsg::Best(_) => {
+                    env.value_bits as u64 + env.id_bits as u64 + env.color_bits as u64
+                }
+            }
+    }
+}
+
+/// Behaviour of one agent in the naive protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NaiveBehavior {
+    /// Draw the badge uniformly, gossip honestly.
+    Honest,
+    /// Claim badge 0 (the attack: nothing verifies the draw).
+    ClaimZero,
+}
+
+/// One agent of the naive min-badge election.
+pub struct NaiveAgent {
+    id: AgentId,
+    rng: DetRng,
+    /// Current best (minimum) claim known.
+    pub best: Claim,
+}
+
+impl NaiveAgent {
+    /// Create an agent with its initial color and behaviour.
+    pub fn new(id: AgentId, color: ColorId, m: u64, seed: u64, behavior: NaiveBehavior) -> Self {
+        let mut rng = DetRng::seeded(seed, 0x4A1E + id as u64);
+        let badge = match behavior {
+            NaiveBehavior::Honest => rng.below(m),
+            NaiveBehavior::ClaimZero => 0,
+        };
+        NaiveAgent {
+            id,
+            rng,
+            best: Claim {
+                badge,
+                owner: id,
+                color,
+            },
+        }
+    }
+
+    fn consider(&mut self, c: Claim) {
+        if c.badge < self.best.badge || (c.badge == self.best.badge && c.owner < self.best.owner)
+        {
+            self.best = c;
+        }
+    }
+}
+
+impl Agent<NaiveMsg> for NaiveAgent {
+    fn act(&mut self, ctx: &RoundCtx) -> Option<Op<NaiveMsg>> {
+        let peer = ctx.topology.sample_peer(self.id, &mut self.rng);
+        Some(Op::pull(peer, NaiveMsg::Query))
+    }
+
+    fn on_pull(&mut self, _from: AgentId, query: NaiveMsg, _ctx: &RoundCtx) -> Option<NaiveMsg> {
+        match query {
+            NaiveMsg::Query => Some(NaiveMsg::Best(self.best)),
+            _ => None,
+        }
+    }
+
+    fn on_push(&mut self, _from: AgentId, msg: NaiveMsg, _ctx: &RoundCtx) {
+        if let NaiveMsg::Best(c) = msg {
+            self.consider(c);
+        }
+    }
+
+    fn on_reply(&mut self, _from: AgentId, reply: Option<NaiveMsg>, _ctx: &RoundCtx) {
+        if let Some(NaiveMsg::Best(c)) = reply {
+            self.consider(c);
+        }
+    }
+}
+
+/// Result of one naive-election run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NaiveRun {
+    /// Did all active agents agree on one claim?
+    pub agreed: bool,
+    /// The winning claim (of agent 0's view; equal to all others iff
+    /// `agreed`).
+    pub winner: Claim,
+    /// Rounds executed.
+    pub rounds: usize,
+}
+
+/// Run the naive election: `rounds = ceil(γ·log₂ n)` pull rounds.
+pub fn run_naive_election(
+    n: usize,
+    colors: &[ColorId],
+    cheaters: &[AgentId],
+    gamma: f64,
+    seed: u64,
+) -> NaiveRun {
+    assert_eq!(colors.len(), n);
+    let m = (n as u64).saturating_pow(3);
+    let q = ((gamma * gossip_net::ids::ceil_log2(n) as f64).ceil() as usize).max(1);
+    let agents: Vec<NaiveAgent> = (0..n as AgentId)
+        .map(|id| {
+            let behavior = if cheaters.contains(&id) {
+                NaiveBehavior::ClaimZero
+            } else {
+                NaiveBehavior::Honest
+            };
+            NaiveAgent::new(id, colors[id as usize], m, seed, behavior)
+        })
+        .collect();
+    let mut net = Network::new(
+        Topology::complete(n),
+        SizeEnv::for_n(n),
+        agents,
+        FaultPlan::none(n),
+    );
+    net.run(q);
+    let first = net.agent(0).best;
+    let agreed = (1..n as AgentId).all(|id| net.agent(id).best == first);
+    NaiveRun {
+        agreed,
+        winner: first,
+        rounds: q,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn colors(n: usize) -> Vec<ColorId> {
+        (0..n as ColorId).collect() // leader election flavor
+    }
+
+    #[test]
+    fn honest_naive_election_converges() {
+        let n = 128;
+        let run = run_naive_election(n, &colors(n), &[], 3.0, 9);
+        assert!(run.agreed, "pull gossip should converge in 3·log n rounds");
+        assert!((run.winner.owner as usize) < n);
+    }
+
+    #[test]
+    fn honest_winners_vary_across_seeds() {
+        let n = 32;
+        let mut winners = std::collections::HashSet::new();
+        for seed in 0..20 {
+            winners.insert(run_naive_election(n, &colors(n), &[], 3.0, seed).winner.owner);
+        }
+        assert!(winners.len() > 3, "winner should be random: {winners:?}");
+    }
+
+    #[test]
+    fn claim_zero_always_wins() {
+        let n = 64;
+        let cheater: AgentId = 17;
+        for seed in 0..10 {
+            let run = run_naive_election(n, &colors(n), &[cheater], 3.0, seed);
+            assert!(run.agreed);
+            assert_eq!(
+                run.winner.owner, cheater,
+                "seed {seed}: the cheater must win the naive election"
+            );
+        }
+    }
+
+    #[test]
+    fn two_cheaters_tie_break_by_id() {
+        let n = 64;
+        let run = run_naive_election(n, &colors(n), &[30, 10], 3.0, 4);
+        assert!(run.agreed);
+        assert_eq!(run.winner.owner, 10, "equal badges break toward lower id");
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let n = 32;
+        let a = run_naive_election(n, &colors(n), &[], 2.0, 5);
+        let b = run_naive_election(n, &colors(n), &[], 2.0, 5);
+        assert_eq!(a, b);
+    }
+}

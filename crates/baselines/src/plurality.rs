@@ -1,0 +1,221 @@
+//! 3-majority plurality dynamics (non-rational comparator).
+//!
+//! The paper situates itself against lightweight opinion dynamics in the
+//! same communication model — notably *Plurality Consensus in the Gossip
+//! Model* (Becchetti et al., SODA'15, ref. \[6\]), where each agent repeatedly
+//! samples three random opinions and keeps the majority (ties → first
+//! sample). Plurality dynamics converge fast and cheaply but are neither
+//! *fair* (the initial plurality wins almost surely, not with probability
+//! proportional to its support) nor rational-robust. Experiment E4 uses
+//! this contrast to motivate the fairness property: same model, same
+//! costs-ballpark, completely different winning distribution.
+
+use gossip_net::agent::{Agent, Op, RoundCtx};
+use gossip_net::fault::FaultPlan;
+use gossip_net::ids::{AgentId, ColorId};
+use gossip_net::network::Network;
+use gossip_net::rng::DetRng;
+use gossip_net::size::{MsgSize, SizeEnv};
+use gossip_net::topology::Topology;
+
+/// Wire message: an opinion query or an opinion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpinionMsg {
+    /// "What is your current opinion?"
+    Query,
+    /// An opinion (color).
+    Opinion(ColorId),
+}
+
+impl MsgSize for OpinionMsg {
+    fn size_bits(&self, env: &SizeEnv) -> u64 {
+        SizeEnv::TAG_BITS
+            + match self {
+                OpinionMsg::Query => 0,
+                OpinionMsg::Opinion(_) => env.color_bits as u64,
+            }
+    }
+}
+
+/// One 3-majority agent. Each *iteration* takes three GOSSIP rounds (one
+/// pull per round — the GOSSIP constraint allows only one operation per
+/// round, so the classical "sample 3" step is pipelined over 3 rounds).
+pub struct MajorityAgent {
+    id: AgentId,
+    rng: DetRng,
+    /// Current opinion.
+    pub opinion: ColorId,
+    /// Samples collected in the current iteration.
+    samples: [Option<ColorId>; 3],
+    fill: usize,
+}
+
+impl MajorityAgent {
+    /// Create an agent with its initial opinion.
+    pub fn new(id: AgentId, opinion: ColorId, seed: u64) -> Self {
+        MajorityAgent {
+            id,
+            rng: DetRng::seeded(seed, 0x3A30 + id as u64),
+            opinion,
+            samples: [None; 3],
+            fill: 0,
+        }
+    }
+
+    fn absorb(&mut self, c: ColorId) {
+        if self.fill < 3 {
+            self.samples[self.fill] = Some(c);
+            self.fill += 1;
+        }
+        if self.fill == 3 {
+            let s = [
+                self.samples[0].unwrap(),
+                self.samples[1].unwrap(),
+                self.samples[2].unwrap(),
+            ];
+            // Majority of three, ties → first sample.
+            self.opinion = if s[1] == s[2] { s[1] } else { s[0] };
+            self.samples = [None; 3];
+            self.fill = 0;
+        }
+    }
+}
+
+impl Agent<OpinionMsg> for MajorityAgent {
+    fn act(&mut self, ctx: &RoundCtx) -> Option<Op<OpinionMsg>> {
+        let peer = ctx.topology.sample_peer(self.id, &mut self.rng);
+        Some(Op::pull(peer, OpinionMsg::Query))
+    }
+
+    fn on_pull(&mut self, _from: AgentId, query: OpinionMsg, _ctx: &RoundCtx) -> Option<OpinionMsg> {
+        match query {
+            OpinionMsg::Query => Some(OpinionMsg::Opinion(self.opinion)),
+            _ => None,
+        }
+    }
+
+    fn on_reply(&mut self, _from: AgentId, reply: Option<OpinionMsg>, _ctx: &RoundCtx) {
+        if let Some(OpinionMsg::Opinion(c)) = reply {
+            self.absorb(c);
+        }
+    }
+}
+
+/// Result of a plurality-dynamics run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PluralityRun {
+    /// The consensus opinion if monochromatic, else `None`.
+    pub consensus: Option<ColorId>,
+    /// Rounds executed.
+    pub rounds: usize,
+    /// Final opinion counts by color.
+    pub final_counts: Vec<(ColorId, usize)>,
+}
+
+/// Run 3-majority dynamics until monochromatic or the round budget ends.
+pub fn run_plurality(
+    n: usize,
+    colors: &[ColorId],
+    seed: u64,
+    max_rounds: usize,
+) -> PluralityRun {
+    assert_eq!(colors.len(), n);
+    let agents: Vec<MajorityAgent> = (0..n as AgentId)
+        .map(|id| MajorityAgent::new(id, colors[id as usize], seed))
+        .collect();
+    let mut net = Network::new(
+        Topology::complete(n),
+        SizeEnv::for_n(n),
+        agents,
+        FaultPlan::none(n),
+    );
+    let mut rounds = 0;
+    for _ in 0..max_rounds {
+        net.step();
+        rounds += 1;
+        let first = net.agent(0).opinion;
+        if (1..n as AgentId).all(|id| net.agent(id).opinion == first) {
+            break;
+        }
+    }
+    let mut counts: std::collections::BTreeMap<ColorId, usize> = Default::default();
+    for id in 0..n as AgentId {
+        *counts.entry(net.agent(id).opinion).or_default() += 1;
+    }
+    let final_counts: Vec<(ColorId, usize)> = counts.into_iter().collect();
+    let consensus = if final_counts.len() == 1 {
+        Some(final_counts[0].0)
+    } else {
+        None
+    };
+    PluralityRun {
+        consensus,
+        rounds,
+        final_counts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn converges_on_clear_majority() {
+        let n = 120;
+        // 2/3 support color 0.
+        let colors: Vec<ColorId> = (0..n).map(|i| if i % 3 == 0 { 1 } else { 0 }).collect();
+        let run = run_plurality(n, &colors, 3, 2000);
+        assert_eq!(run.consensus, Some(0), "plurality color must win");
+    }
+
+    #[test]
+    fn plurality_is_unfair_by_design() {
+        // A 70/30 split: color 0 should win essentially always — unlike
+        // fair consensus where color 1 would win 30% of the time. This is
+        // the motivating contrast for the paper's fairness property.
+        let n = 100;
+        let colors: Vec<ColorId> = (0..n).map(|i| if i < 70 { 0 } else { 1 }).collect();
+        let mut wins_minority = 0;
+        for seed in 0..20 {
+            let run = run_plurality(n, &colors, seed, 3000);
+            if run.consensus == Some(1) {
+                wins_minority += 1;
+            }
+        }
+        assert!(
+            wins_minority <= 2,
+            "minority won {wins_minority}/20 — should be almost never"
+        );
+    }
+
+    #[test]
+    fn monochromatic_start_stays_put() {
+        let n = 30;
+        let colors = vec![5 as ColorId; n];
+        let run = run_plurality(n, &colors, 1, 100);
+        assert_eq!(run.consensus, Some(5));
+        assert_eq!(run.final_counts, vec![(5, 30)]);
+    }
+
+    #[test]
+    fn majority_rule_logic() {
+        let mut a = MajorityAgent::new(0, 9, 0);
+        a.absorb(1);
+        a.absorb(2);
+        a.absorb(2);
+        assert_eq!(a.opinion, 2, "two matching samples win");
+        a.absorb(3);
+        a.absorb(4);
+        a.absorb(5);
+        assert_eq!(a.opinion, 3, "all-distinct ties break to first sample");
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_mixed_state() {
+        let n = 100;
+        let colors: Vec<ColorId> = (0..n).map(|i| (i % 2) as ColorId).collect();
+        let run = run_plurality(n, &colors, 7, 2); // way too few rounds
+        assert!(run.consensus.is_none());
+        assert!(run.final_counts.len() >= 2);
+    }
+}

@@ -1,0 +1,268 @@
+//! Push/pull rumor spreading on the GOSSIP model.
+//!
+//! The Find-Min phase of protocol `P` *is* a single-source broadcast via
+//! pull operations; the paper cites the classical Θ(log n) convergence
+//! bound (ref. \[19\] = Shah, *Gossip Algorithms*; also Karp et al. FOCS'00).
+//! This module implements plain rumor spreading as a standalone baseline
+//! so experiment E10 can measure the constant in front of `log n` and
+//! confirm the Find-Min phase budget `q = γ·log n` is safely above it —
+//! and so the ring/sparse-topology extension experiments can show where
+//! pull-broadcast stops working.
+
+use gossip_net::agent::{Agent, Op, RoundCtx};
+use gossip_net::fault::FaultPlan;
+use gossip_net::ids::AgentId;
+use gossip_net::network::Network;
+use gossip_net::rng::DetRng;
+use gossip_net::size::{MsgSize, SizeEnv};
+use gossip_net::topology::Topology;
+
+/// Rumor-spreading wire message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RumorMsg {
+    /// "Do you know the rumor?"
+    Query,
+    /// "Yes — here it is."
+    Rumor(u64),
+}
+
+impl MsgSize for RumorMsg {
+    fn size_bits(&self, env: &SizeEnv) -> u64 {
+        SizeEnv::TAG_BITS
+            + match self {
+                RumorMsg::Query => 0,
+                RumorMsg::Rumor(_) => env.value_bits as u64,
+            }
+    }
+}
+
+/// Spreading mechanism.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mechanism {
+    /// Informed agents push the rumor to random peers.
+    Push,
+    /// Uninformed agents pull random peers for the rumor (the Find-Min
+    /// mechanism).
+    Pull,
+    /// Both at once (each agent still performs one operation per round:
+    /// informed agents push, uninformed agents pull).
+    PushPull,
+}
+
+/// One rumor-spreading agent.
+pub struct RumorAgent {
+    id: AgentId,
+    rng: DetRng,
+    mechanism: Mechanism,
+    /// The rumor payload, if known.
+    pub rumor: Option<u64>,
+    /// Round at which the rumor was first learned.
+    pub informed_at: Option<usize>,
+}
+
+impl RumorAgent {
+    /// Create an agent; `initial` is `Some(payload)` for the source.
+    pub fn new(id: AgentId, seed: u64, mechanism: Mechanism, initial: Option<u64>) -> Self {
+        RumorAgent {
+            id,
+            rng: DetRng::seeded(seed, 0xB0B0 + id as u64),
+            mechanism,
+            rumor: initial,
+            informed_at: initial.map(|_| 0),
+        }
+    }
+
+    fn learn(&mut self, payload: u64, round: usize) {
+        if self.rumor.is_none() {
+            self.rumor = Some(payload);
+            self.informed_at = Some(round);
+        }
+    }
+}
+
+impl Agent<RumorMsg> for RumorAgent {
+    fn act(&mut self, ctx: &RoundCtx) -> Option<Op<RumorMsg>> {
+        let peer = ctx.topology.sample_peer(self.id, &mut self.rng);
+        match (self.mechanism, self.rumor) {
+            (Mechanism::Push, Some(r)) => Some(Op::push(peer, RumorMsg::Rumor(r))),
+            (Mechanism::Push, None) => None,
+            (Mechanism::Pull, None) => Some(Op::pull(peer, RumorMsg::Query)),
+            (Mechanism::Pull, Some(_)) => None,
+            (Mechanism::PushPull, Some(r)) => Some(Op::push(peer, RumorMsg::Rumor(r))),
+            (Mechanism::PushPull, None) => Some(Op::pull(peer, RumorMsg::Query)),
+        }
+    }
+
+    fn on_pull(&mut self, _from: AgentId, query: RumorMsg, _ctx: &RoundCtx) -> Option<RumorMsg> {
+        match (query, self.rumor) {
+            (RumorMsg::Query, Some(r)) => Some(RumorMsg::Rumor(r)),
+            _ => None,
+        }
+    }
+
+    fn on_push(&mut self, _from: AgentId, msg: RumorMsg, ctx: &RoundCtx) {
+        if let RumorMsg::Rumor(r) = msg {
+            self.learn(r, ctx.round);
+        }
+    }
+
+    fn on_reply(&mut self, _from: AgentId, reply: Option<RumorMsg>, ctx: &RoundCtx) {
+        if let Some(RumorMsg::Rumor(r)) = reply {
+            self.learn(r, ctx.round);
+        }
+    }
+}
+
+/// Result of one rumor-spreading run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RumorRun {
+    /// Rounds until every active agent was informed (`None` = not within
+    /// the budget).
+    pub rounds_to_full: Option<usize>,
+    /// Informed active agents at the end.
+    pub informed: usize,
+    /// Active agents total.
+    pub active: usize,
+}
+
+/// Spread a rumor from the first active agent until all active agents
+/// know it (or the round budget runs out). The network is generic over
+/// the agent type, so informed-counts are read directly off the concrete
+/// [`RumorAgent`]s after each round.
+pub fn spread_rumor(
+    topology: Topology,
+    faults: FaultPlan,
+    mechanism: Mechanism,
+    seed: u64,
+    max_rounds: usize,
+) -> RumorRun {
+    let n = topology.n();
+    let source = (0..n as AgentId)
+        .find(|&u| !faults.is_faulty(u))
+        .expect("at least one active agent");
+    let agents: Vec<RumorAgent> = (0..n as AgentId)
+        .map(|id| {
+            let initial = if id == source { Some(0xFEED) } else { None };
+            RumorAgent::new(id, seed, mechanism, initial)
+        })
+        .collect();
+    let mut net = Network::new(topology, SizeEnv::for_n(n), agents, faults);
+    let mut rounds_to_full = None;
+    for round in 1..=max_rounds {
+        net.step();
+        let informed = (0..n as AgentId)
+            .filter(|&id| !net.faults().is_faulty(id) && net.agent(id).rumor.is_some())
+            .count();
+        if informed == net.faults().n_active() {
+            rounds_to_full = Some(round);
+            break;
+        }
+    }
+    let informed = (0..n as AgentId)
+        .filter(|&id| !net.faults().is_faulty(id) && net.agent(id).rumor.is_some())
+        .count();
+    RumorRun {
+        rounds_to_full,
+        informed,
+        active: net.faults().n_active(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pull_spreads_on_complete_graph_in_logarithmic_rounds() {
+        let n = 256;
+        let run = spread_rumor(
+            Topology::complete(n),
+            FaultPlan::none(n),
+            Mechanism::Pull,
+            7,
+            200,
+        );
+        let rounds = run.rounds_to_full.expect("should complete");
+        // Θ(log n): log2(256) = 8; allow a generous constant.
+        assert!(rounds >= 8, "cannot beat log2 n = 8, got {rounds}");
+        assert!(rounds <= 64, "took suspiciously long: {rounds}");
+    }
+
+    #[test]
+    fn push_pull_is_no_slower_than_pull() {
+        let n = 256;
+        let pull = spread_rumor(
+            Topology::complete(n),
+            FaultPlan::none(n),
+            Mechanism::Pull,
+            3,
+            500,
+        );
+        let pp = spread_rumor(
+            Topology::complete(n),
+            FaultPlan::none(n),
+            Mechanism::PushPull,
+            3,
+            500,
+        );
+        assert!(pp.rounds_to_full.unwrap() <= pull.rounds_to_full.unwrap() + 3);
+    }
+
+    #[test]
+    fn ring_takes_linear_time() {
+        let n = 64;
+        let run = spread_rumor(
+            Topology::ring(n),
+            FaultPlan::none(n),
+            Mechanism::PushPull,
+            5,
+            10 * n,
+        );
+        let rounds = run.rounds_to_full.expect("should complete eventually");
+        assert!(
+            rounds >= n / 4,
+            "ring diameter forces Ω(n) rounds, got {rounds}"
+        );
+    }
+
+    #[test]
+    fn faulty_agents_do_not_block_spreading() {
+        let n = 128;
+        let faults = FaultPlan::fraction(n, 0.3, gossip_net::fault::Placement::Random { seed: 2 });
+        let run = spread_rumor(
+            Topology::complete(n),
+            faults,
+            Mechanism::Pull,
+            11,
+            300,
+        );
+        assert!(run.rounds_to_full.is_some());
+        assert_eq!(run.informed, run.active);
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_partial_coverage() {
+        let n = 64;
+        let run = spread_rumor(
+            Topology::ring(n),
+            FaultPlan::none(n),
+            Mechanism::Push,
+            1,
+            3, // far too few rounds for a ring
+        );
+        assert!(run.rounds_to_full.is_none());
+        assert!(run.informed < run.active);
+        assert!(run.informed >= 1, "source is always informed");
+    }
+
+    #[test]
+    fn informed_at_is_recorded() {
+        let mut a = RumorAgent::new(1, 0, Mechanism::Pull, None);
+        assert!(a.informed_at.is_none());
+        a.learn(5, 17);
+        assert_eq!(a.informed_at, Some(17));
+        a.learn(9, 30); // second learn is ignored
+        assert_eq!(a.rumor, Some(5));
+        assert_eq!(a.informed_at, Some(17));
+    }
+}

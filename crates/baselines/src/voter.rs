@@ -1,0 +1,215 @@
+//! Voter-model dynamics (Hassin–Peleg proportionate agreement, the
+//! paper's ref. \[15\]).
+//!
+//! Each round, every agent pulls one uniformly random peer and *adopts*
+//! its opinion. The classical martingale argument makes this exactly
+//! fair: the count of color `c` is a martingale, so
+//! `Pr[c wins] = initial fraction of c` — the very fairness property the
+//! paper demands. The catch is everything else:
+//!
+//! * convergence needs `Θ(n)` rounds on the complete graph (coalescing
+//!   random walks), vs `P`'s `O(log n)`;
+//! * a single *stubborn* agent that never adopts drags the whole network
+//!   to its color with probability 1 — no rational robustness whatsoever.
+//!
+//! E4c uses this to separate the paper's two contributions: fairness
+//! alone was known and easy; *rational* fairness at gossip cost is the
+//! novelty.
+
+use gossip_net::agent::{Agent, Op, RoundCtx};
+use gossip_net::fault::FaultPlan;
+use gossip_net::ids::{AgentId, ColorId};
+use gossip_net::network::Network;
+use gossip_net::rng::DetRng;
+use gossip_net::size::{MsgSize, SizeEnv};
+use gossip_net::topology::Topology;
+
+/// Voter-model wire message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VoterMsg {
+    /// "What is your opinion?"
+    Query,
+    /// An opinion.
+    Opinion(ColorId),
+}
+
+impl MsgSize for VoterMsg {
+    fn size_bits(&self, env: &SizeEnv) -> u64 {
+        SizeEnv::TAG_BITS
+            + match self {
+                VoterMsg::Query => 0,
+                VoterMsg::Opinion(_) => env.color_bits as u64,
+            }
+    }
+}
+
+/// One voter-model agent; `stubborn` agents never change their opinion
+/// (the minimal rational deviation — and it wins every time).
+pub struct VoterAgent {
+    id: AgentId,
+    rng: DetRng,
+    /// Current opinion.
+    pub opinion: ColorId,
+    /// Never adopts if set.
+    pub stubborn: bool,
+}
+
+impl VoterAgent {
+    /// Create an agent.
+    pub fn new(id: AgentId, opinion: ColorId, seed: u64, stubborn: bool) -> Self {
+        VoterAgent {
+            id,
+            rng: DetRng::seeded(seed, 0x707E + id as u64),
+            opinion,
+            stubborn,
+        }
+    }
+}
+
+impl Agent<VoterMsg> for VoterAgent {
+    fn act(&mut self, ctx: &RoundCtx) -> Option<Op<VoterMsg>> {
+        let peer = ctx.topology.sample_peer(self.id, &mut self.rng);
+        Some(Op::pull(peer, VoterMsg::Query))
+    }
+
+    fn on_pull(&mut self, _from: AgentId, query: VoterMsg, _ctx: &RoundCtx) -> Option<VoterMsg> {
+        match query {
+            VoterMsg::Query => Some(VoterMsg::Opinion(self.opinion)),
+            _ => None,
+        }
+    }
+
+    fn on_reply(&mut self, _from: AgentId, reply: Option<VoterMsg>, _ctx: &RoundCtx) {
+        if self.stubborn {
+            return;
+        }
+        if let Some(VoterMsg::Opinion(c)) = reply {
+            self.opinion = c;
+        }
+    }
+}
+
+/// Result of one voter-model run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VoterRun {
+    /// Consensus opinion if reached within the budget.
+    pub consensus: Option<ColorId>,
+    /// Rounds executed.
+    pub rounds: usize,
+}
+
+/// Run voter dynamics until monochromatic or `max_rounds`.
+pub fn run_voter(
+    n: usize,
+    colors: &[ColorId],
+    stubborn: &[AgentId],
+    seed: u64,
+    max_rounds: usize,
+) -> VoterRun {
+    assert_eq!(colors.len(), n);
+    let agents: Vec<VoterAgent> = (0..n as AgentId)
+        .map(|id| VoterAgent::new(id, colors[id as usize], seed, stubborn.contains(&id)))
+        .collect();
+    let mut net = Network::new(
+        Topology::complete(n),
+        SizeEnv::for_n(n),
+        agents,
+        FaultPlan::none(n),
+    );
+    let mut rounds = 0;
+    for _ in 0..max_rounds {
+        net.step();
+        rounds += 1;
+        let first = net.agent(0).opinion;
+        if (1..n as AgentId).all(|id| net.agent(id).opinion == first) {
+            return VoterRun {
+                consensus: Some(first),
+                rounds,
+            };
+        }
+    }
+    VoterRun {
+        consensus: None,
+        rounds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfc_stats::wilson95;
+
+    #[test]
+    fn voter_model_reaches_consensus() {
+        let n = 48;
+        let colors: Vec<ColorId> = (0..n).map(|i| (i % 2) as ColorId).collect();
+        let run = run_voter(n, &colors, &[], 3, 50_000);
+        assert!(run.consensus.is_some(), "voter model must coalesce");
+    }
+
+    #[test]
+    fn voter_model_is_fair_by_martingale() {
+        // 1/3 minority must win ≈ 1/3 of runs.
+        let n = 30;
+        let colors: Vec<ColorId> = (0..n).map(|i| if i < 10 { 1 } else { 0 }).collect();
+        let trials = 300u64;
+        let minority_wins = (0..trials)
+            .filter(|&seed| run_voter(n, &colors, &[], seed, 100_000).consensus == Some(1))
+            .count() as u64;
+        let iv = wilson95(minority_wins, trials);
+        assert!(
+            iv.contains(1.0 / 3.0),
+            "voter fairness violated: {minority_wins}/{trials}"
+        );
+    }
+
+    #[test]
+    fn voter_model_is_slow_compared_to_log_n() {
+        // Mean coalescence time on K_n is Θ(n) — far above 4·3·log2(n).
+        let n = 64;
+        let colors: Vec<ColorId> = (0..n).map(|i| (i % 2) as ColorId).collect();
+        let mean_rounds: f64 = (0..20u64)
+            .map(|s| run_voter(n, &colors, &[], s, 100_000).rounds as f64)
+            .sum::<f64>()
+            / 20.0;
+        let p_rounds = 4.0 * 3.0 * 6.0; // protocol P at γ=3
+        assert!(
+            mean_rounds > p_rounds,
+            "voter ({mean_rounds}) should be slower than P ({p_rounds})"
+        );
+    }
+
+    #[test]
+    fn one_stubborn_agent_always_wins() {
+        // The fatal flaw: a single never-adopting agent wins every run.
+        let n = 32;
+        let colors: Vec<ColorId> = (0..n).map(|i| if i == 5 { 1 } else { 0 }).collect();
+        for seed in 0..10 {
+            let run = run_voter(n, &colors, &[5], seed, 200_000);
+            assert_eq!(
+                run.consensus,
+                Some(1),
+                "seed {seed}: the stubborn agent must always win"
+            );
+        }
+    }
+
+    #[test]
+    fn stubborn_agents_are_undetectable_deviators() {
+        // The stubborn agent's wire behaviour is protocol-conformant: it
+        // pulls and answers exactly like everyone else. (The deviation is
+        // purely internal — which is why the voter model cannot be made
+        // rational without the paper's machinery.)
+        let mut honest = VoterAgent::new(0, 1, 7, false);
+        let mut stubborn = VoterAgent::new(0, 1, 7, true);
+        let topo = Topology::complete(4);
+        let ctx = RoundCtx {
+            round: 0,
+            topology: &topo,
+        };
+        assert_eq!(
+            honest.on_pull(1, VoterMsg::Query, &ctx),
+            stubborn.on_pull(1, VoterMsg::Query, &ctx)
+        );
+    }
+}

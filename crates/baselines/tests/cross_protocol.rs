@@ -1,0 +1,108 @@
+//! Cross-baseline integration checks: the baselines must agree with each
+//! other (and with theory) on the quantities the experiments compare.
+
+use baselines::local_fair::run_local_fair;
+use baselines::naive_min_id::run_naive_election;
+use baselines::plurality::run_plurality;
+use baselines::rumor::{spread_rumor, Mechanism};
+use gossip_net::fault::FaultPlan;
+use gossip_net::topology::Topology;
+
+#[test]
+fn both_fair_baselines_elect_uniformly() {
+    // LOCAL commit/reveal and the naive gossip election are both fair in
+    // the honest case; over many seeds their winner distributions must
+    // both cover the id space broadly.
+    let n = 16;
+    let colors: Vec<u32> = (0..n as u32).collect();
+    let trials = 400u64;
+    let mut local_wins = vec![0u32; n];
+    let mut naive_wins = vec![0u32; n];
+    for seed in 0..trials {
+        local_wins[run_local_fair(n, &colors, seed).winner as usize] += 1;
+        naive_wins[run_naive_election(n, &colors, &[], 3.0, seed).winner.owner as usize] += 1;
+    }
+    for id in 0..n {
+        assert!(
+            local_wins[id] > 0,
+            "LOCAL baseline never elected agent {id}"
+        );
+        assert!(
+            naive_wins[id] > 0,
+            "naive baseline never elected agent {id}"
+        );
+    }
+}
+
+#[test]
+fn local_baseline_is_quadratic_naive_is_quasilinear() {
+    let colors64: Vec<u32> = (0..64).collect();
+    let colors256: Vec<u32> = (0..256).collect();
+    let local_ratio = run_local_fair(256, &colors256, 1).cost.messages as f64
+        / run_local_fair(64, &colors64, 1).cost.messages as f64;
+    assert!(
+        local_ratio > 14.0,
+        "4x agents should ≈16x LOCAL messages, got {local_ratio}"
+    );
+    // Naive gossip: q = 3·log2(n) pull rounds of n ops each → ~4.5x.
+    let naive64 = 64.0 * 3.0 * 6.0;
+    let naive256 = 256.0 * 3.0 * 8.0;
+    assert!(naive256 / naive64 < 6.0);
+}
+
+#[test]
+fn plurality_beats_fair_protocols_on_speed_but_not_fairness() {
+    // 3-majority converges in far fewer rounds than the fair protocols'
+    // fixed 4q budget — that is its appeal, and unfairness is its price.
+    let n = 96;
+    let colors: Vec<u32> = (0..n).map(|i| if i < 64 { 0 } else { 1 }).collect();
+    let run = run_plurality(n, &colors, 5, 4000);
+    assert_eq!(run.consensus, Some(0), "plurality crowns the 2/3 majority");
+    assert!(
+        run.rounds < 4 * 3 * 7, // < the fair protocol's 4q at γ=3
+        "plurality should converge quickly: {} rounds",
+        run.rounds
+    );
+}
+
+#[test]
+fn rumor_mechanisms_rank_as_theory_predicts() {
+    // push-pull ≤ pull ≤ push in rounds-to-full on the complete graph
+    // (push-pull's doubling beats one-sided mechanisms).
+    let n = 512;
+    let mut means = Vec::new();
+    for mech in [Mechanism::PushPull, Mechanism::Pull, Mechanism::Push] {
+        let total: usize = (0..10u64)
+            .map(|seed| {
+                spread_rumor(
+                    Topology::complete(n),
+                    FaultPlan::none(n),
+                    mech,
+                    seed,
+                    2000,
+                )
+                .rounds_to_full
+                .expect("complete graph finishes")
+            })
+            .sum();
+        means.push(total as f64 / 10.0);
+    }
+    assert!(
+        means[0] <= means[1] + 1.0,
+        "push-pull {means:?} should be fastest"
+    );
+    assert!(means[1] <= means[2] + 1.0, "pull beats push: {means:?}");
+}
+
+#[test]
+fn faulty_majority_does_not_stop_rumor() {
+    let n = 200;
+    let run = spread_rumor(
+        Topology::complete(n),
+        FaultPlan::fraction(n, 0.6, gossip_net::fault::Placement::Random { seed: 4 }),
+        Mechanism::PushPull,
+        9,
+        2000,
+    );
+    assert_eq!(run.informed, run.active, "all active agents informed");
+}

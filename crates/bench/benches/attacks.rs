@@ -1,0 +1,74 @@
+//! Adversarial-run benchmarks (experiments E7/E8): one deviating trial
+//! per strategy in the suite, plus the paired honest control. Deviating
+//! runs cost essentially the same as honest ones — the attacks add no
+//! asymptotic overhead — which is itself worth demonstrating: the
+//! equilibrium experiments' cost is dominated by trial count, not by
+//! adversarial machinery.
+
+use adversary::coalition::{select_members, CoalitionSelection};
+use adversary::harness::{coalition_colors, run_attack_trial};
+use adversary::strategies::standard_attacks;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rfc_core::runner::{run_protocol, ColorSpec, RunConfig};
+use std::hint::black_box;
+
+fn attack_config(n: usize, t: usize) -> (RunConfig, Vec<u32>) {
+    let members = select_members(n, t, CoalitionSelection::Random, 7);
+    let mut cfg = RunConfig::builder(n).gamma(3.0).build();
+    cfg.colors = ColorSpec::Explicit(coalition_colors(n, &members));
+    (cfg, members)
+}
+
+fn bench_honest_control(c: &mut Criterion) {
+    let (cfg, _) = attack_config(128, 8);
+    c.bench_function("e07_honest_control_n128", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed = seed.wrapping_add(1);
+            black_box(run_protocol(&cfg, seed))
+        });
+    });
+}
+
+fn bench_each_strategy(c: &mut Criterion) {
+    let (cfg, members) = attack_config(128, 8);
+    let mut group = c.benchmark_group("e07_attack_trial_n128_t8");
+    for strategy in standard_attacks() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(strategy.name()),
+            &strategy,
+            |b, strategy| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed = seed.wrapping_add(1);
+                    black_box(run_attack_trial(&cfg, strategy.as_ref(), &members, seed))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_coalition_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e07_spy_tune_coalition_size");
+    let strategy = adversary::strategies::spy_tune::SpyAndTune;
+    for t in [1usize, 8, 32] {
+        let (cfg, members) = attack_config(128, t);
+        group.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, _| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                black_box(run_attack_trial(&cfg, &strategy, &members, seed))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_honest_control,
+    bench_each_strategy,
+    bench_coalition_scaling
+);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Baseline-protocol benchmarks (experiments E3/E4b/E8/E10): the LOCAL
+//! all-to-all fair election, the naive min-badge election, push/pull
+//! rumor spreading, and 3-majority plurality dynamics.
+
+use baselines::local_fair::run_local_fair;
+use baselines::naive_min_id::run_naive_election;
+use baselines::plurality::run_plurality;
+use baselines::rumor::{spread_rumor, Mechanism};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gossip_net::fault::FaultPlan;
+use gossip_net::topology::Topology;
+use std::hint::black_box;
+
+fn bench_local_fair(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e03_local_allpairs");
+    for n in [64usize, 256, 1024] {
+        let colors: Vec<u32> = (0..n as u32).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                black_box(run_local_fair(n, &colors, seed))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_naive_election(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e08_naive_election");
+    for n in [64usize, 256] {
+        let colors: Vec<u32> = (0..n as u32).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                black_box(run_naive_election(n, &colors, &[], 3.0, seed))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_rumor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10_rumor_spreading");
+    let n = 1024;
+    for (name, mech) in [
+        ("push", Mechanism::Push),
+        ("pull", Mechanism::Pull),
+        ("push-pull", Mechanism::PushPull),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &mech, |b, &mech| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                black_box(spread_rumor(
+                    Topology::complete(n),
+                    FaultPlan::none(n),
+                    mech,
+                    seed,
+                    512,
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_plurality(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e04_plurality_dynamics");
+    let n = 256;
+    let colors: Vec<u32> = (0..n).map(|i| if i % 3 == 0 { 1 } else { 0 }).collect();
+    group.bench_function(BenchmarkId::from_parameter(n), |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed = seed.wrapping_add(1);
+            black_box(run_plurality(n, &colors, seed, 4000))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_local_fair,
+    bench_naive_election,
+    bench_rumor,
+    bench_plurality
+);
+criterion_main!(benches);

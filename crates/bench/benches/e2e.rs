@@ -1,0 +1,91 @@
+//! End-to-end protocol benchmarks (experiment E1's time-domain view).
+//!
+//! One full run of protocol `P` — all four communicating phases plus
+//! Verification — at several network sizes, under the synchronous and the
+//! asynchronous (sequential) scheduler, and with a faulty minority. The
+//! ids mirror the experiment index in DESIGN.md §4.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gossip_net::fault::Placement;
+use rfc_core::asynchronous::run_protocol_async;
+use rfc_core::runner::{run_protocol, RunConfig};
+use std::hint::black_box;
+
+fn bench_sync_runs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e01_full_run_sync");
+    for n in [64usize, 256, 1024] {
+        let cfg = RunConfig::builder(n).gamma(3.0).colors(vec![n - n / 2, n / 2]).build();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &cfg, |b, cfg| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                black_box(run_protocol(cfg, seed))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_faulty_runs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e06_full_run_faults");
+    let n = 256;
+    for alpha in [0.0f64, 0.3, 0.6] {
+        let cfg = RunConfig::builder(n)
+            .gamma(4.0)
+            .colors(vec![n - n / 2, n / 2])
+            .faults(alpha, Placement::Random { seed: 1 })
+            .build();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("alpha_{alpha}")),
+            &cfg,
+            |b, cfg| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed = seed.wrapping_add(1);
+                    black_box(run_protocol(cfg, seed))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_async_runs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e12_full_run_async");
+    group.sample_size(10); // async runs are Θ(n·q) ticks per phase
+    for n in [32usize, 64] {
+        let cfg = RunConfig::builder(n).gamma(3.0).colors(vec![n - n / 2, n / 2]).build();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &cfg, |b, cfg| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                black_box(run_protocol_async(cfg, seed, 2))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_leader_election(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e09_leader_election");
+    let n = 256;
+    let cfg = rfc_core::election::election_config(n, 3.0);
+    group.bench_function(BenchmarkId::from_parameter(n), |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed = seed.wrapping_add(1);
+            black_box(rfc_core::election::elect_leader(&cfg, seed))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sync_runs,
+    bench_faulty_runs,
+    bench_async_runs,
+    bench_leader_election
+);
+criterion_main!(benches);

@@ -1,0 +1,137 @@
+//! Hot-path microbenchmarks: the per-operation costs that determine how
+//! large a network the simulator can sweep. Certificate construction and
+//! the two Verification checks dominate per-agent work; peer sampling and
+//! seed derivation dominate per-op simulator overhead.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gossip_net::rng::{derive_seed, DetRng};
+use gossip_net::topology::Topology;
+use rfc_core::certificate::{sum_votes_mod, CertData, VoteRec};
+use rfc_core::ledger::Ledger;
+use rfc_core::msg::IntentEntry;
+use std::hint::black_box;
+
+fn mk_votes(k: usize) -> Vec<VoteRec> {
+    (0..k)
+        .map(|i| VoteRec {
+            voter: (i * 37 % 256) as u32,
+            round: (i % 24) as u16,
+            value: (i as u64).wrapping_mul(0x9E37_79B9) % (1u64 << 40),
+        })
+        .collect()
+}
+
+fn bench_certificate_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro_cert_build");
+    for k in [8usize, 24, 64] {
+        let votes = mk_votes(k);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &votes, |b, votes| {
+            b.iter(|| black_box(CertData::build(3, 1, votes.clone(), 1 << 40)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_sum_votes(c: &mut Criterion) {
+    let votes = mk_votes(64);
+    c.bench_function("micro_sum_votes_64", |b| {
+        b.iter(|| black_box(sum_votes_mod(&votes, 1 << 40)))
+    });
+}
+
+fn bench_ledger_check(c: &mut Criterion) {
+    // A ledger with q = 24 declarations of q entries each, checked
+    // against a certificate with 24 votes — the realistic verification
+    // load at n = 256.
+    let q = 24usize;
+    let mut ledger = Ledger::new();
+    for v in 0..q as u32 {
+        let intents: rfc_core::msg::IntentList = (0..q)
+            .map(|i| IntentEntry {
+                value: (v as u64 * 1000 + i as u64) % (1 << 40),
+                target: ((v as usize + i) % 256) as u32,
+            })
+            .collect::<Vec<_>>()
+            .into();
+        ledger.declare(v, 0, intents);
+    }
+    let cert = CertData::build(300, 0, mk_votes(q), 1 << 40);
+    c.bench_function("micro_ledger_check_q24", |b| {
+        b.iter(|| black_box(ledger.check_certificate(&cert)))
+    });
+}
+
+fn bench_peer_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro_sample_peer");
+    let complete = Topology::complete(4096);
+    let sparse = Topology::random_regular(4096, 24, 3);
+    let mut rng = DetRng::seeded(1, 1);
+    group.bench_function("complete_4096", |b| {
+        b.iter(|| black_box(complete.sample_peer(77, &mut rng)))
+    });
+    group.bench_function("regular24_4096", |b| {
+        b.iter(|| black_box(sparse.sample_peer(77, &mut rng)))
+    });
+    group.finish();
+}
+
+fn bench_seed_derivation(c: &mut Criterion) {
+    c.bench_function("micro_derive_seed", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(derive_seed(0xABCD, i))
+        })
+    });
+}
+
+fn bench_network_round(c: &mut Criterion) {
+    // One synchronous round of the full protocol at n = 1024 (commitment
+    // phase: n pulls + n replies).
+    use gossip_net::fault::FaultPlan;
+    use gossip_net::size::SizeEnv;
+    use rfc_core::engine::{ConsensusAgent, HonestAgent, ProtocolCore};
+    use rfc_core::Params;
+
+    c.bench_function("micro_commitment_round_n1024", |b| {
+        b.iter_with_setup(
+            || {
+                let n = 1024;
+                let params = Params::new(n, 3.0);
+                let agents: Vec<Box<dyn ConsensusAgent>> = (0..n as u32)
+                    .map(|id| {
+                        let core = ProtocolCore::new(
+                            id,
+                            params,
+                            params.sync_schedule(),
+                            id % 2,
+                            DetRng::seeded(5, id as u64),
+                        );
+                        Box::new(HonestAgent::new(core)) as Box<dyn ConsensusAgent>
+                    })
+                    .collect();
+                gossip_net::network::Network::new(
+                    Topology::complete(n),
+                    SizeEnv::for_n(n),
+                    agents,
+                    FaultPlan::none(n),
+                )
+            },
+            |mut net| {
+                net.step();
+                black_box(net.metrics().messages_sent)
+            },
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_certificate_build,
+    bench_sum_votes,
+    bench_ledger_check,
+    bench_peer_sampling,
+    bench_seed_derivation,
+    bench_network_round
+);
+criterion_main!(benches);

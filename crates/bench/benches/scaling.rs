@@ -1,0 +1,76 @@
+//! Scaling benchmarks (experiments E2/E3 in the time domain, plus the
+//! parallel-harness speedup): how simulation cost grows with `n`, and how
+//! Monte-Carlo throughput scales with worker threads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use experiments::parallel::run_trials;
+use rfc_core::runner::{run_protocol, RunConfig};
+use std::hint::black_box;
+
+fn bench_n_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e02_e03_run_cost_vs_n");
+    group.sample_size(10);
+    for n in [128usize, 512, 2048] {
+        let cfg = RunConfig::builder(n).gamma(3.0).colors(vec![n - n / 2, n / 2]).build();
+        // Per-run message count ≈ n·q per phase; throughput in agents.
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &cfg, |b, cfg| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                black_box(run_protocol(cfg, seed))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_parallel_speedup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("harness_parallel_speedup");
+    group.sample_size(10);
+    let trials = 32usize;
+    let cfg = RunConfig::builder(128).gamma(3.0).colors(vec![64, 64]).build();
+    for threads in [1usize, 2, 4, 8] {
+        group.throughput(Throughput::Elements(trials as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    black_box(run_trials(trials, threads, 9, |seed| {
+                        run_protocol(&cfg, seed).outcome.is_consensus()
+                    }))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_gamma_cost(c: &mut Criterion) {
+    // The γ(α) sizing rule (E6) trades rounds for fault tolerance; this
+    // shows the linear-in-γ simulation cost of that trade.
+    let mut group = c.benchmark_group("e06_cost_vs_gamma");
+    let n = 256;
+    for gamma in [2.0f64, 4.0, 8.0] {
+        let cfg = RunConfig::builder(n)
+            .gamma(gamma)
+            .colors(vec![128, 128])
+            .build();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("gamma_{gamma}")),
+            &cfg,
+            |b, cfg| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed = seed.wrapping_add(1);
+                    black_box(run_protocol(cfg, seed))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_n_scaling, bench_parallel_speedup, bench_gamma_cost);
+criterion_main!(benches);

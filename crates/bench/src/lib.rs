@@ -1,0 +1,16 @@
+//! # rfc-bench — the Criterion benchmark harness
+//!
+//! Five bench binaries cover the experiment index of DESIGN.md §4 in the
+//! time domain plus the simulator's hot paths:
+//!
+//! * `e2e` — full protocol runs: sync (E1), faulty (E6), async (E12),
+//!   leader election (E9);
+//! * `attacks` — one deviating trial per strategy in the suite (E7/E8);
+//! * `baseline_protocols` — LOCAL all-to-all (E3), naive election (E8),
+//!   rumor spreading (E10), plurality dynamics (E4b);
+//! * `micro` — certificate build/verify, ledger checks, peer sampling,
+//!   seed derivation, one network round;
+//! * `scaling` — run cost vs n (E2/E3), vs γ (E6), and Monte-Carlo
+//!   throughput vs worker threads.
+//!
+//! Run with `cargo bench -p rfc-bench` (or `--bench micro` etc.).

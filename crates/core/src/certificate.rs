@@ -1,0 +1,203 @@
+//! Votes and certificates.
+//!
+//! After the Voting phase every agent `u` owns a **certificate**
+//! `CE_u = (k_u, W_u, c_u, u)` where `W_u` is the multiset of votes `u`
+//! received and `k_u = Σ_{h ∈ W_u} h mod m`. The Find-Min phase spreads
+//! the certificate with the minimum `k`; Verification later re-derives
+//! `k` from `W` and cross-checks `W` against the Commitment declarations.
+//!
+//! Each vote is recorded as `(voter, round, value)` — the `round` is the
+//! index of the vote inside the voter's declared intention list `H_v`,
+//! which is what lets Verification match votes against declarations
+//! *exactly* (the paper keeps `W` abstract; tagging votes by their
+//! intention index is the deterministic refinement that makes the
+//! consistency check well-defined even when the same voter targets the
+//! same agent twice).
+
+use gossip_net::ids::{AgentId, ColorId};
+use std::sync::Arc;
+
+/// One received vote: `voter` sent `value` as the `round`-th entry of its
+/// declared intention list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VoteRec {
+    /// The authenticated sender of the vote.
+    pub voter: AgentId,
+    /// Index of this vote in the voter's intention list `H_voter`.
+    pub round: u16,
+    /// The vote value `h ∈ [m]`.
+    pub value: u64,
+}
+
+/// Certificate payload `CE = (k, W, c, owner)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CertData {
+    /// Accumulated vote value `k = Σ value mod m`, as declared by `owner`.
+    pub k: u64,
+    /// The votes `W` the owner claims to have received, in canonical
+    /// `(voter, round)` order.
+    pub votes: Vec<VoteRec>,
+    /// The owner's initial color `c_owner`.
+    pub color: ColorId,
+    /// The owner's label.
+    pub owner: AgentId,
+}
+
+/// A shareable certificate. `Arc` because Find-Min and Coherence clone the
+/// same payload `Θ(n log n)` times; sharing makes those clones O(1) and
+/// equality still compares payloads.
+pub type Certificate = Arc<CertData>;
+
+impl CertData {
+    /// Build the honest certificate from received votes: sorts the votes
+    /// into canonical order and accumulates `k = Σ value mod m`.
+    pub fn build(
+        owner: AgentId,
+        color: ColorId,
+        mut votes: Vec<VoteRec>,
+        m: u64,
+    ) -> CertData {
+        votes.sort_unstable_by_key(|v| (v.voter, v.round));
+        let k = sum_votes_mod(&votes, m);
+        CertData {
+            k,
+            votes,
+            color,
+            owner,
+        }
+    }
+
+    /// Re-derive `k` from the contained votes; Verification's first check
+    /// is `self.k == self.derived_k(m)`.
+    pub fn derived_k(&self, m: u64) -> u64 {
+        sum_votes_mod(&self.votes, m)
+    }
+
+    /// All votes claimed to come from `voter`, in declaration order.
+    pub fn votes_from(&self, voter: AgentId) -> impl Iterator<Item = &VoteRec> {
+        self.votes.iter().filter(move |v| v.voter == voter)
+    }
+
+    /// Structural sanity for a certificate circulating among `n` agents
+    /// with vote space `m` and `q` voting rounds: field ranges only (the
+    /// paper's agents accept any *plausible* certificate during Find-Min
+    /// and defer semantic checks to Verification).
+    pub fn structurally_valid(&self, n: usize, m: u64, q: usize) -> bool {
+        self.k < m
+            && (self.owner as usize) < n
+            && self
+                .votes
+                .iter()
+                .all(|v| (v.voter as usize) < n && v.value < m && (v.round as usize) < q)
+    }
+}
+
+/// `Σ value mod m` over a vote slice (the order is irrelevant because
+/// addition mod m is commutative; we still keep votes canonically sorted
+/// so certificate equality is syntactic).
+pub fn sum_votes_mod(votes: &[VoteRec], m: u64) -> u64 {
+    debug_assert!(m >= 1);
+    votes
+        .iter()
+        .fold(0u64, |acc, v| (acc + (v.value % m)) % m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(voter: AgentId, round: u16, value: u64) -> VoteRec {
+        VoteRec {
+            voter,
+            round,
+            value,
+        }
+    }
+
+    #[test]
+    fn build_sorts_and_accumulates() {
+        let m = 1000;
+        let cert = CertData::build(7, 3, vec![v(2, 1, 500), v(1, 0, 700)], m);
+        assert_eq!(cert.votes[0].voter, 1);
+        assert_eq!(cert.k, 200); // (500 + 700) mod 1000
+        assert_eq!(cert.owner, 7);
+        assert_eq!(cert.color, 3);
+    }
+
+    #[test]
+    fn empty_vote_set_sums_to_zero() {
+        let cert = CertData::build(0, 0, vec![], 997);
+        assert_eq!(cert.k, 0);
+        assert_eq!(cert.derived_k(997), 0);
+    }
+
+    #[test]
+    fn derived_k_matches_build() {
+        let m = 12345;
+        let votes: Vec<_> = (0..50).map(|i| v(i, (i % 7) as u16, (i as u64) * 999)).collect();
+        let cert = CertData::build(1, 1, votes, m);
+        assert_eq!(cert.k, cert.derived_k(m));
+    }
+
+    #[test]
+    fn sum_is_order_independent() {
+        let m = 101;
+        let a = vec![v(1, 0, 50), v(2, 0, 60), v(3, 0, 70)];
+        let mut b = a.clone();
+        b.reverse();
+        assert_eq!(sum_votes_mod(&a, m), sum_votes_mod(&b, m));
+    }
+
+    #[test]
+    fn sum_reduces_oversized_values() {
+        // Values >= m are reduced before accumulation, so adversarial
+        // values cannot overflow or escape the ring.
+        let m = 10;
+        assert_eq!(sum_votes_mod(&[v(0, 0, u64::MAX)], m), u64::MAX % 10);
+    }
+
+    #[test]
+    fn votes_from_filters_by_voter() {
+        let cert = CertData::build(
+            9,
+            0,
+            vec![v(1, 0, 5), v(2, 0, 6), v(1, 3, 7)],
+            100,
+        );
+        let from1: Vec<_> = cert.votes_from(1).collect();
+        assert_eq!(from1.len(), 2);
+        assert!(from1.iter().all(|r| r.voter == 1));
+        assert_eq!(cert.votes_from(5).count(), 0);
+    }
+
+    #[test]
+    fn structural_validation_catches_out_of_range() {
+        let good = CertData::build(3, 0, vec![v(1, 2, 50)], 100);
+        assert!(good.structurally_valid(10, 100, 5));
+        // k out of range
+        let mut bad = good.clone();
+        bad.k = 100;
+        assert!(!bad.structurally_valid(10, 100, 5));
+        // voter out of range
+        let bad = CertData::build(3, 0, vec![v(99, 2, 50)], 100);
+        assert!(!bad.structurally_valid(10, 100, 5));
+        // round out of range
+        let bad = CertData::build(3, 0, vec![v(1, 9, 50)], 100);
+        assert!(!bad.structurally_valid(10, 100, 5));
+        // value out of range
+        let bad = CertData::build(3, 0, vec![v(1, 2, 100)], 100);
+        assert!(!bad.structurally_valid(10, 100, 5));
+        // owner out of range
+        let bad = CertData::build(33, 0, vec![], 100);
+        assert!(!bad.structurally_valid(10, 100, 5));
+    }
+
+    #[test]
+    fn arc_equality_compares_payloads() {
+        let a: Certificate = Arc::new(CertData::build(1, 2, vec![v(0, 0, 3)], 10));
+        let b: Certificate = Arc::new(CertData::build(1, 2, vec![v(0, 0, 3)], 10));
+        assert_eq!(a, b);
+        let c: Certificate = Arc::new(CertData::build(1, 3, vec![v(0, 0, 3)], 10));
+        assert_ne!(a, c);
+    }
+}

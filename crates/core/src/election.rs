@@ -1,0 +1,107 @@
+//! Fair leader election: the special case `c_u = u`.
+//!
+//! The paper (§1, §2): "the well-known fair leader election problem is the
+//! special case of the fair consensus problem where the color initially
+//! supported by each agent is his own ID", so every active agent must be
+//! elected with probability `1/|A|`. Experiment E9 validates this
+//! uniformity with a χ² test over many runs.
+
+use crate::outcome::Outcome;
+use crate::runner::{run_protocol, RunConfig, RunReport};
+use gossip_net::fault::Placement;
+use gossip_net::ids::AgentId;
+
+/// Result of one leader-election run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ElectionResult {
+    /// The elected leader's id.
+    Leader(AgentId),
+    /// The protocol failed.
+    Failed,
+}
+
+/// Configuration for fair leader election on `n` agents.
+pub fn election_config(n: usize, gamma: f64) -> RunConfig {
+    RunConfig::builder(n).leader_election().gamma(gamma).build()
+}
+
+/// Configuration for fair leader election with faults.
+pub fn election_config_with_faults(
+    n: usize,
+    gamma: f64,
+    alpha: f64,
+    placement: Placement,
+) -> RunConfig {
+    RunConfig::builder(n)
+        .leader_election()
+        .gamma(gamma)
+        .faults(alpha, placement)
+        .build()
+}
+
+/// Run one fair leader election.
+pub fn elect_leader(cfg: &RunConfig, seed: u64) -> ElectionResult {
+    let report = run_protocol(cfg, seed);
+    result_of(&report)
+}
+
+/// Interpret a run report as an election result (the winning color *is*
+/// the leader's id in leader-election mode).
+pub fn result_of(report: &RunReport) -> ElectionResult {
+    match report.outcome {
+        Outcome::Consensus(c) => ElectionResult::Leader(c as AgentId),
+        Outcome::Fail => ElectionResult::Failed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn election_elects_some_agent() {
+        let cfg = election_config(32, 3.0);
+        match elect_leader(&cfg, 99) {
+            ElectionResult::Leader(id) => assert!((id as usize) < 32),
+            ElectionResult::Failed => panic!("fault-free election must succeed"),
+        }
+    }
+
+    #[test]
+    fn elected_leader_is_the_certificate_owner() {
+        let cfg = election_config(32, 3.0);
+        let report = run_protocol(&cfg, 5);
+        match (result_of(&report), report.winner) {
+            (ElectionResult::Leader(l), Some(w)) => assert_eq!(l, w),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn faulty_agents_are_never_elected() {
+        let cfg = election_config_with_faults(32, 4.0, 0.25, Placement::LowIds);
+        for seed in 0..10 {
+            match elect_leader(&cfg, seed) {
+                ElectionResult::Leader(id) => {
+                    assert!(id >= 8, "faulty low-id agent {id} was elected");
+                }
+                ElectionResult::Failed => {} // rare but legal
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_elect_different_leaders() {
+        let cfg = election_config(16, 3.0);
+        let mut leaders = std::collections::HashSet::new();
+        for seed in 0..25 {
+            if let ElectionResult::Leader(id) = elect_leader(&cfg, seed) {
+                leaders.insert(id);
+            }
+        }
+        assert!(
+            leaders.len() >= 5,
+            "25 elections on 16 agents should spread: {leaders:?}"
+        );
+    }
+}

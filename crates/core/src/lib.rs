@@ -1,0 +1,79 @@
+#![warn(missing_docs)]
+//! # rfc-core — the Rational Fair Consensus protocol
+//!
+//! Implementation of protocol `P` from *Rational Fair Consensus in the
+//! GOSSIP Model* (Clementi, Gualà, Proietti, Scornavacca; IPDPS 2017).
+//!
+//! Starting from any initial color configuration on the complete graph,
+//! `P` reaches **fair consensus** — the probability that color `c` wins
+//! equals the fraction of active agents initially supporting `c` — within
+//! `O(log n)` rounds using messages of `O(log² n)` bits, w.h.p.; it
+//! tolerates up to `αn` worst-case permanent faults (any constant
+//! `α < 1`) and is a *whp t-strong equilibrium* against rational
+//! coalitions of size `t = o(n / log n)`.
+//!
+//! ## Protocol structure (Algorithm 1)
+//!
+//! ```text
+//! Voting-Intention  (local)  draw H_u = q pairs (h ~ U[m], z ~ U[n]), m = n³
+//! Commitment        (q pull) collect others' H_v into the ledger L_u
+//! Voting            (q push) send declared votes; accumulate W_u, k_u = ΣW mod m
+//! Find-Min          (q pull) rumor-spread the minimum-k certificate
+//! Coherence         (q push) cross-check certificates; mismatch ⇒ fail
+//! Verification      (local)  recompute k, match W_min against L_u; accept color
+//! ```
+//!
+//! The module map mirrors those phases: [`params`] (q, m, schedules),
+//! [`msg`] (wire messages), [`certificate`] (`CE_u`), [`ledger`] (`L_u`),
+//! [`engine`] (the per-agent state machine), [`runner`] (whole-run
+//! orchestration), [`audit`] (good-execution checks, Definition 2),
+//! [`election`] (the leader-election special case) and [`asynchronous`]
+//! (the sequential-GOSSIP extension from the Conclusions).
+//!
+//! ## Example
+//!
+//! ```
+//! use rfc_core::prelude::*;
+//!
+//! let cfg = RunConfig::builder(64).colors(vec![40, 24]).gamma(3.0).build();
+//! let report = run_protocol(&cfg, 7);
+//! assert!(report.outcome.is_consensus());
+//! // The winning color is always a color initially supported by an
+//! // active agent (validity), and over many seeds color 0 wins ≈ 40/64
+//! // of the time (fairness — see experiment E4).
+//! ```
+
+pub mod asynchronous;
+pub mod audit;
+pub mod certificate;
+pub mod election;
+pub mod engine;
+pub mod ledger;
+pub mod msg;
+pub mod outcome;
+pub mod params;
+pub mod runner;
+
+pub use certificate::{CertData, Certificate, VoteRec};
+pub use engine::{ConsensusAgent, HonestAgent, ProtocolCore, Role, VerifyFailure};
+pub use ledger::{ConsistencyError, Declaration, Ledger};
+pub use msg::{IntentEntry, IntentList, Msg};
+pub use outcome::{combine_decisions, utility, Decision, Outcome};
+pub use params::{Params, Phase, PhaseSchedule};
+pub use runner::{
+    build_network, collect_report, drive_network, run_protocol, ColorSpec, RunConfig,
+    RunConfigBuilder, RunReport, TopologySpec,
+};
+
+/// Convenience re-exports for downstream crates and examples.
+pub mod prelude {
+    pub use crate::asynchronous::run_protocol_async;
+    pub use crate::audit::GoodExecutionReport;
+    pub use crate::certificate::{CertData, Certificate, VoteRec};
+    pub use crate::election::{elect_leader, election_config, ElectionResult};
+    pub use crate::engine::{ConsensusAgent, HonestAgent, ProtocolCore, Role, VerifyFailure};
+    pub use crate::msg::{IntentEntry, Msg};
+    pub use crate::outcome::{utility, Decision, Outcome};
+    pub use crate::params::{Params, Phase};
+    pub use crate::runner::{run_protocol, ColorSpec, RunConfig, RunReport, TopologySpec};
+}

@@ -1,0 +1,183 @@
+//! The protocol's wire messages and their bit-level size accounting.
+//!
+//! Five message kinds cover all of Algorithm 1's communication:
+//!
+//! | message | phase | direction | size (bits) |
+//! |---|---|---|---|
+//! | [`Msg::QIntent`] | Commitment | pull query | `O(1)` |
+//! | [`Msg::Intents`] | Commitment | pull reply | `q·(log m + log n) = O(log² n)` |
+//! | [`Msg::Vote`] | Voting | push | `log m + log q = O(log n)` |
+//! | [`Msg::QMinCert`] | Find-Min | pull query | `O(1)` |
+//! | [`Msg::Cert`] | Find-Min / Coherence | pull reply / push | `O(log² n)` w.h.p. |
+//!
+//! The certificate is the largest message: it carries `Θ(log n)` votes of
+//! `Θ(log n)` bits each (Theorem 4's `O(log² n)` bound — validated by
+//! experiment E2).
+
+use crate::certificate::{CertData, Certificate};
+use gossip_net::ids::AgentId;
+use gossip_net::size::{MsgSize, SizeEnv};
+use std::sync::Arc;
+
+/// One entry `(h, z)` of a vote-intention list `H_u`: "I will send value
+/// `h` to agent `z`".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct IntentEntry {
+    /// The vote value `h ∈ [m]`.
+    pub value: u64,
+    /// The vote's recipient `z ∈ [n]`.
+    pub target: AgentId,
+}
+
+/// A full vote-intention list, shared cheaply between the owner and the
+/// commitment replies it sends out.
+pub type IntentList = Arc<[IntentEntry]>;
+
+/// Protocol messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Msg {
+    /// Commitment pull query: "send me your vote intentions".
+    QIntent,
+    /// Commitment pull reply: the sender's full intention list `H_v`.
+    Intents(IntentList),
+    /// Voting push: `value` is `h_{u,round}`, `round` its index in `H_u`.
+    Vote {
+        /// The vote value `h ∈ [m]`.
+        value: u64,
+        /// Index of this vote in the sender's intention list.
+        round: u16,
+    },
+    /// Find-Min pull query: "send me your current minimum certificate".
+    QMinCert,
+    /// A certificate (Find-Min reply, Coherence push).
+    Cert(Certificate),
+}
+
+impl Msg {
+    /// Convenience constructor wrapping cert data in an [`Arc`].
+    pub fn cert(data: CertData) -> Msg {
+        Msg::Cert(Arc::new(data))
+    }
+
+    /// Is this one of the two constant-size query tags?
+    pub fn is_query(&self) -> bool {
+        matches!(self, Msg::QIntent | Msg::QMinCert)
+    }
+}
+
+impl MsgSize for Msg {
+    fn size_bits(&self, env: &SizeEnv) -> u64 {
+        SizeEnv::TAG_BITS
+            + match self {
+                Msg::QIntent | Msg::QMinCert => 0,
+                Msg::Intents(list) => list.len() as u64 * env.intent_entry_bits(),
+                Msg::Vote { .. } => env.value_bits as u64 + env.round_bits as u64,
+                Msg::Cert(data) => {
+                    // k + color + owner + votes
+                    env.value_bits as u64
+                        + env.color_bits as u64
+                        + env.id_bits as u64
+                        + data.votes.len() as u64 * env.vote_record_bits()
+                }
+            }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::certificate::VoteRec;
+
+    fn env() -> SizeEnv {
+        SizeEnv::for_n(1024) // id 10, value 30, round ~5, color 10
+    }
+
+    #[test]
+    fn queries_are_constant_size() {
+        let e = env();
+        assert_eq!(Msg::QIntent.size_bits(&e), SizeEnv::TAG_BITS);
+        assert_eq!(Msg::QMinCert.size_bits(&e), SizeEnv::TAG_BITS);
+        assert!(Msg::QIntent.is_query());
+        assert!(Msg::QMinCert.is_query());
+        assert!(!Msg::Vote { value: 0, round: 0 }.is_query());
+    }
+
+    #[test]
+    fn vote_size_is_logarithmic() {
+        let e = env();
+        let v = Msg::Vote {
+            value: 123,
+            round: 4,
+        };
+        assert_eq!(
+            v.size_bits(&e),
+            SizeEnv::TAG_BITS + e.value_bits as u64 + e.round_bits as u64
+        );
+    }
+
+    #[test]
+    fn intents_scale_with_list_length() {
+        let e = env();
+        let list: IntentList = (0..20)
+            .map(|i| IntentEntry {
+                value: i,
+                target: (i % 7) as AgentId,
+            })
+            .collect();
+        let m = Msg::Intents(list);
+        assert_eq!(
+            m.size_bits(&e),
+            SizeEnv::TAG_BITS + 20 * e.intent_entry_bits()
+        );
+    }
+
+    #[test]
+    fn cert_size_counts_votes() {
+        let e = env();
+        let votes: Vec<_> = (0..15)
+            .map(|i| VoteRec {
+                voter: i,
+                round: 0,
+                value: i as u64,
+            })
+            .collect();
+        let cert = CertData::build(3, 1, votes, 1 << 30);
+        let m = Msg::cert(cert);
+        let fixed = e.value_bits as u64 + e.color_bits as u64 + e.id_bits as u64;
+        assert_eq!(
+            m.size_bits(&e),
+            SizeEnv::TAG_BITS + fixed + 15 * e.vote_record_bits()
+        );
+    }
+
+    #[test]
+    fn empty_cert_still_pays_fixed_fields() {
+        let e = env();
+        let m = Msg::cert(CertData::build(0, 0, vec![], 100));
+        assert!(m.size_bits(&e) > SizeEnv::TAG_BITS);
+    }
+
+    #[test]
+    fn certificate_message_is_o_log_squared() {
+        // With q = Θ(log n) votes of Θ(log n) bits the certificate is
+        // Θ(log² n): check the measured size at two scales.
+        for exp in [10u32, 20] {
+            let n = 1usize << exp;
+            let e = SizeEnv::for_n(n);
+            let q = 2 * exp as usize;
+            let votes: Vec<_> = (0..q)
+                .map(|i| VoteRec {
+                    voter: (i % n) as AgentId,
+                    round: i as u16,
+                    value: 1,
+                })
+                .collect();
+            let bits = Msg::cert(CertData::build(0, 0, votes, (n as u64).pow(3)))
+                .size_bits(&e);
+            let log2n = exp as u64;
+            // 2·log n votes · ~4.5·log n bits each ⇒ bits ≈ 9·log²n.
+            assert!(bits < 16 * log2n * log2n, "cert too large: {bits}");
+            assert!(bits > 4 * log2n * log2n, "cert suspiciously small: {bits}");
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Run outcomes, per-agent decisions, and the utility model.
+//!
+//! The protocol's final state is an element of `S = Σ ∪ {⊥}`: either all
+//! active agents agree on a winning color, or the protocol *fails*. The
+//! paper's normalized payoff scheme (§2) gives agent `u`:
+//!
+//! * `util_u = 1` if the winning color is `c_u`,
+//! * `util_u = 0` if another color wins,
+//! * `util_u = −χ` (for a fixed `χ ≥ 0`) if the protocol fails.
+//!
+//! Failing is *very bad* for everyone — that is what makes sabotage
+//! ("spite") deviations unprofitable and lets Verification use failure as
+//! a deterrent.
+
+use gossip_net::ids::ColorId;
+
+/// Global outcome of one protocol execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// Every active agent terminated supporting this color.
+    Consensus(ColorId),
+    /// Some active agent failed, or active agents disagree: `⊥`.
+    Fail,
+}
+
+impl Outcome {
+    /// The winning color, if consensus was reached.
+    pub fn winning_color(&self) -> Option<ColorId> {
+        match self {
+            Outcome::Consensus(c) => Some(*c),
+            Outcome::Fail => None,
+        }
+    }
+
+    /// Did the run reach consensus?
+    pub fn is_consensus(&self) -> bool {
+        matches!(self, Outcome::Consensus(_))
+    }
+}
+
+/// Per-agent terminal status.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// The agent was faulty from round 0 and never participated.
+    Faulty,
+    /// The agent terminated supporting this color.
+    Decided(ColorId),
+    /// The agent entered the invalid ("fail") state.
+    Failed,
+}
+
+/// The paper's normalized utility: 1 for own color, 0 for another color,
+/// `−χ` for failure.
+pub fn utility(outcome: Outcome, own_color: ColorId, chi: f64) -> f64 {
+    debug_assert!(chi >= 0.0, "χ must be non-negative");
+    match outcome {
+        Outcome::Consensus(c) if c == own_color => 1.0,
+        Outcome::Consensus(_) => 0.0,
+        Outcome::Fail => -chi,
+    }
+}
+
+/// Derive the global outcome from active agents' decisions.
+///
+/// Consensus requires *every* active agent to have decided, and all
+/// decisions to agree (the paper's Termination + Agreement conditions);
+/// anything else is `⊥`.
+pub fn combine_decisions(decisions: &[Decision]) -> Outcome {
+    let mut winner: Option<ColorId> = None;
+    let mut saw_active = false;
+    for d in decisions {
+        match d {
+            Decision::Faulty => {}
+            Decision::Failed => return Outcome::Fail,
+            Decision::Decided(c) => {
+                saw_active = true;
+                match winner {
+                    None => winner = Some(*c),
+                    Some(w) if w == *c => {}
+                    Some(_) => return Outcome::Fail,
+                }
+            }
+        }
+    }
+    match (saw_active, winner) {
+        (true, Some(c)) => Outcome::Consensus(c),
+        _ => Outcome::Fail,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utility_matches_payoff_scheme() {
+        assert_eq!(utility(Outcome::Consensus(3), 3, 2.0), 1.0);
+        assert_eq!(utility(Outcome::Consensus(4), 3, 2.0), 0.0);
+        assert_eq!(utility(Outcome::Fail, 3, 2.0), -2.0);
+        assert_eq!(utility(Outcome::Fail, 3, 0.0), 0.0);
+    }
+
+    #[test]
+    fn unanimous_decisions_are_consensus() {
+        let ds = vec![
+            Decision::Decided(5),
+            Decision::Faulty,
+            Decision::Decided(5),
+        ];
+        assert_eq!(combine_decisions(&ds), Outcome::Consensus(5));
+    }
+
+    #[test]
+    fn any_failure_fails_the_run() {
+        let ds = vec![Decision::Decided(5), Decision::Failed];
+        assert_eq!(combine_decisions(&ds), Outcome::Fail);
+    }
+
+    #[test]
+    fn disagreement_fails_the_run() {
+        let ds = vec![Decision::Decided(5), Decision::Decided(6)];
+        assert_eq!(combine_decisions(&ds), Outcome::Fail);
+    }
+
+    #[test]
+    fn all_faulty_is_fail() {
+        let ds = vec![Decision::Faulty, Decision::Faulty];
+        assert_eq!(combine_decisions(&ds), Outcome::Fail);
+    }
+
+    #[test]
+    fn empty_is_fail() {
+        assert_eq!(combine_decisions(&[]), Outcome::Fail);
+    }
+
+    #[test]
+    fn outcome_accessors() {
+        assert_eq!(Outcome::Consensus(9).winning_color(), Some(9));
+        assert_eq!(Outcome::Fail.winning_color(), None);
+        assert!(Outcome::Consensus(0).is_consensus());
+        assert!(!Outcome::Fail.is_consensus());
+    }
+}

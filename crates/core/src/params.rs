@@ -1,0 +1,263 @@
+//! Protocol parameters and the phase schedule.
+//!
+//! Protocol `P` is parametrized (paper, Algorithm 1) by:
+//!
+//! * the network size `n`, known to every agent;
+//! * the per-phase round budget `q = γ·log n`, where `γ = γ(α)` grows with
+//!   the fault-tolerance parameter `α` (the analysis only requires "a
+//!   suitable constant"; experiments E5/E6 measure how large is enough);
+//! * the vote space `[m]` with `m = n³`, which makes all accumulated `k_u`
+//!   values distinct w.h.p. (paper Lemma 3, point 2 — birthday bound).
+//!
+//! The run consists of four communicating phases of `q` rounds each —
+//! Commitment, Voting, Find-Min, Coherence — preceded by the local
+//! Voting-Intention draw and followed by the local Verification step.
+//! [`PhaseSchedule`] maps a global round number to a phase; the
+//! synchronous schedule uses `phase_len = q`, while the asynchronous
+//! (sequential-GOSSIP) extension stretches each phase to `Θ(n·q)` ticks so
+//! every agent gets `≥ q` activations per phase w.h.p.
+
+use gossip_net::ids::ceil_log2;
+
+/// The protocol's communicating phases, plus the terminal state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Phase {
+    /// Pull vote intentions from random agents (builds the ledger `L_u`).
+    Commitment,
+    /// Push the declared votes (builds the vote set `W_u`).
+    Voting,
+    /// Pull-broadcast of the minimum-`k` certificate.
+    FindMin,
+    /// Push the held minimum certificate; any mismatch fails the protocol.
+    Coherence,
+    /// All communication done; only Verification (local) remains.
+    Finished,
+}
+
+impl Phase {
+    /// Human-readable phase label (also the metrics phase name).
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Commitment => "commitment",
+            Phase::Voting => "voting",
+            Phase::FindMin => "find-min",
+            Phase::Coherence => "coherence",
+            Phase::Finished => "finished",
+        }
+    }
+
+    /// The four communicating phases in execution order.
+    pub const COMMUNICATING: [Phase; 4] = [
+        Phase::Commitment,
+        Phase::Voting,
+        Phase::FindMin,
+        Phase::Coherence,
+    ];
+}
+
+/// Maps global round numbers to protocol phases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseSchedule {
+    /// Rounds (sync) or ticks (async) allotted to each phase.
+    pub phase_len: usize,
+}
+
+impl PhaseSchedule {
+    /// The phase active at global round `round`.
+    #[inline]
+    pub fn phase_of(&self, round: usize) -> Phase {
+        match round / self.phase_len {
+            0 => Phase::Commitment,
+            1 => Phase::Voting,
+            2 => Phase::FindMin,
+            3 => Phase::Coherence,
+            _ => Phase::Finished,
+        }
+    }
+
+    /// Total communicating rounds (after which Verification runs).
+    #[inline]
+    pub fn total_rounds(&self) -> usize {
+        4 * self.phase_len
+    }
+
+    /// Round window `[lo, hi)` occupied by `phase` (Finished is empty).
+    pub fn window(&self, phase: Phase) -> (usize, usize) {
+        let idx = match phase {
+            Phase::Commitment => 0,
+            Phase::Voting => 1,
+            Phase::FindMin => 2,
+            Phase::Coherence => 3,
+            Phase::Finished => {
+                return (self.total_rounds(), self.total_rounds());
+            }
+        };
+        (idx * self.phase_len, (idx + 1) * self.phase_len)
+    }
+}
+
+/// All protocol parameters, fixed before round 0 and shared by every agent
+/// (each agent knows `n` and the fault-tolerance parameter — paper §3).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Params {
+    /// Number of agents `n`.
+    pub n: usize,
+    /// Per-phase round budget `q = max(1, ceil(γ·log₂ n))`.
+    pub q: usize,
+    /// Vote-space size `m` (paper: `n³`).
+    pub m: u64,
+    /// The constant `γ` used to derive `q`.
+    pub gamma: f64,
+    /// Whether verification also checks the agent's *own* declared votes
+    /// against `W_min` (a refinement the paper's proof implies; on by
+    /// default, toggleable for the E11 ablation).
+    pub check_self_votes: bool,
+}
+
+impl Params {
+    /// Canonical parameters for `n` agents: `q = ceil(γ·log₂ n)`, `m = n³`.
+    pub fn new(n: usize, gamma: f64) -> Self {
+        assert!(n >= 2, "protocol needs at least two agents");
+        assert!(gamma > 0.0, "γ must be positive");
+        let q = ((gamma * ceil_log2(n) as f64).ceil() as usize).max(1);
+        Params {
+            n,
+            q,
+            m: (n as u64).saturating_pow(3),
+            gamma,
+            check_self_votes: true,
+        }
+    }
+
+    /// Override the vote-space size `m` (E11 ablation: `m = n` produces
+    /// `k` collisions and breaks the uniqueness of the minimum).
+    pub fn with_m(mut self, m: u64) -> Self {
+        assert!(m >= 2, "vote space must have at least two values");
+        self.m = m;
+        self
+    }
+
+    /// Override the per-phase round budget directly.
+    pub fn with_q(mut self, q: usize) -> Self {
+        assert!(q >= 1);
+        self.q = q;
+        self
+    }
+
+    /// Disable the self-vote verification refinement.
+    pub fn without_self_vote_check(mut self) -> Self {
+        self.check_self_votes = false;
+        self
+    }
+
+    /// The synchronous schedule: each phase takes exactly `q` rounds.
+    pub fn sync_schedule(&self) -> PhaseSchedule {
+        PhaseSchedule { phase_len: self.q }
+    }
+
+    /// The asynchronous (sequential-GOSSIP) schedule: each phase is
+    /// stretched to `slack · n · q` ticks so that every agent is activated
+    /// at least `q` times per phase w.h.p. (activations per agent per phase
+    /// are Binomial(slack·n·q, 1/n), mean `slack·q`).
+    pub fn async_schedule(&self, slack: usize) -> PhaseSchedule {
+        assert!(slack >= 1);
+        PhaseSchedule {
+            phase_len: slack * self.n * self.q,
+        }
+    }
+
+    /// Total synchronous rounds of the four communicating phases.
+    pub fn total_rounds(&self) -> usize {
+        self.sync_schedule().total_rounds()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn q_scales_with_log_n() {
+        let p = Params::new(1024, 2.0);
+        assert_eq!(p.q, 20); // 2 * log2(1024)
+        let p = Params::new(1 << 16, 1.0);
+        assert_eq!(p.q, 16);
+    }
+
+    #[test]
+    fn q_is_at_least_one() {
+        let p = Params::new(2, 0.1);
+        assert!(p.q >= 1);
+    }
+
+    #[test]
+    fn m_is_n_cubed() {
+        let p = Params::new(100, 1.0);
+        assert_eq!(p.m, 1_000_000);
+    }
+
+    #[test]
+    fn m_saturates_instead_of_overflowing() {
+        let p = Params::new(u32::MAX as usize, 1.0);
+        assert_eq!(p.m, u64::MAX); // saturating_pow
+    }
+
+    #[test]
+    fn phase_of_partitions_rounds() {
+        let p = Params::new(64, 1.0); // q = 6
+        let s = p.sync_schedule();
+        assert_eq!(s.phase_of(0), Phase::Commitment);
+        assert_eq!(s.phase_of(5), Phase::Commitment);
+        assert_eq!(s.phase_of(6), Phase::Voting);
+        assert_eq!(s.phase_of(12), Phase::FindMin);
+        assert_eq!(s.phase_of(18), Phase::Coherence);
+        assert_eq!(s.phase_of(23), Phase::Coherence);
+        assert_eq!(s.phase_of(24), Phase::Finished);
+        assert_eq!(s.phase_of(1000), Phase::Finished);
+    }
+
+    #[test]
+    fn windows_tile_the_schedule() {
+        let s = Params::new(256, 1.5).sync_schedule();
+        let mut expected_lo = 0;
+        for ph in Phase::COMMUNICATING {
+            let (lo, hi) = s.window(ph);
+            assert_eq!(lo, expected_lo);
+            assert_eq!(hi - lo, s.phase_len);
+            expected_lo = hi;
+        }
+        assert_eq!(expected_lo, s.total_rounds());
+        let (lo, hi) = s.window(Phase::Finished);
+        assert_eq!(lo, hi);
+    }
+
+    #[test]
+    fn async_schedule_stretches_phases() {
+        let p = Params::new(64, 1.0);
+        let s = p.async_schedule(2);
+        assert_eq!(s.phase_len, 2 * 64 * p.q);
+        assert_eq!(s.phase_of(0), Phase::Commitment);
+        assert_eq!(s.phase_of(2 * 64 * p.q), Phase::Voting);
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let p = Params::new(64, 1.0).with_m(64).with_q(3);
+        assert_eq!(p.m, 64);
+        assert_eq!(p.q, 3);
+        assert!(p.check_self_votes);
+        assert!(!p.without_self_vote_check().check_self_votes);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two agents")]
+    fn rejects_tiny_n() {
+        let _ = Params::new(1, 1.0);
+    }
+
+    #[test]
+    fn phase_names_are_stable() {
+        assert_eq!(Phase::Commitment.name(), "commitment");
+        assert_eq!(Phase::FindMin.name(), "find-min");
+    }
+}

@@ -1,0 +1,641 @@
+//! Orchestration: configure, build, drive, and report on protocol runs.
+//!
+//! [`RunConfig`] captures everything that defines an experiment instance —
+//! network size, `γ`, the initial color configuration, fault fraction and
+//! placement, parameter ablations. [`run_protocol`] executes one fully
+//! honest run; [`build_network`] + [`drive_network`] + [`collect_report`]
+//! expose the pieces so the adversary harness can inject deviating agents
+//! into the same pipeline.
+//!
+//! Determinism: every run is a pure function of `(RunConfig, seed)`. The
+//! master seed is split into independent streams for color assignment,
+//! fault placement, and each agent's private coins.
+
+use crate::audit::{audit_good_execution, GoodExecutionReport};
+use crate::engine::{ConsensusAgent, HonestAgent, ProtocolCore, Role, VerifyFailure};
+use crate::msg::Msg;
+use crate::outcome::{combine_decisions, Decision, Outcome};
+use crate::params::{Params, Phase};
+use gossip_net::fault::{FaultPlan, Placement};
+use gossip_net::ids::{AgentId, ColorId};
+use gossip_net::metrics::Metrics;
+use gossip_net::network::{Network, NetworkConfig};
+use gossip_net::rng::DetRng;
+use gossip_net::size::SizeEnv;
+use gossip_net::topology::Topology;
+
+/// RNG stream labels: one sub-stream per independent randomness consumer.
+mod streams {
+    pub const COLORS: u64 = 0x01;
+    pub const FAULTS: u64 = 0x02;
+    pub const LOSS: u64 = 0x03;
+    pub const AGENT_BASE: u64 = 0x1000;
+}
+
+/// How initial colors are assigned to agents.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ColorSpec {
+    /// `counts[c]` agents get color `c`; the assignment to ids is a
+    /// seeded random permutation. Counts must sum to `n`.
+    Counts(Vec<usize>),
+    /// Fair leader election: every agent's color is its own id.
+    LeaderElection,
+    /// Explicit per-agent colors (id-indexed; length must equal `n`).
+    /// Used by the adversary harness to pin coalition colors.
+    Explicit(Vec<ColorId>),
+    /// All agents share color 0 (degenerate sanity case).
+    Uniform,
+}
+
+/// Network topology selector (complete graph unless testing extensions).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TopologySpec {
+    /// The paper's setting: the complete graph `K_n`.
+    Complete,
+    /// Erdős–Rényi `G(n, p)`.
+    ErdosRenyi {
+        /// Edge probability.
+        p: f64,
+    },
+    /// Random `d`-regular graph.
+    RandomRegular {
+        /// Vertex degree.
+        d: usize,
+    },
+    /// The cycle `C_n` (worst case for rumor spreading).
+    Ring,
+}
+
+/// Everything defining one protocol-run configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunConfig {
+    /// Number of agents `n`.
+    pub n: usize,
+    /// The constant `γ` in `q = γ·log₂ n`.
+    pub gamma: f64,
+    /// Override the vote-space size `m` (default `n³`; E11 ablation).
+    pub m_override: Option<u64>,
+    /// Override the per-phase round budget `q`.
+    pub q_override: Option<usize>,
+    /// Initial color configuration.
+    pub colors: ColorSpec,
+    /// Fraction `α` of faulty agents.
+    pub fault_fraction: f64,
+    /// Where the adversary places the faults.
+    pub fault_placement: Placement,
+    /// Topology (complete graph in the paper).
+    pub topology: TopologySpec,
+    /// Record the operation log and produce a good-execution audit.
+    pub record_ops: bool,
+    /// Verification checks the verifier's own sent votes too (paper-implied
+    /// refinement; disable for the E11 ablation).
+    pub check_self_votes: bool,
+    /// Disable the Coherence phase (E11 ablation: equivocation becomes
+    /// undetectable and coalition attacks succeed).
+    pub skip_coherence: bool,
+    /// Disable ledger verification (E11 ablation: fake-min attacks win).
+    pub skip_verification: bool,
+    /// Per-message drop probability (failure injection, E13; the paper's
+    /// model assumes reliable channels, i.e. 0.0).
+    pub loss_probability: f64,
+}
+
+impl RunConfig {
+    /// Start building a config for `n` agents (γ = 3, two equal colors,
+    /// no faults, complete graph).
+    pub fn builder(n: usize) -> RunConfigBuilder {
+        RunConfigBuilder::new(n)
+    }
+
+    /// The derived protocol parameters.
+    pub fn params(&self) -> Params {
+        let mut p = Params::new(self.n, self.gamma);
+        if let Some(m) = self.m_override {
+            p = p.with_m(m);
+        }
+        if let Some(q) = self.q_override {
+            p = p.with_q(q);
+        }
+        if !self.check_self_votes {
+            p = p.without_self_vote_check();
+        }
+        p
+    }
+
+    /// Build the topology instance (seeded for the random families).
+    pub fn topology(&self, seed: u64) -> Topology {
+        match &self.topology {
+            TopologySpec::Complete => Topology::complete(self.n),
+            TopologySpec::ErdosRenyi { p } => Topology::erdos_renyi(self.n, *p, seed),
+            TopologySpec::RandomRegular { d } => Topology::random_regular(self.n, *d, seed),
+            TopologySpec::Ring => Topology::ring(self.n),
+        }
+    }
+
+    /// Assign initial colors (seeded permutation for `Counts`).
+    pub fn assign_colors(&self, seed: u64) -> Vec<ColorId> {
+        match &self.colors {
+            ColorSpec::Uniform => vec![0; self.n],
+            ColorSpec::LeaderElection => (0..self.n as ColorId).collect(),
+            ColorSpec::Explicit(colors) => {
+                assert_eq!(colors.len(), self.n, "explicit colors must cover all agents");
+                colors.clone()
+            }
+            ColorSpec::Counts(counts) => {
+                let total: usize = counts.iter().sum();
+                assert_eq!(
+                    total, self.n,
+                    "color counts must sum to n ({total} != {})",
+                    self.n
+                );
+                let mut colors: Vec<ColorId> = counts
+                    .iter()
+                    .enumerate()
+                    .flat_map(|(c, &k)| std::iter::repeat_n(c as ColorId, k))
+                    .collect();
+                let mut rng = DetRng::seeded(seed, streams::COLORS);
+                rng.shuffle(&mut colors);
+                colors
+            }
+        }
+    }
+
+    /// Build the fault plan.
+    pub fn fault_plan(&self, seed: u64) -> FaultPlan {
+        if self.fault_fraction <= 0.0 {
+            FaultPlan::none(self.n)
+        } else {
+            let placement = match self.fault_placement {
+                Placement::Random { .. } => Placement::Random {
+                    seed: gossip_net::rng::derive_seed(seed, streams::FAULTS),
+                },
+                other => other,
+            };
+            FaultPlan::fraction(self.n, self.fault_fraction, placement)
+        }
+    }
+}
+
+/// Fluent builder for [`RunConfig`].
+#[derive(Debug, Clone)]
+pub struct RunConfigBuilder {
+    cfg: RunConfig,
+}
+
+impl RunConfigBuilder {
+    fn new(n: usize) -> Self {
+        RunConfigBuilder {
+            cfg: RunConfig {
+                n,
+                gamma: 3.0,
+                m_override: None,
+                q_override: None,
+                colors: ColorSpec::Counts(vec![n - n / 2, n / 2]),
+                fault_fraction: 0.0,
+                fault_placement: Placement::Random { seed: 0 },
+                topology: TopologySpec::Complete,
+                record_ops: false,
+                check_self_votes: true,
+                skip_coherence: false,
+                skip_verification: false,
+                loss_probability: 0.0,
+            },
+        }
+    }
+
+    /// Set `γ` (per-phase budget `q = γ·log₂ n`).
+    pub fn gamma(mut self, gamma: f64) -> Self {
+        self.cfg.gamma = gamma;
+        self
+    }
+
+    /// Set color counts (must sum to `n`).
+    pub fn colors(mut self, counts: Vec<usize>) -> Self {
+        self.cfg.colors = ColorSpec::Counts(counts);
+        self
+    }
+
+    /// Fair leader election mode: every agent supports its own id.
+    pub fn leader_election(mut self) -> Self {
+        self.cfg.colors = ColorSpec::LeaderElection;
+        self
+    }
+
+    /// Explicit per-agent colors (id-indexed).
+    pub fn explicit_colors(mut self, colors: Vec<ColorId>) -> Self {
+        self.cfg.colors = ColorSpec::Explicit(colors);
+        self
+    }
+
+    /// Fault a fraction `α` of agents with the given placement.
+    pub fn faults(mut self, alpha: f64, placement: Placement) -> Self {
+        self.cfg.fault_fraction = alpha;
+        self.cfg.fault_placement = placement;
+        self
+    }
+
+    /// Override the vote-space size `m`.
+    pub fn m(mut self, m: u64) -> Self {
+        self.cfg.m_override = Some(m);
+        self
+    }
+
+    /// Override the phase budget `q`.
+    pub fn q(mut self, q: usize) -> Self {
+        self.cfg.q_override = Some(q);
+        self
+    }
+
+    /// Select a non-complete topology.
+    pub fn topology(mut self, t: TopologySpec) -> Self {
+        self.cfg.topology = t;
+        self
+    }
+
+    /// Record the op log and produce a good-execution audit.
+    pub fn record_ops(mut self, yes: bool) -> Self {
+        self.cfg.record_ops = yes;
+        self
+    }
+
+    /// Toggle the self-vote verification refinement.
+    pub fn check_self_votes(mut self, yes: bool) -> Self {
+        self.cfg.check_self_votes = yes;
+        self
+    }
+
+    /// Ablation: drop the Coherence phase.
+    pub fn skip_coherence(mut self, yes: bool) -> Self {
+        self.cfg.skip_coherence = yes;
+        self
+    }
+
+    /// Ablation: drop ledger verification.
+    pub fn skip_verification(mut self, yes: bool) -> Self {
+        self.cfg.skip_verification = yes;
+        self
+    }
+
+    /// Failure injection: independent per-message drop probability.
+    pub fn message_loss(mut self, p: f64) -> Self {
+        self.cfg.loss_probability = p;
+        self
+    }
+
+    /// Finish building.
+    pub fn build(self) -> RunConfig {
+        self.cfg
+    }
+}
+
+/// Result of one protocol run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Global outcome.
+    pub outcome: Outcome,
+    /// Communicating rounds executed (`4q` for the sync schedule).
+    pub rounds: usize,
+    /// Wire metrics (messages, bits, per-phase tallies).
+    pub metrics: Metrics,
+    /// Owner of the agreed certificate, if consensus was reached.
+    pub winner: Option<AgentId>,
+    /// Per-agent terminal status (id-indexed).
+    pub decisions: Vec<Decision>,
+    /// Initial colors (id-indexed).
+    pub initial_colors: Vec<ColorId>,
+    /// Number of active (non-faulty) agents.
+    pub n_active: usize,
+    /// Per-agent failure diagnostics (id-indexed; `None` = did not fail).
+    pub verify_failures: Vec<Option<VerifyFailure>>,
+    /// Good-execution audit (present when `record_ops` was set).
+    pub audit: Option<GoodExecutionReport>,
+}
+
+impl RunReport {
+    /// Count the honest-agent failure kinds of this run (diagnostics for
+    /// attack experiments: which check caught the deviation?).
+    pub fn failure_histogram(&self) -> Vec<(VerifyFailure, usize)> {
+        let mut out: Vec<(VerifyFailure, usize)> = Vec::new();
+        for vf in self.verify_failures.iter().flatten() {
+            if let Some(e) = out.iter_mut().find(|(k, _)| k == vf) {
+                e.1 += 1;
+            } else {
+                out.push((*vf, 1));
+            }
+        }
+        out
+    }
+
+    /// Fraction of *active* agents initially supporting `c` — the
+    /// fairness target probability for color `c`.
+    pub fn active_fraction(&self, c: ColorId) -> f64 {
+        if self.n_active == 0 {
+            return 0.0;
+        }
+        let cnt = self
+            .decisions
+            .iter()
+            .zip(&self.initial_colors)
+            .filter(|(d, &col)| !matches!(d, Decision::Faulty) && col == c)
+            .count();
+        cnt as f64 / self.n_active as f64
+    }
+}
+
+/// Factory signature used to construct each agent: receives the agent's
+/// id, protocol parameters, initial color, private RNG stream, and the
+/// run topology (so intention targets can respect sparse graphs).
+pub type AgentFactory<'a> =
+    dyn FnMut(AgentId, Params, ColorId, DetRng, &Topology) -> Box<dyn ConsensusAgent> + 'a;
+
+/// Build a ready-to-run network with custom agent construction.
+pub fn build_network(
+    cfg: &RunConfig,
+    seed: u64,
+    factory: &mut AgentFactory,
+) -> Network<Msg, Box<dyn ConsensusAgent>> {
+    let params = cfg.params();
+    let colors = cfg.assign_colors(seed);
+    let faults = cfg.fault_plan(seed);
+    let topology = cfg.topology(seed);
+    let env = SizeEnv::with_params(cfg.n, params.m, params.q, color_space_size(cfg));
+    let agents: Vec<Box<dyn ConsensusAgent>> = (0..cfg.n)
+        .map(|i| {
+            let rng = DetRng::seeded(seed, streams::AGENT_BASE + i as u64);
+            factory(i as AgentId, params, colors[i], rng, &topology)
+        })
+        .collect();
+    Network::with_config(
+        topology,
+        env,
+        agents,
+        faults,
+        NetworkConfig {
+            record_ops: cfg.record_ops,
+            loss_probability: cfg.loss_probability,
+            loss_seed: gossip_net::rng::derive_seed(seed, streams::LOSS),
+            ..NetworkConfig::default()
+        },
+    )
+}
+
+fn color_space_size(cfg: &RunConfig) -> usize {
+    match &cfg.colors {
+        ColorSpec::Counts(c) => c.len().max(2),
+        ColorSpec::LeaderElection => cfg.n,
+        ColorSpec::Uniform => 2,
+        ColorSpec::Explicit(colors) => {
+            colors.iter().map(|&c| c as usize + 1).max().unwrap_or(2).max(2)
+        }
+    }
+}
+
+/// Drive all four communicating phases (with metrics phase labels) and
+/// finalize (Verification). Respects the `skip_coherence` ablation by
+/// fast-forwarding the phase window without executing it.
+pub fn drive_network(
+    net: &mut Network<Msg, Box<dyn ConsensusAgent>>,
+    cfg: &RunConfig,
+) {
+    let params = cfg.params();
+    let q = params.q;
+    for phase in Phase::COMMUNICATING {
+        if phase == Phase::Coherence && cfg.skip_coherence {
+            // Ablation: the phase's rounds simply don't happen; agents
+            // proceed to verification with whatever certificate they hold.
+            break;
+        }
+        net.enter_phase(phase.name());
+        net.run(q);
+    }
+    net.finalize();
+}
+
+/// Extract a [`RunReport`] from a finished network.
+///
+/// The global outcome is the agreement reached by the *honest* active
+/// agents: a deviator that refuses to terminate cannot nullify a
+/// consensus the rest of the network reached (the coalition's utility is
+/// determined by the color the network converges to — paper §3.2, where
+/// the Winner is defined by the certificate held after Coherence).
+pub fn collect_report(
+    net: &Network<Msg, Box<dyn ConsensusAgent>>,
+    cfg: &RunConfig,
+) -> RunReport {
+    let faults = net.faults();
+    let mut decisions = Vec::with_capacity(net.n());
+    let mut honest_decisions = Vec::with_capacity(net.n());
+    let mut initial_colors = Vec::with_capacity(net.n());
+    let mut verify_failures = Vec::with_capacity(net.n());
+    let mut winner: Option<AgentId> = None;
+    for id in 0..net.n() as AgentId {
+        let agent = net.agent(id);
+        let core = agent.core();
+        initial_colors.push(core.color);
+        verify_failures.push(core.verify_failure);
+        let d = if faults.is_faulty(id) {
+            Decision::Faulty
+        } else {
+            match effective_decision(core, cfg) {
+                Some(c) => {
+                    if winner.is_none() && agent.role() == Role::Honest {
+                        winner = core.min_cert.as_ref().map(|ce| ce.owner);
+                    }
+                    Decision::Decided(c)
+                }
+                None => Decision::Failed,
+            }
+        };
+        if agent.role() == Role::Honest {
+            honest_decisions.push(d);
+        }
+        decisions.push(d);
+    }
+    let outcome = combine_decisions(&honest_decisions);
+    if !outcome.is_consensus() {
+        winner = None;
+    }
+    let audit = if cfg.record_ops {
+        Some(audit_good_execution(net))
+    } else {
+        None
+    };
+    RunReport {
+        outcome,
+        rounds: net.round(),
+        metrics: net.metrics().clone(),
+        winner,
+        decisions,
+        initial_colors,
+        n_active: faults.n_active(),
+        verify_failures,
+        audit,
+    }
+}
+
+/// Apply the `skip_verification` ablation: when verification is disabled
+/// an agent simply adopts its minimum certificate's color (even one that
+/// would have failed the checks).
+fn effective_decision(core: &ProtocolCore, cfg: &RunConfig) -> Option<ColorId> {
+    if cfg.skip_verification {
+        if core.failed && core.verify_failure != Some(crate::engine::VerifyFailure::FailedEarlier)
+        {
+            // Verification-type failures are bypassed by the ablation…
+            return core.min_cert.as_ref().map(|c| c.color);
+        }
+        if core.failed {
+            // …but Coherence failures still count (it is a separate phase).
+            return None;
+        }
+        return core.min_cert.as_ref().map(|c| c.color);
+    }
+    core.decision()
+}
+
+/// Run protocol `P` with every agent honest. The canonical entry point.
+pub fn run_protocol(cfg: &RunConfig, seed: u64) -> RunReport {
+    let mut factory =
+        |id: AgentId, params: Params, color: ColorId, rng: DetRng, topo: &Topology| {
+            let core = ProtocolCore::new_on(topo, id, params, params.sync_schedule(), color, rng);
+            Box::new(HonestAgent::new(core)) as Box<dyn ConsensusAgent>
+        };
+    let mut net = build_network(cfg, seed, &mut factory);
+    drive_network(&mut net, cfg);
+    collect_report(&net, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn honest_run_reaches_consensus() {
+        let cfg = RunConfig::builder(32).gamma(3.0).colors(vec![16, 16]).build();
+        let report = run_protocol(&cfg, 42);
+        assert!(
+            report.outcome.is_consensus(),
+            "fault-free honest run must succeed: {:?}",
+            report.outcome
+        );
+        assert_eq!(report.rounds, cfg.params().total_rounds());
+        assert_eq!(report.n_active, 32);
+    }
+
+    #[test]
+    fn consensus_color_is_winners_initial_color() {
+        let cfg = RunConfig::builder(32).colors(vec![10, 12, 10]).build();
+        let report = run_protocol(&cfg, 7);
+        let c = report.outcome.winning_color().expect("consensus");
+        let w = report.winner.expect("winner id");
+        assert_eq!(report.initial_colors[w as usize], c);
+    }
+
+    #[test]
+    fn different_seeds_can_give_different_winners() {
+        let cfg = RunConfig::builder(32).colors(vec![16, 16]).build();
+        let mut winners = std::collections::HashSet::new();
+        for seed in 0..20 {
+            winners.insert(run_protocol(&cfg, seed).winner);
+        }
+        assert!(winners.len() > 1, "winner should vary across seeds");
+    }
+
+    #[test]
+    fn runs_are_deterministic_in_the_seed() {
+        let cfg = RunConfig::builder(24).colors(vec![8, 8, 8]).build();
+        let a = run_protocol(&cfg, 123);
+        let b = run_protocol(&cfg, 123);
+        assert_eq!(a.outcome, b.outcome);
+        assert_eq!(a.winner, b.winner);
+        assert_eq!(a.metrics.messages_sent, b.metrics.messages_sent);
+        assert_eq!(a.metrics.bits_sent, b.metrics.bits_sent);
+    }
+
+    #[test]
+    fn faulty_agents_get_faulty_decisions() {
+        let cfg = RunConfig::builder(32)
+            .colors(vec![16, 16])
+            .faults(0.25, Placement::LowIds)
+            .gamma(4.0)
+            .build();
+        let report = run_protocol(&cfg, 9);
+        let n_faulty = report
+            .decisions
+            .iter()
+            .filter(|d| matches!(d, Decision::Faulty))
+            .count();
+        assert_eq!(n_faulty, 8);
+        assert_eq!(report.n_active, 24);
+        assert!(report.outcome.is_consensus());
+    }
+
+    #[test]
+    fn color_assignment_respects_counts() {
+        let cfg = RunConfig::builder(20).colors(vec![5, 7, 8]).build();
+        let colors = cfg.assign_colors(11);
+        let count = |c: ColorId| colors.iter().filter(|&&x| x == c).count();
+        assert_eq!(count(0), 5);
+        assert_eq!(count(1), 7);
+        assert_eq!(count(2), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "must sum to n")]
+    fn bad_color_counts_panic() {
+        let cfg = RunConfig::builder(10).colors(vec![3, 3]).build();
+        let _ = cfg.assign_colors(0);
+    }
+
+    #[test]
+    fn leader_election_assigns_ids() {
+        let cfg = RunConfig::builder(10).leader_election().build();
+        let colors = cfg.assign_colors(0);
+        assert_eq!(colors, (0..10).collect::<Vec<ColorId>>());
+    }
+
+    #[test]
+    fn active_fraction_counts_only_active() {
+        let cfg = RunConfig::builder(16)
+            .colors(vec![8, 8])
+            .faults(0.5, Placement::LowIds)
+            .gamma(4.0)
+            .build();
+        let report = run_protocol(&cfg, 3);
+        let f0 = report.active_fraction(0);
+        let f1 = report.active_fraction(1);
+        assert!((f0 + f1 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn audit_present_iff_requested() {
+        let cfg = RunConfig::builder(16).record_ops(true).build();
+        assert!(run_protocol(&cfg, 1).audit.is_some());
+        let cfg = RunConfig::builder(16).record_ops(false).build();
+        assert!(run_protocol(&cfg, 1).audit.is_none());
+    }
+
+    #[test]
+    fn message_sizes_are_polylog() {
+        // Theorem 4: messages of size O(log² n).
+        let n = 256;
+        let cfg = RunConfig::builder(n).build();
+        let report = run_protocol(&cfg, 5);
+        let log2n = 8u64;
+        assert!(
+            report.metrics.max_message_bits <= 40 * log2n * log2n,
+            "max message {} bits exceeds O(log² n) ballpark",
+            report.metrics.max_message_bits
+        );
+    }
+
+    #[test]
+    fn uniform_colors_always_win() {
+        let cfg = RunConfig::builder(16)
+            .gamma(2.0)
+            .build();
+        let mut cfg = cfg;
+        cfg.colors = ColorSpec::Uniform;
+        let report = run_protocol(&cfg, 2);
+        assert_eq!(report.outcome, Outcome::Consensus(0));
+    }
+}

@@ -1,0 +1,119 @@
+//! `rfc-experiments` — regenerate every experiment in EXPERIMENTS.md.
+//!
+//! ```text
+//! rfc-experiments list                      # show the experiment registry
+//! rfc-experiments all [--quick]             # run everything
+//! rfc-experiments e04 e07 [--quick]         # run selected experiments
+//!     --quick         ~10× smaller trials/sweeps (CI mode)
+//!     --seed <u64>    master seed (default 0x5EED2017)
+//!     --threads <k>   worker threads (default: all cores)
+//!     --csv <dir>     also write each table as CSV into <dir>
+//! ```
+
+use experiments::{all_experiments, ExpOptions};
+use std::io::Write;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+        std::process::exit(2);
+    }
+
+    let mut opts = ExpOptions::default();
+    let mut selected: Vec<String> = Vec::new();
+    let mut csv_dir: Option<String> = None;
+    let mut list_only = false;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" | "-q" => opts.quick = true,
+            "--seed" => {
+                opts.seed = it
+                    .next()
+                    .and_then(|s| parse_u64(&s))
+                    .unwrap_or_else(|| die("--seed needs a u64 argument"));
+            }
+            "--threads" => {
+                opts.threads = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--threads needs a number"));
+            }
+            "--csv" => {
+                csv_dir = Some(it.next().unwrap_or_else(|| die("--csv needs a directory")));
+            }
+            "list" => list_only = true,
+            "all" => {
+                selected = all_experiments().iter().map(|e| e.id.to_string()).collect();
+            }
+            "--help" | "-h" => {
+                usage();
+                return;
+            }
+            id if id.starts_with('e') => selected.push(id.to_string()),
+            other => die(&format!("unknown argument: {other}")),
+        }
+    }
+
+    if list_only {
+        println!("available experiments:");
+        for e in all_experiments() {
+            println!("  {}  {}", e.id, e.title);
+        }
+        return;
+    }
+    if selected.is_empty() {
+        usage();
+        std::process::exit(2);
+    }
+    if let Some(dir) = &csv_dir {
+        std::fs::create_dir_all(dir).unwrap_or_else(|e| die(&format!("csv dir: {e}")));
+    }
+
+    let registry = all_experiments();
+    for id in &selected {
+        let Some(exp) = registry.iter().find(|e| e.id == id.as_str()) else {
+            die(&format!("unknown experiment id: {id} (try `list`)"));
+        };
+        eprintln!(
+            ">> running {} — {} ({} mode, seed {:#x})",
+            exp.id,
+            exp.title,
+            if opts.quick { "quick" } else { "full" },
+            opts.seed
+        );
+        let started = std::time::Instant::now();
+        let tables = (exp.run)(&opts);
+        for (i, table) in tables.iter().enumerate() {
+            println!("{}", table.render());
+            if let Some(dir) = &csv_dir {
+                let path = format!("{dir}/{}_{i}.csv", exp.id);
+                let mut f = std::fs::File::create(&path)
+                    .unwrap_or_else(|e| die(&format!("create {path}: {e}")));
+                f.write_all(table.to_csv().as_bytes())
+                    .unwrap_or_else(|e| die(&format!("write {path}: {e}")));
+            }
+        }
+        eprintln!("   {} finished in {:.1?}\n", exp.id, started.elapsed());
+    }
+}
+
+fn parse_u64(s: &str) -> Option<u64> {
+    if let Some(hex) = s.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "usage: rfc-experiments <list | all | e01..e12...> [--quick] [--seed N] [--threads K] [--csv DIR]"
+    );
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}

@@ -1,0 +1,83 @@
+//! E1 — round complexity (Theorem 4: consensus within `O(log n)` rounds).
+//!
+//! Protocol `P` runs `4q = 4·γ·log₂ n` communicating rounds by
+//! construction; the empirical content of the claim is that this budget
+//! *suffices*: the success rate at fixed `γ` must stay ≈ 1 as `n` grows
+//! (no hidden super-logarithmic requirement), and the round count must
+//! fit `a·log₂ n + b` essentially perfectly.
+
+use crate::opts::ExpOptions;
+use crate::parallel::run_trials;
+use crate::table::{fmt, Table};
+use rfc_core::runner::{run_protocol, RunConfig};
+use rfc_stats::fit::log_fit;
+
+/// Run E1 and produce its table.
+pub fn run(opts: &ExpOptions) -> Vec<Table> {
+    let gamma = 3.0;
+    let sizes: Vec<usize> = [64, 128, 256, 512, 1024, 2048]
+        .into_iter()
+        .filter(|&n| n <= opts.cap_n(2048))
+        .collect();
+    let trials = opts.trials(200);
+
+    let mut table = Table::new(
+        format!("E1 — rounds to consensus (γ = {gamma}, {trials} trials/point)"),
+        &["n", "q", "rounds", "success rate", "mean msgs/agent/round"],
+    );
+    let mut points: Vec<(f64, f64)> = Vec::new();
+    for &n in &sizes {
+        let cfg = RunConfig::builder(n).gamma(gamma).colors(vec![n - n / 2, n / 2]).build();
+        let results = run_trials(trials, opts.threads_for(trials), opts.seed, |seed| {
+            let r = run_protocol(&cfg, seed);
+            (
+                r.outcome.is_consensus(),
+                r.rounds,
+                r.metrics.messages_sent as f64 / (r.rounds.max(1) as f64 * n as f64),
+            )
+        });
+        let successes = results.iter().filter(|r| r.0).count() as u64;
+        let rounds = results[0].1;
+        let mpar: f64 =
+            results.iter().map(|r| r.2).sum::<f64>() / results.len() as f64;
+        points.push((n as f64, rounds as f64));
+        table.row(vec![
+            n.to_string(),
+            cfg.params().q.to_string(),
+            rounds.to_string(),
+            fmt::rate_ci(successes, trials as u64),
+            fmt::f2(mpar),
+        ]);
+    }
+    let fit = log_fit(&points);
+    table.note(format!(
+        "fit: rounds = {:.2}·log2(n) + {:.2}, R² = {:.4} (theory: slope 4γ = {:.0})",
+        fit.slope,
+        fit.intercept,
+        fit.r2,
+        4.0 * gamma
+    ));
+    table.note("paper claim: O(log n) rounds w.h.p. (Theorem 4)");
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e01_quick_produces_log_fit() {
+        let tables = run(&ExpOptions::quick());
+        assert_eq!(tables.len(), 1);
+        let t = &tables[0];
+        assert!(t.rows.len() >= 3);
+        // Every success-rate row should start with 1.000 at these sizes.
+        for row in &t.rows {
+            assert!(
+                row[3].starts_with("1.000"),
+                "success rate should be 1.0: {row:?}"
+            );
+        }
+        assert!(t.notes[0].contains("R²"));
+    }
+}

@@ -1,0 +1,96 @@
+//! E2 — message size (Theorem 4: messages of `O(log² n)` bits).
+//!
+//! The largest message is the minimum certificate: `Θ(log n)` vote
+//! records of `Θ(log n)` bits. We record the maximum and mean wire sizes
+//! per phase across a sweep of `n` and fit `max_bits = a·log₂²(n) + b`.
+
+use crate::opts::ExpOptions;
+use crate::parallel::run_trials;
+use crate::table::{fmt, Table};
+use rfc_core::runner::{run_protocol, RunConfig};
+use rfc_stats::fit::log2_squared_fit;
+use rfc_stats::Summary;
+
+/// Run E2 and produce its tables.
+pub fn run(opts: &ExpOptions) -> Vec<Table> {
+    let gamma = 3.0;
+    let sizes: Vec<usize> = [64, 128, 256, 512, 1024, 2048]
+        .into_iter()
+        .filter(|&n| n <= opts.cap_n(2048))
+        .collect();
+    let trials = opts.trials(100);
+
+    let mut table = Table::new(
+        format!("E2 — message sizes in bits (γ = {gamma}, {trials} trials/point)"),
+        &[
+            "n",
+            "log2²n",
+            "max msg",
+            "mean msg",
+            "max commit reply",
+            "max certificate",
+        ],
+    );
+    let mut points: Vec<(f64, f64)> = Vec::new();
+    for &n in &sizes {
+        let cfg = RunConfig::builder(n).gamma(gamma).build();
+        let results = run_trials(trials, opts.threads_for(trials), opts.seed, |seed| {
+            let r = run_protocol(&cfg, seed);
+            let commit = r.metrics.phase("commitment").map(|t| t.max_message_bits);
+            let cert = r
+                .metrics
+                .phase("find-min")
+                .map(|t| t.max_message_bits)
+                .max(r.metrics.phase("coherence").map(|t| t.max_message_bits));
+            (
+                r.metrics.max_message_bits,
+                r.metrics.mean_message_bits(),
+                commit.unwrap_or(0),
+                cert.unwrap_or(0),
+            )
+        });
+        let max_all = results.iter().map(|r| r.0).max().unwrap_or(0);
+        let mean = Summary::from_iter(results.iter().map(|r| r.1)).mean();
+        let max_commit = results.iter().map(|r| r.2).max().unwrap_or(0);
+        let max_cert = results.iter().map(|r| r.3).max().unwrap_or(0);
+        let l = (n as f64).log2();
+        points.push((n as f64, max_all as f64));
+        table.row(vec![
+            n.to_string(),
+            fmt::f2(l * l),
+            max_all.to_string(),
+            fmt::f2(mean),
+            max_commit.to_string(),
+            max_cert.to_string(),
+        ]);
+    }
+    let fit = log2_squared_fit(&points);
+    table.note(format!(
+        "fit: max_bits = {:.2}·log2²(n) + {:.2}, R² = {:.4}",
+        fit.slope, fit.intercept, fit.r2
+    ));
+    table.note("paper claim: message size O(log² n) bits (Theorem 4)");
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e02_quick_fits_log_squared() {
+        let tables = run(&ExpOptions::quick());
+        let t = &tables[0];
+        assert!(t.rows.len() >= 3);
+        // The fit note must report a high R²: extract and check > 0.9.
+        let note = &t.notes[0];
+        let r2: f64 = note
+            .split("R² = ")
+            .nth(1)
+            .unwrap()
+            .trim_end_matches(|c: char| !c.is_ascii_digit() && c != '.')
+            .parse()
+            .unwrap();
+        assert!(r2 > 0.9, "log²-fit should be tight, got {note}");
+    }
+}

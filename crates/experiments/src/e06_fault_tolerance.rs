@@ -1,0 +1,114 @@
+//! E6 — fault tolerance (Theorem 4 with `αn` worst-case permanent faults).
+//!
+//! The protocol tolerates any constant fault fraction `α < 1` *provided*
+//! `γ = γ(α)` grows accordingly. Two policies are compared across `α`:
+//! a fixed `γ = 3` (which must eventually degrade as `α → 1`) and the
+//! adaptive `γ(α)` from the Chernoff sizing rule. Placements (low-ids,
+//! random, strided) are shown to be interchangeable — the protocol is
+//! id-symmetric, so the "worst-case" adversary has no leverage in
+//! *where* it puts the faults.
+
+use crate::opts::ExpOptions;
+use crate::parallel::run_trials;
+use crate::table::{fmt, Table};
+use gossip_net::fault::Placement;
+use rfc_core::runner::{run_protocol, RunConfig};
+use rfc_stats::gamma_for_fault_tolerance;
+
+/// Run E6 and produce its tables.
+pub fn run(opts: &ExpOptions) -> Vec<Table> {
+    let n = if opts.quick { 128 } else { 256 };
+    let alphas = [0.0, 0.1, 0.3, 0.5, 0.7, 0.8, 0.9];
+    let trials = opts.trials(160);
+
+    // Fixed-γ vs adaptive-γ success rates.
+    let mut table = Table::new(
+        format!("E6 — success rate under αn worst-case permanent faults (n = {n}, {trials} trials/cell)"),
+        &["α", "γ fixed=3", "success(γ=3)", "γ(α) adaptive", "success(γ(α))"],
+    );
+    for &alpha in &alphas {
+        let adaptive_gamma = (gamma_for_fault_tolerance(alpha, 1.0) + 1.0).max(3.0);
+        let succ_fixed = success_rate(n, 3.0, alpha, Placement::Random { seed: 1 }, trials, opts);
+        let succ_adapt = success_rate(
+            n,
+            adaptive_gamma,
+            alpha,
+            Placement::Random { seed: 1 },
+            trials,
+            opts,
+        );
+        table.row(vec![
+            fmt::f2(alpha),
+            "3.00".into(),
+            fmt::rate_ci(succ_fixed, trials as u64),
+            fmt::f2(adaptive_gamma),
+            fmt::rate_ci(succ_adapt, trials as u64),
+        ]);
+    }
+    table.note("paper claim: consensus w.h.p. for any constant α < 1 with suitable γ(α)");
+
+    // Placement equivalence at a challenging α.
+    let alpha = 0.5;
+    let gamma = 4.0;
+    let mut placements = Table::new(
+        format!("E6b — adversarial fault placements are equivalent (n = {n}, α = {alpha}, γ = {gamma})"),
+        &["placement", "success rate"],
+    );
+    for (name, placement) in [
+        ("low ids", Placement::LowIds),
+        ("high ids", Placement::HighIds),
+        ("strided", Placement::Strided),
+        ("random", Placement::Random { seed: 7 }),
+    ] {
+        let s = success_rate(n, gamma, alpha, placement, trials, opts);
+        placements.row(vec![name.to_string(), fmt::rate_ci(s, trials as u64)]);
+    }
+    placements.note("id-symmetry: the worst-case adversary gains nothing from placement choice");
+    vec![table, placements]
+}
+
+fn success_rate(
+    n: usize,
+    gamma: f64,
+    alpha: f64,
+    placement: Placement,
+    trials: usize,
+    opts: &ExpOptions,
+) -> u64 {
+    let cfg = RunConfig::builder(n)
+        .gamma(gamma)
+        .colors(vec![n - n / 2, n / 2])
+        .faults(alpha, placement)
+        .build();
+    run_trials(trials, opts.threads_for(trials), opts.seed, |seed| {
+        run_protocol(&cfg, seed).outcome.is_consensus()
+    })
+    .iter()
+    .filter(|&&b| b)
+    .count() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e06_adaptive_gamma_survives_high_alpha() {
+        let tables = run(&ExpOptions::quick());
+        let t = &tables[0];
+        // At α = 0.9, the adaptive-γ success rate should be high.
+        let row = t.rows.iter().find(|r| r[0] == "0.90").expect("α=0.9 row");
+        let rate: f64 = row[4].split(' ').next().unwrap().parse().unwrap();
+        assert!(rate > 0.8, "adaptive γ should survive α=0.9: {row:?}");
+    }
+
+    #[test]
+    fn e06_placements_all_succeed() {
+        let tables = run(&ExpOptions::quick());
+        let t = &tables[1];
+        for row in &t.rows {
+            let rate: f64 = row[1].split(' ').next().unwrap().parse().unwrap();
+            assert!(rate > 0.8, "placement {} too weak: {row:?}", row[0]);
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! E8 — why the machinery exists: attacking the naive protocol vs `P`.
+//!
+//! The naive min-badge election (protocol `P` stripped of Commitment,
+//! Coherence, Verification) is efficient and fair among honest agents —
+//! and a single `claim-zero` cheater wins it *every* time. The same
+//! deviation shape against `P` (forge a k=0 certificate) is caught and
+//! converted into failure. This is the ablation that justifies the
+//! protocol's extra phases.
+
+use crate::opts::ExpOptions;
+use crate::parallel::run_trials;
+use crate::table::{fmt, Table};
+use adversary::harness::{coalition_colors, run_attack_trial};
+use adversary::strategies::forge_cert::ForgeCert;
+use baselines::naive_min_id::run_naive_election;
+use rfc_core::outcome::Outcome;
+use rfc_core::runner::{run_protocol, ColorSpec, RunConfig};
+
+/// Run E8 and produce its table.
+pub fn run(opts: &ExpOptions) -> Vec<Table> {
+    let n = 64;
+    let gamma = 3.0;
+    let trials = opts.trials(400);
+    let cheater: u32 = 17;
+
+    let mut table = Table::new(
+        format!("E8 — single cheater: naive min-badge election vs protocol P (n = {n}, {trials} trials)"),
+        &["protocol", "deviation", "cheater win rate", "fail rate", "fair share"],
+    );
+
+    // Naive, honest: cheater wins 1/n of the time.
+    let colors: Vec<u32> = (0..n as u32).collect();
+    let honest_wins = run_trials(trials, opts.threads_for(trials), opts.seed, |seed| {
+        run_naive_election(n, &colors, &[], gamma, seed).winner.owner == cheater
+    })
+    .iter()
+    .filter(|&&b| b)
+    .count() as u64;
+    table.row(vec![
+        "naive min-badge".into(),
+        "none".into(),
+        fmt::rate_ci(honest_wins, trials as u64),
+        "0.000".into(),
+        fmt::f3(1.0 / n as f64),
+    ]);
+
+    // Naive, one claim-zero cheater: wins everything.
+    let cheat_wins = run_trials(trials, opts.threads_for(trials), opts.seed, |seed| {
+        run_naive_election(n, &colors, &[cheater], gamma, seed).winner.owner == cheater
+    })
+    .iter()
+    .filter(|&&b| b)
+    .count() as u64;
+    table.row(vec![
+        "naive min-badge".into(),
+        "claim-zero".into(),
+        fmt::rate_ci(cheat_wins, trials as u64),
+        "0.000".into(),
+        fmt::f3(1.0 / n as f64),
+    ]);
+
+    // Protocol P, honest control (coalition = {cheater}).
+    let members = vec![cheater];
+    let mut cfg = RunConfig::builder(n).gamma(gamma).build();
+    cfg.colors = ColorSpec::Explicit(coalition_colors(n, &members));
+    let p_honest = run_trials(trials, opts.threads_for(trials), opts.seed, |seed| {
+        run_protocol(&cfg, seed).outcome
+    });
+    let p_honest_wins = p_honest
+        .iter()
+        .filter(|o| **o == Outcome::Consensus(adversary::COALITION_COLOR))
+        .count() as u64;
+    table.row(vec![
+        "protocol P".into(),
+        "none".into(),
+        fmt::rate_ci(p_honest_wins, trials as u64),
+        "0.000".into(),
+        fmt::f3(1.0 / n as f64),
+    ]);
+
+    // Protocol P under the analogous forgery.
+    for strategy in [ForgeCert::zero_k(), ForgeCert::tuned_vote(), ForgeCert::drop_votes()] {
+        let results = run_trials(trials, opts.threads_for(trials), opts.seed, |seed| {
+            run_attack_trial(&cfg, &strategy, &members, seed).outcome
+        });
+        let wins = results
+            .iter()
+            .filter(|o| **o == Outcome::Consensus(adversary::COALITION_COLOR))
+            .count() as u64;
+        let fails = results.iter().filter(|o| **o == Outcome::Fail).count() as u64;
+        table.row(vec![
+            "protocol P".into(),
+            adversary::Strategy::name(&strategy).to_string(),
+            fmt::rate_ci(wins, trials as u64),
+            fmt::f3(fails as f64 / trials as f64),
+            fmt::f3(1.0 / n as f64),
+        ]);
+    }
+    table.note("claim-zero wins the naive election always; against P the same idea yields ⊥, not wins");
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e08_cheater_beats_naive_but_not_p() {
+        let tables = run(&ExpOptions::quick());
+        let t = &tables[0];
+        // Row 1: naive + claim-zero → win rate 1.0.
+        let naive_cheat: f64 = t.rows[1][2].split(' ').next().unwrap().parse().unwrap();
+        assert!(naive_cheat > 0.99, "naive cheat should always win: {:?}", t.rows[1]);
+        // Forgery rows against P: win rate near fair share, high fail rate.
+        for row in t.rows.iter().skip(3) {
+            let win: f64 = row[2].split(' ').next().unwrap().parse().unwrap();
+            assert!(win < 0.2, "P should resist forgery: {row:?}");
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! E9 — fair leader election (the `c_u = u` special case).
+//!
+//! Every active agent must be elected with probability `1/|A|`. We run
+//! many elections, tally per-agent win counts, and χ²-test against the
+//! uniform distribution — with and without faults (faulty agents must
+//! win with probability exactly 0, the remaining mass spread uniformly).
+
+use crate::opts::ExpOptions;
+use crate::parallel::run_trials;
+use crate::table::{fmt, Table};
+use gossip_net::fault::Placement;
+use rfc_core::election::{election_config, election_config_with_faults, ElectionResult};
+use rfc_core::runner::run_protocol;
+use rfc_stats::chi_square_gof;
+
+/// Run E9 and produce its table.
+pub fn run(opts: &ExpOptions) -> Vec<Table> {
+    let n = 64;
+    let gamma = 3.0;
+    let trials = opts.trials(3200);
+
+    let mut table = Table::new(
+        format!("E9 — fair leader election uniformity (n = {n}, γ = {gamma}, {trials} elections)"),
+        &["setting", "fails", "min wins", "max wins", "χ² p-value", "verdict"],
+    );
+
+    // Fault-free.
+    let cfg = election_config(n, gamma);
+    let results = run_trials(trials, opts.threads_for(trials), opts.seed, |seed| {
+        rfc_core::election::result_of(&run_protocol(&cfg, seed))
+    });
+    let mut wins = vec![0u64; n];
+    let mut fails = 0u64;
+    for r in &results {
+        match r {
+            ElectionResult::Leader(id) => wins[*id as usize] += 1,
+            ElectionResult::Failed => fails += 1,
+        }
+    }
+    let decided: u64 = wins.iter().sum();
+    let expected = vec![decided as f64 / n as f64; n];
+    let gof = chi_square_gof(&wins, &expected);
+    table.row(vec![
+        "fault-free".into(),
+        fails.to_string(),
+        wins.iter().min().unwrap().to_string(),
+        wins.iter().max().unwrap().to_string(),
+        fmt::f3(gof.p_value),
+        if gof.consistent_at(0.01) { "uniform" } else { "BIASED" }.into(),
+    ]);
+
+    // With 25% faults on low ids: those agents must never win.
+    let alpha = 0.25;
+    let cfg_f = election_config_with_faults(n, 4.0, alpha, Placement::LowIds);
+    let n_faulty = (n as f64 * alpha) as usize;
+    let results = run_trials(trials, opts.threads_for(trials), opts.seed, |seed| {
+        rfc_core::election::result_of(&run_protocol(&cfg_f, seed))
+    });
+    let mut wins = vec![0u64; n];
+    let mut fails = 0u64;
+    for r in &results {
+        match r {
+            ElectionResult::Leader(id) => wins[*id as usize] += 1,
+            ElectionResult::Failed => fails += 1,
+        }
+    }
+    let faulty_wins: u64 = wins[..n_faulty].iter().sum();
+    let active_wins: Vec<u64> = wins[n_faulty..].to_vec();
+    let decided: u64 = active_wins.iter().sum();
+    let expected = vec![decided as f64 / (n - n_faulty) as f64; n - n_faulty];
+    let gof = chi_square_gof(&active_wins, &expected);
+    let verdict = if gof.consistent_at(0.01) && faulty_wins == 0 {
+        "uniform over A"
+    } else {
+        "BIASED"
+    };
+    table.row(vec![
+        format!("α = {alpha} (low ids faulty)"),
+        fails.to_string(),
+        active_wins.iter().min().unwrap().to_string(),
+        active_wins.iter().max().unwrap().to_string(),
+        fmt::f3(gof.p_value),
+        verdict.into(),
+    ]);
+    table.note(format!("faulty agents won {faulty_wins} elections (must be 0)"));
+    table.note("paper: fair leader election = fair consensus with c_u = u; every active agent elected w.p. 1/|A|");
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e09_uniform_and_faulty_never_win() {
+        let tables = run(&ExpOptions::quick());
+        let t = &tables[0];
+        assert_eq!(t.rows[0][5], "uniform", "{:?}", t.rows[0]);
+        assert_eq!(t.rows[1][5], "uniform over A", "{:?}", t.rows[1]);
+        assert!(t.notes[0].contains("won 0 elections"));
+    }
+}

@@ -1,0 +1,84 @@
+//! E10 — Find-Min is rumor spreading: the Θ(log n) pull-broadcast bound.
+//!
+//! The Find-Min phase is a single-source broadcast of the minimum
+//! certificate via pulls; the paper's phase budget `q = γ·log n` leans on
+//! the classical Θ(log n) convergence of pull gossip on the complete
+//! graph ([Shah 2009], [Karp et al. 2000]). We measure rounds-to-full for
+//! push, pull, and push-pull, fit the log slope, and check the protocol's
+//! budget sits above the measured requirement.
+
+use crate::opts::ExpOptions;
+use crate::parallel::run_trials;
+use crate::table::{fmt, Table};
+use baselines::rumor::{spread_rumor, Mechanism};
+use gossip_net::fault::FaultPlan;
+use gossip_net::topology::Topology;
+use rfc_stats::fit::log_fit;
+use rfc_stats::Summary;
+
+/// Run E10 and produce its table.
+pub fn run(opts: &ExpOptions) -> Vec<Table> {
+    let sizes: Vec<usize> = [64, 128, 256, 512, 1024, 2048, 4096]
+        .into_iter()
+        .filter(|&n| n <= opts.cap_n(4096))
+        .collect();
+    let trials = opts.trials(60);
+
+    let mut table = Table::new(
+        format!("E10 — rumor spreading rounds-to-full ({trials} trials/point)"),
+        &["n", "push", "pull", "push-pull", "P's find-min budget (γ=3)"],
+    );
+    let mut pull_points = Vec::new();
+    for &n in &sizes {
+        let mut means = Vec::new();
+        for mech in [Mechanism::Push, Mechanism::Pull, Mechanism::PushPull] {
+            let rounds = run_trials(trials, opts.threads_for(trials), opts.seed, |seed| {
+                spread_rumor(
+                    Topology::complete(n),
+                    FaultPlan::none(n),
+                    mech,
+                    seed,
+                    200 * gossip_net::ids::ceil_log2(n) as usize,
+                )
+                .rounds_to_full
+                .expect("complete graph must finish") as f64
+            });
+            means.push(Summary::from_iter(rounds).mean());
+        }
+        pull_points.push((n as f64, means[1]));
+        let budget = 3 * gossip_net::ids::ceil_log2(n) as usize;
+        table.row(vec![
+            n.to_string(),
+            fmt::f2(means[0]),
+            fmt::f2(means[1]),
+            fmt::f2(means[2]),
+            budget.to_string(),
+        ]);
+    }
+    let fit = log_fit(&pull_points);
+    table.note(format!(
+        "pull fit: rounds = {:.2}·log2(n) + {:.2}, R² = {:.3} (classical Θ(log n))",
+        fit.slope, fit.intercept, fit.r2
+    ));
+    table.note("P's find-min budget q = 3·log2(n) exceeds the measured pull requirement");
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e10_budget_dominates_measured_rounds() {
+        let tables = run(&ExpOptions::quick());
+        let t = &tables[0];
+        for row in &t.rows {
+            let pull: f64 = row[2].parse().unwrap();
+            let budget: f64 = row[4].parse().unwrap();
+            assert!(
+                pull < budget,
+                "find-min budget must exceed measured pull rounds: {row:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! E12 — the paper's open problems: other graphs, asynchronous GOSSIP.
+//!
+//! The Conclusions suggest two directions; both are built and measured:
+//!
+//! * **Other graph classes** — the protocol runs unchanged with
+//!   neighbor-sampled operations. Dense random graphs (Erdős–Rényi above
+//!   the connectivity threshold, random regular graphs of logarithmic
+//!   degree) behave like the complete graph: the pull-broadcast still
+//!   mixes in `O(log n)`. The ring does not — Find-Min cannot cover
+//!   diameter `n/2` in `O(log n)` rounds, so the protocol (correctly)
+//!   fails rather than mis-converges.
+//! * **Sequential (asynchronous) GOSSIP** — one random agent wakes per
+//!   tick; with per-phase budgets of `slack·n·q` ticks the protocol
+//!   succeeds w.h.p. from `slack ≥ 2`, failing gracefully when the budget
+//!   is too tight.
+
+use crate::opts::ExpOptions;
+use crate::parallel::run_trials;
+use crate::table::{fmt, Table};
+use rfc_core::asynchronous::run_protocol_async;
+use rfc_core::outcome::Outcome;
+use rfc_core::runner::{run_protocol, RunConfig, TopologySpec};
+
+/// Run E12 and produce its tables.
+pub fn run(opts: &ExpOptions) -> Vec<Table> {
+    let n = if opts.quick { 64 } else { 128 };
+    let gamma = 3.0;
+    let trials = opts.trials(120);
+
+    // (a) topology sweep.
+    let mut topo_table = Table::new(
+        format!("E12a — protocol P on other graph classes (n = {n}, γ = {gamma}, {trials} trials)"),
+        &["topology", "success rate", "minority win rate (fair = 0.25)", "silent-split rate"],
+    );
+    let log_n = gossip_net::ids::ceil_log2(n) as usize;
+    let specs: Vec<(String, TopologySpec)> = vec![
+        ("complete".into(), TopologySpec::Complete),
+        (
+            format!("G(n, p = 4·log n/n = {:.3})", 4.0 * log_n as f64 / n as f64),
+            TopologySpec::ErdosRenyi {
+                p: 4.0 * log_n as f64 / n as f64,
+            },
+        ),
+        ("G(n, p = 0.25)".into(), TopologySpec::ErdosRenyi { p: 0.25 }),
+        (
+            format!("random {}-regular", 2 * log_n),
+            TopologySpec::RandomRegular { d: 2 * log_n },
+        ),
+        ("ring".into(), TopologySpec::Ring),
+    ];
+    for (name, topo) in specs {
+        let cfg = RunConfig::builder(n)
+            .gamma(gamma)
+            .colors(vec![3 * n / 4, n / 4])
+            .topology(topo)
+            .build();
+        let outcomes = run_trials(trials, opts.threads_for(trials), opts.seed, |seed| {
+            let r = run_protocol(&cfg, seed);
+            let split = !r.outcome.is_consensus()
+                && r.decisions
+                    .iter()
+                    .filter_map(|d| match d {
+                        rfc_core::Decision::Decided(c) => Some(*c),
+                        _ => None,
+                    })
+                    .collect::<std::collections::HashSet<_>>()
+                    .len()
+                    > 1;
+            (r.outcome, split)
+        });
+        let success = outcomes.iter().filter(|(o, _)| o.is_consensus()).count() as u64;
+        let minority = outcomes
+            .iter()
+            .filter(|(o, _)| *o == Outcome::Consensus(1))
+            .count() as u64;
+        let splits = outcomes.iter().filter(|(_, s)| *s).count() as u64;
+        topo_table.row(vec![
+            name,
+            fmt::rate_ci(success, trials as u64),
+            fmt::rate_ci(minority, success.max(1)),
+            fmt::f3(splits as f64 / trials as f64),
+        ]);
+    }
+    topo_table.note("expander-like graphs match the complete graph; the ring cannot converge (diameter ≫ q)");
+    topo_table.note("silent-split: honest agents in different regions decide different colors — Coherence's mismatch detection is only local, so safety genuinely needs the complete graph's mixing");
+    topo_table.note("open problem 1 of the paper's Conclusions");
+
+    // (b) asynchronous GOSSIP.
+    let async_trials = opts.trials(80);
+    let mut async_table = Table::new(
+        format!("E12b — sequential (async) GOSSIP (n = {n}, γ = {gamma}, {async_trials} trials)"),
+        &["slack", "ticks per run", "success rate"],
+    );
+    for slack in [1usize, 2, 3] {
+        let cfg = RunConfig::builder(n)
+            .gamma(gamma)
+            .colors(vec![n / 2, n - n / 2])
+            .build();
+        let q = cfg.params().q;
+        let results = run_trials(
+            async_trials,
+            opts.threads_for(async_trials),
+            opts.seed,
+            move |seed| run_protocol_async(&cfg, seed, slack).outcome.is_consensus(),
+        );
+        let success = results.iter().filter(|&&b| b).count() as u64;
+        async_table.row(vec![
+            slack.to_string(),
+            (4 * slack * n * q).to_string(),
+            fmt::rate_ci(success, async_trials as u64),
+        ]);
+    }
+    async_table.note("Θ(n log n) activations per phase suffice; slack 1 under-provisions voting activations");
+    async_table.note("open problem 2 of the paper's Conclusions");
+    vec![topo_table, async_table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e12_complete_and_dense_succeed_ring_fails() {
+        let tables = run(&ExpOptions::quick());
+        let t = &tables[0];
+        let rate_of = |idx: usize| -> f64 {
+            t.rows[idx][1].split(' ').next().unwrap().parse().unwrap()
+        };
+        assert!(rate_of(0) > 0.95, "complete graph: {:?}", t.rows[0]);
+        assert!(rate_of(2) > 0.9, "dense ER: {:?}", t.rows[2]);
+        let ring = t.rows.last().unwrap();
+        let ring_rate: f64 = ring[1].split(' ').next().unwrap().parse().unwrap();
+        assert!(ring_rate < 0.1, "ring should fail: {ring:?}");
+    }
+
+    #[test]
+    fn e12_async_succeeds_with_slack() {
+        let tables = run(&ExpOptions::quick());
+        let t = &tables[1];
+        let slack3: f64 = t.rows[2][2].split(' ').next().unwrap().parse().unwrap();
+        assert!(slack3 > 0.9, "slack 3 should succeed: {:?}", t.rows[2]);
+    }
+}

@@ -1,0 +1,100 @@
+//! E13 — failure injection: how much does `P` lean on reliable channels?
+//!
+//! The GOSSIP model (paper §2) assumes *secure, reliable* channels; every
+//! claim is conditioned on messages arriving. This experiment injects an
+//! independent per-message drop probability `p` and measures the success
+//! rate — quantifying an assumption the paper leaves implicit.
+//!
+//! The prediction (and the measurement) is a *sharp* collapse: the
+//! Commitment/Verification binding makes the protocol deliberately
+//! fragile to any discrepancy between declared and received votes, and a
+//! run survives only if **zero** of its ~`n·q` votes (and none of the
+//! relevant commitment replies) are lost — probability ≈ `(1−p)^{Θ(n·q)}`.
+//! Dropping a commitment *reply* is equally fatal: the puller marks the
+//! sender faulty, and the sender's later (delivered) votes then violate
+//! the `VoteFromFaulty` rule. A deployment over lossy transport would
+//! need acks/retransmission underneath — the protocol itself cannot
+//! distinguish loss from lying, *by design*.
+
+use crate::opts::ExpOptions;
+use crate::parallel::run_trials;
+use crate::table::{fmt, Table};
+use rfc_core::runner::{run_protocol, RunConfig};
+
+/// Run E13 and produce its table.
+pub fn run(opts: &ExpOptions) -> Vec<Table> {
+    let gamma = 3.0;
+    let trials = opts.trials(200);
+    let sizes = [32usize, 64, 128];
+    let losses = [0.0f64, 1e-4, 1e-3, 5e-3, 1e-2, 5e-2];
+
+    let mut table = Table::new(
+        format!("E13 — success rate under per-message loss probability p ({trials} trials/cell)"),
+        &["n", "p", "success rate", "survival model (1-p)^(2nq)"],
+    );
+    for &n in &sizes {
+        let q = RunConfig::builder(n).gamma(gamma).build().params().q;
+        for &p in &losses {
+            let cfg = RunConfig::builder(n)
+                .gamma(gamma)
+                .colors(vec![n - n / 2, n / 2])
+                .message_loss(p)
+                .build();
+            let successes = run_trials(trials, opts.threads_for(trials), opts.seed, |seed| {
+                run_protocol(&cfg, seed).outcome.is_consensus()
+            })
+            .iter()
+            .filter(|&&b| b)
+            .count() as u64;
+            // Loss is fatal if any of ~n·q votes or ~n·q commitment
+            // replies vanish: survival ≈ (1-p)^(2nq).
+            let model = (1.0 - p).powi((2 * n * q) as i32);
+            table.row(vec![
+                n.to_string(),
+                format!("{p:.4}"),
+                fmt::rate_ci(successes, trials as u64),
+                fmt::f3(model),
+            ]);
+        }
+    }
+    table.note("the protocol cannot distinguish loss from lying — any lost vote/commitment breaks the binding and fails the run (by design)");
+    table.note("deployments over lossy transport need reliable delivery (acks/retransmit) underneath the GOSSIP abstraction");
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e13_loss_free_succeeds_heavy_loss_collapses() {
+        let tables = run(&ExpOptions::quick());
+        let t = &tables[0];
+        let rate = |row: &Vec<String>| -> f64 {
+            row[2].split(' ').next().unwrap().parse().unwrap()
+        };
+        for row in &t.rows {
+            let p: f64 = row[1].parse().unwrap();
+            if p == 0.0 {
+                assert!(rate(row) > 0.95, "p=0 must succeed: {row:?}");
+            }
+            if p >= 0.05 {
+                assert!(rate(row) < 0.05, "p=0.05 must collapse: {row:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn e13_model_tracks_measurement_direction() {
+        // The (1-p)^{2nq} survival model and the measured success must
+        // agree in ordering across p for each n.
+        let tables = run(&ExpOptions::quick());
+        let t = &tables[0];
+        let mut last_rate = f64::INFINITY;
+        for row in t.rows.iter().take(6) {
+            let r: f64 = row[2].split(' ').next().unwrap().parse().unwrap();
+            assert!(r <= last_rate + 0.1, "success should fall with p: {row:?}");
+            last_rate = r;
+        }
+    }
+}

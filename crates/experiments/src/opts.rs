@@ -1,0 +1,87 @@
+//! Shared experiment options.
+
+use crate::parallel::default_threads;
+
+/// Options common to every experiment run.
+#[derive(Debug, Clone, Copy)]
+pub struct ExpOptions {
+    /// Scale trial counts and sweeps down ~10× (CI / smoke mode).
+    pub quick: bool,
+    /// Master seed; every number in a report is a pure function of it.
+    pub seed: u64,
+    /// Worker threads (0 = auto).
+    pub threads: usize,
+}
+
+impl Default for ExpOptions {
+    fn default() -> Self {
+        ExpOptions {
+            quick: false,
+            seed: 0x5EED_2017,
+            threads: 0,
+        }
+    }
+}
+
+impl ExpOptions {
+    /// Quick-mode preset.
+    pub fn quick() -> Self {
+        ExpOptions {
+            quick: true,
+            ..Default::default()
+        }
+    }
+
+    /// Trial count: `full` normally, ~`full/8` (min 10) in quick mode.
+    pub fn trials(&self, full: usize) -> usize {
+        if self.quick {
+            (full / 8).max(10)
+        } else {
+            full
+        }
+    }
+
+    /// Effective worker-thread count for `trials` tasks.
+    pub fn threads_for(&self, trials: usize) -> usize {
+        if self.threads == 0 {
+            default_threads(trials)
+        } else {
+            self.threads.min(trials.max(1))
+        }
+    }
+
+    /// Largest `n` of a sweep: caps `full_max` in quick mode.
+    pub fn cap_n(&self, full_max: usize) -> usize {
+        if self.quick {
+            full_max.min(512)
+        } else {
+            full_max
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_scales_down() {
+        let q = ExpOptions::quick();
+        assert_eq!(q.trials(800), 100);
+        assert_eq!(q.trials(40), 10);
+        assert_eq!(q.cap_n(4096), 512);
+        let f = ExpOptions::default();
+        assert_eq!(f.trials(800), 800);
+        assert_eq!(f.cap_n(4096), 4096);
+    }
+
+    #[test]
+    fn explicit_threads_respected() {
+        let o = ExpOptions {
+            threads: 3,
+            ..Default::default()
+        };
+        assert_eq!(o.threads_for(100), 3);
+        assert_eq!(o.threads_for(2), 2);
+    }
+}

@@ -1,0 +1,146 @@
+//! Embarrassingly-parallel Monte-Carlo trial execution.
+//!
+//! Every experiment reduces to "run `f(seed)` for `trials` independent
+//! seeds and aggregate". Trials are distributed over a crossbeam scope:
+//! workers claim indices from a shared atomic counter (work stealing by
+//! induction — no work queue needed when tasks are index-addressable) and
+//! write results into pre-allocated slots, so the output order is
+//! deterministic and independent of thread count and scheduling.
+//!
+//! Trial `i` always receives `derive_seed(master_seed, i)`, making every
+//! aggregate a pure function of `(experiment, master_seed)` regardless of
+//! parallelism — the property that lets EXPERIMENTS.md quote exact
+//! numbers.
+
+use gossip_net::rng::derive_seed;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of worker threads to use: the available parallelism, capped by
+/// the trial count (spawning more workers than trials is pure overhead).
+pub fn default_threads(trials: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(trials.max(1))
+}
+
+/// Run `trials` independent trials of `f` in parallel; `f` receives the
+/// per-trial seed. Results are returned in trial order.
+pub fn run_trials<T, F>(trials: usize, threads: usize, master_seed: u64, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(u64) -> T + Sync,
+{
+    let threads = threads.max(1).min(trials.max(1));
+    if threads == 1 {
+        return (0..trials)
+            .map(|i| f(derive_seed(master_seed, i as u64)))
+            .collect();
+    }
+    let mut slots: Vec<Mutex<Option<T>>> = Vec::with_capacity(trials);
+    slots.resize_with(trials, || Mutex::new(None));
+    let next = AtomicUsize::new(0);
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= trials {
+                    break;
+                }
+                let result = f(derive_seed(master_seed, i as u64));
+                *slots[i].lock() = Some(result);
+            });
+        }
+    })
+    .expect("worker panicked");
+    slots
+        .into_iter()
+        .map(|m| m.into_inner().expect("slot filled"))
+        .collect()
+}
+
+/// Parallel map over an explicit input list (used for parameter sweeps
+/// where each point is itself expensive); preserves input order.
+pub fn par_map<I, T, F>(inputs: Vec<I>, threads: usize, f: F) -> Vec<T>
+where
+    I: Send + Sync,
+    T: Send,
+    F: Fn(&I) -> T + Sync,
+{
+    let n = inputs.len();
+    let threads = threads.max(1).min(n.max(1));
+    if threads == 1 {
+        return inputs.iter().map(&f).collect();
+    }
+    let mut slots: Vec<Mutex<Option<T>>> = Vec::with_capacity(n);
+    slots.resize_with(n, || Mutex::new(None));
+    let next = AtomicUsize::new(0);
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let result = f(&inputs[i]);
+                *slots[i].lock() = Some(result);
+            });
+        }
+    })
+    .expect("worker panicked");
+    slots
+        .into_iter()
+        .map(|m| m.into_inner().expect("slot filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_trial_order() {
+        let out = run_trials(100, 4, 7, |seed| seed);
+        let expected: Vec<u64> = (0..100).map(|i| derive_seed(7, i)).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn parallel_equals_serial() {
+        let serial = run_trials(50, 1, 3, |s| s.wrapping_mul(3));
+        let parallel = run_trials(50, 8, 3, |s| s.wrapping_mul(3));
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn zero_trials_is_empty() {
+        let out: Vec<u64> = run_trials(0, 4, 1, |s| s);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let inputs: Vec<u32> = (0..37).collect();
+        let out = par_map(inputs.clone(), 5, |&x| x * 2);
+        assert_eq!(out, inputs.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn default_threads_is_capped_by_trials() {
+        assert_eq!(default_threads(1), 1);
+        assert!(default_threads(1000) >= 1);
+    }
+
+    #[test]
+    fn heavy_closure_parallelism_smoke() {
+        // Use actual protocol runs to confirm Send/Sync composition works.
+        // (n = 16 has a ~3% per-run chance of a k-collision — a legitimate
+        // w.h.p. failure — so require most, not all, runs to succeed.)
+        let cfg = rfc_core::RunConfig::builder(16).gamma(2.0).build();
+        let outcomes = run_trials(8, 4, 11, |seed| {
+            rfc_core::run_protocol(&cfg, seed).outcome.is_consensus()
+        });
+        assert!(outcomes.iter().filter(|&&b| b).count() >= 6);
+    }
+}

@@ -1,0 +1,81 @@
+//! The harness's headline guarantee: every experiment's output is a pure
+//! function of `(experiment, master seed)` — independent of thread count
+//! and of which worker executes which trial.
+
+use experiments::{run_by_id, ExpOptions, Table};
+
+fn render_all(tables: &[Table]) -> String {
+    tables.iter().map(|t| t.render()).collect::<Vec<_>>().join("\n")
+}
+
+#[test]
+fn experiment_output_is_thread_count_invariant() {
+    // E1 quick exercises a genuine multi-size sweep; compare 1 vs 4
+    // workers byte-for-byte.
+    let single = ExpOptions {
+        quick: true,
+        seed: 0xD0D0,
+        threads: 1,
+    };
+    let multi = ExpOptions {
+        quick: true,
+        seed: 0xD0D0,
+        threads: 4,
+    };
+    let a = run_by_id("e01", &single).unwrap();
+    let b = run_by_id("e01", &multi).unwrap();
+    assert_eq!(render_all(&a), render_all(&b));
+}
+
+#[test]
+fn experiment_output_depends_on_seed() {
+    let s1 = ExpOptions {
+        quick: true,
+        seed: 1,
+        threads: 2,
+    };
+    let s2 = ExpOptions {
+        quick: true,
+        seed: 2,
+        threads: 2,
+    };
+    // E4's observed shares are seed-dependent even when the verdicts
+    // agree; the rendered tables must differ somewhere.
+    let a = run_by_id("e04", &s1).unwrap();
+    let b = run_by_id("e04", &s2).unwrap();
+    assert_ne!(render_all(&a), render_all(&b));
+}
+
+#[test]
+fn csv_matches_table_dimensions() {
+    let opts = ExpOptions {
+        quick: true,
+        seed: 9,
+        threads: 2,
+    };
+    for id in ["e05", "e11"] {
+        for table in run_by_id(id, &opts).unwrap() {
+            let csv = table.to_csv();
+            let lines: Vec<&str> = csv.lines().collect();
+            assert_eq!(
+                lines.len(),
+                table.rows.len() + 1,
+                "{id}: CSV row count mismatch"
+            );
+            let header_cols = lines[0].split(',').count();
+            assert_eq!(header_cols, table.columns.len(), "{id}: CSV header width");
+        }
+    }
+}
+
+#[test]
+fn rerunning_the_same_experiment_is_idempotent() {
+    let opts = ExpOptions {
+        quick: true,
+        seed: 0xABC,
+        threads: 3,
+    };
+    let a = run_by_id("e10", &opts).unwrap();
+    let b = run_by_id("e10", &opts).unwrap();
+    assert_eq!(render_all(&a), render_all(&b));
+}

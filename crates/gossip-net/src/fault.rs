@@ -1,0 +1,219 @@
+//! The worst-case *permanent* fault adversary.
+//!
+//! Following the paper (§1, §2): before round 0 an adversary that knows the
+//! protocol marks each agent as *active* or *faulty*; afterwards it takes
+//! no further action. Faulty agents are quiescent for the whole execution —
+//! they never act, never answer pulls, and silently drop pushes. The
+//! protocol only assumes the active set `A` has linear size, `|A| = Θ(n)`.
+//!
+//! Because the protocol treats agent ids symmetrically (ids are only used
+//! as addresses and tie-breakers drawn after the fault choice), all
+//! placements of a fixed number of faults are equivalent in distribution.
+//! We still ship several placement strategies so experiment E6 can
+//! *demonstrate* that equivalence rather than assume it.
+
+use crate::ids::AgentId;
+use crate::rng::DetRng;
+
+/// An immutable fault assignment fixed before round 0.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    faulty: Vec<bool>,
+    n_faulty: usize,
+}
+
+/// Placement strategy for a given number of faulty agents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// Fault the lowest-id agents `0..k`. Adversarially "targets" the ids
+    /// that win ties in naive min-id protocols.
+    LowIds,
+    /// Fault the highest-id agents `n-k..n`.
+    HighIds,
+    /// Fault every `ceil(n/k)`-th agent (an evenly spread pattern).
+    Strided,
+    /// Fault a uniformly random `k`-subset (seeded).
+    Random {
+        /// Seed of the placement draw.
+        seed: u64,
+    },
+}
+
+impl FaultPlan {
+    /// No faults: all `n` agents active.
+    pub fn none(n: usize) -> Self {
+        FaultPlan {
+            faulty: vec![false; n],
+            n_faulty: 0,
+        }
+    }
+
+    /// Fault exactly `k` of `n` agents according to `placement`.
+    ///
+    /// Panics if `k >= n` (the paper requires `|A| = Θ(n)`; we insist on at
+    /// least one active agent at the type level and leave the linear-size
+    /// requirement to callers).
+    pub fn place(n: usize, k: usize, placement: Placement) -> Self {
+        assert!(k < n, "at least one agent must stay active (k={k}, n={n})");
+        let mut faulty = vec![false; n];
+        match placement {
+            Placement::LowIds => {
+                for f in faulty.iter_mut().take(k) {
+                    *f = true;
+                }
+            }
+            Placement::HighIds => {
+                for f in faulty.iter_mut().skip(n - k) {
+                    *f = true;
+                }
+            }
+            Placement::Strided => {
+                if let Some(stride) = n.checked_div(k) {
+                    let stride = stride.max(1);
+                    let mut placed = 0usize;
+                    let mut i = 0usize;
+                    // Walk with stride n/k, wrapping to unfilled slots.
+                    while placed < k {
+                        if !faulty[i % n] {
+                            faulty[i % n] = true;
+                            placed += 1;
+                        }
+                        i += stride.max(1);
+                        // Guard against cycles that revisit filled slots.
+                        if i > 4 * n * (placed + 1) {
+                            i += 1;
+                        }
+                    }
+                }
+            }
+            Placement::Random { seed } => {
+                let mut rng = DetRng::seeded(seed, 0xFA17);
+                let mut ids: Vec<AgentId> = (0..n as AgentId).collect();
+                rng.shuffle(&mut ids);
+                for &id in ids.iter().take(k) {
+                    faulty[id as usize] = true;
+                }
+            }
+        }
+        FaultPlan { faulty, n_faulty: k }
+    }
+
+    /// Fault a `frac` fraction of agents (rounded down) with the given
+    /// placement. `frac` is the paper's fault-tolerance parameter `α`.
+    pub fn fraction(n: usize, frac: f64, placement: Placement) -> Self {
+        assert!((0.0..1.0).contains(&frac), "α must be in [0, 1)");
+        let k = ((n as f64) * frac).floor() as usize;
+        Self::place(n, k.min(n - 1), placement)
+    }
+
+    /// Is agent `u` faulty?
+    #[inline]
+    pub fn is_faulty(&self, u: AgentId) -> bool {
+        self.faulty[u as usize]
+    }
+
+    /// Total number of agents (active + faulty).
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.faulty.len()
+    }
+
+    /// Number of faulty agents.
+    #[inline]
+    pub fn n_faulty(&self) -> usize {
+        self.n_faulty
+    }
+
+    /// Number of active agents `|A|`.
+    #[inline]
+    pub fn n_active(&self) -> usize {
+        self.faulty.len() - self.n_faulty
+    }
+
+    /// Iterator over the active agent ids.
+    pub fn active_ids(&self) -> impl Iterator<Item = AgentId> + '_ {
+        self.faulty
+            .iter()
+            .enumerate()
+            .filter(|(_, &f)| !f)
+            .map(|(i, _)| i as AgentId)
+    }
+
+    /// Borrow the raw per-agent fault flags.
+    #[inline]
+    pub fn flags(&self) -> &[bool] {
+        &self.faulty
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_has_all_active() {
+        let p = FaultPlan::none(10);
+        assert_eq!(p.n_active(), 10);
+        assert_eq!(p.n_faulty(), 0);
+        assert!((0..10).all(|u| !p.is_faulty(u)));
+    }
+
+    #[test]
+    fn low_ids_faults_prefix() {
+        let p = FaultPlan::place(10, 3, Placement::LowIds);
+        assert!(p.is_faulty(0) && p.is_faulty(1) && p.is_faulty(2));
+        assert!(!p.is_faulty(3));
+        assert_eq!(p.n_faulty(), 3);
+    }
+
+    #[test]
+    fn high_ids_faults_suffix() {
+        let p = FaultPlan::place(10, 3, Placement::HighIds);
+        assert!(p.is_faulty(7) && p.is_faulty(8) && p.is_faulty(9));
+        assert!(!p.is_faulty(6));
+    }
+
+    #[test]
+    fn strided_places_exactly_k() {
+        for k in [0, 1, 3, 5, 9] {
+            let p = FaultPlan::place(10, k, Placement::Strided);
+            assert_eq!(p.n_faulty(), k);
+            assert_eq!(p.flags().iter().filter(|&&f| f).count(), k);
+        }
+    }
+
+    #[test]
+    fn random_places_exactly_k_and_is_seeded() {
+        let a = FaultPlan::place(50, 20, Placement::Random { seed: 5 });
+        let b = FaultPlan::place(50, 20, Placement::Random { seed: 5 });
+        let c = FaultPlan::place(50, 20, Placement::Random { seed: 6 });
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.n_faulty(), 20);
+        assert_eq!(a.flags().iter().filter(|&&f| f).count(), 20);
+    }
+
+    #[test]
+    fn fraction_rounds_down() {
+        let p = FaultPlan::fraction(10, 0.35, Placement::LowIds);
+        assert_eq!(p.n_faulty(), 3);
+        let p = FaultPlan::fraction(10, 0.0, Placement::LowIds);
+        assert_eq!(p.n_faulty(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one agent")]
+    fn cannot_fault_everyone() {
+        let _ = FaultPlan::place(5, 5, Placement::LowIds);
+    }
+
+    #[test]
+    fn active_ids_complements_faulty() {
+        let p = FaultPlan::place(8, 4, Placement::Strided);
+        let active: Vec<_> = p.active_ids().collect();
+        assert_eq!(active.len(), 4);
+        for u in active {
+            assert!(!p.is_faulty(u));
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Agent and color identifiers.
+//!
+//! The paper assumes agents carry unique labels in `[n] = {1, …, n}`. We use
+//! the dense zero-based range `0..n` instead, which lets every per-agent
+//! table be a plain `Vec` indexed by id — no hashing on the hot path.
+
+/// The label of an agent: a dense index in `0..n`.
+///
+/// `u32` bounds the simulator at ~4 billion agents, far above anything a
+/// single machine can simulate, while halving the footprint of vote and
+/// certificate records relative to `usize`.
+pub type AgentId = u32;
+
+/// A color (opinion) from the shared color space `Σ`.
+///
+/// For the *fair leader election* special case, each agent's color is its
+/// own [`AgentId`].
+pub type ColorId = u32;
+
+/// Number of bits needed to address one of `n` distinct values
+/// (`ceil(log2(n))`, and 1 when `n <= 1` so sizes never degenerate to 0).
+#[inline]
+pub fn bits_for(n: u64) -> u32 {
+    if n <= 1 {
+        1
+    } else {
+        64 - (n - 1).leading_zeros()
+    }
+}
+
+/// `ceil(log2(n))` as a convenience for round/phase arithmetic on `usize`.
+#[inline]
+pub fn ceil_log2(n: usize) -> u32 {
+    bits_for(n as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_for_small_values() {
+        assert_eq!(bits_for(0), 1);
+        assert_eq!(bits_for(1), 1);
+        assert_eq!(bits_for(2), 1);
+        assert_eq!(bits_for(3), 2);
+        assert_eq!(bits_for(4), 2);
+        assert_eq!(bits_for(5), 3);
+        assert_eq!(bits_for(256), 8);
+        assert_eq!(bits_for(257), 9);
+    }
+
+    #[test]
+    fn bits_for_covers_the_range() {
+        // 2^bits_for(n) >= n for all n: every value in 0..n is addressable.
+        for n in 1u64..1000 {
+            let b = bits_for(n);
+            assert!(
+                (b >= 63) || (1u64 << b) >= n,
+                "2^{b} < {n}: range not covered"
+            );
+        }
+    }
+
+    #[test]
+    fn bits_for_is_tight() {
+        // 2^(bits_for(n)-1) < n for n >= 2: one fewer bit would not suffice.
+        for n in 2u64..1000 {
+            let b = bits_for(n);
+            assert!((1u64 << (b - 1)) < n, "bits_for({n}) = {b} is not tight");
+        }
+    }
+
+    #[test]
+    fn ceil_log2_matches_u64_variant() {
+        for n in 0usize..100 {
+            assert_eq!(ceil_log2(n), bits_for(n as u64));
+        }
+    }
+
+    #[test]
+    fn bits_for_large_values() {
+        assert_eq!(bits_for(1 << 40), 40);
+        assert_eq!(bits_for((1 << 40) + 1), 41);
+        assert_eq!(bits_for(u64::MAX), 64);
+    }
+}

@@ -1,0 +1,132 @@
+//! Message-size accounting in bits.
+//!
+//! The paper's headline complexity claims are stated in bits: messages of
+//! size `O(log² n)` and total communication `O(n log³ n)`. To validate those
+//! claims (experiments E2/E3) every message type reports its wire size via
+//! [`MsgSize`], using the *information-theoretic* field widths collected in
+//! a [`SizeEnv`]:
+//!
+//! * an agent id costs `ceil(log2 n)` bits,
+//! * a vote value in `[m] = [n³]` costs `ceil(log2 m) ≈ 3·log2 n` bits,
+//! * a round index in `[q]` costs `ceil(log2 q)` bits,
+//! * a color costs `ceil(log2 |Σ|)` bits,
+//! * every message additionally pays a small constant [`SizeEnv::TAG_BITS`]
+//!   tag identifying its variant.
+//!
+//! Counting idealized widths (rather than Rust struct sizes) matches how
+//! the paper accounts message complexity and makes the measured scaling
+//! directly comparable to the `O(log² n)` bound.
+
+use crate::ids::bits_for;
+
+/// Field-width environment used to price messages, fixed per network run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SizeEnv {
+    /// Bits to encode one agent id (`ceil(log2 n)`).
+    pub id_bits: u32,
+    /// Bits to encode one vote value in `[m]` (`ceil(log2 m)`).
+    pub value_bits: u32,
+    /// Bits to encode one round index within a phase (`ceil(log2 q)`).
+    pub round_bits: u32,
+    /// Bits to encode one color from `Σ` (`ceil(log2 |Σ|)`).
+    pub color_bits: u32,
+}
+
+impl SizeEnv {
+    /// Per-message variant tag, charged on every message.
+    pub const TAG_BITS: u64 = 3;
+
+    /// Environment for the paper's canonical parameters on `n` agents:
+    /// `m = n³`, `q = O(log n)` rounds per phase, colors bounded by `n`
+    /// (leader election is the worst case: `|Σ| = n`).
+    pub fn for_n(n: usize) -> Self {
+        let n = n.max(2) as u64;
+        let id_bits = bits_for(n);
+        SizeEnv {
+            id_bits,
+            value_bits: 3 * id_bits, // log2(n^3) = 3 log2(n)
+            round_bits: bits_for((2 * bits_for(n) as u64).max(2)),
+            color_bits: id_bits,
+        }
+    }
+
+    /// Environment with an explicit vote-space size `m` and phase length
+    /// `q` (used by the `m = n` ablation, E11).
+    pub fn with_params(n: usize, m: u64, q: usize, colors: usize) -> Self {
+        let n = n.max(2) as u64;
+        SizeEnv {
+            id_bits: bits_for(n),
+            value_bits: bits_for(m.max(2)),
+            round_bits: bits_for((q as u64).max(2)),
+            color_bits: bits_for((colors as u64).max(2)),
+        }
+    }
+
+    /// Cost of one `(value, target-id)` vote-intention entry.
+    #[inline]
+    pub fn intent_entry_bits(&self) -> u64 {
+        self.value_bits as u64 + self.id_bits as u64
+    }
+
+    /// Cost of one `(voter, round, value)` vote record.
+    #[inline]
+    pub fn vote_record_bits(&self) -> u64 {
+        self.id_bits as u64 + self.round_bits as u64 + self.value_bits as u64
+    }
+}
+
+/// Types that know their wire size in bits under a given [`SizeEnv`].
+pub trait MsgSize {
+    /// Idealized encoded size of this message in bits.
+    fn size_bits(&self, env: &SizeEnv) -> u64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn for_n_widths_scale_logarithmically() {
+        let e1 = SizeEnv::for_n(1 << 10);
+        assert_eq!(e1.id_bits, 10);
+        assert_eq!(e1.value_bits, 30);
+        let e2 = SizeEnv::for_n(1 << 20);
+        assert_eq!(e2.id_bits, 20);
+        assert_eq!(e2.value_bits, 60);
+    }
+
+    #[test]
+    fn for_n_handles_tiny_networks() {
+        let e = SizeEnv::for_n(0);
+        assert!(e.id_bits >= 1);
+        assert!(e.value_bits >= 1);
+        assert!(e.round_bits >= 1);
+    }
+
+    #[test]
+    fn with_params_uses_explicit_m() {
+        // m = n ablation: vote values only cost log2(n) bits.
+        let e = SizeEnv::with_params(1024, 1024, 40, 2);
+        assert_eq!(e.value_bits, 10);
+        assert_eq!(e.round_bits, 6); // ceil(log2 40)
+        assert_eq!(e.color_bits, 1);
+    }
+
+    #[test]
+    fn record_costs_compose_fields() {
+        let e = SizeEnv::for_n(256);
+        assert_eq!(e.intent_entry_bits(), (e.value_bits + e.id_bits) as u64);
+        assert_eq!(
+            e.vote_record_bits(),
+            (e.id_bits + e.round_bits + e.value_bits) as u64
+        );
+    }
+
+    #[test]
+    fn vote_value_width_is_three_id_widths() {
+        for exp in 3..16 {
+            let e = SizeEnv::for_n(1usize << exp);
+            assert_eq!(e.value_bits, 3 * e.id_bits);
+        }
+    }
+}

@@ -1,0 +1,325 @@
+//! Network topologies: the paper's complete graph plus the graph classes
+//! its Conclusions suggest as future work.
+//!
+//! The protocol analysis assumes the complete graph `K_n`, where "choose a
+//! neighbor u.a.r." means a uniform draw from `[n]` (the paper samples from
+//! all of `[n]`, so an agent may address itself; a self-vote is still a
+//! declared, verifiable vote and none of the asymptotics change). For the
+//! complete graph the topology is implicit and costs no memory.
+//!
+//! General graphs are stored in CSR (compressed sparse row) form: one
+//! `offsets` array of `n + 1` cursors into a flat `neighbors` array. This
+//! is the cache-friendly layout for the hot `sample_peer` path — one
+//! indexed load to find the row, one to pick the neighbor.
+
+use crate::ids::AgentId;
+use crate::rng::DetRng;
+
+/// A communication topology over `n` agents.
+#[derive(Debug, Clone)]
+pub enum Topology {
+    /// The complete graph `K_n`; peers are sampled uniformly from `[n]`
+    /// (matching the paper's "`v` chosen u.a.r. in `[n]`").
+    Complete {
+        /// Number of agents.
+        n: usize,
+    },
+    /// An arbitrary undirected graph in CSR form.
+    Sparse(Csr),
+}
+
+impl Topology {
+    /// The complete graph on `n` agents.
+    pub fn complete(n: usize) -> Self {
+        assert!(n >= 2, "a network needs at least two agents");
+        Topology::Complete { n }
+    }
+
+    /// Erdős–Rényi `G(n, p)`: each unordered pair is an edge independently
+    /// with probability `p`. Deterministic given `seed`.
+    pub fn erdos_renyi(n: usize, p: f64, seed: u64) -> Self {
+        assert!(n >= 2);
+        assert!((0.0..=1.0).contains(&p), "p must be a probability");
+        let mut rng = DetRng::seeded(seed, 0xE5D0);
+        let mut adj: Vec<Vec<AgentId>> = vec![Vec::new(); n];
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if rng.chance(p) {
+                    adj[u].push(v as AgentId);
+                    adj[v].push(u as AgentId);
+                }
+            }
+        }
+        Topology::Sparse(Csr::from_adjacency(&adj))
+    }
+
+    /// A random `d`-regular multigraph via the configuration model
+    /// (pair-matching of `n·d` stubs; requires `n·d` even). Self-loops are
+    /// re-rolled a bounded number of times and then dropped, so degrees can
+    /// be *at most* `d` in rare cases — fine for the expander experiments.
+    pub fn random_regular(n: usize, d: usize, seed: u64) -> Self {
+        assert!(n >= 2 && d >= 1 && d < n);
+        assert!((n * d).is_multiple_of(2), "n*d must be even for a d-regular graph");
+        let mut rng = DetRng::seeded(seed, 0x4E60);
+        let mut stubs: Vec<AgentId> = (0..n)
+            .flat_map(|u| std::iter::repeat_n(u as AgentId, d))
+            .collect();
+        let mut adj: Vec<Vec<AgentId>> = vec![Vec::new(); n];
+        // Up to 64 full re-shuffles to avoid self-loops in the matching.
+        for _attempt in 0..64 {
+            rng.shuffle(&mut stubs);
+            if stubs.chunks_exact(2).all(|c| c[0] != c[1]) {
+                break;
+            }
+        }
+        for c in stubs.chunks_exact(2) {
+            if c[0] != c[1] {
+                adj[c[0] as usize].push(c[1]);
+                adj[c[1] as usize].push(c[0]);
+            }
+        }
+        Topology::Sparse(Csr::from_adjacency(&adj))
+    }
+
+    /// The cycle `C_n`: agent `i` is adjacent to `i±1 (mod n)`. The
+    /// worst-case topology for rumor spreading (diameter `n/2`).
+    pub fn ring(n: usize) -> Self {
+        assert!(n >= 3, "a ring needs at least three agents");
+        let adj: Vec<Vec<AgentId>> = (0..n)
+            .map(|u| {
+                vec![
+                    ((u + n - 1) % n) as AgentId,
+                    ((u + 1) % n) as AgentId,
+                ]
+            })
+            .collect();
+        Topology::Sparse(Csr::from_adjacency(&adj))
+    }
+
+    /// Number of agents.
+    #[inline]
+    pub fn n(&self) -> usize {
+        match self {
+            Topology::Complete { n } => *n,
+            Topology::Sparse(csr) => csr.n(),
+        }
+    }
+
+    /// Sample a communication peer for `u` uniformly at random.
+    ///
+    /// On the complete graph this is a uniform draw from `[n]` (the paper's
+    /// rule). On sparse graphs it is a uniform neighbor; isolated vertices
+    /// return `u` itself (the op then degenerates to a no-op delivery).
+    #[inline]
+    pub fn sample_peer(&self, u: AgentId, rng: &mut DetRng) -> AgentId {
+        match self {
+            Topology::Complete { n } => rng.index(*n) as AgentId,
+            Topology::Sparse(csr) => {
+                let nbrs = csr.neighbors(u);
+                if nbrs.is_empty() {
+                    u
+                } else {
+                    nbrs[rng.index(nbrs.len())]
+                }
+            }
+        }
+    }
+
+    /// Degree of `u`.
+    #[inline]
+    pub fn degree(&self, u: AgentId) -> usize {
+        match self {
+            Topology::Complete { n } => *n - 1,
+            Topology::Sparse(csr) => csr.neighbors(u).len(),
+        }
+    }
+
+    /// Whether `{u, v}` is an edge (complete graphs: everything except…
+    /// nothing; the paper allows self-addressing, so `u == v` is accepted).
+    #[inline]
+    pub fn connected(&self, u: AgentId, v: AgentId) -> bool {
+        match self {
+            Topology::Complete { .. } => true,
+            Topology::Sparse(csr) => u == v || csr.neighbors(u).contains(&v),
+        }
+    }
+}
+
+/// Compressed-sparse-row adjacency structure for undirected graphs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Csr {
+    offsets: Vec<u32>,
+    neighbors: Vec<AgentId>,
+}
+
+impl Csr {
+    /// Build from per-vertex adjacency lists (kept as given; callers are
+    /// responsible for symmetry if they want an undirected graph).
+    pub fn from_adjacency(adj: &[Vec<AgentId>]) -> Self {
+        let mut offsets = Vec::with_capacity(adj.len() + 1);
+        let total: usize = adj.iter().map(Vec::len).sum();
+        let mut neighbors = Vec::with_capacity(total);
+        offsets.push(0u32);
+        for row in adj {
+            neighbors.extend_from_slice(row);
+            offsets.push(neighbors.len() as u32);
+        }
+        Csr { offsets, neighbors }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of directed edge slots (twice the undirected edge count for
+    /// symmetric inputs).
+    #[inline]
+    pub fn edge_slots(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// Neighbor slice of vertex `u`.
+    #[inline]
+    pub fn neighbors(&self, u: AgentId) -> &[AgentId] {
+        let lo = self.offsets[u as usize] as usize;
+        let hi = self.offsets[u as usize + 1] as usize;
+        &self.neighbors[lo..hi]
+    }
+
+    /// True if the adjacency structure is symmetric (an undirected graph).
+    pub fn is_symmetric(&self) -> bool {
+        (0..self.n()).all(|u| {
+            self.neighbors(u as AgentId).iter().all(|&v| {
+                self.neighbors(v).contains(&(u as AgentId))
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complete_samples_cover_range() {
+        let t = Topology::complete(8);
+        let mut rng = DetRng::seeded(1, 0);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[t.sample_peer(3, &mut rng) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "uniform draw should hit all of [n]");
+    }
+
+    #[test]
+    fn complete_degree_and_connectivity() {
+        let t = Topology::complete(5);
+        assert_eq!(t.n(), 5);
+        assert_eq!(t.degree(0), 4);
+        assert!(t.connected(0, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn complete_rejects_singleton() {
+        let _ = Topology::complete(1);
+    }
+
+    #[test]
+    fn ring_structure() {
+        let t = Topology::ring(6);
+        assert_eq!(t.degree(0), 2);
+        assert!(t.connected(0, 1));
+        assert!(t.connected(0, 5));
+        assert!(!t.connected(0, 3));
+        if let Topology::Sparse(csr) = &t {
+            assert!(csr.is_symmetric());
+        } else {
+            panic!("ring should be sparse");
+        }
+    }
+
+    #[test]
+    fn ring_samples_only_neighbors() {
+        let t = Topology::ring(10);
+        let mut rng = DetRng::seeded(2, 0);
+        for _ in 0..200 {
+            let p = t.sample_peer(4, &mut rng);
+            assert!(p == 3 || p == 5, "ring peer of 4 must be 3 or 5, got {p}");
+        }
+    }
+
+    #[test]
+    fn erdos_renyi_extremes() {
+        let empty = Topology::erdos_renyi(10, 0.0, 7);
+        for u in 0..10 {
+            assert_eq!(empty.degree(u), 0);
+        }
+        let full = Topology::erdos_renyi(10, 1.0, 7);
+        for u in 0..10 {
+            assert_eq!(full.degree(u), 9);
+        }
+    }
+
+    #[test]
+    fn erdos_renyi_is_symmetric_and_deterministic() {
+        let a = Topology::erdos_renyi(40, 0.3, 42);
+        let b = Topology::erdos_renyi(40, 0.3, 42);
+        match (&a, &b) {
+            (Topology::Sparse(x), Topology::Sparse(y)) => {
+                assert_eq!(x, y, "same seed must give same graph");
+                assert!(x.is_symmetric());
+            }
+            _ => panic!("expected sparse graphs"),
+        }
+    }
+
+    #[test]
+    fn erdos_renyi_edge_count_near_expectation() {
+        let n = 200;
+        let p = 0.1;
+        if let Topology::Sparse(csr) = Topology::erdos_renyi(n, p, 3) {
+            let edges = csr.edge_slots() / 2;
+            let expect = (n * (n - 1) / 2) as f64 * p;
+            let dev = (edges as f64 - expect).abs() / expect;
+            assert!(dev < 0.15, "edge count {edges} vs expectation {expect}");
+        } else {
+            panic!("expected sparse");
+        }
+    }
+
+    #[test]
+    fn random_regular_degrees() {
+        let t = Topology::random_regular(100, 6, 11);
+        if let Topology::Sparse(csr) = &t {
+            assert!(csr.is_symmetric());
+            let max_deg = (0..100).map(|u| t.degree(u)).max().unwrap();
+            let min_deg = (0..100).map(|u| t.degree(u)).min().unwrap();
+            assert!(max_deg <= 6);
+            assert!(min_deg >= 5, "config model should rarely drop edges");
+        } else {
+            panic!("expected sparse");
+        }
+    }
+
+    #[test]
+    fn isolated_vertex_self_peer() {
+        let csr = Csr::from_adjacency(&[vec![], vec![0]]);
+        let t = Topology::Sparse(csr);
+        let mut rng = DetRng::seeded(0, 0);
+        assert_eq!(t.sample_peer(0, &mut rng), 0);
+    }
+
+    #[test]
+    fn csr_round_trips_adjacency() {
+        let adj = vec![vec![1, 2], vec![0], vec![0]];
+        let csr = Csr::from_adjacency(&adj);
+        assert_eq!(csr.n(), 3);
+        assert_eq!(csr.neighbors(0), &[1, 2]);
+        assert_eq!(csr.neighbors(1), &[0]);
+        assert_eq!(csr.neighbors(2), &[0]);
+        assert_eq!(csr.edge_slots(), 4);
+    }
+}

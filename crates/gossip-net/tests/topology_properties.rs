@@ -1,0 +1,139 @@
+//! Property-based tests for the topology layer: sampled peers always
+//! respect adjacency, generators produce what they promise, and CSR
+//! round-trips are exact.
+
+use gossip_net::rng::DetRng;
+use gossip_net::topology::{Csr, Topology};
+use gossip_net::AgentId;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Sampled peers are always within the graph and adjacent to the
+    /// sampler (or the sampler itself on the complete graph / isolated
+    /// vertices).
+    #[test]
+    fn sampled_peers_respect_adjacency(
+        n in 3usize..64,
+        p in 0.0f64..1.0,
+        u in 0u32..64,
+        seed in any::<u64>(),
+    ) {
+        let u = u % n as u32;
+        let mut rng = DetRng::seeded(seed, 0);
+        for topo in [
+            Topology::complete(n),
+            Topology::erdos_renyi(n, p, seed),
+            Topology::ring(n.max(3)),
+        ] {
+            for _ in 0..50 {
+                let v = topo.sample_peer(u, &mut rng);
+                prop_assert!((v as usize) < topo.n());
+                prop_assert!(
+                    topo.connected(u, v) || v == u,
+                    "sampled non-neighbor {v} for {u}"
+                );
+            }
+        }
+    }
+
+    /// Erdős–Rényi degree sums are even (handshake lemma) and the edge
+    /// count concentrates around p·n(n−1)/2 for moderate sizes.
+    #[test]
+    fn erdos_renyi_handshake_lemma(
+        n in 4usize..80,
+        p in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let topo = Topology::erdos_renyi(n, p, seed);
+        let degree_sum: usize = (0..n as AgentId).map(|u| topo.degree(u)).sum();
+        prop_assert_eq!(degree_sum % 2, 0, "handshake lemma violated");
+        // Self-loops never occur.
+        for u in 0..n as AgentId {
+            if let Topology::Sparse(csr) = &topo {
+                prop_assert!(!csr.neighbors(u).contains(&u), "self-loop at {u}");
+            }
+        }
+    }
+
+    /// Ring: every vertex has degree exactly 2 and the graph is a single
+    /// cycle (connected 2-regular).
+    #[test]
+    fn ring_is_a_single_cycle(n in 3usize..100) {
+        let topo = Topology::ring(n);
+        for u in 0..n as AgentId {
+            prop_assert_eq!(topo.degree(u), 2);
+        }
+        // Walk the cycle: n distinct steps return to the origin.
+        let mut visited = vec![false; n];
+        let mut prev: AgentId = 0;
+        let mut cur: AgentId = 1; // neighbor of 0
+        visited[0] = true;
+        for _ in 1..n {
+            prop_assert!(!visited[cur as usize], "revisited early: not a single cycle");
+            visited[cur as usize] = true;
+            // Step to the neighbor that is not where we came from.
+            let (a, b) = ((cur as usize + n - 1) % n, (cur as usize + 1) % n);
+            let next = if a as u32 == prev { b as u32 } else { a as u32 };
+            prev = cur;
+            cur = next;
+        }
+        prop_assert_eq!(cur, 0, "cycle must close");
+        prop_assert!(visited.iter().all(|&v| v));
+    }
+
+    /// Random-regular: degrees are ≤ d, almost always exactly d, and the
+    /// handshake lemma holds.
+    #[test]
+    fn random_regular_degree_bounds(
+        half_n in 2usize..40,
+        d in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let n = 2 * half_n; // ensures n·d even for any d
+        prop_assume!(d < n);
+        let topo = Topology::random_regular(n, d, seed);
+        let mut sum = 0usize;
+        for u in 0..n as AgentId {
+            let deg = topo.degree(u);
+            prop_assert!(deg <= d, "degree {deg} exceeds d={d}");
+            sum += deg;
+        }
+        prop_assert_eq!(sum % 2, 0);
+        // The configuration model drops few edges: ≥ 90% of stubs kept.
+        prop_assert!(sum * 10 >= 9 * n * d, "too many dropped edges: {sum} < 0.9·{}", n * d);
+    }
+
+    /// CSR round-trip: building from adjacency lists preserves every
+    /// neighbor slice exactly.
+    #[test]
+    fn csr_round_trip(adj_spec in proptest::collection::vec(
+        proptest::collection::vec(0u32..32, 0..8), 1..32)
+    ) {
+        let n = adj_spec.len() as u32;
+        let adj: Vec<Vec<AgentId>> = adj_spec
+            .iter()
+            .map(|row| row.iter().map(|&v| v % n).collect())
+            .collect();
+        let csr = Csr::from_adjacency(&adj);
+        prop_assert_eq!(csr.n(), adj.len());
+        for (u, row) in adj.iter().enumerate() {
+            prop_assert_eq!(csr.neighbors(u as AgentId), row.as_slice());
+        }
+        prop_assert_eq!(csr.edge_slots(), adj.iter().map(Vec::len).sum::<usize>());
+    }
+
+    /// Complete-graph sampling is uniform over [n] (χ²-free coarse check:
+    /// every vertex hit at least once with enough draws).
+    #[test]
+    fn complete_sampling_covers(n in 2usize..32, seed in any::<u64>()) {
+        let topo = Topology::complete(n);
+        let mut rng = DetRng::seeded(seed, 1);
+        let mut hit = vec![false; n];
+        for _ in 0..n * 50 {
+            hit[topo.sample_peer(0, &mut rng) as usize] = true;
+        }
+        prop_assert!(hit.iter().all(|&h| h), "some vertex never sampled");
+    }
+}

@@ -1,0 +1,126 @@
+//! Chernoff bounds (paper Lemma 8) and empirical concentration checks.
+//!
+//! The paper's Lemma 8 states, for `X = Σ Xᵢ` a sum of independent
+//! Bernoulli variables with `μ = E[X]`:
+//!
+//! 1. `Pr(X > (1+δ)μ) < exp(−δ²μ/4)` for `0 < δ ≤ 4`,
+//! 2. `Pr(X > (1+δ)μ) < exp(−δμ)` for `δ > 4`,
+//! 3. `Pr(X > μ + λ) ≤ exp(−2λ²/n)` for `λ > 0` (Hoeffding form).
+//!
+//! These drive every "suitable choice of γ" in the analysis. The functions
+//! here evaluate the bounds so experiments (E5) can compare measured tail
+//! frequencies of vote counts against the analytic guarantees, and so the
+//! documentation's γ(α) guidance is computed rather than hand-waved.
+
+/// Upper-tail bound `Pr(X > (1+δ)μ)` from Lemma 8 (cases 1 and 2).
+pub fn chernoff_upper(mu: f64, delta: f64) -> f64 {
+    assert!(mu >= 0.0 && delta > 0.0, "invalid Chernoff arguments");
+    if delta <= 4.0 {
+        (-delta * delta * mu / 4.0).exp()
+    } else {
+        (-delta * mu).exp()
+    }
+}
+
+/// Additive Hoeffding bound `Pr(X > μ + λ) ≤ exp(−2λ²/n)` over `n`
+/// Bernoulli summands (Lemma 8, case 3).
+pub fn hoeffding_upper(n: u64, lambda: f64) -> f64 {
+    assert!(n > 0 && lambda > 0.0);
+    (-2.0 * lambda * lambda / n as f64).exp()
+}
+
+/// Standard multiplicative *lower*-tail bound
+/// `Pr(X < (1−δ)μ) < exp(−δ²μ/2)` for `0 < δ < 1` — used to size `q` so
+/// every agent receives at least one vote w.h.p.
+pub fn chernoff_lower(mu: f64, delta: f64) -> f64 {
+    assert!(mu >= 0.0 && (0.0..1.0).contains(&delta));
+    (-delta * delta * mu / 2.0).exp()
+}
+
+/// The smallest `γ` such that, with `q = γ·log₂ n` voting rounds and an
+/// active fraction `1 − α`, a union bound over all `n` agents keeps the
+/// probability that *any* agent receives zero votes below `n^{−target}`.
+///
+/// Derivation: a fixed agent receives no votes with probability
+/// `(1 − 1/n)^{(1−α)·n·q} ≈ exp(−(1−α)·q)`. Requiring
+/// `n · exp(−(1−α)·q) ≤ n^{−target}` gives
+/// `q ≥ (target + 1)·ln n / (1 − α)`, i.e.
+/// `γ ≥ (target + 1)·ln 2 / (1 − α)`.
+pub fn gamma_for_fault_tolerance(alpha: f64, target: f64) -> f64 {
+    assert!((0.0..1.0).contains(&alpha), "α must be in [0, 1)");
+    assert!(target > 0.0);
+    (target + 1.0) * std::f64::consts::LN_2 / (1.0 - alpha)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chernoff_upper_decays_in_mu() {
+        let a = chernoff_upper(10.0, 1.0);
+        let b = chernoff_upper(100.0, 1.0);
+        assert!(b < a);
+        assert!((a - (-2.5f64).exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chernoff_upper_switches_regime_at_delta_4() {
+        // At δ=4 both formulas coincide at exp(-4μ); beyond, the linear
+        // exponent is used.
+        let mu = 3.0;
+        let at4 = chernoff_upper(mu, 4.0);
+        assert!((at4 - (-16.0 * mu / 4.0f64).exp()).abs() < 1e-12);
+        let beyond = chernoff_upper(mu, 5.0);
+        assert!((beyond - (-5.0 * mu).exp()).abs() < 1e-15);
+        assert!(beyond < at4);
+    }
+
+    #[test]
+    fn bounds_are_probabilities() {
+        for &(mu, d) in &[(1.0, 0.5), (10.0, 2.0), (100.0, 6.0)] {
+            let p = chernoff_upper(mu, d);
+            assert!((0.0..=1.0).contains(&p));
+        }
+        assert!(hoeffding_upper(100, 5.0) <= 1.0);
+        assert!(chernoff_lower(50.0, 0.5) <= 1.0);
+    }
+
+    #[test]
+    fn hoeffding_matches_formula() {
+        let p = hoeffding_upper(1000, 50.0);
+        assert!((p - (-2.0 * 2500.0 / 1000.0f64).exp()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn gamma_grows_with_alpha() {
+        let g0 = gamma_for_fault_tolerance(0.0, 1.0);
+        let g5 = gamma_for_fault_tolerance(0.5, 1.0);
+        let g9 = gamma_for_fault_tolerance(0.9, 1.0);
+        assert!(g0 < g5 && g5 < g9);
+        // α=0, target=1 ⇒ γ = 2 ln2 ≈ 1.386.
+        assert!((g0 - 2.0 * std::f64::consts::LN_2).abs() < 1e-12);
+        // α=0.5 doubles it.
+        assert!((g5 - 2.0 * g0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gamma_bound_is_consistent_with_lower_tail() {
+        // With q = γ(α,1)·log₂ n the expected votes per agent is
+        // (1-α)·q ≥ 2 ln n; the zero-vote probability per agent is then
+        // ≤ exp(-2 ln n) = n^{-2}, union bound n^{-1}.
+        let n: f64 = 1024.0;
+        let alpha = 0.3;
+        let gamma = gamma_for_fault_tolerance(alpha, 1.0);
+        let q = gamma * n.log2();
+        let mu = (1.0 - alpha) * q;
+        let p_zero = (-mu).exp(); // (1-1/n)^{(1-α)nq} ≈ e^{-μ}
+        assert!(n * p_zero <= 1.0 / n + 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_alpha_panics() {
+        let _ = gamma_for_fault_tolerance(1.0, 1.0);
+    }
+}

@@ -1,0 +1,275 @@
+//! Pearson χ² goodness-of-fit test.
+//!
+//! Used by the fairness experiments (E4, E9): over `N` runs, the observed
+//! winning-color counts are compared against the expected counts
+//! `N · fraction(c)`. Under the fairness hypothesis the statistic is
+//! asymptotically χ²-distributed with `k − 1` degrees of freedom; we
+//! compute the p-value through the regularized upper incomplete gamma
+//! function `Q(df/2, x/2)` (series + continued-fraction evaluation, as in
+//! Numerical Recipes §6.2 — implemented here from scratch since no math
+//! crate is available offline).
+
+/// Result of a χ² goodness-of-fit test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChiSquare {
+    /// The Pearson statistic `Σ (obs − exp)² / exp`.
+    pub statistic: f64,
+    /// Degrees of freedom (`k − 1` for a simple goodness-of-fit).
+    pub df: usize,
+    /// `P(χ²_df ≥ statistic)` under the null hypothesis.
+    pub p_value: f64,
+}
+
+impl ChiSquare {
+    /// Is the null hypothesis *not* rejected at significance `alpha`?
+    pub fn consistent_at(&self, alpha: f64) -> bool {
+        self.p_value >= alpha
+    }
+}
+
+/// Pearson goodness-of-fit: observed counts vs expected counts.
+///
+/// Categories with expected count 0 must have observed count 0 (else the
+/// statistic is +∞, which we map to p = 0). Panics if lengths differ or
+/// the expectation sums to 0.
+pub fn chi_square_gof(observed: &[u64], expected: &[f64]) -> ChiSquare {
+    assert_eq!(
+        observed.len(),
+        expected.len(),
+        "observed/expected length mismatch"
+    );
+    assert!(
+        expected.iter().sum::<f64>() > 0.0,
+        "expected counts must be positive"
+    );
+    let mut stat = 0.0f64;
+    let mut df = observed.len().saturating_sub(1);
+    for (&obs, &exp) in observed.iter().zip(expected) {
+        if exp <= 0.0 {
+            if obs > 0 {
+                return ChiSquare {
+                    statistic: f64::INFINITY,
+                    df,
+                    p_value: 0.0,
+                };
+            }
+            // Empty category contributes nothing and loses a df.
+            df = df.saturating_sub(1);
+            continue;
+        }
+        let d = obs as f64 - exp;
+        stat += d * d / exp;
+    }
+    ChiSquare {
+        statistic: stat,
+        df,
+        p_value: chi_square_sf(stat, df),
+    }
+}
+
+/// Survival function of the χ² distribution: `P(X ≥ x)` with `df` degrees
+/// of freedom — the regularized upper incomplete gamma `Q(df/2, x/2)`.
+pub fn chi_square_sf(x: f64, df: usize) -> f64 {
+    if x <= 0.0 || df == 0 {
+        return 1.0;
+    }
+    reg_gamma_q(df as f64 / 2.0, x / 2.0)
+}
+
+/// Regularized upper incomplete gamma function `Q(a, x)`.
+///
+/// Uses the series for `P(a, x)` when `x < a + 1` and the continued
+/// fraction for `Q(a, x)` otherwise (Numerical Recipes `gammp`/`gammq`).
+pub fn reg_gamma_q(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0 && x >= 0.0, "invalid gamma arguments");
+    if x == 0.0 {
+        return 1.0;
+    }
+    if x < a + 1.0 {
+        1.0 - gamma_p_series(a, x)
+    } else {
+        gamma_q_contfrac(a, x)
+    }
+}
+
+/// Series expansion of the regularized lower incomplete gamma `P(a, x)`.
+fn gamma_p_series(a: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 500;
+    const EPS: f64 = 1e-14;
+    let gln = ln_gamma(a);
+    let mut ap = a;
+    let mut sum = 1.0 / a;
+    let mut del = sum;
+    for _ in 0..MAX_ITER {
+        ap += 1.0;
+        del *= x / ap;
+        sum += del;
+        if del.abs() < sum.abs() * EPS {
+            break;
+        }
+    }
+    sum * (-x + a * x.ln() - gln).exp()
+}
+
+/// Lentz continued fraction for the regularized upper incomplete gamma.
+fn gamma_q_contfrac(a: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 500;
+    const EPS: f64 = 1e-14;
+    const FPMIN: f64 = 1e-300;
+    let gln = ln_gamma(a);
+    let mut b = x + 1.0 - a;
+    let mut c = 1.0 / FPMIN;
+    let mut d = 1.0 / b;
+    let mut h = d;
+    for i in 1..=MAX_ITER {
+        let an = -(i as f64) * (i as f64 - a);
+        b += 2.0;
+        d = an * d + b;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = b + an / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h * (-x + a * x.ln() - gln).exp()
+}
+
+/// Natural log of the gamma function (Lanczos approximation, g = 7).
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma requires x > 0");
+    // Lanczos coefficients (g = 7, n = 9).
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection: Γ(x)Γ(1−x) = π / sin(πx).
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = COEF[0];
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + 7.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        // Γ(n) = (n−1)!
+        let facts: [f64; 7] = [1.0, 1.0, 2.0, 6.0, 24.0, 120.0, 720.0];
+        for (i, &f) in facts.iter().enumerate() {
+            let lg = ln_gamma((i + 1) as f64);
+            assert!(
+                (lg - f.ln()).abs() < 1e-10,
+                "ln_gamma({}) = {lg}",
+                i + 1
+            );
+        }
+    }
+
+    #[test]
+    fn ln_gamma_half() {
+        // Γ(1/2) = √π.
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn chi_square_sf_known_values() {
+        // Reference values (R: pchisq(x, df, lower.tail=FALSE)).
+        let cases = [
+            (3.841, 1, 0.05),
+            (5.991, 2, 0.05),
+            (9.488, 4, 0.05),
+            (6.635, 1, 0.01),
+            (0.0, 3, 1.0),
+        ];
+        for (x, df, p) in cases {
+            let got = chi_square_sf(x, df);
+            assert!(
+                (got - p).abs() < 2e-4,
+                "sf({x}, {df}) = {got}, want ≈ {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn sf_is_monotone_in_x() {
+        let mut prev = 1.0;
+        for i in 0..100 {
+            let x = i as f64 * 0.5;
+            let p = chi_square_sf(x, 5);
+            assert!(p <= prev + 1e-12, "sf must be non-increasing");
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn gof_uniform_observed_is_consistent() {
+        // Perfectly uniform observations over 4 categories.
+        let obs = [250u64, 250, 250, 250];
+        let exp = [250.0, 250.0, 250.0, 250.0];
+        let r = chi_square_gof(&obs, &exp);
+        assert_eq!(r.statistic, 0.0);
+        assert_eq!(r.df, 3);
+        assert!((r.p_value - 1.0).abs() < 1e-12);
+        assert!(r.consistent_at(0.05));
+    }
+
+    #[test]
+    fn gof_detects_gross_bias() {
+        let obs = [900u64, 100];
+        let exp = [500.0, 500.0];
+        let r = chi_square_gof(&obs, &exp);
+        assert!(r.statistic > 100.0);
+        assert!(r.p_value < 1e-6);
+        assert!(!r.consistent_at(0.05));
+    }
+
+    #[test]
+    fn gof_small_fluctuations_pass() {
+        let obs = [520u64, 480];
+        let exp = [500.0, 500.0];
+        let r = chi_square_gof(&obs, &exp);
+        assert!(r.consistent_at(0.05), "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn gof_empty_expected_category() {
+        let obs = [10u64, 0];
+        let exp = [10.0, 0.0];
+        let r = chi_square_gof(&obs, &exp);
+        assert_eq!(r.statistic, 0.0);
+        // Observing something impossible ⇒ p = 0.
+        let obs = [9u64, 1];
+        let r = chi_square_gof(&obs, &exp);
+        assert_eq!(r.p_value, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn gof_length_mismatch_panics() {
+        let _ = chi_square_gof(&[1, 2], &[1.0]);
+    }
+}

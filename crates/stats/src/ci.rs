@@ -1,0 +1,131 @@
+//! Confidence intervals for proportions and means.
+//!
+//! The equilibrium experiments (E7/E8) compare win-rates of coalitions to
+//! the fair baseline `t/|A|`; the fault-tolerance experiment (E6) reports
+//! success probabilities. Both need binomial confidence intervals that
+//! behave at the extremes (success counts of 0 or N are common —
+//! deviations either always fail or never succeed), so we use the
+//! **Wilson score interval** rather than the normal approximation.
+
+/// A two-sided confidence interval `[lo, hi]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    /// Lower bound.
+    pub lo: f64,
+    /// Upper bound.
+    pub hi: f64,
+}
+
+impl Interval {
+    /// Does the interval contain `x`?
+    pub fn contains(&self, x: f64) -> bool {
+        self.lo <= x && x <= self.hi
+    }
+
+    /// Interval width.
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+}
+
+/// Wilson score interval for a binomial proportion: `successes` out of
+/// `trials` at confidence z-score `z` (1.96 ≈ 95%, 2.576 ≈ 99%).
+pub fn wilson(successes: u64, trials: u64, z: f64) -> Interval {
+    assert!(trials > 0, "wilson needs at least one trial");
+    assert!(successes <= trials, "more successes than trials");
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let center = (p + z2 / (2.0 * n)) / denom;
+    let half = z * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt() / denom;
+    Interval {
+        lo: (center - half).max(0.0),
+        hi: (center + half).min(1.0),
+    }
+}
+
+/// Wilson interval at 95% confidence.
+pub fn wilson95(successes: u64, trials: u64) -> Interval {
+    wilson(successes, trials, 1.959_963_984_540_054)
+}
+
+/// Wilson interval at 99% confidence.
+pub fn wilson99(successes: u64, trials: u64) -> Interval {
+    wilson(successes, trials, 2.575_829_303_548_901)
+}
+
+/// Normal-approximation interval for a sample mean: `mean ± z·stderr`.
+pub fn mean_ci(mean: f64, std_err: f64, z: f64) -> Interval {
+    Interval {
+        lo: mean - z * std_err,
+        hi: mean + z * std_err,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wilson_is_sane_at_half() {
+        let iv = wilson95(500, 1000);
+        assert!(iv.contains(0.5));
+        assert!(iv.width() < 0.07);
+        assert!(iv.lo > 0.45 && iv.hi < 0.55);
+    }
+
+    #[test]
+    fn wilson_handles_extremes() {
+        let zero = wilson95(0, 100);
+        assert!(zero.lo.abs() < 1e-12, "lo = {}", zero.lo);
+        assert!(zero.hi > 0.0 && zero.hi < 0.05, "hi = {}", zero.hi);
+        let all = wilson95(100, 100);
+        assert!((all.hi - 1.0).abs() < 1e-12, "hi = {}", all.hi);
+        assert!(all.lo < 1.0 && all.lo > 0.95);
+    }
+
+    #[test]
+    fn wilson_narrows_with_more_trials() {
+        let small = wilson95(5, 10);
+        let large = wilson95(500, 1000);
+        assert!(large.width() < small.width());
+    }
+
+    #[test]
+    fn wilson99_is_wider_than_wilson95() {
+        let a = wilson95(30, 100);
+        let b = wilson99(30, 100);
+        assert!(b.width() > a.width());
+        assert!(b.lo <= a.lo && b.hi >= a.hi);
+    }
+
+    #[test]
+    fn wilson_matches_reference_value() {
+        // R: binom.confint(42, 100, method="wilson") → [0.3287, 0.5163].
+        let iv = wilson95(42, 100);
+        assert!((iv.lo - 0.3287).abs() < 5e-3, "lo = {}", iv.lo);
+        assert!((iv.hi - 0.5163).abs() < 5e-3, "hi = {}", iv.hi);
+    }
+
+    #[test]
+    fn mean_ci_symmetric() {
+        let iv = mean_ci(10.0, 0.5, 2.0);
+        assert_eq!(iv.lo, 9.0);
+        assert_eq!(iv.hi, 11.0);
+        assert!(iv.contains(10.0));
+        assert!(!iv.contains(11.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn wilson_rejects_zero_trials() {
+        let _ = wilson95(0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "more successes")]
+    fn wilson_rejects_overflowing_successes() {
+        let _ = wilson95(5, 4);
+    }
+}

@@ -1,0 +1,220 @@
+//! Least-squares fits for scaling laws.
+//!
+//! The complexity experiments check *shapes*, not constants:
+//!
+//! * E1 fits `rounds = a·log₂ n + b` (Theorem 4's `O(log n)`);
+//! * E2 fits `max_message_bits = a·log₂² n + b`;
+//! * E3 compares growth exponents: a log-log fit of `total_bits` vs `n`
+//!   should give slope ≈ 1 for the protocol (`n·polylog`) and ≈ 2 for the
+//!   all-to-all LOCAL baseline (`Ω(n²)`).
+//!
+//! [`linear_fit`] is ordinary least squares with `R²`; [`power_fit`] runs
+//! it in log-log space to estimate exponents.
+
+/// Result of a simple linear regression `y ≈ slope·x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination `R² ∈ [0, 1]` (1 = perfect fit).
+    pub r2: f64,
+}
+
+impl LinearFit {
+    /// Predicted value at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.slope * x + self.intercept
+    }
+}
+
+/// Ordinary least squares over `(x, y)` pairs. Needs ≥ 2 points with
+/// distinct `x`.
+pub fn linear_fit(points: &[(f64, f64)]) -> LinearFit {
+    assert!(points.len() >= 2, "fit needs at least two points");
+    let n = points.len() as f64;
+    let sx: f64 = points.iter().map(|p| p.0).sum();
+    let sy: f64 = points.iter().map(|p| p.1).sum();
+    let mx = sx / n;
+    let my = sy / n;
+    let sxx: f64 = points.iter().map(|p| (p.0 - mx) * (p.0 - mx)).sum();
+    let sxy: f64 = points.iter().map(|p| (p.0 - mx) * (p.1 - my)).sum();
+    assert!(sxx > 0.0, "x values must not be constant");
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let ss_res: f64 = points
+        .iter()
+        .map(|p| {
+            let e = p.1 - (slope * p.0 + intercept);
+            e * e
+        })
+        .sum();
+    let ss_tot: f64 = points.iter().map(|p| (p.1 - my) * (p.1 - my)).sum();
+    let r2 = if ss_tot == 0.0 {
+        1.0 // constant y perfectly fit by slope 0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
+    LinearFit {
+        slope,
+        intercept,
+        r2,
+    }
+}
+
+/// Power-law fit `y ≈ c·x^exponent` via OLS in log-log space.
+/// All coordinates must be strictly positive.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerFit {
+    /// Fitted exponent.
+    pub exponent: f64,
+    /// Fitted multiplicative constant.
+    pub constant: f64,
+    /// `R²` of the log-log regression.
+    pub r2: f64,
+}
+
+/// Fit `y = c·x^e` by regressing `ln y` on `ln x`.
+pub fn power_fit(points: &[(f64, f64)]) -> PowerFit {
+    assert!(
+        points.iter().all(|p| p.0 > 0.0 && p.1 > 0.0),
+        "power fit needs positive coordinates"
+    );
+    let logs: Vec<(f64, f64)> = points.iter().map(|p| (p.0.ln(), p.1.ln())).collect();
+    let lf = linear_fit(&logs);
+    PowerFit {
+        exponent: lf.slope,
+        constant: lf.intercept.exp(),
+        r2: lf.r2,
+    }
+}
+
+/// Convenience: fit `y = a·log₂(n) + b` over `(n, y)` pairs.
+pub fn log_fit(points: &[(f64, f64)]) -> LinearFit {
+    let transformed: Vec<(f64, f64)> = points.iter().map(|p| (p.0.log2(), p.1)).collect();
+    linear_fit(&transformed)
+}
+
+/// Convenience: fit `y = a·log₂²(n) + b` over `(n, y)` pairs.
+pub fn log2_squared_fit(points: &[(f64, f64)]) -> LinearFit {
+    let transformed: Vec<(f64, f64)> = points
+        .iter()
+        .map(|p| {
+            let l = p.0.log2();
+            (l * l, p.1)
+        })
+        .collect();
+    linear_fit(&transformed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_is_recovered() {
+        let pts: Vec<(f64, f64)> = (1..10).map(|i| (i as f64, 3.0 * i as f64 + 2.0)).collect();
+        let f = linear_fit(&pts);
+        assert!((f.slope - 3.0).abs() < 1e-12);
+        assert!((f.intercept - 2.0).abs() < 1e-12);
+        assert!((f.r2 - 1.0).abs() < 1e-12);
+        assert!((f.predict(20.0) - 62.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noisy_line_has_good_r2() {
+        let pts: Vec<(f64, f64)> = (0..50)
+            .map(|i| {
+                let x = i as f64;
+                // deterministic "noise"
+                let noise = ((i * 37 % 11) as f64 - 5.0) * 0.1;
+                (x, 2.0 * x + 1.0 + noise)
+            })
+            .collect();
+        let f = linear_fit(&pts);
+        assert!((f.slope - 2.0).abs() < 0.05);
+        assert!(f.r2 > 0.99);
+    }
+
+    #[test]
+    fn constant_y_gives_zero_slope() {
+        let pts = [(1.0, 5.0), (2.0, 5.0), (3.0, 5.0)];
+        let f = linear_fit(&pts);
+        assert_eq!(f.slope, 0.0);
+        assert_eq!(f.intercept, 5.0);
+        assert_eq!(f.r2, 1.0);
+    }
+
+    #[test]
+    fn power_law_exponent_recovered() {
+        // y = 3 n²
+        let pts: Vec<(f64, f64)> = (1..20)
+            .map(|i| (i as f64, 3.0 * (i as f64) * (i as f64)))
+            .collect();
+        let f = power_fit(&pts);
+        assert!((f.exponent - 2.0).abs() < 1e-10);
+        assert!((f.constant - 3.0).abs() < 1e-8);
+        assert!(f.r2 > 0.999);
+    }
+
+    #[test]
+    fn log_fit_recovers_log_scaling() {
+        // y = 7 log2(n) + 1
+        let pts: Vec<(f64, f64)> = (3..14)
+            .map(|e| {
+                let n = (1usize << e) as f64;
+                (n, 7.0 * n.log2() + 1.0)
+            })
+            .collect();
+        let f = log_fit(&pts);
+        assert!((f.slope - 7.0).abs() < 1e-10);
+        assert!((f.intercept - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn log2_squared_fit_recovers_quadratic_log() {
+        let pts: Vec<(f64, f64)> = (3..14)
+            .map(|e| {
+                let n = (1usize << e) as f64;
+                let l = n.log2();
+                (n, 2.5 * l * l + 4.0)
+            })
+            .collect();
+        let f = log2_squared_fit(&pts);
+        assert!((f.slope - 2.5).abs() < 1e-10);
+        assert!((f.intercept - 4.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn linear_data_looks_linear_not_quadratic_in_log() {
+        // Sanity on discrimination: n·log n data fit as a power law has
+        // exponent slightly above 1, far from 2.
+        let pts: Vec<(f64, f64)> = (6..16)
+            .map(|e| {
+                let n = (1usize << e) as f64;
+                (n, n * n.log2())
+            })
+            .collect();
+        let f = power_fit(&pts);
+        assert!(f.exponent > 1.0 && f.exponent < 1.4, "e = {}", f.exponent);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two points")]
+    fn fit_rejects_single_point() {
+        let _ = linear_fit(&[(1.0, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be constant")]
+    fn fit_rejects_constant_x() {
+        let _ = linear_fit(&[(1.0, 1.0), (1.0, 2.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive coordinates")]
+    fn power_fit_rejects_nonpositive() {
+        let _ = power_fit(&[(0.0, 1.0), (1.0, 2.0)]);
+    }
+}

@@ -1,0 +1,144 @@
+//! Fixed-bin histograms for distribution reporting.
+//!
+//! Used to report vote-count distributions (E5), per-agent win counts
+//! (E9), and round-to-convergence distributions (E10) as compact text.
+
+/// A histogram over `[lo, hi)` with uniform bins; out-of-range samples are
+/// clamped into the first/last bin and counted separately.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    count: u64,
+}
+
+impl Histogram {
+    /// Create a histogram over `[lo, hi)` with `bins` uniform bins.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(hi > lo, "empty histogram range");
+        assert!(bins >= 1, "need at least one bin");
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+            count: 0,
+        }
+    }
+
+    /// Add one sample.
+    pub fn add(&mut self, x: f64) {
+        self.count += 1;
+        if x < self.lo {
+            self.underflow += 1;
+            self.bins[0] += 1;
+            return;
+        }
+        if x >= self.hi {
+            self.overflow += 1;
+            let last = self.bins.len() - 1;
+            self.bins[last] += 1;
+            return;
+        }
+        let w = (self.hi - self.lo) / self.bins.len() as f64;
+        let idx = (((x - self.lo) / w) as usize).min(self.bins.len() - 1);
+        self.bins[idx] += 1;
+    }
+
+    /// Raw bin counts.
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Total samples (including clamped ones).
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Samples below `lo` / at-or-above `hi`.
+    pub fn clamped(&self) -> (u64, u64) {
+        (self.underflow, self.overflow)
+    }
+
+    /// Midpoint of bin `i`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        let w = (self.hi - self.lo) / self.bins.len() as f64;
+        self.lo + (i as f64 + 0.5) * w
+    }
+
+    /// Render as a compact ASCII bar chart (for experiment logs).
+    pub fn render(&self, width: usize) -> String {
+        let max = self.bins.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (i, &c) in self.bins.iter().enumerate() {
+            let bar = "#".repeat((c as usize * width).div_ceil(max as usize).min(width));
+            out.push_str(&format!(
+                "{:>10.2} | {:<width$} {}\n",
+                self.bin_center(i),
+                bar,
+                c,
+                width = width
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_land_in_correct_bins() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        h.add(0.5); // bin 0
+        h.add(3.0); // bin 1
+        h.add(9.99); // bin 4
+        assert_eq!(h.bins(), &[1, 1, 0, 0, 1]);
+        assert_eq!(h.count(), 3);
+    }
+
+    #[test]
+    fn out_of_range_clamps_and_counts() {
+        let mut h = Histogram::new(0.0, 10.0, 2);
+        h.add(-5.0);
+        h.add(15.0);
+        assert_eq!(h.bins(), &[1, 1]);
+        assert_eq!(h.clamped(), (1, 1));
+    }
+
+    #[test]
+    fn boundary_goes_to_overflow() {
+        let mut h = Histogram::new(0.0, 10.0, 2);
+        h.add(10.0); // hi is exclusive
+        assert_eq!(h.clamped(), (0, 1));
+    }
+
+    #[test]
+    fn bin_centers_are_midpoints() {
+        let h = Histogram::new(0.0, 10.0, 5);
+        assert!((h.bin_center(0) - 1.0).abs() < 1e-12);
+        assert!((h.bin_center(4) - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn render_produces_one_line_per_bin() {
+        let mut h = Histogram::new(0.0, 4.0, 4);
+        for i in 0..10 {
+            h.add((i % 4) as f64 + 0.5);
+        }
+        let s = h.render(20);
+        assert_eq!(s.lines().count(), 4);
+        assert!(s.contains('#'));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty histogram range")]
+    fn inverted_range_panics() {
+        let _ = Histogram::new(1.0, 1.0, 3);
+    }
+}

@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+//! # rfc-stats — statistics toolkit for the experiment harness
+//!
+//! Self-contained implementations (no external math dependencies exist in
+//! the offline crate set) of exactly the statistics the reproduction
+//! needs:
+//!
+//! * [`chi_square`] — Pearson goodness-of-fit with p-values via the
+//!   regularized incomplete gamma function (fairness tests E4/E9);
+//! * [`tv`] — total-variation distance (fairness effect size);
+//! * [`ci`] — Wilson score intervals for proportions (equilibrium and
+//!   fault-tolerance win rates, E6/E7/E8);
+//! * [`chernoff`] — the paper's Lemma 8 bounds plus the `γ(α)` sizing rule
+//!   they imply (E5);
+//! * [`fit`] — least-squares fits of `log n`, `log² n`, and power-law
+//!   scalings (E1/E2/E3);
+//! * [`summary`] / [`histogram`] — streaming aggregation of Monte-Carlo
+//!   trials and compact distribution reports.
+//!
+//! Everything is deterministic, allocation-light, and tested against
+//! reference values (R / Numerical Recipes) where external references
+//! exist.
+
+pub mod chernoff;
+pub mod chi_square;
+pub mod ci;
+pub mod fit;
+pub mod histogram;
+pub mod summary;
+pub mod tv;
+
+pub use chernoff::{chernoff_lower, chernoff_upper, gamma_for_fault_tolerance, hoeffding_upper};
+pub use chi_square::{chi_square_gof, chi_square_sf, ChiSquare};
+pub use ci::{mean_ci, wilson, wilson95, wilson99, Interval};
+pub use fit::{linear_fit, log2_squared_fit, log_fit, power_fit, LinearFit, PowerFit};
+pub use histogram::Histogram;
+pub use summary::{Quantiles, Summary};
+pub use tv::{tv_distance, tv_from_counts};

@@ -1,0 +1,260 @@
+//! Streaming summaries: Welford mean/variance, extrema, and quantiles.
+//!
+//! The experiment harness aggregates thousands of Monte-Carlo trials; the
+//! [`Summary`] accumulator is single-pass and numerically stable (Welford
+//! 1962), so per-trial metrics can be folded in as they arrive without
+//! storing every sample. [`Quantiles`] stores samples for exact empirical
+//! quantiles where the sample counts are modest.
+
+/// Single-pass mean/variance/extrema accumulator (Welford's algorithm).
+#[derive(Debug, Clone, Default)]
+pub struct Summary {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Summary {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Fold in one observation.
+    pub fn add(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Build from an iterator of observations.
+    #[allow(clippy::should_implement_trait)]
+    pub fn from_iter<I: IntoIterator<Item = f64>>(xs: I) -> Self {
+        let mut s = Summary::new();
+        for x in xs {
+            s.add(x);
+        }
+        s
+    }
+
+    /// Merge another summary (parallel aggregation); Chan et al. update.
+    pub fn merge(&mut self, other: &Summary) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance (0 with fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standard error of the mean.
+    pub fn std_err(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.std_dev() / (self.n as f64).sqrt()
+        }
+    }
+
+    /// Minimum observation (+∞ when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Maximum observation (−∞ when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+/// Exact empirical quantiles over stored samples.
+#[derive(Debug, Clone, Default)]
+pub struct Quantiles {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl Quantiles {
+    /// Empty collector.
+    pub fn new() -> Self {
+        Quantiles {
+            samples: Vec::new(),
+            sorted: true,
+        }
+    }
+
+    /// Add one sample.
+    pub fn add(&mut self, x: f64) {
+        self.samples.push(x);
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples were added.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The `p`-quantile (0 ≤ p ≤ 1) by the nearest-rank method; `None`
+    /// when empty.
+    pub fn quantile(&mut self, p: f64) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        assert!((0.0..=1.0).contains(&p), "quantile p out of range");
+        if !self.sorted {
+            self.samples
+                .sort_unstable_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+            self.sorted = true;
+        }
+        let idx = ((p * self.samples.len() as f64).ceil() as usize)
+            .saturating_sub(1)
+            .min(self.samples.len() - 1);
+        Some(self.samples[idx])
+    }
+
+    /// Median shorthand.
+    pub fn median(&mut self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance_match_reference() {
+        let s = Summary::from_iter([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        // Sample variance with n-1 = 7: Σ(x-5)² = 32 ⇒ 32/7.
+        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+        assert_eq!(s.count(), 8);
+    }
+
+    #[test]
+    fn empty_summary_is_neutral() {
+        let s = Summary::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.std_err(), 0.0);
+        assert_eq!(s.count(), 0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64) * 0.37 - 5.0).collect();
+        let all = Summary::from_iter(xs.iter().copied());
+        let mut a = Summary::from_iter(xs[..37].iter().copied());
+        let b = Summary::from_iter(xs[37..].iter().copied());
+        a.merge(&b);
+        assert!((a.mean() - all.mean()).abs() < 1e-10);
+        assert!((a.variance() - all.variance()).abs() < 1e-10);
+        assert_eq!(a.count(), all.count());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = Summary::from_iter([1.0, 2.0, 3.0]);
+        let before = a.clone();
+        a.merge(&Summary::new());
+        assert_eq!(a.mean(), before.mean());
+        let mut e = Summary::new();
+        e.merge(&before);
+        assert!((e.mean() - before.mean()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn welford_is_stable_for_large_offsets() {
+        // Classic catastrophic-cancellation test: huge offset, small spread.
+        let offset = 1e9;
+        let s = Summary::from_iter([offset + 1.0, offset + 2.0, offset + 3.0]);
+        assert!((s.variance() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn quantiles_nearest_rank() {
+        let mut q = Quantiles::new();
+        for x in [1.0, 2.0, 3.0, 4.0, 5.0] {
+            q.add(x);
+        }
+        assert_eq!(q.quantile(0.0), Some(1.0));
+        assert_eq!(q.median(), Some(3.0));
+        assert_eq!(q.quantile(1.0), Some(5.0));
+        assert_eq!(q.quantile(0.9), Some(5.0));
+        assert_eq!(q.len(), 5);
+    }
+
+    #[test]
+    fn quantiles_empty() {
+        let mut q = Quantiles::new();
+        assert_eq!(q.median(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn quantiles_tolerate_unsorted_insertion() {
+        let mut q = Quantiles::new();
+        for x in [5.0, 1.0, 4.0, 2.0, 3.0] {
+            q.add(x);
+        }
+        assert_eq!(q.median(), Some(3.0));
+        q.add(0.0);
+        assert_eq!(q.quantile(0.0), Some(0.0));
+    }
+}

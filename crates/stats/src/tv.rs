@@ -1,0 +1,88 @@
+//! Total-variation distance between discrete distributions.
+//!
+//! The fairness claim says the winning-color distribution *equals* the
+//! initial-fraction distribution; experiment E4 reports the TV distance
+//! `½ Σ_c |P̂(c) − f(c)|` between the empirical winner distribution and
+//! the target, which should shrink as `O(1/√N)` in the number of trials.
+
+/// Total-variation distance `½ Σ |p_i − q_i|` between two distributions
+/// given as (not necessarily normalized) weight vectors of equal length.
+pub fn tv_distance(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "distribution length mismatch");
+    let sp: f64 = p.iter().sum();
+    let sq: f64 = q.iter().sum();
+    assert!(sp > 0.0 && sq > 0.0, "distributions must have mass");
+    0.5 * p
+        .iter()
+        .zip(q)
+        .map(|(&a, &b)| (a / sp - b / sq).abs())
+        .sum::<f64>()
+}
+
+/// TV distance from empirical counts to a target distribution.
+pub fn tv_from_counts(counts: &[u64], target: &[f64]) -> f64 {
+    let p: Vec<f64> = counts.iter().map(|&c| c as f64).collect();
+    tv_distance(&p, target)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_distributions_have_zero_distance() {
+        assert_eq!(tv_distance(&[0.5, 0.5], &[0.5, 0.5]), 0.0);
+        assert_eq!(tv_distance(&[2.0, 2.0], &[7.0, 7.0]), 0.0); // normalization
+    }
+
+    #[test]
+    fn disjoint_distributions_have_distance_one() {
+        assert!((tv_distance(&[1.0, 0.0], &[0.0, 1.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_intermediate_value() {
+        // p = (0.8, 0.2), q = (0.5, 0.5): TV = ½(0.3 + 0.3) = 0.3.
+        assert!((tv_distance(&[0.8, 0.2], &[0.5, 0.5]) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn symmetry() {
+        let p = [0.1, 0.4, 0.5];
+        let q = [0.3, 0.3, 0.4];
+        assert!((tv_distance(&p, &q) - tv_distance(&q, &p)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn triangle_inequality_spot_check() {
+        let p = [0.1, 0.9];
+        let q = [0.5, 0.5];
+        let r = [0.9, 0.1];
+        assert!(tv_distance(&p, &r) <= tv_distance(&p, &q) + tv_distance(&q, &r) + 1e-12);
+    }
+
+    #[test]
+    fn counts_are_normalized() {
+        // 80/20 counts vs uniform target.
+        let d = tv_from_counts(&[80, 20], &[0.5, 0.5]);
+        assert!((d - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounded_by_one() {
+        let d = tv_distance(&[1.0, 0.0, 0.0], &[0.0, 0.5, 0.5]);
+        assert!(d <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn length_mismatch_panics() {
+        let _ = tv_distance(&[1.0], &[0.5, 0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must have mass")]
+    fn zero_mass_panics() {
+        let _ = tv_distance(&[0.0, 0.0], &[1.0, 1.0]);
+    }
+}

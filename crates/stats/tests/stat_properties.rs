@@ -1,0 +1,200 @@
+//! Property-based tests for the statistics toolkit: distributional
+//! identities, bounds, and recovery of planted models.
+
+use proptest::prelude::*;
+use rfc_stats::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// χ² survival function is a probability, monotone in x, and
+    /// increasing in df (for fixed x).
+    #[test]
+    fn chi_square_sf_bounds_and_monotonicity(
+        x in 0.0f64..500.0,
+        df in 1usize..60,
+    ) {
+        let p = chi_square_sf(x, df);
+        prop_assert!((0.0..=1.0).contains(&p));
+        let p_further = chi_square_sf(x + 1.0, df);
+        prop_assert!(p_further <= p + 1e-12);
+        let p_more_df = chi_square_sf(x, df + 5);
+        prop_assert!(p_more_df >= p - 1e-12, "more df ⇒ heavier tail");
+    }
+
+    /// Goodness-of-fit of a sample against itself is perfect.
+    #[test]
+    fn gof_self_is_perfect(counts in proptest::collection::vec(1u64..10_000, 2..12)) {
+        let expected: Vec<f64> = counts.iter().map(|&c| c as f64).collect();
+        let r = chi_square_gof(&counts, &expected);
+        prop_assert!(r.statistic < 1e-9);
+        prop_assert!((r.p_value - 1.0).abs() < 1e-9);
+    }
+
+    /// Wilson intervals contain the point estimate and are proper
+    /// sub-intervals of [0, 1].
+    #[test]
+    fn wilson_contains_point_estimate(s in 0u64..=500, n in 1u64..=500) {
+        prop_assume!(s <= n);
+        let iv = wilson95(s, n);
+        let p = s as f64 / n as f64;
+        prop_assert!(iv.lo <= p + 1e-12 && p <= iv.hi + 1e-12);
+        prop_assert!(iv.lo >= -1e-12 && iv.hi <= 1.0 + 1e-12);
+        prop_assert!(iv.width() > 0.0);
+    }
+
+    /// TV distance is a metric-like quantity: symmetric, in [0, 1], zero
+    /// iff the (normalized) distributions coincide.
+    #[test]
+    fn tv_distance_properties(
+        p in proptest::collection::vec(0.01f64..10.0, 2..8),
+        q_scale in 0.5f64..2.0,
+    ) {
+        let q: Vec<f64> = p.iter().map(|x| x * q_scale).collect();
+        // Same shape, different scale ⇒ distance 0 (normalization).
+        prop_assert!(tv_distance(&p, &q) < 1e-12);
+        // Perturb one coordinate ⇒ positive symmetric distance ≤ 1.
+        let mut r = p.clone();
+        r[0] += 1.0;
+        let d1 = tv_distance(&p, &r);
+        let d2 = tv_distance(&r, &p);
+        prop_assert!((d1 - d2).abs() < 1e-12);
+        prop_assert!(d1 > 0.0 && d1 <= 1.0 + 1e-12);
+    }
+
+    /// Linear fit recovers planted slopes/intercepts through exact data.
+    #[test]
+    fn linear_fit_recovers_planted_line(
+        slope in -50.0f64..50.0,
+        intercept in -50.0f64..50.0,
+    ) {
+        let pts: Vec<(f64, f64)> = (0..12)
+            .map(|i| {
+                let x = i as f64;
+                (x, slope * x + intercept)
+            })
+            .collect();
+        let f = linear_fit(&pts);
+        prop_assert!((f.slope - slope).abs() < 1e-8);
+        prop_assert!((f.intercept - intercept).abs() < 1e-7);
+        prop_assert!(f.r2 > 1.0 - 1e-9);
+    }
+
+    /// Power fit recovers planted exponents.
+    #[test]
+    fn power_fit_recovers_planted_exponent(
+        exponent in 0.2f64..3.0,
+        constant in 0.1f64..100.0,
+    ) {
+        let pts: Vec<(f64, f64)> = (1..12)
+            .map(|i| {
+                let x = i as f64;
+                (x, constant * x.powf(exponent))
+            })
+            .collect();
+        let f = power_fit(&pts);
+        prop_assert!((f.exponent - exponent).abs() < 1e-6);
+        prop_assert!((f.constant - constant).abs() / constant < 1e-4);
+    }
+
+    /// Summary::merge is associative-in-effect: merging any split of a
+    /// sample equals summarizing the whole sample.
+    #[test]
+    fn summary_merge_invariance(
+        xs in proptest::collection::vec(-1e6f64..1e6, 2..60),
+        cut in any::<prop::sample::Index>(),
+    ) {
+        let k = 1 + cut.index(xs.len() - 1);
+        let whole = Summary::from_iter(xs.iter().copied());
+        let mut left = Summary::from_iter(xs[..k].iter().copied());
+        let right = Summary::from_iter(xs[k..].iter().copied());
+        left.merge(&right);
+        prop_assert!((left.mean() - whole.mean()).abs() <= 1e-6 * (1.0 + whole.mean().abs()));
+        prop_assert!(
+            (left.variance() - whole.variance()).abs()
+                <= 1e-6 * (1.0 + whole.variance().abs())
+        );
+        prop_assert_eq!(left.count(), whole.count());
+        prop_assert_eq!(left.min(), whole.min());
+        prop_assert_eq!(left.max(), whole.max());
+    }
+
+    /// Chernoff bounds are valid probabilities that tighten with μ.
+    #[test]
+    fn chernoff_bounds_are_probabilities(mu in 0.1f64..1000.0, delta in 0.01f64..10.0) {
+        let p = chernoff_upper(mu, delta);
+        prop_assert!((0.0..=1.0).contains(&p));
+        let p_bigger_mu = chernoff_upper(mu * 2.0, delta);
+        prop_assert!(p_bigger_mu <= p + 1e-12);
+    }
+
+    /// γ(α) sizing is monotone in both arguments.
+    #[test]
+    fn gamma_sizing_monotone(alpha in 0.0f64..0.95, target in 0.5f64..4.0) {
+        let g = gamma_for_fault_tolerance(alpha, target);
+        prop_assert!(g > 0.0);
+        if alpha < 0.90 {
+            prop_assert!(gamma_for_fault_tolerance(alpha + 0.04, target) > g);
+        }
+        prop_assert!(gamma_for_fault_tolerance(alpha, target + 0.5) > g);
+    }
+
+    /// Histogram conservation: every sample lands in exactly one bin.
+    #[test]
+    fn histogram_conserves_mass(
+        samples in proptest::collection::vec(-100.0f64..200.0, 0..200),
+        bins in 1usize..20,
+    ) {
+        let mut h = Histogram::new(0.0, 100.0, bins);
+        for &x in &samples {
+            h.add(x);
+        }
+        prop_assert_eq!(h.count() as usize, samples.len());
+        prop_assert_eq!(h.bins().iter().sum::<u64>() as usize, samples.len());
+    }
+
+    /// Quantiles are monotone in p and bracketed by min/max.
+    #[test]
+    fn quantiles_are_monotone(
+        samples in proptest::collection::vec(-1e3f64..1e3, 1..100),
+    ) {
+        let mut q = Quantiles::new();
+        for &x in &samples {
+            q.add(x);
+        }
+        let q10 = q.quantile(0.1).unwrap();
+        let q50 = q.quantile(0.5).unwrap();
+        let q90 = q.quantile(0.9).unwrap();
+        prop_assert!(q10 <= q50 && q50 <= q90);
+        let lo = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(lo <= q10 && q90 <= hi);
+    }
+}
+
+/// Statistical integration check: the χ² test has roughly correct size
+/// (type-I error near α) on simulated multinomial data.
+#[test]
+fn chi_square_test_has_roughly_correct_size() {
+    use gossip_net::rng::DetRng;
+    let mut rng = DetRng::seeded(0xC5, 0);
+    let k = 5;
+    let n_samples = 500;
+    let reps = 400;
+    let mut rejections = 0;
+    for _ in 0..reps {
+        let mut counts = vec![0u64; k];
+        for _ in 0..n_samples {
+            counts[rng.index(k)] += 1;
+        }
+        let expected = vec![n_samples as f64 / k as f64; k];
+        if !chi_square_gof(&counts, &expected).consistent_at(0.05) {
+            rejections += 1;
+        }
+    }
+    let rate = rejections as f64 / reps as f64;
+    assert!(
+        (0.01..0.12).contains(&rate),
+        "type-I error {rate} far from nominal 0.05"
+    );
+}

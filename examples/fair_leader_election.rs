@@ -1,0 +1,74 @@
+//! Fair leader election — the paper's motivating special case.
+//!
+//! ```sh
+//! cargo run --release --example fair_leader_election
+//! ```
+//!
+//! Every agent supports its own id as its "color", so the consensus
+//! winner *is* the elected leader and fairness means every active agent
+//! is elected with probability exactly `1/|A|`. We run many elections,
+//! print the win histogram, and χ²-test it against uniform — then repeat
+//! with a 25% faulty minority to show faulty agents are never elected
+//! while the rest stay uniform.
+
+use rational_fair_consensus::prelude::*;
+use rational_fair_consensus::rfc_stats::chi_square_gof;
+use rational_fair_consensus::rfc_core::election::{election_config_with_faults, result_of};
+use rational_fair_consensus::gossip_net::fault::Placement;
+use rational_fair_consensus::rfc_core::run_protocol;
+
+fn main() {
+    let n = 32;
+    let trials = 1600u64;
+
+    println!("fair leader election on K_{n}, {trials} elections\n");
+    let cfg = election_config(n, 3.0);
+    let mut wins = vec![0u64; n];
+    let mut fails = 0u64;
+    for seed in 0..trials {
+        match elect_leader(&cfg, seed) {
+            ElectionResult::Leader(id) => wins[id as usize] += 1,
+            ElectionResult::Failed => fails += 1,
+        }
+    }
+    let decided: u64 = wins.iter().sum();
+    println!("fails: {fails} / {trials}");
+    println!("win counts (expected ≈ {:.1} each):", decided as f64 / n as f64);
+    for (id, chunk) in wins.chunks(8).enumerate() {
+        let row: Vec<String> = chunk.iter().map(|w| format!("{w:>4}")).collect();
+        println!("  agents {:>2}..{:>2}: {}", id * 8, id * 8 + 7, row.join(" "));
+    }
+    let expected = vec![decided as f64 / n as f64; n];
+    let gof = chi_square_gof(&wins, &expected);
+    println!(
+        "χ² = {:.2} (df {}), p = {:.3} → {}",
+        gof.statistic,
+        gof.df,
+        gof.p_value,
+        if gof.consistent_at(0.01) { "uniform ✓" } else { "BIASED ✗" }
+    );
+
+    // Now with a faulty low-id quarter.
+    println!("\nwith α = 0.25 (agents 0..8 faulty), γ(α)-sized:");
+    let cfg = election_config_with_faults(n, 4.0, 0.25, Placement::LowIds);
+    let mut wins = vec![0u64; n];
+    let mut fails = 0u64;
+    for seed in 0..trials {
+        match result_of(&run_protocol(&cfg, seed)) {
+            ElectionResult::Leader(id) => wins[id as usize] += 1,
+            ElectionResult::Failed => fails += 1,
+        }
+    }
+    let faulty_wins: u64 = wins[..8].iter().sum();
+    println!("fails: {fails} / {trials}");
+    println!("faulty agents elected: {faulty_wins} (must be 0)");
+    let active: Vec<u64> = wins[8..].to_vec();
+    let decided: u64 = active.iter().sum();
+    let expected = vec![decided as f64 / active.len() as f64; active.len()];
+    let gof = chi_square_gof(&active, &expected);
+    println!(
+        "active-agent uniformity: p = {:.3} → {}",
+        gof.p_value,
+        if gof.consistent_at(0.01) { "uniform over A ✓" } else { "BIASED ✗" }
+    );
+}

@@ -1,0 +1,66 @@
+//! Quickstart: one run of the rational fair consensus protocol.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Builds a complete network of 64 agents with three colors split
+//! 32/16/16, runs protocol `P` (Clementi et al., IPDPS 2017), and prints
+//! the outcome together with the communication metrics the paper's
+//! Theorem 4 bounds: `O(log n)` rounds, `O(log² n)`-bit messages,
+//! `O(n log³ n)` total bits.
+
+use rational_fair_consensus::prelude::*;
+
+fn main() {
+    let n = 64;
+    let cfg = RunConfig::builder(n)
+        .colors(vec![32, 16, 16]) // initial support: c0 = 1/2, c1 = c2 = 1/4
+        .gamma(3.0) // q = 3·log2(n) rounds per phase
+        .build();
+
+    println!("rational fair consensus on K_{n} (γ = 3, m = n³)\n");
+    for seed in 0..10 {
+        let report = run_protocol(&cfg, seed);
+        match report.outcome {
+            Outcome::Consensus(color) => println!(
+                "seed {seed}: consensus on color {color} (winner: agent {:?}, {} rounds)",
+                report.winner.unwrap(),
+                report.rounds
+            ),
+            Outcome::Fail => println!("seed {seed}: protocol failed (⊥)"),
+        }
+    }
+
+    // Communication accounting for one run.
+    let report = run_protocol(&cfg, 42);
+    let m = &report.metrics;
+    println!("\ncommunication (seed 42):");
+    println!("  rounds               {}", m.rounds);
+    println!("  messages             {}", m.messages_sent);
+    println!("  total bits           {}", m.bits_sent);
+    println!("  largest message      {} bits (O(log² n) = {} ballpark)", m.max_message_bits, {
+        let l = (n as f64).log2();
+        (l * l) as u64
+    });
+    println!("  max active links     {} (GOSSIP bound: n = {n})", m.max_active_links);
+    for (name, tally) in &m.phases {
+        println!(
+            "    {name:<12} {:>8} msgs  {:>10} bits  (max {} bits)",
+            tally.messages, tally.bits, tally.max_message_bits
+        );
+    }
+
+    // Fairness over many seeds: color 0 should win ≈ 1/2 of the time.
+    let trials = 400;
+    let mut wins = [0u32; 3];
+    for seed in 0..trials {
+        if let Outcome::Consensus(c) = run_protocol(&cfg, seed).outcome {
+            wins[c as usize] += 1;
+        }
+    }
+    println!("\nfairness over {trials} runs (target 0.50 / 0.25 / 0.25):");
+    for (c, w) in wins.iter().enumerate() {
+        println!("  color {c}: {:.3}", *w as f64 / trials as f64);
+    }
+}

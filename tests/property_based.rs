@@ -1,0 +1,203 @@
+//! Property-based tests (proptest) on the protocol's core invariants:
+//! randomized configurations, certificates, ledgers, and tampering.
+
+use proptest::prelude::*;
+use rational_fair_consensus::gossip_net::rng::DetRng;
+use rational_fair_consensus::prelude::*;
+use rational_fair_consensus::rfc_core::certificate::{sum_votes_mod, CertData, VoteRec};
+use rational_fair_consensus::rfc_core::ledger::Ledger;
+use rational_fair_consensus::rfc_core::msg::{IntentEntry, IntentList};
+use rational_fair_consensus::rfc_core::{Decision, Params};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any (n, γ, split, seed): the protocol terminates with all agents
+    /// decided-or-failed, and agreement holds whenever consensus does.
+    #[test]
+    fn protocol_terminates_and_agreement_holds(
+        n in 8usize..72,
+        gamma in 1.5f64..4.0,
+        frac in 0.1f64..0.9,
+        seed in any::<u64>(),
+    ) {
+        let c0 = ((n as f64 * frac) as usize).clamp(1, n - 1);
+        let cfg = RunConfig::builder(n).gamma(gamma).colors(vec![c0, n - c0]).build();
+        let report = run_protocol(&cfg, seed);
+        prop_assert_eq!(report.decisions.len(), n);
+        if let Outcome::Consensus(c) = report.outcome {
+            prop_assert!(c < 2);
+            for d in &report.decisions {
+                prop_assert_eq!(*d, Decision::Decided(c));
+            }
+        }
+    }
+
+    /// Determinism: identical (config, seed) ⇒ identical transcript-level
+    /// results, for arbitrary seeds.
+    #[test]
+    fn runs_are_reproducible(seed in any::<u64>()) {
+        let cfg = RunConfig::builder(24).gamma(2.0).colors(vec![12, 12]).build();
+        let a = run_protocol(&cfg, seed);
+        let b = run_protocol(&cfg, seed);
+        prop_assert_eq!(a.outcome, b.outcome);
+        prop_assert_eq!(a.metrics.bits_sent, b.metrics.bits_sent);
+    }
+
+    /// Certificates: `build` produces a k that matches its own votes for
+    /// any vote multiset and modulus.
+    #[test]
+    fn certificate_k_always_matches_votes(
+        votes in proptest::collection::vec((0u32..64, 0u16..24, any::<u64>()), 0..40),
+        m in 2u64..1_000_000,
+    ) {
+        let votes: Vec<VoteRec> = votes
+            .into_iter()
+            .map(|(voter, round, value)| VoteRec { voter, round, value: value % m })
+            .collect();
+        let cert = CertData::build(1, 0, votes, m);
+        prop_assert_eq!(cert.k, cert.derived_k(m));
+        prop_assert!(cert.k < m);
+        // Canonical order.
+        prop_assert!(cert.votes.windows(2).all(|w| (w[0].voter, w[0].round) <= (w[1].voter, w[1].round)));
+    }
+
+    /// Modular sum: permutation-invariant and in range.
+    #[test]
+    fn sum_votes_mod_is_permutation_invariant(
+        mut values in proptest::collection::vec(any::<u64>(), 1..30),
+        m in 2u64..1_000_000u64,
+        rot in 0usize..29,
+    ) {
+        let votes: Vec<VoteRec> = values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| VoteRec { voter: i as u32, round: 0, value: v })
+            .collect();
+        let before = sum_votes_mod(&votes, m);
+        let r = rot % values.len();
+        values.rotate_left(r);
+        let rotated: Vec<VoteRec> = values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| VoteRec { voter: i as u32, round: 0, value: v })
+            .collect();
+        prop_assert_eq!(before, sum_votes_mod(&rotated, m));
+        prop_assert!(before < m);
+    }
+
+    /// Ledger soundness: a certificate consistent with the declarations
+    /// passes; tampering with any single relevant vote value fails.
+    #[test]
+    fn ledger_check_catches_any_single_tamper(
+        declared in proptest::collection::vec((1u64..1000, 0u32..8), 1..12),
+        tamper_idx in any::<prop::sample::Index>(),
+    ) {
+        let winner: u32 = 3;
+        let m: u64 = 1 << 40;
+        // One declaring agent (id 50) with `declared` intents.
+        let intents: IntentList = declared
+            .iter()
+            .map(|&(value, target)| IntentEntry { value, target })
+            .collect::<Vec<_>>()
+            .into();
+        let mut ledger = Ledger::new();
+        ledger.declare(50, 0, intents);
+        // The honest winner certificate contains exactly the declared
+        // votes addressed to `winner`.
+        let votes: Vec<VoteRec> = declared
+            .iter()
+            .enumerate()
+            .filter(|(_, &(_, target))| target == winner)
+            .map(|(i, &(value, _))| VoteRec { voter: 50, round: i as u16, value })
+            .collect();
+        let honest = CertData::build(winner, 0, votes.clone(), m);
+        prop_assert!(ledger.check_certificate(&honest).is_ok());
+
+        // Tamper with one vote (if any exist for the winner).
+        if !votes.is_empty() {
+            let idx = tamper_idx.index(votes.len());
+            let mut tampered = votes;
+            tampered[idx].value = tampered[idx].value.wrapping_add(1) % m;
+            let bad = CertData::build(winner, 0, tampered, m);
+            prop_assert!(ledger.check_certificate(&bad).is_err());
+        }
+    }
+
+    /// Intention lists drawn by any core are plausible to any same-params
+    /// verifier (agents never mark honest agents faulty for shape).
+    #[test]
+    fn honest_intents_are_always_plausible(
+        n in 4usize..128,
+        seed in any::<u64>(),
+        id_a in 0u32..4,
+        id_b in 0u32..4,
+    ) {
+        let params = Params::new(n, 2.0);
+        let a = rational_fair_consensus::rfc_core::ProtocolCore::new(
+            id_a.min(n as u32 - 1), params, params.sync_schedule(), 0, DetRng::seeded(seed, 1));
+        let b = rational_fair_consensus::rfc_core::ProtocolCore::new(
+            id_b.min(n as u32 - 1), params, params.sync_schedule(), 0, DetRng::seeded(seed, 2));
+        prop_assert!(b.intents_plausible(&a.intents));
+        prop_assert!(a.intents_plausible(&b.intents));
+    }
+
+    /// Fault plans never mark more agents faulty than requested and keep
+    /// at least one active agent, for every placement.
+    #[test]
+    fn fault_plans_respect_counts(
+        n in 2usize..200,
+        frac in 0.0f64..0.99,
+        seed in any::<u64>(),
+    ) {
+        use rational_fair_consensus::gossip_net::fault::{FaultPlan, Placement};
+        for placement in [
+            Placement::LowIds,
+            Placement::HighIds,
+            Placement::Strided,
+            Placement::Random { seed },
+        ] {
+            let plan = FaultPlan::fraction(n, frac, placement);
+            prop_assert!(plan.n_active() >= 1);
+            prop_assert_eq!(plan.n_faulty() + plan.n_active(), n);
+            prop_assert_eq!(
+                plan.flags().iter().filter(|&&f| f).count(),
+                plan.n_faulty()
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// With any fault fraction ≤ 0.6 and γ sized by the Chernoff rule,
+    /// runs still succeed (statistical smoke over random configs).
+    #[test]
+    fn sized_gamma_survives_random_fault_configs(
+        n in 32usize..96,
+        alpha in 0.0f64..0.6,
+        seed in any::<u64>(),
+    ) {
+        use rational_fair_consensus::gossip_net::fault::Placement;
+        let gamma = (rational_fair_consensus::rfc_stats::gamma_for_fault_tolerance(alpha, 1.0)
+            + 1.0)
+            .max(3.0);
+        let cfg = RunConfig::builder(n)
+            .gamma(gamma)
+            .colors(vec![n - n / 2, n / 2])
+            .faults(alpha, Placement::Random { seed })
+            .build();
+        let report = run_protocol(&cfg, seed ^ 0xABCD);
+        // Individual failures are possible but must be rare; accept but
+        // count via assertion on the *audit* path instead: re-run once on
+        // failure with a different seed and require one success.
+        if !report.outcome.is_consensus() {
+            let retry = run_protocol(&cfg, seed ^ 0x1234);
+            prop_assert!(
+                retry.outcome.is_consensus(),
+                "two consecutive failures at n={n}, α={alpha:.2}"
+            );
+        }
+    }
+}
