@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# CI entry point: the tier-1 verify line plus the targets that must not
+# bitrot (benches, all seven examples, the experiment registry binary).
+#
+# Usage: ./ci.sh
+# Env:   PROPTEST_CASES — optional cap on property-test cases (the vendored
+#        proptest shim honors it; unset means per-suite defaults).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> tier-1: cargo build --release"
+cargo build --release
+
+echo "==> tier-1: cargo test -q (root package: integration + doc tests)"
+cargo test -q
+
+echo "==> workspace tests (all member crates)"
+cargo test --workspace -q
+
+echo "==> benches compile"
+cargo build --benches
+
+echo "==> examples build (release)"
+cargo build --release --examples
+
+echo "==> experiment registry lists"
+cargo run --release -q -p experiments --bin rfc-experiments -- list
+
+echo "CI OK"

@@ -1,7 +1,7 @@
 //! Embarrassingly-parallel Monte-Carlo trial execution.
 //!
 //! Every experiment reduces to "run `f(seed)` for `trials` independent
-//! seeds and aggregate". Trials are distributed over a crossbeam scope:
+//! seeds and aggregate". Trials are distributed over a thread scope:
 //! workers claim indices from a shared atomic counter (work stealing by
 //! induction — no work queue needed when tasks are index-addressable) and
 //! write results into pre-allocated slots, so the output order is
@@ -41,9 +41,9 @@ where
     let mut slots: Vec<Mutex<Option<T>>> = Vec::with_capacity(trials);
     slots.resize_with(trials, || Mutex::new(None));
     let next = AtomicUsize::new(0);
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= trials {
                     break;
@@ -52,8 +52,7 @@ where
                 *slots[i].lock() = Some(result);
             });
         }
-    })
-    .expect("worker panicked");
+    });
     slots
         .into_iter()
         .map(|m| m.into_inner().expect("slot filled"))
@@ -76,9 +75,9 @@ where
     let mut slots: Vec<Mutex<Option<T>>> = Vec::with_capacity(n);
     slots.resize_with(n, || Mutex::new(None));
     let next = AtomicUsize::new(0);
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
                     break;
@@ -87,8 +86,7 @@ where
                 *slots[i].lock() = Some(result);
             });
         }
-    })
-    .expect("worker panicked");
+    });
     slots
         .into_iter()
         .map(|m| m.into_inner().expect("slot filled"))

@@ -1,0 +1,61 @@
+//! Fast workspace smoke test: one full protocol run at small `n` reaches
+//! consensus on a valid color, and `run_protocol` is a pure function of
+//! `(config, seed)` — the reproducibility contract every experiment and
+//! the parallel Monte-Carlo harness rely on.
+
+use rational_fair_consensus::prelude::*;
+
+fn small_config() -> RunConfig {
+    RunConfig::builder(64).colors(vec![32, 16, 16]).gamma(3.0).build()
+}
+
+#[test]
+fn small_run_reaches_valid_consensus() {
+    let cfg = small_config();
+    let report = run_protocol(&cfg, 0xC0FFEE);
+    match report.outcome {
+        Outcome::Consensus(c) => {
+            // Validity: the winner must be a color some active agent
+            // actually started with.
+            assert!(
+                report.initial_colors.contains(&c),
+                "winner {c} not among initial colors"
+            );
+        }
+        Outcome::Fail => panic!("protocol failed on the smoke seed"),
+    }
+    assert!(report.rounds > 0, "no communication rounds executed");
+    assert_eq!(report.n_active, 64);
+}
+
+#[test]
+fn run_protocol_is_reproducible_for_fixed_seed() {
+    let cfg = small_config();
+    let a = run_protocol(&cfg, 7);
+    let b = run_protocol(&cfg, 7);
+    assert_eq!(a.outcome, b.outcome);
+    assert_eq!(a.winner, b.winner);
+    assert_eq!(a.rounds, b.rounds);
+    assert_eq!(a.decisions, b.decisions);
+    assert_eq!(a.initial_colors, b.initial_colors);
+    assert_eq!(a.metrics.messages_sent, b.metrics.messages_sent);
+    assert_eq!(a.metrics.bits_sent, b.metrics.bits_sent);
+}
+
+#[test]
+fn distinct_seeds_can_elect_distinct_winners() {
+    // Fairness in the small: over a handful of seeds the 32/16/16 split
+    // should not always crown the same color. This is a smoke check, not
+    // the statistical test (experiment E4 / tests/protocol_end_to_end.rs
+    // do that properly).
+    let cfg = small_config();
+    let winners: Vec<_> = (0..12u64)
+        .filter_map(|s| run_protocol(&cfg, s).outcome.winning_color())
+        .collect();
+    assert!(!winners.is_empty());
+    assert!(
+        winners.iter().any(|&w| w != winners[0]),
+        "12 seeds all elected color {} — fairness smoke check failed",
+        winners[0]
+    );
+}

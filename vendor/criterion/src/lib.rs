@@ -1,0 +1,305 @@
+//! Offline vendored shim for the subset of the Criterion API this
+//! workspace's benches use.
+//!
+//! The build container cannot reach a cargo registry, so the real
+//! `criterion` cannot be fetched. This shim keeps the bench sources
+//! compiling and produces simple wall-clock measurements:
+//!
+//! * under `cargo bench` (cargo passes `--bench`), each benchmark is
+//!   warmed up and then timed over a short adaptive loop, reporting the
+//!   mean time per iteration;
+//! * under `cargo test` (no `--bench` argument), each benchmark routine
+//!   runs exactly once as a smoke test — the same behavior real Criterion
+//!   has in test mode — so `cargo test` stays fast while keeping bench
+//!   code exercised.
+//!
+//! No statistics, plots, or baselines; this is a compile-and-smoke
+//! harness until a real registry is reachable.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How many logical units one benchmark iteration processes; used only
+/// for reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for one benchmark point within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { label: format!("{name}/{parameter}") }
+    }
+
+    /// An id made of a parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { label: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// The measurement loop handed to benchmark closures.
+pub struct Bencher {
+    mode: Mode,
+    /// Mean nanoseconds per iteration from the last `iter` call.
+    last_ns: f64,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    /// `cargo bench`: measure.
+    Bench,
+    /// `cargo test`: run once.
+    Test,
+}
+
+impl Bencher {
+    /// Time `routine`, storing the mean ns/iter.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        match self.mode {
+            Mode::Test => {
+                black_box(routine());
+                self.last_ns = f64::NAN;
+            }
+            Mode::Bench => {
+                // Warmup.
+                for _ in 0..3 {
+                    black_box(routine());
+                }
+                // Adaptive: iterate until ~100ms or 1000 iters.
+                let budget = Duration::from_millis(100);
+                let start = Instant::now();
+                let mut iters = 0u64;
+                while start.elapsed() < budget && iters < 1000 {
+                    black_box(routine());
+                    iters += 1;
+                }
+                self.last_ns = start.elapsed().as_nanos() as f64 / iters.max(1) as f64;
+            }
+        }
+    }
+
+    /// Like [`Bencher::iter`], but re-running `setup` before every
+    /// iteration; only the routine is (approximately) timed.
+    pub fn iter_with_setup<S, O, Setup: FnMut() -> S, R: FnMut(S) -> O>(
+        &mut self,
+        mut setup: Setup,
+        mut routine: R,
+    ) {
+        match self.mode {
+            Mode::Test => {
+                black_box(routine(setup()));
+                self.last_ns = f64::NAN;
+            }
+            Mode::Bench => {
+                for _ in 0..3 {
+                    black_box(routine(setup()));
+                }
+                let budget = Duration::from_millis(100);
+                let loop_start = Instant::now();
+                let mut spent = Duration::ZERO;
+                let mut iters = 0u64;
+                while loop_start.elapsed() < budget && iters < 1000 {
+                    let input = setup();
+                    let t = Instant::now();
+                    black_box(routine(input));
+                    spent += t.elapsed();
+                    iters += 1;
+                }
+                self.last_ns = spent.as_nanos() as f64 / iters.max(1) as f64;
+            }
+        }
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns.is_nan() {
+        "smoke-ran".to_string()
+    } else if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// The top-level benchmark driver.
+pub struct Criterion {
+    mode: Mode,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Cargo invokes bench targets with `--bench` under `cargo bench`;
+        // under `cargo test` the flag is absent and we run in smoke mode.
+        let bench = std::env::args().any(|a| a == "--bench");
+        Criterion { mode: if bench { Mode::Bench } else { Mode::Test } }
+    }
+}
+
+impl Criterion {
+    /// Accept (and ignore) command-line configuration, for API parity.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl fmt::Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.to_string() }
+    }
+
+    /// Run a single ungrouped benchmark.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        mut f: R,
+    ) -> &mut Self {
+        let mut b = Bencher { mode: self.mode, last_ns: f64::NAN };
+        f(&mut b);
+        println!("bench {:<40} {}", id.to_string(), format_ns(b.last_ns));
+        self
+    }
+}
+
+/// A named collection of benchmark points.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accept (and ignore) a sample-size hint, for API parity.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accept (and ignore) a measurement-time hint, for API parity.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Record the per-iteration throughput, for API parity.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark point in this group.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: R,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher { mode: self.criterion.mode, last_ns: f64::NAN };
+        f(&mut b);
+        println!("bench {:<40} {}", format!("{}/{id}", self.name), format_ns(b.last_ns));
+        self
+    }
+
+    /// Run one benchmark point that takes a borrowed input.
+    pub fn bench_with_input<I: ?Sized, R: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: R,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher { mode: self.criterion.mode, last_ns: f64::NAN };
+        f(&mut b, input);
+        println!("bench {:<40} {}", format!("{}/{id}", self.name), format_ns(b.last_ns));
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Define a benchmark group function, Criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Define the bench binary's `main`, Criterion-style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_ids_format() {
+        assert_eq!(BenchmarkId::from_parameter(64).to_string(), "64");
+        assert_eq!(BenchmarkId::new("run", 8).to_string(), "run/8");
+    }
+
+    #[test]
+    fn smoke_mode_runs_once() {
+        let mut c = Criterion { mode: Mode::Test };
+        let mut count = 0;
+        let mut group = c.benchmark_group("g");
+        group.bench_function("once", |b| b.iter(|| count += 1));
+        group.finish();
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn iter_with_setup_runs() {
+        let mut c = Criterion { mode: Mode::Test };
+        let mut group = c.benchmark_group("g");
+        group.bench_with_input(BenchmarkId::from_parameter(3), &3u64, |b, &n| {
+            b.iter_with_setup(|| vec![0u64; n as usize], |v| v.len())
+        });
+        group.finish();
+    }
+}

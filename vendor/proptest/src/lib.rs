@@ -1,0 +1,570 @@
+//! Offline vendored shim for the subset of the `proptest` API this
+//! workspace uses.
+//!
+//! The build container cannot reach a cargo registry, so the real
+//! `proptest` cannot be fetched. This shim keeps the same *surface* for the
+//! call sites in the repo's test suites — `proptest! { ... }`, range/tuple/
+//! `collection::vec` strategies, `any::<T>()`, `Just`, `prop_oneof!`,
+//! `prop_map`, `prop::sample::Index`, `prop_assert*!`, `prop_assume!`,
+//! `ProptestConfig::with_cases` — with two deliberate simplifications:
+//!
+//! 1. **No shrinking.** A failing case reports its case index, attempt,
+//!    and derived RNG seed but is not minimized.
+//! 2. **Deterministic by default.** Case inputs derive from a fixed
+//!    per-test seed (a hash of the test name) plus the case and attempt
+//!    indices, so a green suite stays green: there is no run-to-run
+//!    lottery.
+//!
+//! `prop_assume!` rejections are retried with fresh inputs (up to 1024
+//! attempts per case, mirroring proptest's global rejection cap); a case
+//! whose assumption never holds panics rather than silently passing.
+//!
+//! The number of cases per test is `min(config.cases, $PROPTEST_CASES)`
+//! when the `PROPTEST_CASES` environment variable is set, so CI can cap
+//! the whole suite without touching source.
+
+pub mod test_runner {
+    //! Test-runner configuration and error plumbing.
+
+    /// Subset of `proptest::test_runner::Config`.
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of random cases to run per property.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+
+        /// Cases actually run: `cases`, capped by `$PROPTEST_CASES` if set.
+        pub fn effective_cases(&self) -> u32 {
+            match std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse::<u32>().ok()) {
+                Some(cap) => self.cases.min(cap),
+                None => self.cases,
+            }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+
+    /// Why a single test case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` rejected the inputs; the case is skipped.
+        Reject(String),
+        /// A `prop_assert*!` failed.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// Build a failure.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// Build a rejection.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    /// The RNG handed to strategies. Deterministic: seeded from the test
+    /// name and case index.
+    pub struct TestRng(rand::rngs::SmallRng);
+
+    impl TestRng {
+        /// The seed used for attempt `attempt` of case `case` of the test
+        /// named `name`; reported on failure so a case can be replayed.
+        pub fn seed_for(name: &str, case: u32, attempt: u32) -> u64 {
+            // FNV-1a over the test name, mixed with the case/attempt indices.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            h ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ (attempt as u64).wrapping_mul(0xD1B5_4A32_D192_ED03)
+        }
+
+        /// RNG for one (case, attempt) pair of the test named `name`.
+        /// Attempts beyond 0 are `prop_assume!` retries.
+        pub fn for_case(name: &str, case: u32, attempt: u32) -> Self {
+            use rand::SeedableRng;
+            TestRng(rand::rngs::SmallRng::seed_from_u64(Self::seed_for(name, case, attempt)))
+        }
+
+        /// The next raw 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            use rand::RngCore;
+            self.0.next_u64()
+        }
+
+        /// Uniform sample from `[low, high)` for any supported type.
+        pub fn gen_range<T, S: rand::SampleRange<T>>(&mut self, range: S) -> T {
+            use rand::Rng;
+            self.0.gen_range(range)
+        }
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies (no shrinking).
+
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of value this strategy generates.
+        type Value;
+
+        /// Generate one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values with `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Erase the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+    impl<V> Strategy for Box<dyn Strategy<Value = V>> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            (**self).generate(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Strategy that always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Strategy produced by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice between several strategies (`prop_oneof!`).
+    pub struct Union<V> {
+        options: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V> Union<V> {
+        /// Build a union over `options`; each generation picks one
+        /// uniformly at random.
+        pub fn new(options: Vec<BoxedStrategy<V>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+            Union { options }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let i = rng.gen_range(0..self.options.len());
+            self.options[i].generate(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),* $(,)?) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    macro_rules! impl_range_inclusive_strategy {
+        ($($t:ty),* $(,)?) => {$(
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_inclusive_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+}
+
+pub mod arbitrary {
+    //! The `Arbitrary` trait and `any::<T>()`.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        /// Generate an arbitrary value.
+        fn arbitrary_value(rng: &mut TestRng) -> Self;
+    }
+
+    /// Strategy returned by [`any`].
+    pub struct Any<T>(core::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary_value(rng)
+        }
+    }
+
+    /// The canonical strategy for "any `T` at all".
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(core::marker::PhantomData)
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),* $(,)?) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary_value(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary_value(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for crate::sample::Index {
+        fn arbitrary_value(rng: &mut TestRng) -> Self {
+            crate::sample::Index::from_raw(rng.next_u64())
+        }
+    }
+}
+
+pub mod sample {
+    //! Sampling helpers (`prop::sample::Index`).
+
+    /// A position into a collection whose length is only known at use
+    /// time; mirrors `proptest::sample::Index`.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Index(u64);
+
+    impl Index {
+        pub(crate) fn from_raw(raw: u64) -> Self {
+            Index(raw)
+        }
+
+        /// Project onto `[0, size)`. Panics when `size == 0`, like the
+        /// real `proptest::sample::Index`.
+        pub fn index(&self, size: usize) -> usize {
+            assert!(size > 0, "Index::index on empty collection");
+            (self.0 % size as u64) as usize
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`collection::vec`).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Admissible length range for [`vec`]; built from `usize` ranges.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "collection::vec: empty size range");
+            SizeRange { lo: r.start, hi_exclusive: r.end }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi_exclusive: n + 1 }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// A `Vec` strategy: each generation draws a length from `size`, then
+    /// that many elements from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.lo..self.size.hi_exclusive.max(self.size.lo + 1));
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// One-stop imports, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+/// Define property tests. Supports an optional leading
+/// `#![proptest_config(expr)]` and any number of
+/// `fn name(pat in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (@impl $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        #[test]
+        fn $name() {
+            let cfg: $crate::test_runner::Config = $cfg;
+            let cases = cfg.effective_cases();
+            for case in 0..cases {
+                // Rejected inputs (prop_assume!) are regenerated with a
+                // fresh attempt stream rather than skipped, so filtered
+                // properties still execute on `cases` real inputs.
+                let mut attempt: u32 = 0;
+                loop {
+                    let mut __proptest_rng =
+                        $crate::test_runner::TestRng::for_case(stringify!($name), case, attempt);
+                    $(let $arg = $crate::strategy::Strategy::generate(
+                        &($strat), &mut __proptest_rng);)*
+                    let __proptest_result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    match __proptest_result {
+                        Ok(()) => break,
+                        Err($crate::test_runner::TestCaseError::Reject(why)) => {
+                            attempt += 1;
+                            if attempt >= 1024 {
+                                panic!(
+                                    "proptest case #{case}: 1024 consecutive prop_assume! \
+                                     rejections (last: {why}) — assumption is near-unsatisfiable"
+                                );
+                            }
+                        }
+                        Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "proptest case #{case} of {cases} (attempt {attempt}, rng seed \
+                                 {:#018x}) failed: {msg}",
+                                $crate::test_runner::TestRng::seed_for(
+                                    stringify!($name), case, attempt)
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    )*};
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl $cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl $crate::test_runner::Config::default(); $($rest)*);
+    };
+}
+
+/// Assert a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: {} == {} (left: {:?}, right: {:?})",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, $($fmt)+);
+    }};
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l != r,
+            "assertion failed: {} != {} (both: {:?})",
+            stringify!($left), stringify!($right), l
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, $($fmt)+);
+    }};
+}
+
+/// Skip the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Uniform choice among several strategies yielding the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn cases_respect_env_cap() {
+        let cfg = ProptestConfig::with_cases(64);
+        assert!(cfg.effective_cases() <= 64);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        fn ranges_stay_in_bounds(x in 3u32..17, f in -2.0f64..2.0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&f));
+        }
+
+        fn vec_lengths_in_range(v in prop::collection::vec(0u64..10, 2..9)) {
+            prop_assert!(v.len() >= 2 && v.len() < 9);
+            prop_assert!(v.iter().all(|&x| x < 10));
+        }
+
+        fn tuples_and_map(pair in (0u32..5, 0u32..5).prop_map(|(a, b)| a + b)) {
+            prop_assert!(pair <= 8);
+        }
+
+        fn oneof_and_just(v in prop_oneof![Just(1u8), Just(2u8), 3u8..5]) {
+            prop_assert!(v >= 1 && v < 5);
+        }
+
+        fn index_projects(ix in any::<prop::sample::Index>()) {
+            let i = ix.index(7);
+            prop_assert!(i < 7);
+        }
+
+        fn assume_skips(n in 0u32..10) {
+            prop_assume!(n % 2 == 0);
+            prop_assert!(n % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn determinism_same_name_same_values() {
+        use crate::strategy::Strategy;
+        let s = 0u64..1_000_000;
+        let a: Vec<u64> = (0..10)
+            .map(|c| s.generate(&mut crate::test_runner::TestRng::for_case("t", c, 0)))
+            .collect();
+        let b: Vec<u64> = (0..10)
+            .map(|c| s.generate(&mut crate::test_runner::TestRng::for_case("t", c, 0)))
+            .collect();
+        assert_eq!(a, b);
+    }
+}

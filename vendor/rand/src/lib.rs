@@ -1,0 +1,355 @@
+//! Offline vendored shim for the subset of the `rand` 0.8 API used by this
+//! workspace (`SmallRng`, `RngCore`, `SeedableRng`, `Rng::gen_range`).
+//!
+//! The build container has no network access to a cargo registry, so the
+//! real crates.io `rand` cannot be fetched. This shim is API-compatible for
+//! the call sites in `gossip-net` (the only crate that touches `rand`
+//! directly); it is **not** value-compatible with upstream `rand` — all the
+//! workspace needs is a deterministic, statistically sound generator, which
+//! xoshiro256++ (the same algorithm upstream `SmallRng` uses on 64-bit
+//! targets) provides.
+
+use core::fmt;
+
+/// Error type returned by fallible RNG methods. The shim's generators are
+/// infallible, so this is never constructed outside `try_fill_bytes`
+/// plumbing.
+#[derive(Debug)]
+pub struct Error {
+    msg: &'static str,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rand shim error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Core trait for random number generators (mirrors `rand_core::RngCore`).
+pub trait RngCore {
+    /// Return the next random `u32`.
+    fn next_u32(&mut self) -> u32;
+    /// Return the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+    /// Fallible variant of [`RngCore::fill_bytes`]; infallible here.
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// RNGs constructible from a fixed-size seed (mirrors `rand_core::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// The seed array type.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Build the generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Build the generator from a `u64`, expanding it with SplitMix64 the
+    /// same way `rand_core` does.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            // SplitMix64, as used by rand_core::SeedableRng::seed_from_u64.
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            for (b, out) in z.to_le_bytes().iter().zip(chunk.iter_mut()) {
+                *out = *b;
+            }
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Types that can be sampled uniformly from a half-open range.
+pub trait SampleUniform: Sized {
+    /// Sample uniformly from `[low, high)`.
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty => $wide:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low < high, "gen_range: empty range");
+                let range = (high as $wide).wrapping_sub(low as $wide);
+                if range == 0 {
+                    // Full-width range: every value is valid.
+                    return rng.next_u64() as $t;
+                }
+                // Classic rejection sampling: reject the tail that would
+                // bias the modulus. `zone` is the largest multiple of
+                // `range` minus one representable in the wide type.
+                let ints_to_reject = (<$wide>::MAX - range + 1) % range;
+                let zone = <$wide>::MAX - ints_to_reject;
+                loop {
+                    let v = rng.next_u64() as $wide;
+                    if v <= zone {
+                        return low.wrapping_add((v % range) as $t);
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+    i8 => u64, i16 => u64, i32 => u64, i64 => u64, isize => u64,
+);
+
+impl SampleUniform for f64 {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        assert!(low < high, "gen_range: empty range");
+        // 53 random mantissa bits -> uniform in [0, 1).
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        low + (high - low) * unit
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        assert!(low < high, "gen_range: empty range");
+        let unit = (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32);
+        low + (high - low) * unit
+    }
+}
+
+/// Range types accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Sample a value uniformly from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_range(rng, self.start, self.end)
+    }
+}
+
+macro_rules! impl_sample_range_inclusive_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = self.into_inner();
+                assert!(lo <= hi, "gen_range: empty inclusive range");
+                if lo == <$t>::MIN && hi == <$t>::MAX {
+                    return rng.next_u64() as $t;
+                }
+                if hi == <$t>::MAX {
+                    // Shift down to avoid overflowing hi + 1.
+                    return <$t>::sample_range(rng, lo - 1, hi) + 1;
+                }
+                <$t>::sample_range(rng, lo, hi + 1)
+            }
+        }
+    )*};
+}
+
+impl_sample_range_inclusive_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Types samplable from the "standard" distribution (`Rng::gen`).
+pub trait StandardSample: Sized {
+    /// Draw one value from the standard distribution.
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for f64 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // Uniform in [0, 1) from 53 mantissa bits, like rand's Standard.
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl StandardSample for u32 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl StandardSample for u64 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl StandardSample for bool {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Extension trait with user-facing sampling helpers (mirrors `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Draw a value from the standard distribution (`[0,1)` for floats).
+    fn gen<T: StandardSample>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::standard_sample(self)
+    }
+
+    /// Sample uniformly from a half-open (or inclusive) range.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Sample a bool that is `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p out of [0,1]");
+        f64::sample_range(self, 0.0, 1.0) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    //! Concrete generator implementations.
+
+    use super::{RngCore, SeedableRng};
+
+    /// A small, fast, deterministic generator: xoshiro256++, the algorithm
+    /// upstream `rand 0.8` uses for `SmallRng` on 64-bit targets.
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SmallRng {
+        fn rotl(x: u64, k: u32) -> u64 {
+            x.rotate_left(k)
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let result = Self::rotl(self.s[0].wrapping_add(self.s[3]), 23).wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = Self::rotl(self.s[3], 45);
+            result
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let bytes = self.next_u64().to_le_bytes();
+                chunk.copy_from_slice(&bytes[..chunk.len()]);
+            }
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, word) in s.iter_mut().enumerate() {
+                let mut b = [0u8; 8];
+                b.copy_from_slice(&seed[i * 8..(i + 1) * 8]);
+                *word = u64::from_le_bytes(b);
+            }
+            // xoshiro's state must not be all zero.
+            if s == [0; 4] {
+                s = [
+                    0x9E37_79B9_7F4A_7C15,
+                    0xBF58_476D_1CE4_E5B9,
+                    0x94D0_49BB_1331_11EB,
+                    0x2545_F491_4F6C_DD1D,
+                ];
+            }
+            SmallRng { s }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use crate::Rng;
+
+        #[test]
+        fn deterministic_from_seed() {
+            let mut a = SmallRng::seed_from_u64(42);
+            let mut b = SmallRng::seed_from_u64(42);
+            for _ in 0..64 {
+                assert_eq!(a.next_u64(), b.next_u64());
+            }
+        }
+
+        #[test]
+        fn different_seeds_diverge() {
+            let mut a = SmallRng::seed_from_u64(1);
+            let mut b = SmallRng::seed_from_u64(2);
+            let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+            assert!(same < 4);
+        }
+
+        #[test]
+        fn gen_range_in_bounds_and_covers() {
+            let mut r = SmallRng::seed_from_u64(7);
+            let mut seen = [false; 10];
+            for _ in 0..1000 {
+                let v = r.gen_range(0u64..10);
+                assert!(v < 10);
+                seen[v as usize] = true;
+            }
+            assert!(seen.iter().all(|&s| s));
+        }
+
+        #[test]
+        fn gen_range_f64_in_bounds() {
+            let mut r = SmallRng::seed_from_u64(9);
+            for _ in 0..1000 {
+                let v = r.gen_range(1.5f64..4.0);
+                assert!((1.5..4.0).contains(&v));
+            }
+        }
+
+        #[test]
+        fn fill_bytes_fills_everything() {
+            let mut r = SmallRng::seed_from_u64(11);
+            let mut buf = [0u8; 37];
+            r.fill_bytes(&mut buf);
+            assert!(buf.iter().any(|&b| b != 0));
+        }
+    }
+}
