@@ -20,10 +20,18 @@ cargo test --workspace -q
 echo "==> benches compile"
 cargo build --benches
 
+echo "==> bench smoke: one-shot throughput run (round engine + trial fold)"
+cargo bench -p rfc-bench --bench throughput
+
 echo "==> examples build (release)"
 cargo build --release --examples
 
 echo "==> experiment registry lists"
 cargo run --release -q -p experiments --bin rfc-experiments -- list
+
+echo "==> perf snapshot: e14 --quick -> BENCH_scale.json"
+cargo run --release -q -p experiments --bin rfc-experiments -- e14 --quick --json target/bench-json >/dev/null
+cp target/bench-json/e14_0.json BENCH_scale.json
+echo "    wrote BENCH_scale.json (rounds/s, bytes/agent, RSS growth per n)"
 
 echo "CI OK"

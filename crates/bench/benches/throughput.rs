@@ -1,0 +1,147 @@
+//! Throughput benchmarks for the two layers the streaming pipeline
+//! rides on: the round engine (`Network::step` cost vs `n`) and the
+//! Monte-Carlo harness (buffered `run_trials` vs streaming
+//! `run_trials_fold`), so the fold path's speed and O(threads) memory
+//! behavior are *measured*, not asserted.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use experiments::parallel::{run_trials, run_trials_fold, run_trials_fold_with_stats};
+use gossip_net::agent::{Agent, Op, RoundCtx};
+use gossip_net::fault::FaultPlan;
+use gossip_net::ids::AgentId;
+use gossip_net::network::Network;
+use gossip_net::size::{MsgSize, SizeEnv};
+use gossip_net::topology::Topology;
+use rfc_core::runner::{run_protocol, RunConfig};
+use std::hint::black_box;
+
+/// Minimal wire message: a 64-bit ping.
+#[derive(Clone)]
+struct Ping;
+impl MsgSize for Ping {
+    fn size_bits(&self, _env: &SizeEnv) -> u64 {
+        64
+    }
+}
+
+/// Pushes to the next agent on the ring of ids — every agent acts every
+/// round, so one `step()` is `n` sends + `n` deliveries.
+struct RingPusher {
+    id: AgentId,
+    n: usize,
+}
+impl Agent<Ping> for RingPusher {
+    fn act(&mut self, _ctx: &RoundCtx) -> Option<Op<Ping>> {
+        let to = (self.id as usize + 1) % self.n;
+        Some(Op::push(to as AgentId, Ping))
+    }
+}
+
+fn bench_round_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("round_engine_step_vs_n");
+    group.sample_size(10);
+    for n in [1024usize, 8192, 65536] {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let agents: Vec<RingPusher> =
+                (0..n).map(|id| RingPusher { id: id as AgentId, n }).collect();
+            let mut net = Network::new(
+                Topology::complete(n),
+                SizeEnv::for_n(n),
+                agents,
+                FaultPlan::none(n),
+            );
+            b.iter(|| {
+                net.step();
+                black_box(net.round())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_trial_fold(c: &mut Criterion) {
+    // Harness overhead head-to-head: the buffered Vec<Mutex<Option<T>>>
+    // path against the streaming block-fold path, light per-trial work so
+    // the harness cost dominates.
+    let mut group = c.benchmark_group("trial_fold_harness_overhead");
+    group.sample_size(10);
+    let trials = 8192usize;
+    for threads in [1usize, 4, 8] {
+        group.throughput(Throughput::Elements(trials as u64));
+        group.bench_with_input(
+            BenchmarkId::new("buffered_run_trials", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let v = run_trials(trials, threads, 7, |seed| seed.wrapping_mul(0x9E37));
+                    black_box(v.iter().copied().fold(0u64, u64::wrapping_add))
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("streaming_fold", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    black_box(run_trials_fold(
+                        trials,
+                        threads,
+                        7,
+                        || 0u64,
+                        |acc, _i, seed| *acc = acc.wrapping_add(seed.wrapping_mul(0x9E37)),
+                        |a, b| *a = a.wrapping_add(b),
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+
+    // Same comparison under real per-trial work (full protocol runs), and
+    // a printed witness that the fold window stayed O(threads).
+    let mut group = c.benchmark_group("trial_fold_protocol_runs");
+    group.sample_size(10);
+    let cfg = RunConfig::builder(64).gamma(3.0).colors(vec![32, 32]).build();
+    let trials = 64usize;
+    let threads = 8usize;
+    group.throughput(Throughput::Elements(trials as u64));
+    group.bench_function("buffered_run_trials", |b| {
+        b.iter(|| {
+            let v = run_trials(trials, threads, 5, |seed| {
+                run_protocol(&cfg, seed).outcome.is_consensus() as u64
+            });
+            black_box(v.iter().sum::<u64>())
+        })
+    });
+    group.bench_function("streaming_fold", |b| {
+        b.iter(|| {
+            black_box(run_trials_fold(
+                trials,
+                threads,
+                5,
+                || 0u64,
+                |acc, _i, seed| *acc += run_protocol(&cfg, seed).outcome.is_consensus() as u64,
+                |a, b| *a += b,
+            ))
+        })
+    });
+    group.finish();
+    let (_, stats) = run_trials_fold_with_stats(
+        4096,
+        threads,
+        5,
+        || 0u64,
+        |acc, _i, seed| *acc = acc.wrapping_add(seed),
+        |a, b| *a = a.wrapping_add(b),
+    );
+    println!(
+        "fold window witness: {} blocks, peak {} pending partials (bound 3·threads = {})",
+        stats.blocks,
+        stats.peak_pending,
+        3 * threads
+    );
+}
+
+criterion_group!(benches, bench_round_engine, bench_trial_fold);
+criterion_main!(benches);

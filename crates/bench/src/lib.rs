@@ -1,6 +1,6 @@
 //! # rfc-bench — the Criterion benchmark harness
 //!
-//! Five bench binaries cover the experiment index of DESIGN.md §4 in the
+//! Six bench binaries cover the experiment index of DESIGN.md §4 in the
 //! time domain plus the simulator's hot paths:
 //!
 //! * `e2e` — full protocol runs: sync (E1), faulty (E6), async (E12),
@@ -11,6 +11,10 @@
 //! * `micro` — certificate build/verify, ledger checks, peer sampling,
 //!   seed derivation, one network round;
 //! * `scaling` — run cost vs n (E2/E3), vs γ (E6), and Monte-Carlo
-//!   throughput vs worker threads.
+//!   throughput vs worker threads;
+//! * `throughput` — round-engine cost vs `n` and the buffered
+//!   `run_trials` harness vs the streaming `run_trials_fold` pipeline
+//!   (E14's substrate), including a fold-window (O(threads) memory)
+//!   witness.
 //!
-//! Run with `cargo bench -p rfc-bench` (or `--bench micro` etc.).
+//! Run with `cargo bench -p rfc-bench` (or `--bench throughput` etc.).

@@ -8,6 +8,7 @@
 //!     --seed <u64>    master seed (default 0x5EED2017)
 //!     --threads <k>   worker threads (default: all cores)
 //!     --csv <dir>     also write each table as CSV into <dir>
+//!     --json <dir>    also write each table as JSON into <dir>
 //! ```
 
 use experiments::{all_experiments, ExpOptions};
@@ -23,6 +24,7 @@ fn main() {
     let mut opts = ExpOptions::default();
     let mut selected: Vec<String> = Vec::new();
     let mut csv_dir: Option<String> = None;
+    let mut json_dir: Option<String> = None;
     let mut list_only = false;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -42,6 +44,9 @@ fn main() {
             }
             "--csv" => {
                 csv_dir = Some(it.next().unwrap_or_else(|| die("--csv needs a directory")));
+            }
+            "--json" => {
+                json_dir = Some(it.next().unwrap_or_else(|| die("--json needs a directory")));
             }
             "list" => list_only = true,
             "all" => {
@@ -70,6 +75,9 @@ fn main() {
     if let Some(dir) = &csv_dir {
         std::fs::create_dir_all(dir).unwrap_or_else(|e| die(&format!("csv dir: {e}")));
     }
+    if let Some(dir) = &json_dir {
+        std::fs::create_dir_all(dir).unwrap_or_else(|e| die(&format!("json dir: {e}")));
+    }
 
     let registry = all_experiments();
     for id in &selected {
@@ -89,14 +97,22 @@ fn main() {
             println!("{}", table.render());
             if let Some(dir) = &csv_dir {
                 let path = format!("{dir}/{}_{i}.csv", exp.id);
-                let mut f = std::fs::File::create(&path)
-                    .unwrap_or_else(|e| die(&format!("create {path}: {e}")));
-                f.write_all(table.to_csv().as_bytes())
-                    .unwrap_or_else(|e| die(&format!("write {path}: {e}")));
+                write_file(&path, &table.to_csv());
+            }
+            if let Some(dir) = &json_dir {
+                let path = format!("{dir}/{}_{i}.json", exp.id);
+                write_file(&path, &table.to_json());
             }
         }
         eprintln!("   {} finished in {:.1?}\n", exp.id, started.elapsed());
     }
+}
+
+fn write_file(path: &str, content: &str) {
+    let mut f = std::fs::File::create(path)
+        .unwrap_or_else(|e| die(&format!("create {path}: {e}")));
+    f.write_all(content.as_bytes())
+        .unwrap_or_else(|e| die(&format!("write {path}: {e}")));
 }
 
 fn parse_u64(s: &str) -> Option<u64> {
@@ -109,7 +125,7 @@ fn parse_u64(s: &str) -> Option<u64> {
 
 fn usage() {
     eprintln!(
-        "usage: rfc-experiments <list | all | e01..e12...> [--quick] [--seed N] [--threads K] [--csv DIR]"
+        "usage: rfc-experiments <list | all | e01..e14...> [--quick] [--seed N] [--threads K] [--csv DIR] [--json DIR]"
     );
 }
 

@@ -7,10 +7,31 @@
 //! fit `a·log₂ n + b` essentially perfectly.
 
 use crate::opts::ExpOptions;
-use crate::parallel::run_trials;
+use crate::parallel::run_trials_fold;
 use crate::table::{fmt, Table};
 use rfc_core::runner::{run_protocol, RunConfig};
 use rfc_stats::fit::log_fit;
+
+/// Streaming per-point aggregate: nothing here scales with the trial
+/// count, so the harness can run millions of trials in O(threads) memory.
+#[derive(Default)]
+struct Acc {
+    trials: u64,
+    successes: u64,
+    /// Round count of trial 0 (the schedule is deterministic, so any
+    /// trial would do; trial 0 pins the reported value).
+    rounds_first: Option<usize>,
+    mpar_sum: f64,
+}
+
+impl Acc {
+    fn merge(&mut self, other: Acc) {
+        self.trials += other.trials;
+        self.successes += other.successes;
+        self.rounds_first = self.rounds_first.or(other.rounds_first);
+        self.mpar_sum += other.mpar_sum;
+    }
+}
 
 /// Run E1 and produce its table.
 pub fn run(opts: &ExpOptions) -> Vec<Table> {
@@ -28,18 +49,26 @@ pub fn run(opts: &ExpOptions) -> Vec<Table> {
     let mut points: Vec<(f64, f64)> = Vec::new();
     for &n in &sizes {
         let cfg = RunConfig::builder(n).gamma(gamma).colors(vec![n - n / 2, n / 2]).build();
-        let results = run_trials(trials, opts.threads_for(trials), opts.seed, |seed| {
-            let r = run_protocol(&cfg, seed);
-            (
-                r.outcome.is_consensus(),
-                r.rounds,
-                r.metrics.messages_sent as f64 / (r.rounds.max(1) as f64 * n as f64),
-            )
-        });
-        let successes = results.iter().filter(|r| r.0).count() as u64;
-        let rounds = results[0].1;
-        let mpar: f64 =
-            results.iter().map(|r| r.2).sum::<f64>() / results.len() as f64;
+        let acc = run_trials_fold(
+            trials,
+            opts.threads_for(trials),
+            opts.seed,
+            Acc::default,
+            |acc, i, seed| {
+                let r = run_protocol(&cfg, seed);
+                acc.trials += 1;
+                acc.successes += r.outcome.is_consensus() as u64;
+                if i == 0 {
+                    acc.rounds_first = Some(r.rounds);
+                }
+                acc.mpar_sum +=
+                    r.metrics.messages_sent as f64 / (r.rounds.max(1) as f64 * n as f64);
+            },
+            Acc::merge,
+        );
+        let successes = acc.successes;
+        let rounds = acc.rounds_first.expect("at least one trial");
+        let mpar: f64 = acc.mpar_sum / acc.trials as f64;
         points.push((n as f64, rounds as f64));
         table.row(vec![
             n.to_string(),

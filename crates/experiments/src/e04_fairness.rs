@@ -8,7 +8,7 @@
 //! 60/40 split it converges to the plurality color essentially always.
 
 use crate::opts::ExpOptions;
-use crate::parallel::run_trials;
+use crate::parallel::run_trials_fold;
 use crate::table::{fmt, Table};
 use baselines::plurality::run_plurality;
 use baselines::voter::run_voter;
@@ -51,17 +51,24 @@ pub fn run(opts: &ExpOptions) -> Vec<Table> {
             .gamma(gamma)
             .colors(counts.clone())
             .build();
-        let outcomes = run_trials(trials, opts.threads_for(trials), opts.seed, |seed| {
-            run_protocol(&cfg, seed).outcome
-        });
-        let mut wins = vec![0u64; k];
-        let mut fails = 0u64;
-        for o in &outcomes {
-            match o {
-                Outcome::Consensus(c) => wins[*c as usize] += 1,
-                Outcome::Fail => fails += 1,
-            }
-        }
+        // Streaming tally: wins-per-color and failures, O(colors) memory
+        // regardless of the trial count.
+        let (wins, fails) = run_trials_fold(
+            trials,
+            opts.threads_for(trials),
+            opts.seed,
+            || (vec![0u64; k], 0u64),
+            |acc, _i, seed| match run_protocol(&cfg, seed).outcome {
+                Outcome::Consensus(c) => acc.0[c as usize] += 1,
+                Outcome::Fail => acc.1 += 1,
+            },
+            |a, b| {
+                for (w, o) in a.0.iter_mut().zip(&b.0) {
+                    *w += o;
+                }
+                a.1 += b.1;
+            },
+        );
         let decided: u64 = wins.iter().sum();
         let expected: Vec<f64> = counts
             .iter()
@@ -90,23 +97,28 @@ pub fn run(opts: &ExpOptions) -> Vec<Table> {
         &["protocol", "minority win rate", "expected if fair"],
     );
     let trials_b = opts.trials(200);
+    // Streaming success counter shared by the comparator arms.
+    let count_true = |trials: usize, f: &(dyn Fn(u64) -> bool + Sync)| -> u64 {
+        run_trials_fold(
+            trials,
+            opts.threads_for(trials),
+            opts.seed,
+            || 0u64,
+            |acc, _i, seed| *acc += f(seed) as u64,
+            |a, b| *a += b,
+        )
+    };
     let colors: Vec<_> = (0..n).map(|i| if i < 3 * n / 5 { 0 } else { 1 }).collect();
-    let plurality_minority = run_trials(trials_b, opts.threads_for(trials_b), opts.seed, |seed| {
+    let plurality_minority = count_true(trials_b, &|seed| {
         run_plurality(n, &colors, seed, 4000).consensus == Some(1)
-    })
-    .iter()
-    .filter(|&&b| b)
-    .count() as u64;
+    });
     let cfg = RunConfig::builder(n)
         .gamma(gamma)
         .colors(vec![3 * n / 5, n - 3 * n / 5])
         .build();
-    let p_minority = run_trials(trials_b, opts.threads_for(trials_b), opts.seed, |seed| {
+    let p_minority = count_true(trials_b, &|seed| {
         run_protocol(&cfg, seed).outcome == Outcome::Consensus(1)
-    })
-    .iter()
-    .filter(|&&b| b)
-    .count() as u64;
+    });
     cmp.row(vec![
         "3-majority (unfair)".into(),
         fmt::rate_ci(plurality_minority, trials_b as u64),
@@ -127,14 +139,27 @@ pub fn run(opts: &ExpOptions) -> Vec<Table> {
         &["protocol", "deviation", "minority win rate", "mean rounds"],
     );
     let colors_c: Vec<u32> = (0..n).map(|i| if i < 2 * n / 3 { 0 } else { 1 }).collect();
+    // Streaming (wins, rounds-sum) fold for the voter arms.
+    let voter_arm = |stubborn: &[u32], budget: usize| -> (u64, f64) {
+        run_trials_fold(
+            trials_c,
+            opts.threads_for(trials_c),
+            opts.seed,
+            || (0u64, 0.0f64),
+            |acc, _i, seed| {
+                let r = run_voter(n, &colors_c, stubborn, seed, budget);
+                acc.0 += (r.consensus == Some(1)) as u64;
+                acc.1 += r.rounds as f64;
+            },
+            |a, b| {
+                a.0 += b.0;
+                a.1 += b.1;
+            },
+        )
+    };
     // Honest voter model.
-    let voter_runs = run_trials(trials_c, opts.threads_for(trials_c), opts.seed, |seed| {
-        let r = run_voter(n, &colors_c, &[], seed, 200_000);
-        (r.consensus == Some(1), r.rounds as f64)
-    });
-    let v_wins = voter_runs.iter().filter(|r| r.0).count() as u64;
-    let v_rounds: f64 =
-        voter_runs.iter().map(|r| r.1).sum::<f64>() / trials_c as f64;
+    let (v_wins, v_rounds_sum) = voter_arm(&[], 200_000);
+    let v_rounds: f64 = v_rounds_sum / trials_c as f64;
     voter.row(vec![
         "voter model".into(),
         "none".into(),
@@ -143,12 +168,8 @@ pub fn run(opts: &ExpOptions) -> Vec<Table> {
     ]);
     // Voter model with ONE stubborn minority agent.
     let stubborn_id = (2 * n / 3) as u32; // a minority-color agent
-    let stub_runs = run_trials(trials_c, opts.threads_for(trials_c), opts.seed, |seed| {
-        let r = run_voter(n, &colors_c, &[stubborn_id], seed, 400_000);
-        (r.consensus == Some(1), r.rounds as f64)
-    });
-    let s_wins = stub_runs.iter().filter(|r| r.0).count() as u64;
-    let s_rounds: f64 = stub_runs.iter().map(|r| r.1).sum::<f64>() / trials_c as f64;
+    let (s_wins, s_rounds_sum) = voter_arm(&[stubborn_id], 400_000);
+    let s_rounds: f64 = s_rounds_sum / trials_c as f64;
     voter.row(vec![
         "voter model".into(),
         "1 stubborn agent".into(),
@@ -160,10 +181,9 @@ pub fn run(opts: &ExpOptions) -> Vec<Table> {
         .gamma(gamma)
         .colors(vec![2 * n / 3, n - 2 * n / 3])
         .build();
-    let p_runs = run_trials(trials_c, opts.threads_for(trials_c), opts.seed, |seed| {
+    let p_wins = count_true(trials_c, &|seed| {
         run_protocol(&cfg_c, seed).outcome == Outcome::Consensus(1)
     });
-    let p_wins = p_runs.iter().filter(|&&b| b).count() as u64;
     voter.row(vec![
         "protocol P".into(),
         "none".into(),

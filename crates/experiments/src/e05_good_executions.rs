@@ -8,9 +8,35 @@
 //! `m = n³` regardless (birthday bound).
 
 use crate::opts::ExpOptions;
-use crate::parallel::run_trials;
+use crate::parallel::run_trials_fold;
 use crate::table::{fmt, Table};
 use rfc_core::runner::{run_protocol, RunConfig};
+
+/// Streaming per-cell event tally: O(1) memory per (n, γ) cell however
+/// many trials fill it.
+#[derive(Default)]
+struct Acc {
+    g1: u64,
+    g2: u64,
+    g3: u64,
+    good: u64,
+    succ: u64,
+    min_votes: Option<usize>,
+}
+
+impl Acc {
+    fn merge(&mut self, other: Acc) {
+        self.g1 += other.g1;
+        self.g2 += other.g2;
+        self.g3 += other.g3;
+        self.good += other.good;
+        self.succ += other.succ;
+        self.min_votes = match (self.min_votes, other.min_votes) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+    }
+}
 
 /// Run E5 and produce its table.
 pub fn run(opts: &ExpOptions) -> Vec<Table> {
@@ -40,28 +66,28 @@ pub fn run(opts: &ExpOptions) -> Vec<Table> {
                 .gamma(gamma)
                 .record_ops(true)
                 .build();
-            let results = run_trials(trials, opts.threads_for(trials), opts.seed, |seed| {
-                let r = run_protocol(&cfg, seed);
-                let a = r.audit.expect("audit on");
-                (
-                    a.every_agent_voted_on,
-                    a.k_values_distinct,
-                    a.minima_agree,
-                    a.is_good(),
-                    a.votes_min,
-                    r.outcome.is_consensus(),
-                )
-            });
-            type Sample = (bool, bool, bool, bool, usize, bool);
-            let count = |f: &dyn Fn(&Sample) -> bool| {
-                results.iter().filter(|r| f(r)).count() as u64
-            };
-            let g1 = count(&|r| r.0);
-            let g2 = count(&|r| r.1);
-            let g3 = count(&|r| r.2);
-            let good = count(&|r| r.3);
-            let succ = count(&|r| r.5);
-            let min_votes = results.iter().map(|r| r.4).min().unwrap_or(0);
+            let acc = run_trials_fold(
+                trials,
+                opts.threads_for(trials),
+                opts.seed,
+                Acc::default,
+                |acc, _i, seed| {
+                    let r = run_protocol(&cfg, seed);
+                    let a = r.audit.expect("audit on");
+                    acc.g1 += a.every_agent_voted_on as u64;
+                    acc.g2 += a.k_values_distinct as u64;
+                    acc.g3 += a.minima_agree as u64;
+                    acc.good += a.is_good() as u64;
+                    acc.succ += r.outcome.is_consensus() as u64;
+                    acc.min_votes = Some(match acc.min_votes {
+                        Some(m) => m.min(a.votes_min),
+                        None => a.votes_min,
+                    });
+                },
+                Acc::merge,
+            );
+            let (g1, g2, g3, good, succ) = (acc.g1, acc.g2, acc.g3, acc.good, acc.succ);
+            let min_votes = acc.min_votes.unwrap_or(0);
             table.row(vec![
                 n.to_string(),
                 fmt::f2(gamma),

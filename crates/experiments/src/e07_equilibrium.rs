@@ -7,7 +7,7 @@
 //! forging mostly convert losses into `⊥`.
 
 use crate::opts::ExpOptions;
-use crate::parallel::run_trials;
+use crate::parallel::run_trials_fold;
 use crate::table::{fmt, Table};
 use adversary::coalition::{select_members, CoalitionSelection};
 use adversary::harness::{coalition_colors, run_attack_trial, ArmStats};
@@ -49,17 +49,24 @@ pub fn run(opts: &ExpOptions) -> Vec<Table> {
             let strategy_ref: &dyn adversary::Strategy = strategy.as_ref();
             let members_ref = &members;
             let cfg_ref = &cfg;
-            let pairs = run_trials(trials, opts.threads_for(trials), opts.seed, move |seed| {
-                let honest = run_protocol(cfg_ref, seed);
-                let deviating = run_attack_trial(cfg_ref, strategy_ref, members_ref, seed);
-                (honest, deviating)
-            });
-            let mut honest = ArmStats::default();
-            let mut deviating = ArmStats::default();
-            for (h, d) in &pairs {
-                honest.record(h, &members, chi);
-                deviating.record(d, &members, chi);
-            }
+            // Paired trials stream directly into per-arm ArmStats — the
+            // RunReports are folded away instead of buffered.
+            let (honest, deviating) = run_trials_fold(
+                trials,
+                opts.threads_for(trials),
+                opts.seed,
+                <(ArmStats, ArmStats)>::default,
+                move |acc, _i, seed| {
+                    let h = run_protocol(cfg_ref, seed);
+                    acc.0.record(&h, members_ref, chi);
+                    let d = run_attack_trial(cfg_ref, strategy_ref, members_ref, seed);
+                    acc.1.record(&d, members_ref, chi);
+                },
+                |a, b| {
+                    a.0.merge(&b.0);
+                    a.1.merge(&b.1);
+                },
+            );
             let h_ci = honest.color_win_ci();
             let d_ci = deviating.color_win_ci();
             let gain = d_ci.lo > h_ci.hi;
@@ -105,13 +112,17 @@ pub fn run(opts: &ExpOptions) -> Vec<Table> {
         let strategy = SpyAndTune;
         let members_ref = &members;
         let cfg_ref = &cfg;
-        let results = run_trials(trials, opts.threads_for(trials), opts.seed, move |seed| {
-            run_attack_trial(cfg_ref, &strategy, members_ref, seed)
-        });
-        let mut arm = ArmStats::default();
-        for r in &results {
-            arm.record(r, &members, chi);
-        }
+        let arm = run_trials_fold(
+            trials,
+            opts.threads_for(trials),
+            opts.seed,
+            ArmStats::default,
+            move |acc, _i, seed| {
+                let r = run_attack_trial(cfg_ref, &strategy, members_ref, seed);
+                acc.record(&r, members_ref, chi);
+            },
+            |a, b| a.merge(&b),
+        );
         let regime = if t * gossip_net::ids::ceil_log2(n) as usize <= n {
             "t = o(n/log n)"
         } else {

@@ -21,11 +21,25 @@
 //! | E11 | Ablations: m = n³, Verification, Coherence all load-bearing |
 //! | E12 | Extensions: other graph classes + sequential GOSSIP |
 //! | E13 | Failure injection: per-message loss vs the reliable-channel assumption |
+//! | E14 | Production-scale throughput sweep (n up to 10⁵, streaming fold) |
 //!
 //! Every number is a deterministic function of `(experiment, master
 //! seed)` regardless of thread count ([`parallel`]); results render as
-//! aligned text and CSV ([`table`]). Run them via the `rfc-experiments`
-//! binary or [`run_by_id`] / [`all_experiments`].
+//! aligned text, CSV, and JSON ([`table`]). Run them via the
+//! `rfc-experiments` binary or [`run_by_id`] / [`all_experiments`].
+//! (E14's throughput/RSS columns are the one exception: they are
+//! wall-clock measurements by design.)
+//!
+//! ## Aggregation styles
+//!
+//! [`parallel`] offers two harnesses. The buffered [`run_trials`] /
+//! [`par_map`] return a `Vec` in trial order — O(trials) memory, right
+//! for modest sweeps that need every sample. The streaming
+//! [`run_trials_fold`] / [`parallel::par_fold`] fold trials into
+//! mergeable accumulators (see `rfc_stats::{Summary, Tally, Histogram}`)
+//! block by block with O(threads) peak memory and **bit-identical**
+//! output for every thread count — the million-trial path E1/E4/E5/E7
+//! and E14 run on.
 
 pub mod e01_rounds;
 pub mod e02_message_size;
@@ -40,12 +54,13 @@ pub mod e10_rumor;
 pub mod e11_ablations;
 pub mod e12_extensions;
 pub mod e13_message_loss;
+pub mod e14_scale;
 pub mod opts;
 pub mod parallel;
 pub mod table;
 
 pub use opts::ExpOptions;
-pub use parallel::{default_threads, par_map, run_trials};
+pub use parallel::{default_threads, par_map, run_trials, run_trials_fold};
 pub use table::Table;
 
 /// A registered experiment.
@@ -136,10 +151,15 @@ pub fn all_experiments() -> Vec<Experiment> {
             title: "failure injection: message loss",
             run: e13_message_loss::run,
         },
+        Experiment {
+            id: "e14",
+            title: "production-scale throughput sweep (streaming fold)",
+            run: e14_scale::run,
+        },
     ]
 }
 
-/// Run one experiment by id (`"e01"`…`"e13"`); `None` if unknown.
+/// Run one experiment by id (`"e01"`…`"e14"`); `None` if unknown.
 pub fn run_by_id(id: &str, opts: &ExpOptions) -> Option<Vec<Table>> {
     all_experiments()
         .into_iter()
@@ -154,7 +174,7 @@ mod tests {
     #[test]
     fn registry_is_complete_and_ordered() {
         let exps = all_experiments();
-        assert_eq!(exps.len(), 13);
+        assert_eq!(exps.len(), 14);
         for (i, e) in exps.iter().enumerate() {
             assert_eq!(e.id, format!("e{:02}", i + 1));
             assert!(!e.title.is_empty());

@@ -1,11 +1,28 @@
 //! Embarrassingly-parallel Monte-Carlo trial execution.
 //!
 //! Every experiment reduces to "run `f(seed)` for `trials` independent
-//! seeds and aggregate". Trials are distributed over a thread scope:
-//! workers claim indices from a shared atomic counter (work stealing by
-//! induction — no work queue needed when tasks are index-addressable) and
-//! write results into pre-allocated slots, so the output order is
-//! deterministic and independent of thread count and scheduling.
+//! seeds and aggregate". Two execution styles are offered:
+//!
+//! * **Buffered** ([`run_trials`] / [`par_map`]): workers claim indices
+//!   from a shared atomic counter and write results into pre-allocated
+//!   slots; the caller gets a `Vec` in trial order. Memory is O(trials) —
+//!   fine for sweeps of hundreds of points, wrong for million-trial runs.
+//! * **Streaming** ([`run_trials_fold`] / [`par_fold`]): trials are
+//!   folded into accumulators block by block and the block partials are
+//!   merged *in block order* as they complete. Peak result-buffer memory
+//!   is O(threads) (bounded out-of-order window, no per-slot lock, no
+//!   `Vec` of length `trials`), which is what opens the million-trial
+//!   workload class.
+//!
+//! The streaming contract is *thread-count invariant bit-for-bit*: the
+//! aggregate is defined as `merge(fold(block 0), fold(block 1), …)` over
+//! blocks of [`fold_block_size`] consecutive trials (a pure function of
+//! the trial count, at most [`FOLD_BLOCK`]), folded in trial order
+//! within each block and merged left-to-right in block order. That
+//! definition never mentions threads, and both the serial and the
+//! parallel paths compute exactly it — so floating-point accumulators
+//! (sums, Welford states) come out bit-identical for any `threads`, not
+//! merely "close".
 //!
 //! Trial `i` always receives `derive_seed(master_seed, i)`, making every
 //! aggregate a pure function of `(experiment, master_seed)` regardless of
@@ -15,6 +32,221 @@
 use gossip_net::rng::derive_seed;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex as StdMutex};
+
+/// Largest trials-per-fold-block. The actual block size is
+/// [`fold_block_size`] — a pure function of the trial count (never of
+/// the thread count), which is what makes the block-merge contract
+/// thread-invariant. It is deliberately a constant, not a tunable:
+/// changing it changes floating-point merge order (and thus quoted
+/// digits).
+pub const FOLD_BLOCK: usize = 32;
+
+/// Block size used for a fold over `count` items: `FOLD_BLOCK`, shrunk
+/// for small counts so even a few expensive trials (E14's large-`n`
+/// points run tens of trials, not thousands) split into enough blocks to
+/// occupy every worker. Depends on `count` only — the aggregate stays a
+/// pure function of `(count, fold, merge)` for any thread count.
+pub fn fold_block_size(count: usize) -> usize {
+    FOLD_BLOCK.min(count.div_ceil(64)).max(1)
+}
+
+/// Instrumentation from a streaming fold (see
+/// [`run_trials_fold_with_stats`]); used to *verify*, not just assert,
+/// the O(threads) memory claim.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FoldStats {
+    /// Number of blocks the trial range was split into.
+    pub blocks: usize,
+    /// Largest number of completed-but-unmerged block partials ever held
+    /// at once (bounded by `3·threads` by construction: a claim gate
+    /// blocks new claims at `2·threads` pending, plus at most one
+    /// in-flight block per worker).
+    pub peak_pending: usize,
+}
+
+/// Ordered-merge state shared by the fold workers.
+struct Merger<A> {
+    /// Next block index the in-order merge is waiting for.
+    next_to_merge: usize,
+    /// Completed blocks that arrived ahead of `next_to_merge`.
+    pending: Vec<(usize, A)>,
+    /// The left-to-right merge of blocks `0..next_to_merge`.
+    result: Option<A>,
+    peak_pending: usize,
+}
+
+/// Core streaming engine: fold `count` indexed items into block
+/// accumulators and merge the blocks in order. `produce(acc, i)` folds
+/// item `i`; blocks are [`fold_block_size`]`(count)` consecutive indices
+/// (≤ `FOLD_BLOCK`, a pure function of `count`).
+fn fold_indexed<A, I, P, M>(
+    count: usize,
+    threads: usize,
+    init: I,
+    produce: P,
+    merge: M,
+) -> (A, FoldStats)
+where
+    A: Send,
+    I: Fn() -> A + Sync,
+    P: Fn(&mut A, usize) + Sync,
+    M: Fn(&mut A, A) + Sync,
+{
+    let threads = threads.max(1).min(count.max(1));
+    let block_size = fold_block_size(count);
+    let blocks = count.div_ceil(block_size);
+    let fold_block = |b: usize| {
+        let mut acc = init();
+        let lo = b * block_size;
+        let hi = (lo + block_size).min(count);
+        for i in lo..hi {
+            produce(&mut acc, i);
+        }
+        acc
+    };
+    if count == 0 {
+        return (init(), FoldStats::default());
+    }
+    if threads == 1 {
+        // Same block structure as the parallel path, so the result is
+        // bit-identical for any thread count.
+        let mut result = fold_block(0);
+        for b in 1..blocks {
+            merge(&mut result, fold_block(b));
+        }
+        return (result, FoldStats { blocks, peak_pending: 0 });
+    }
+    // Out-of-order completions wait in `pending`; a worker may not claim
+    // a new block while the window is full, so peak memory is O(threads)
+    // accumulators even if one early block is pathologically slow.
+    let window = 2 * threads;
+    let next = AtomicUsize::new(0);
+    let merger = StdMutex::new(Merger {
+        next_to_merge: 0,
+        pending: Vec::with_capacity(window),
+        result: None,
+        peak_pending: 0,
+    });
+    let not_full = Condvar::new();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                {
+                    // Claim gate: keep the out-of-order window bounded.
+                    let guard = merger.lock().expect("fold merger lock");
+                    let _guard = not_full
+                        .wait_while(guard, |m| m.pending.len() >= window)
+                        .expect("fold merger wait");
+                }
+                let b = next.fetch_add(1, Ordering::Relaxed);
+                if b >= blocks {
+                    break;
+                }
+                let acc = fold_block(b);
+                let mut m = merger.lock().expect("fold merger lock");
+                m.pending.push((b, acc));
+                m.peak_pending = m.peak_pending.max(m.pending.len());
+                // Drain everything now mergeable, in block order.
+                while let Some(pos) =
+                    m.pending.iter().position(|(i, _)| *i == m.next_to_merge)
+                {
+                    let (_, acc) = m.pending.swap_remove(pos);
+                    match &mut m.result {
+                        None => m.result = Some(acc),
+                        Some(r) => merge(r, acc),
+                    }
+                    m.next_to_merge += 1;
+                }
+                drop(m);
+                not_full.notify_all();
+            });
+        }
+    });
+    let m = merger.into_inner().expect("fold merger poisoned");
+    let stats = FoldStats {
+        blocks,
+        peak_pending: m.peak_pending,
+    };
+    (m.result.expect("at least one block"), stats)
+}
+
+/// Streaming fold over `trials` independent trials: `fold(acc, i, seed)`
+/// folds trial `i` (with its derived per-trial seed) into the
+/// accumulator, and `merge` combines two accumulators.
+///
+/// The result is bit-identical for every `threads` value (see the module
+/// docs for the block-merge contract) and peak result-buffer memory is
+/// O(threads) accumulators — there is no `Vec` of length `trials`
+/// anywhere on this path.
+pub fn run_trials_fold<A, I, F, M>(
+    trials: usize,
+    threads: usize,
+    master_seed: u64,
+    init: I,
+    fold: F,
+    merge: M,
+) -> A
+where
+    A: Send,
+    I: Fn() -> A + Sync,
+    F: Fn(&mut A, usize, u64) + Sync,
+    M: Fn(&mut A, A) + Sync,
+{
+    run_trials_fold_with_stats(trials, threads, master_seed, init, fold, merge).0
+}
+
+/// [`run_trials_fold`] plus [`FoldStats`] instrumentation (used by tests
+/// and `rfc-bench` to demonstrate the O(threads) memory behavior).
+pub fn run_trials_fold_with_stats<A, I, F, M>(
+    trials: usize,
+    threads: usize,
+    master_seed: u64,
+    init: I,
+    fold: F,
+    merge: M,
+) -> (A, FoldStats)
+where
+    A: Send,
+    I: Fn() -> A + Sync,
+    F: Fn(&mut A, usize, u64) + Sync,
+    M: Fn(&mut A, A) + Sync,
+{
+    fold_indexed(
+        trials,
+        threads,
+        init,
+        |acc, i| fold(acc, i, derive_seed(master_seed, i as u64)),
+        merge,
+    )
+}
+
+/// Fold-variant of [`par_map`]: streams `fold(acc, i, &inputs[i])` over
+/// an explicit input list with the same block-merge contract (and the
+/// same O(threads) memory bound) as [`run_trials_fold`].
+pub fn par_fold<T, A, I, F, M>(
+    inputs: &[T],
+    threads: usize,
+    init: I,
+    fold: F,
+    merge: M,
+) -> A
+where
+    T: Sync,
+    A: Send,
+    I: Fn() -> A + Sync,
+    F: Fn(&mut A, usize, &T) + Sync,
+    M: Fn(&mut A, A) + Sync,
+{
+    fold_indexed(
+        inputs.len(),
+        threads,
+        init,
+        |acc, i| fold(acc, i, &inputs[i]),
+        merge,
+    )
+    .0
+}
 
 /// Number of worker threads to use: the available parallelism, capped by
 /// the trial count (spawning more workers than trials is pure overhead).
@@ -128,6 +360,121 @@ mod tests {
     fn default_threads_is_capped_by_trials() {
         assert_eq!(default_threads(1), 1);
         assert!(default_threads(1000) >= 1);
+    }
+
+    #[test]
+    fn fold_is_bit_identical_across_thread_counts() {
+        // A float accumulator whose value depends on merge order: the
+        // block contract must make 1, 2, and 8 workers agree bit-for-bit.
+        let fold = |acc: &mut (f64, u64), _i: usize, seed: u64| {
+            acc.0 += (seed % 1000) as f64 * 0.001 + acc.0 * 1e-9;
+            acc.1 += 1;
+        };
+        let merge = |a: &mut (f64, u64), b: (f64, u64)| {
+            a.0 += b.0;
+            a.1 += b.1;
+        };
+        let run = |threads| {
+            run_trials_fold(1000, threads, 99, || (0.0f64, 0u64), fold, merge)
+        };
+        let one = run(1);
+        for threads in [2, 8] {
+            let t = run(threads);
+            assert_eq!(one.0.to_bits(), t.0.to_bits(), "threads={threads}");
+            assert_eq!(one.1, t.1);
+        }
+        assert_eq!(one.1, 1000);
+    }
+
+    #[test]
+    fn fold_matches_buffered_aggregate() {
+        // Exact (integer) accumulators must agree with the buffered path.
+        let buffered: u64 = run_trials(500, 4, 7, |s| s % 17).iter().sum();
+        let folded = run_trials_fold(
+            500,
+            4,
+            7,
+            || 0u64,
+            |acc, _i, seed| *acc += seed % 17,
+            |a, b| *a += b,
+        );
+        assert_eq!(buffered, folded);
+    }
+
+    #[test]
+    fn fold_peak_pending_is_o_threads_not_o_trials() {
+        let trials = 10_000;
+        let threads = 8;
+        let (count, stats) = run_trials_fold_with_stats(
+            trials,
+            threads,
+            3,
+            || 0u64,
+            |acc, _i, _seed| *acc += 1,
+            |a, b| *a += b,
+        );
+        assert_eq!(count, trials as u64);
+        assert_eq!(stats.blocks, trials.div_ceil(fold_block_size(trials)));
+        assert!(
+            stats.peak_pending <= 3 * threads,
+            "peak pending {} exceeds 3·threads",
+            stats.peak_pending
+        );
+        assert!(stats.peak_pending < stats.blocks / 4, "window must not scale with trials");
+    }
+
+    #[test]
+    fn small_trial_counts_still_split_into_many_blocks() {
+        // A 25-trial fold (E14's n = 10⁵ point) must not collapse into
+        // one serial block — every worker should get work.
+        assert_eq!(fold_block_size(25), 1);
+        assert_eq!(fold_block_size(640), 10);
+        assert_eq!(fold_block_size(10_000), FOLD_BLOCK);
+        assert_eq!(fold_block_size(0), 1);
+        let (sum, stats) = run_trials_fold_with_stats(
+            25,
+            8,
+            1,
+            || 0u64,
+            |acc, i, _| *acc += i as u64,
+            |a, b| *a += b,
+        );
+        assert_eq!(sum, (0..25).sum::<u64>());
+        assert_eq!(stats.blocks, 25);
+    }
+
+    #[test]
+    fn fold_zero_trials_returns_init() {
+        let out = run_trials_fold(0, 4, 1, || 41u32, |acc, _, _| *acc += 1, |a, b| *a += b);
+        assert_eq!(out, 41);
+    }
+
+    #[test]
+    fn fold_seeds_match_run_trials_seeds() {
+        // Trial i must see derive_seed(master, i), exactly like run_trials.
+        let seeds = run_trials(100, 1, 5, |s| s);
+        let folded: Vec<u64> = run_trials_fold(
+            100,
+            1,
+            5,
+            Vec::new,
+            |acc: &mut Vec<u64>, _i, seed| acc.push(seed),
+            |a, mut b| a.append(&mut b),
+        );
+        assert_eq!(seeds, folded);
+    }
+
+    #[test]
+    fn par_fold_streams_inputs_in_order() {
+        let inputs: Vec<u32> = (0..301).collect();
+        let folded: Vec<u32> = par_fold(
+            &inputs,
+            5,
+            Vec::new,
+            |acc: &mut Vec<u32>, _i, &x| acc.push(x * 2),
+            |a, mut b| a.append(&mut b),
+        );
+        assert_eq!(folded, inputs.iter().map(|x| x * 2).collect::<Vec<_>>());
     }
 
     #[test]

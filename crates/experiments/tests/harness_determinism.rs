@@ -28,6 +28,31 @@ fn experiment_output_is_thread_count_invariant() {
 }
 
 #[test]
+fn fold_experiments_are_bit_identical_for_1_2_8_threads() {
+    // The streaming-fold ports (E1, E4, E5, E7) quote floating-point
+    // digits; the block-merge contract must make every thread count
+    // reproduce them byte-for-byte, not merely approximately.
+    for id in ["e01", "e04", "e05", "e07"] {
+        let render = |threads: usize| {
+            let opts = ExpOptions {
+                quick: true,
+                seed: 0xF01D,
+                threads,
+            };
+            render_all(&run_by_id(id, &opts).unwrap())
+        };
+        let one = render(1);
+        for threads in [2, 8] {
+            assert_eq!(
+                one,
+                render(threads),
+                "{id}: output differs between 1 and {threads} worker threads"
+            );
+        }
+    }
+}
+
+#[test]
 fn experiment_output_depends_on_seed() {
     let s1 = ExpOptions {
         quick: true,

@@ -20,13 +20,34 @@
 //! The engine enforces the GOSSIP constraints *outside* the agents: one op
 //! per agent per round (the `act` signature makes more impossible),
 //! authenticated sender labels on every delivery, topology respected, and
-//! faulty agents fully quiescent. Message sizes are metered on every wire
-//! message via [`MsgSize`].
+//! faulty agents fully quiescent.
+//!
+//! # Metering contract
+//!
+//! Every wire message is metered via [`MsgSize`] **at send time**, in
+//! both the synchronous and the asynchronous engine:
+//!
+//! * **pushes** — metered when sent, even if the edge does not exist,
+//!   the receiver is faulty, or the loss process drops the message;
+//! * **pull queries** — metered when issued (unless
+//!   [`NetworkConfig::meter_queries`] is off), even if the query is lost
+//!   or the target is faulty/unreachable;
+//! * **pull replies** — metered when the pullee *produces* one (its
+//!   [`Agent::on_pull`] returns `Some`), even if the reply is then lost
+//!   in transit. No reply message exists — and none is metered — when
+//!   the query never arrived, the target is faulty or out of
+//!   neighborhood, or the pullee chooses silence.
+//!
+//! In short: lost messages are still metered (they were sent); messages
+//! that were never sent are not. So under loss probability `p`,
+//! `messages_sent == pushes + queries + produced replies` exactly, for
+//! every `p`.
 //!
 //! [`Network::run_async`] implements the sequential variant from the
 //! paper's Conclusions: at each tick exactly one uniformly-random agent
 //! wakes and performs one operation, which completes (including the pull
-//! reply) before the next tick.
+//! reply) before the next tick. Async metrics count **rounds ==
+//! activations == ticks**, independent of fault placement.
 
 use crate::agent::{Agent, Op, RoundCtx};
 use crate::fault::FaultPlan;
@@ -45,11 +66,13 @@ pub struct NetworkConfig {
     /// Meter pull queries on the wire (protocol queries are constant-size
     /// tags; disabling this models free control traffic).
     pub meter_queries: bool,
-    /// Independent per-message drop probability (failure injection; the
-    /// paper's model assumes reliable channels, i.e. 0.0). Applies to
-    /// pushes, pull queries, and pull replies; dropped messages are still
-    /// metered (they were sent) but never delivered, and a dropped query
-    /// or reply is indistinguishable from the peer's silence.
+    /// Independent per-message drop probability in the closed interval
+    /// `[0.0, 1.0]` (failure injection; the paper's model assumes
+    /// reliable channels, i.e. 0.0, and 1.0 models total channel
+    /// failure). Applies to pushes, pull queries, and pull replies;
+    /// dropped messages are still metered (they were sent) but never
+    /// delivered, and a dropped query or reply is indistinguishable from
+    /// the peer's silence.
     pub loss_probability: f64,
     /// Seed for the loss process (kept separate from agent randomness so
     /// loss patterns are reproducible and orthogonal).
@@ -120,8 +143,8 @@ impl<M: MsgSize + Clone, A: Agent<M>> Network<M, A> {
             "fault plan size must match agent count"
         );
         assert!(
-            (0.0..1.0).contains(&config.loss_probability),
-            "loss probability must be in [0, 1)"
+            (0.0..=1.0).contains(&config.loss_probability),
+            "loss probability must be in [0, 1]"
         );
         let n = agents.len();
         let loss_rng = if config.loss_probability > 0.0 {
@@ -210,7 +233,8 @@ impl<M: MsgSize + Clone, A: Agent<M>> Network<M, A> {
         self.ops = ops;
         self.ops.clear();
 
-        // -- 4. deliver replies -------------------------------------------
+        // -- 4. deliver replies (already metered at send time in
+        //    `answer_pull`; a reply lost in transit was still sent) ------
         let mut replies = std::mem::take(&mut self.replies);
         {
             let ctx = RoundCtx {
@@ -218,9 +242,6 @@ impl<M: MsgSize + Clone, A: Agent<M>> Network<M, A> {
                 topology: &self.topology,
             };
             for (puller, pullee, reply) in replies.drain(..) {
-                if let Some(msg) = &reply {
-                    self.metrics.record_message(msg.size_bits(&self.env));
-                }
                 self.agents[puller as usize].on_reply(pullee, reply, &ctx);
             }
         }
@@ -251,6 +272,13 @@ impl<M: MsgSize + Clone, A: Agent<M>> Network<M, A> {
             };
             self.agents[pullee as usize].on_pull(puller, query.clone(), &ctx)
         };
+        // A produced reply is metered HERE, at send time: it went on the
+        // wire whether or not it survives transit. (Metering at delivery
+        // would make lost replies invisible in bits_sent/messages_sent,
+        // contradicting the metering contract and under-counting E13.)
+        if let Some(msg) = &reply {
+            self.metrics.record_message(msg.size_bits(&self.env));
+        }
         // A produced reply can itself be lost in transit.
         let reply = if reply.is_some() && self.dropped() {
             None
@@ -287,6 +315,13 @@ impl<M: MsgSize + Clone, A: Agent<M>> Network<M, A> {
     /// activations, each waking one uniformly-random agent which performs
     /// one complete operation (including the pull round-trip). The round
     /// index exposed to agents is the tick index.
+    ///
+    /// Metrics semantics: **rounds == activations == ticks**. Every tick
+    /// records a round — including ticks that wake a faulty (quiescent)
+    /// agent or an agent that declines to act — so `metrics.rounds`
+    /// always equals `metrics.ticks` and never depends on fault
+    /// placement. The active-op count of a tick is 1 if an operation was
+    /// performed, else 0.
     pub fn run_async(&mut self, ticks: usize, scheduler_rng: &mut DetRng) {
         let n = self.agents.len();
         for _ in 0..ticks {
@@ -294,6 +329,7 @@ impl<M: MsgSize + Clone, A: Agent<M>> Network<M, A> {
             self.metrics.record_tick();
             let id = scheduler_rng.index(n) as AgentId;
             if self.faults.is_faulty(id) {
+                self.metrics.record_round(0); // activation with no op
                 self.round += 1;
                 continue;
             }
@@ -304,16 +340,16 @@ impl<M: MsgSize + Clone, A: Agent<M>> Network<M, A> {
                 };
                 self.agents[id as usize].act(&ctx)
             };
+            let performed = op.is_some() as u64;
             match op {
                 None => {}
                 Some(Op::Push { to, msg }) => {
                     self.deliver_push(id, to, &msg, round);
                 }
                 Some(Op::Pull { from: target, query }) => {
+                    // `answer_pull` meters the query and any produced
+                    // reply at send time; nothing to meter here.
                     let reply = self.answer_pull(id, target, &query, round);
-                    if let Some(m) = &reply {
-                        self.metrics.record_message(m.size_bits(&self.env));
-                    }
                     let ctx = RoundCtx {
                         round,
                         topology: &self.topology,
@@ -321,7 +357,7 @@ impl<M: MsgSize + Clone, A: Agent<M>> Network<M, A> {
                     self.agents[id as usize].on_reply(target, reply, &ctx);
                 }
             }
-            self.metrics.record_round(1);
+            self.metrics.record_round(performed);
             self.round += 1;
         }
     }
@@ -744,18 +780,38 @@ mod tests {
         }
     }
 
+    /// Always pulls `target`; counts replies it *produces* (as pullee)
+    /// and replies actually *delivered* to it (as puller).
+    struct CountingPuller {
+        target: AgentId,
+        produced: u64,
+        delivered: u64,
+    }
+    impl CountingPuller {
+        fn new(target: AgentId) -> Self {
+            CountingPuller {
+                target,
+                produced: 0,
+                delivered: 0,
+            }
+        }
+    }
+    impl Agent<Num> for CountingPuller {
+        fn act(&mut self, _ctx: &RoundCtx) -> Option<Op<Num>> {
+            Some(Op::pull(self.target, Num(0)))
+        }
+        fn on_pull(&mut self, _from: AgentId, _q: Num, _ctx: &RoundCtx) -> Option<Num> {
+            self.produced += 1;
+            Some(Num(7))
+        }
+        fn on_reply(&mut self, _from: AgentId, reply: Option<Num>, _ctx: &RoundCtx) {
+            self.delivered += reply.is_some() as u64;
+        }
+    }
+
     #[test]
     fn lossy_pulls_yield_silence_not_errors() {
-        let agents: Vec<Box<dyn Agent<Num>>> = vec![
-            Box::new(FixedPuller {
-                target: 1,
-                answers: vec![],
-            }),
-            Box::new(FixedPuller {
-                target: 0,
-                answers: vec![],
-            }),
-        ];
+        let agents = vec![CountingPuller::new(1), CountingPuller::new(0)];
         let mut net = Network::with_config(
             Topology::complete(2),
             SizeEnv::for_n(2),
@@ -768,14 +824,116 @@ mod tests {
             },
         );
         net.run(400);
-        // Replies metered < queries issued (some were dropped either as
-        // query or as reply): messages = 800 queries + delivered replies.
-        let delivered_replies = net.metrics().messages_sent - 800;
-        assert!(delivered_replies > 0, "some replies should survive");
+        // 800 queries metered; a reply is produced only for the ~50% of
+        // queries that arrive, and metered whether or not it survives the
+        // return leg.
+        let produced: u64 = net.agents().iter().map(|a| a.produced).sum();
+        let delivered: u64 = net.agents().iter().map(|a| a.delivered).sum();
+        assert_eq!(net.metrics().messages_sent, 800 + produced);
+        assert!((250..550).contains(&produced), "~half the queries arrive: {produced}");
+        assert!(delivered > 0, "some replies should survive");
         assert!(
-            (delivered_replies as f64) < 800.0 * 0.5,
-            "with 50% loss per leg, well under half the replies survive: {delivered_replies}"
+            delivered < produced,
+            "with 50% loss on the return leg, some produced replies are lost"
         );
+    }
+
+    #[test]
+    fn dropped_pull_replies_are_metered_at_send() {
+        // Regression (metering contract): under loss, messages_sent must
+        // equal pushes + queries + PRODUCED replies. The old engine
+        // converted a lost reply to None before metering, silently
+        // under-counting the wire traffic.
+        struct Pusher;
+        impl Agent<Num> for Pusher {
+            fn act(&mut self, _ctx: &RoundCtx) -> Option<Op<Num>> {
+                Some(Op::push(1, Num(3)))
+            }
+        }
+        enum Mixed {
+            Push(Pusher),
+            Pull(CountingPuller),
+        }
+        impl Agent<Num> for Mixed {
+            fn act(&mut self, ctx: &RoundCtx) -> Option<Op<Num>> {
+                match self {
+                    Mixed::Push(a) => a.act(ctx),
+                    Mixed::Pull(a) => a.act(ctx),
+                }
+            }
+            fn on_pull(&mut self, from: AgentId, q: Num, ctx: &RoundCtx) -> Option<Num> {
+                match self {
+                    Mixed::Push(a) => a.on_pull(from, q, ctx),
+                    Mixed::Pull(a) => a.on_pull(from, q, ctx),
+                }
+            }
+            fn on_push(&mut self, from: AgentId, m: Num, ctx: &RoundCtx) {
+                match self {
+                    Mixed::Push(a) => a.on_push(from, m, ctx),
+                    Mixed::Pull(a) => a.on_push(from, m, ctx),
+                }
+            }
+            fn on_reply(&mut self, from: AgentId, r: Option<Num>, ctx: &RoundCtx) {
+                match self {
+                    Mixed::Push(a) => a.on_reply(from, r, ctx),
+                    Mixed::Pull(a) => a.on_reply(from, r, ctx),
+                }
+            }
+        }
+        let agents = vec![
+            Mixed::Push(Pusher),
+            Mixed::Pull(CountingPuller::new(2)),
+            Mixed::Pull(CountingPuller::new(1)),
+        ];
+        let rounds = 500u64;
+        let mut net = Network::with_config(
+            Topology::complete(3),
+            SizeEnv::for_n(3),
+            agents,
+            FaultPlan::none(3),
+            NetworkConfig {
+                loss_probability: 0.3,
+                loss_seed: 17,
+                ..NetworkConfig::default()
+            },
+        );
+        net.run(rounds as usize);
+        let produced: u64 = net
+            .agents()
+            .iter()
+            .map(|a| match a {
+                Mixed::Pull(p) => p.produced,
+                Mixed::Push(_) => 0,
+            })
+            .sum();
+        let pushes = rounds;
+        let queries = 2 * rounds;
+        assert!(produced < queries, "30% of queries are lost before the pullee");
+        assert_eq!(
+            net.metrics().messages_sent,
+            pushes + queries + produced,
+            "every sent message — including replies later lost in transit — must be metered"
+        );
+    }
+
+    #[test]
+    fn async_pull_messages_are_metered_exactly_once() {
+        // Loss-free async: every tick is one pull — one query + one
+        // produced reply = exactly two wire messages, never double-metered.
+        let agents = vec![CountingPuller::new(1), CountingPuller::new(0)];
+        let mut net = Network::new(
+            Topology::complete(2),
+            SizeEnv::for_n(2),
+            agents,
+            FaultPlan::none(2),
+        );
+        let mut rng = DetRng::seeded(3, 0);
+        net.run_async(250, &mut rng);
+        assert_eq!(net.metrics().messages_sent, 2 * 250);
+        let produced: u64 = net.agents().iter().map(|a| a.produced).sum();
+        let delivered: u64 = net.agents().iter().map(|a| a.delivered).sum();
+        assert_eq!(produced, 250);
+        assert_eq!(delivered, 250);
     }
 
     #[test]
@@ -801,18 +959,69 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "loss probability")]
-    fn loss_probability_must_be_sub_one() {
+    fn loss_probability_above_one_is_rejected() {
         let _ = Network::with_config(
             Topology::complete(2),
             SizeEnv::for_n(2),
             pushers(2, 0),
             FaultPlan::none(2),
             NetworkConfig {
-                loss_probability: 1.0,
+                loss_probability: 1.5,
                 loss_seed: 0,
                 ..NetworkConfig::default()
             },
         );
+    }
+
+    #[test]
+    fn total_loss_is_accepted_and_delivers_nothing() {
+        // loss_probability = 1.0 is a legitimate failure-injection
+        // scenario (total channel failure): everything sent is metered,
+        // nothing arrives.
+        let agents = vec![ProbeAgent::sender(), ProbeAgent::receiver()];
+        let mut net = Network::with_config(
+            Topology::complete(2),
+            SizeEnv::for_n(2),
+            agents,
+            FaultPlan::none(2),
+            NetworkConfig {
+                loss_probability: 1.0,
+                loss_seed: 4,
+                ..NetworkConfig::default()
+            },
+        );
+        net.run(50);
+        assert_eq!(net.metrics().messages_sent, 50, "sends are still metered");
+        assert_eq!(net.agent(1).received, 0, "nothing may arrive at p = 1");
+    }
+
+    #[test]
+    fn async_rounds_equal_ticks_for_any_fault_placement() {
+        // Regression: a faulty agent's tick used to skip record_round,
+        // making metrics.rounds depend on where the faults sit. The
+        // defined semantics are rounds == activations == ticks.
+        let n = 8;
+        let ticks = 200;
+        for faults in [
+            FaultPlan::none(n),
+            FaultPlan::place(n, 3, Placement::LowIds),
+            FaultPlan::place(n, 3, Placement::HighIds),
+        ] {
+            let mut net = Network::new(
+                Topology::complete(n),
+                SizeEnv::for_n(n),
+                pushers(n, 0),
+                faults,
+            );
+            let mut rng = DetRng::seeded(11, 0);
+            net.run_async(ticks, &mut rng);
+            assert_eq!(net.metrics().ticks, ticks as u64);
+            assert_eq!(
+                net.metrics().rounds,
+                ticks as u64,
+                "rounds must equal ticks regardless of fault placement"
+            );
+        }
     }
 
     #[test]

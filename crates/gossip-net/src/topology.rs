@@ -53,10 +53,16 @@ impl Topology {
         Topology::Sparse(Csr::from_adjacency(&adj))
     }
 
-    /// A random `d`-regular multigraph via the configuration model
-    /// (pair-matching of `n·d` stubs; requires `n·d` even). Self-loops are
-    /// re-rolled a bounded number of times and then dropped, so degrees can
-    /// be *at most* `d` in rare cases — fine for the expander experiments.
+    /// A random near-`d`-regular **simple** graph via the configuration
+    /// model (pair-matching of `n·d` stubs; requires `n·d` even).
+    ///
+    /// Documented behavior (pinned by a property test): the stub matching
+    /// is re-shuffled up to 64 times to avoid self-loops; any surviving
+    /// self-loop and any parallel edge is then silently dropped, so the
+    /// result is always a simple undirected graph with every degree **at
+    /// most** `d` — exactly `d` for all but an `O(d²/n)` expected
+    /// fraction of vertices. Fine for the expander experiments; not a
+    /// uniform sample from exactly-`d`-regular graphs.
     pub fn random_regular(n: usize, d: usize, seed: u64) -> Self {
         assert!(n >= 2 && d >= 1 && d < n);
         assert!((n * d).is_multiple_of(2), "n*d must be even for a d-regular graph");
@@ -73,7 +79,10 @@ impl Topology {
             }
         }
         for c in stubs.chunks_exact(2) {
-            if c[0] != c[1] {
+            // Keep the pair only if it is neither a self-loop nor a
+            // duplicate of an edge already placed (d is small, so the
+            // `contains` scan is cheap).
+            if c[0] != c[1] && !adj[c[0] as usize].contains(&c[1]) {
                 adj[c[0] as usize].push(c[1]);
                 adj[c[1] as usize].push(c[0]);
             }

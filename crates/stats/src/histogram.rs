@@ -49,6 +49,24 @@ impl Histogram {
         self.bins[idx] += 1;
     }
 
+    /// Merge another histogram with the same binning (parallel trial
+    /// aggregation: each worker fills a private histogram, partials merge
+    /// exactly — counts are integers, so merge order never matters).
+    ///
+    /// Panics if the ranges or bin counts differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert!(
+            self.lo == other.lo && self.hi == other.hi && self.bins.len() == other.bins.len(),
+            "histogram merge requires identical binning"
+        );
+        for (b, o) in self.bins.iter_mut().zip(&other.bins) {
+            *b += o;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+        self.count += other.count;
+    }
+
     /// Raw bin counts.
     pub fn bins(&self) -> &[u64] {
         &self.bins
@@ -140,5 +158,29 @@ mod tests {
     #[should_panic(expected = "empty histogram range")]
     fn inverted_range_panics() {
         let _ = Histogram::new(1.0, 1.0, 3);
+    }
+
+    #[test]
+    fn merge_equals_sequential_fill() {
+        let mut all = Histogram::new(0.0, 10.0, 5);
+        let mut a = Histogram::new(0.0, 10.0, 5);
+        let mut b = Histogram::new(0.0, 10.0, 5);
+        for i in 0..40 {
+            let x = (i as f64) * 0.31 - 1.0; // exercises underflow too
+            all.add(x);
+            if i < 17 { a.add(x) } else { b.add(x) }
+        }
+        a.merge(&b);
+        assert_eq!(a.bins(), all.bins());
+        assert_eq!(a.count(), all.count());
+        assert_eq!(a.clamped(), all.clamped());
+    }
+
+    #[test]
+    #[should_panic(expected = "identical binning")]
+    fn merge_rejects_mismatched_binning() {
+        let mut a = Histogram::new(0.0, 10.0, 5);
+        let b = Histogram::new(0.0, 10.0, 4);
+        a.merge(&b);
     }
 }

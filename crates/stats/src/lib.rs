@@ -15,7 +15,10 @@
 //! * [`fit`] — least-squares fits of `log n`, `log² n`, and power-law
 //!   scalings (E1/E2/E3);
 //! * [`summary`] / [`histogram`] — streaming aggregation of Monte-Carlo
-//!   trials and compact distribution reports.
+//!   trials and compact distribution reports. [`Summary`] (Welford),
+//!   [`Tally`] (exact u64 count/sum/min/max), and [`Histogram`] are all
+//!   *mergeable*, so `run_trials_fold` workers can aggregate privately
+//!   and combine partials without retaining raw samples.
 //!
 //! Everything is deterministic, allocation-light, and tested against
 //! reference values (R / Numerical Recipes) where external references
@@ -34,5 +37,5 @@ pub use chi_square::{chi_square_gof, chi_square_sf, ChiSquare};
 pub use ci::{mean_ci, wilson, wilson95, wilson99, Interval};
 pub use fit::{linear_fit, log2_squared_fit, log_fit, power_fit, LinearFit, PowerFit};
 pub use histogram::Histogram;
-pub use summary::{Quantiles, Summary};
+pub use summary::{Quantiles, Summary, Tally};
 pub use tv::{tv_distance, tv_from_counts};

@@ -3,8 +3,16 @@
 //! The experiment harness aggregates thousands of Monte-Carlo trials; the
 //! [`Summary`] accumulator is single-pass and numerically stable (Welford
 //! 1962), so per-trial metrics can be folded in as they arrive without
-//! storing every sample. [`Quantiles`] stores samples for exact empirical
-//! quantiles where the sample counts are modest.
+//! storing every sample. [`Tally`] is its exact integer sibling
+//! (count/sum/min/max over `u64`, merge order irrelevant) for counters
+//! like bit totals that overflow f64 precision past 2⁵³. [`Quantiles`]
+//! stores samples for exact empirical quantiles where the sample counts
+//! are modest.
+//!
+//! `Summary`, `Tally`, and [`crate::Histogram`] are all *mergeable*:
+//! `experiments::parallel::run_trials_fold` workers fill private
+//! accumulators and the harness merges the partials, so aggregation
+//! memory never scales with the trial count.
 
 /// Single-pass mean/variance/extrema accumulator (Welford's algorithm).
 #[derive(Debug, Clone, Default)]
@@ -113,6 +121,81 @@ impl Summary {
     /// Maximum observation (−∞ when empty).
     pub fn max(&self) -> f64 {
         self.max
+    }
+}
+
+/// Exact streaming tally of an integer metric: count, sum, min, max over
+/// `u64`. Unlike [`Summary`] it never rounds (bit totals exceed 2⁵³ at
+/// production scale) and its merge is exactly associative and
+/// commutative, so any merge order gives the identical result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tally {
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Tally {
+    fn default() -> Self {
+        Tally::new()
+    }
+}
+
+impl Tally {
+    /// Empty tally.
+    pub fn new() -> Self {
+        Tally {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Fold in one observation.
+    pub fn add(&mut self, x: u64) {
+        self.count += 1;
+        self.sum += x;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merge another tally (parallel aggregation; exact in any order).
+    pub fn merge(&mut self, other: &Tally) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of observations.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest observation (`u64::MAX` when empty).
+    pub fn min(&self) -> u64 {
+        self.min
+    }
+
+    /// Largest observation (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean observation (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
     }
 }
 
@@ -225,6 +308,38 @@ mod tests {
         let offset = 1e9;
         let s = Summary::from_iter([offset + 1.0, offset + 2.0, offset + 3.0]);
         assert!((s.variance() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn tally_counts_exactly() {
+        let mut t = Tally::new();
+        for x in [5u64, 1, 9, 9, 3] {
+            t.add(x);
+        }
+        assert_eq!(t.count(), 5);
+        assert_eq!(t.sum(), 27);
+        assert_eq!(t.min(), 1);
+        assert_eq!(t.max(), 9);
+        assert!((t.mean() - 5.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tally_merge_is_order_independent_and_exact() {
+        // Sums past 2^53 are exact in u64 where f64 would round.
+        let big = (1u64 << 53) + 1;
+        let mut a = Tally::new();
+        a.add(big);
+        let mut b = Tally::new();
+        b.add(1);
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.sum(), big + 1);
+        let mut e = Tally::new();
+        e.merge(&ab);
+        assert_eq!(e, ab, "merging into empty is identity");
     }
 
     #[test]
