@@ -23,6 +23,9 @@ cargo build --benches
 echo "==> bench smoke: one-shot throughput run (round engine + trial fold)"
 cargo bench -p rfc-bench --bench throughput
 
+echo "==> bench smoke: dispatch head-to-head (boxed-dyn vs enum vs enum+arena)"
+cargo bench -p rfc-bench --bench dispatch
+
 echo "==> examples build (release)"
 cargo build --release --examples
 
@@ -31,7 +34,9 @@ cargo run --release -q -p experiments --bin rfc-experiments -- list
 
 echo "==> perf snapshot: e14 --quick -> BENCH_scale.json"
 cargo run --release -q -p experiments --bin rfc-experiments -- e14 --quick --json target/bench-json >/dev/null
-cp target/bench-json/e14_0.json BENCH_scale.json
-echo "    wrote BENCH_scale.json (rounds/s, bytes/agent, RSS growth per n)"
+# Two JSON lines: the scale sweep (E14) and the enum-vs-dyn dispatch
+# comparison (E14b) — the perf trajectory tracked across PRs.
+cat target/bench-json/e14_0.json target/bench-json/e14_1.json > BENCH_scale.json
+echo "    wrote BENCH_scale.json (scale sweep + dispatch comparison rows)"
 
 echo "CI OK"

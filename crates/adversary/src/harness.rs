@@ -18,9 +18,10 @@ use crate::coalition::{new_coalition, select_members, Coalition, CoalitionSelect
 use crate::strategies::Strategy;
 use gossip_net::ids::{AgentId, ColorId};
 use gossip_net::rng::derive_seed;
-use rfc_core::engine::{ConsensusAgent, HonestAgent, ProtocolCore};
+use rfc_core::agent_plane::AgentSlot;
+use rfc_core::engine::ProtocolCore;
 use rfc_core::outcome::{utility, Outcome};
-use rfc_core::runner::{build_network, collect_report, drive_network, RunConfig, RunReport};
+use rfc_core::runner::{RunConfig, RunReport, TrialArena};
 use rfc_core::Params;
 use rfc_stats::ci::{wilson95, Interval};
 
@@ -164,8 +165,23 @@ pub fn coalition_colors(n: usize, members: &[AgentId]) -> Vec<ColorId> {
 }
 
 /// Run a single deviating trial: coalition members run the strategy,
-/// everyone else is honest.
+/// everyone else is honest. Builds a fresh network; Monte-Carlo loops
+/// should prefer [`run_attack_trial_in`] with a per-worker arena.
 pub fn run_attack_trial(
+    cfg: &RunConfig,
+    strategy: &dyn Strategy,
+    members: &[AgentId],
+    seed: u64,
+) -> RunReport {
+    run_attack_trial_in(&mut TrialArena::new(), cfg, strategy, members, seed)
+}
+
+/// [`run_attack_trial`] into a reusable [`TrialArena`]: the deviating
+/// agents land in their dedicated [`AgentSlot`] variants, so attack
+/// trials ride the same jump-table dispatch and recycled allocations as
+/// honest ones. Same `(cfg, seed)` ⇒ bit-identical report either way.
+pub fn run_attack_trial_in(
+    arena: &mut TrialArena,
     cfg: &RunConfig,
     strategy: &dyn Strategy,
     members: &[AgentId],
@@ -182,12 +198,10 @@ pub fn run_attack_trial(
         if member_set.binary_search(&id).is_ok() {
             strategy.build(core, std::rc::Rc::clone(&coalition))
         } else {
-            Box::new(HonestAgent::new(core)) as Box<dyn ConsensusAgent>
+            AgentSlot::honest(core)
         }
     };
-    let mut net = build_network(cfg, seed, &mut factory);
-    drive_network(&mut net, cfg);
-    collect_report(&net, cfg)
+    arena.run_with(cfg, seed, &mut factory)
 }
 
 /// Run the full paired experiment: `trials` seeds through both arms.
@@ -222,13 +236,16 @@ pub fn run_equilibrium_with(
     let mut cfg = cfg_proto;
     cfg.colors = rfc_core::runner::ColorSpec::Explicit(colors);
 
+    // One arena serves both arms of every paired trial: honest and
+    // deviating runs alternate through the same recycled network.
+    let mut arena = TrialArena::new();
     let mut honest = ArmStats::default();
     let mut deviating = ArmStats::default();
     for i in 0..trials {
         let seed = derive_seed(master_seed, i);
-        let h = rfc_core::runner::run_protocol(&cfg, seed);
+        let h = arena.run_protocol(&cfg, seed);
         honest.record(&h, &members, spec.chi);
-        let d = run_attack_trial(&cfg, spec.strategy, &members, seed);
+        let d = run_attack_trial_in(&mut arena, &cfg, spec.strategy, &members, seed);
         deviating.record(&d, &members, spec.chi);
     }
     EquilibriumReport {

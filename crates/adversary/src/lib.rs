@@ -16,6 +16,13 @@
 //! * [`harness`] — paired honest-vs-deviating Monte-Carlo comparison with
 //!   Wilson intervals on win rates and the paper's utility model.
 //!
+//! The coalition blackboard and the strategy suite are *defined* in
+//! `rfc-core` (so the monomorphic `AgentSlot` agent plane can name every
+//! strategy agent as an enum variant) and re-exported here unchanged;
+//! this crate owns the measurement harness. Attack trials run on the
+//! same jump-table dispatch and reusable [`rfc_core::TrialArena`]s as
+//! honest runs — deviating agents are enum variants, not boxes.
+//!
 //! The headline measurements (experiment E7):
 //!
 //! * no strategy pushes the coalition's color win rate significantly
@@ -26,13 +33,15 @@
 //! * the undetectable strategies (vote-rig, spy-tune) are measurably
 //!   neutral — exactly the deferred-decision argument of Claim 2.
 
-pub mod coalition;
+pub use rfc_core::coalition;
+pub use rfc_core::strategies;
+
 pub mod harness;
-pub mod strategies;
 
 pub use coalition::{new_coalition, select_members, Coalition, CoalitionSelection};
 pub use harness::{
-    coalition_colors, run_attack_trial, run_equilibrium, run_equilibrium_with, ArmStats,
+    coalition_colors, run_attack_trial, run_attack_trial_in, run_equilibrium,
+    run_equilibrium_with, ArmStats,
     AttackSpec, EquilibriumReport, COALITION_COLOR,
 };
 pub use strategies::{standard_attacks, Strategy};
@@ -41,7 +50,8 @@ pub use strategies::{standard_attacks, Strategy};
 pub mod prelude {
     pub use crate::coalition::{select_members, CoalitionSelection};
     pub use crate::harness::{
-        run_attack_trial, run_equilibrium, ArmStats, AttackSpec, EquilibriumReport,
+        run_attack_trial, run_attack_trial_in, run_equilibrium, ArmStats, AttackSpec,
+        EquilibriumReport,
         COALITION_COLOR,
     };
     pub use crate::strategies::{standard_attacks, Strategy};

@@ -103,15 +103,15 @@ impl Agent<NaiveMsg> for NaiveAgent {
         Some(Op::pull(peer, NaiveMsg::Query))
     }
 
-    fn on_pull(&mut self, _from: AgentId, query: NaiveMsg, _ctx: &RoundCtx) -> Option<NaiveMsg> {
+    fn on_pull(&mut self, _from: AgentId, query: &NaiveMsg, _ctx: &RoundCtx) -> Option<NaiveMsg> {
         match query {
             NaiveMsg::Query => Some(NaiveMsg::Best(self.best)),
             _ => None,
         }
     }
 
-    fn on_push(&mut self, _from: AgentId, msg: NaiveMsg, _ctx: &RoundCtx) {
-        if let NaiveMsg::Best(c) = msg {
+    fn on_push(&mut self, _from: AgentId, msg: &NaiveMsg, _ctx: &RoundCtx) {
+        if let NaiveMsg::Best(c) = *msg {
             self.consider(c);
         }
     }

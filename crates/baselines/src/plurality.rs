@@ -87,7 +87,7 @@ impl Agent<OpinionMsg> for MajorityAgent {
         Some(Op::pull(peer, OpinionMsg::Query))
     }
 
-    fn on_pull(&mut self, _from: AgentId, query: OpinionMsg, _ctx: &RoundCtx) -> Option<OpinionMsg> {
+    fn on_pull(&mut self, _from: AgentId, query: &OpinionMsg, _ctx: &RoundCtx) -> Option<OpinionMsg> {
         match query {
             OpinionMsg::Query => Some(OpinionMsg::Opinion(self.opinion)),
             _ => None,

@@ -93,15 +93,15 @@ impl Agent<RumorMsg> for RumorAgent {
         }
     }
 
-    fn on_pull(&mut self, _from: AgentId, query: RumorMsg, _ctx: &RoundCtx) -> Option<RumorMsg> {
+    fn on_pull(&mut self, _from: AgentId, query: &RumorMsg, _ctx: &RoundCtx) -> Option<RumorMsg> {
         match (query, self.rumor) {
             (RumorMsg::Query, Some(r)) => Some(RumorMsg::Rumor(r)),
             _ => None,
         }
     }
 
-    fn on_push(&mut self, _from: AgentId, msg: RumorMsg, ctx: &RoundCtx) {
-        if let RumorMsg::Rumor(r) = msg {
+    fn on_push(&mut self, _from: AgentId, msg: &RumorMsg, ctx: &RoundCtx) {
+        if let RumorMsg::Rumor(r) = *msg {
             self.learn(r, ctx.round);
         }
     }

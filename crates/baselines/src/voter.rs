@@ -72,7 +72,7 @@ impl Agent<VoterMsg> for VoterAgent {
         Some(Op::pull(peer, VoterMsg::Query))
     }
 
-    fn on_pull(&mut self, _from: AgentId, query: VoterMsg, _ctx: &RoundCtx) -> Option<VoterMsg> {
+    fn on_pull(&mut self, _from: AgentId, query: &VoterMsg, _ctx: &RoundCtx) -> Option<VoterMsg> {
         match query {
             VoterMsg::Query => Some(VoterMsg::Opinion(self.opinion)),
             _ => None,
@@ -208,8 +208,8 @@ mod tests {
             topology: &topo,
         };
         assert_eq!(
-            honest.on_pull(1, VoterMsg::Query, &ctx),
-            stubborn.on_pull(1, VoterMsg::Query, &ctx)
+            honest.on_pull(1, &VoterMsg::Query, &ctx),
+            stubborn.on_pull(1, &VoterMsg::Query, &ctx)
         );
     }
 }

@@ -1,0 +1,74 @@
+//! Dispatch head-to-head: the Monte-Carlo hot path through its three
+//! agent representations —
+//!
+//! * **boxed_dyn_rebuild** — the legacy pipeline: a fresh
+//!   `Vec<Box<dyn ConsensusAgent>>` built per trial, every agent call an
+//!   indirect call through a vtable;
+//! * **enum_fresh** — the monomorphic `AgentSlot` plane, network still
+//!   rebuilt per trial (isolates dispatch + inline-storage gains);
+//! * **enum_arena** — `AgentSlot` plane plus a reusable `TrialArena`
+//!   (adds cross-trial allocation reuse: the full fast path E7/E14 run).
+//!
+//! All three arms produce bit-identical `RunReport`s for the same
+//! `(cfg, seed)` — pinned by rfc-core's `dispatch_equivalence` tests and
+//! asserted again here on the first seed — so any time difference is
+//! pure representation cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rfc_core::runner::{run_protocol, run_protocol_boxed, RunConfig, TrialArena};
+use std::hint::black_box;
+
+fn cfg_for(n: usize) -> RunConfig {
+    RunConfig::builder(n)
+        .gamma(3.0)
+        .colors(vec![n - n / 2, n / 2])
+        .build()
+}
+
+fn bench_dispatch(c: &mut Criterion) {
+    for n in [256usize, 1024] {
+        let cfg = cfg_for(n);
+        let agent_rounds = (n * cfg.params().total_rounds()) as u64;
+
+        // Cross-arm sanity: identical simulations, element for element.
+        let a = run_protocol_boxed(&cfg, 1);
+        let b = run_protocol(&cfg, 1);
+        let mut arena = TrialArena::new();
+        arena.run_protocol(&cfg, 0); // warm the arena, then compare a reused trial
+        let c_rep = arena.run_protocol(&cfg, 1);
+        assert_eq!(a.outcome, b.outcome);
+        assert_eq!(a.metrics.bits_sent, b.metrics.bits_sent);
+        assert_eq!(b.metrics.bits_sent, c_rep.metrics.bits_sent);
+        assert_eq!(b.decisions, c_rep.decisions);
+
+        let mut group = c.benchmark_group(format!("dispatch_full_trial_n{n}"));
+        group.sample_size(10);
+        group.throughput(Throughput::Elements(agent_rounds));
+        group.bench_with_input(BenchmarkId::new("boxed_dyn_rebuild", n), &n, |b, _| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                black_box(run_protocol_boxed(&cfg, seed).rounds)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("enum_fresh", n), &n, |b, _| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                black_box(run_protocol(&cfg, seed).rounds)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("enum_arena", n), &n, |b, _| {
+            let mut arena = TrialArena::new();
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                black_box(arena.run_protocol(&cfg, seed).rounds)
+            })
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_dispatch);
+criterion_main!(benches);

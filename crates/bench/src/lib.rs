@@ -15,6 +15,9 @@
 //! * `throughput` — round-engine cost vs `n` and the buffered
 //!   `run_trials` harness vs the streaming `run_trials_fold` pipeline
 //!   (E14's substrate), including a fold-window (O(threads) memory)
-//!   witness.
+//!   witness;
+//! * `dispatch` — the agent-plane head-to-head: boxed-dyn rebuild vs
+//!   monomorphic `AgentSlot` (fresh network) vs `AgentSlot` + reusable
+//!   `TrialArena`, on bit-identical workloads.
 //!
-//! Run with `cargo bench -p rfc-bench` (or `--bench throughput` etc.).
+//! Run with `cargo bench -p rfc-bench` (or `--bench dispatch` etc.).

@@ -21,9 +21,10 @@
 //! declared votes are never delivered and Verification can fail the run —
 //! the failure probability decays exponentially in `q` (measured in E12).
 
-use crate::engine::{ConsensusAgent, HonestAgent, ProtocolCore};
+use crate::agent_plane::AgentSlot;
+use crate::engine::ProtocolCore;
 use crate::params::{Params, Phase};
-use crate::runner::{collect_report, build_network, RunConfig, RunReport};
+use crate::runner::{build_network_slots, collect_report, RunConfig, RunReport};
 use gossip_net::ids::{AgentId, ColorId};
 use gossip_net::rng::DetRng;
 
@@ -43,10 +44,9 @@ pub fn run_protocol_async(cfg: &RunConfig, seed: u64, slack: usize) -> RunReport
                             color: ColorId,
                             rng: DetRng,
                             topo: &gossip_net::topology::Topology| {
-        let core = ProtocolCore::new_on(topo, id, params, schedule, color, rng);
-        Box::new(HonestAgent::new(core)) as Box<dyn ConsensusAgent>
+        AgentSlot::honest(ProtocolCore::new_on(topo, id, params, schedule, color, rng))
     };
-    let mut net = build_network(cfg, seed, &mut factory);
+    let mut net = build_network_slots(cfg, seed, &mut factory);
     let mut scheduler = DetRng::seeded(seed, SCHEDULER_STREAM);
     for phase in Phase::COMMUNICATING {
         net.enter_phase(phase.name());

@@ -15,7 +15,7 @@
 //! same agent twice).
 
 use gossip_net::ids::{AgentId, ColorId};
-use std::sync::Arc;
+use crate::sharing::Shared;
 
 /// One received vote: `voter` sent `value` as the `round`-th entry of its
 /// declared intention list.
@@ -43,10 +43,10 @@ pub struct CertData {
     pub owner: AgentId,
 }
 
-/// A shareable certificate. `Arc` because Find-Min and Coherence clone the
+/// A shareable certificate. `Shared` because Find-Min and Coherence clone the
 /// same payload `Θ(n log n)` times; sharing makes those clones O(1) and
 /// equality still compares payloads.
-pub type Certificate = Arc<CertData>;
+pub type Certificate = Shared<CertData>;
 
 impl CertData {
     /// Build the honest certificate from received votes: sorts the votes
@@ -97,9 +97,12 @@ impl CertData {
 /// so certificate equality is syntactic).
 pub fn sum_votes_mod(votes: &[VoteRec], m: u64) -> u64 {
     debug_assert!(m >= 1);
-    votes
-        .iter()
-        .fold(0u64, |acc, v| (acc + (v.value % m)) % m)
+    // Accumulate exactly in u128 and reduce once: identical to reducing
+    // after every addition ((Σ v) mod m == (Σ (v mod m)) mod m), but one
+    // division instead of 2·|votes|. A u128 sum of u64 values cannot
+    // overflow below 2^64 summands.
+    let sum: u128 = votes.iter().map(|v| v.value as u128).sum();
+    (sum % m as u128) as u64
 }
 
 #[cfg(test)]
@@ -194,10 +197,10 @@ mod tests {
 
     #[test]
     fn arc_equality_compares_payloads() {
-        let a: Certificate = Arc::new(CertData::build(1, 2, vec![v(0, 0, 3)], 10));
-        let b: Certificate = Arc::new(CertData::build(1, 2, vec![v(0, 0, 3)], 10));
+        let a: Certificate = Shared::new(CertData::build(1, 2, vec![v(0, 0, 3)], 10));
+        let b: Certificate = Shared::new(CertData::build(1, 2, vec![v(0, 0, 3)], 10));
         assert_eq!(a, b);
-        let c: Certificate = Arc::new(CertData::build(1, 3, vec![v(0, 0, 3)], 10));
+        let c: Certificate = Shared::new(CertData::build(1, 3, vec![v(0, 0, 3)], 10));
         assert_ne!(a, c);
     }
 }

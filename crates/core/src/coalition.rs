@@ -10,7 +10,7 @@
 //! object per trial.
 
 use gossip_net::ids::{AgentId, ColorId};
-use rfc_core::msg::IntentList;
+use crate::msg::IntentList;
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -30,7 +30,7 @@ pub struct Intel {
     pub planned_tuned_votes: u64,
     /// A certificate chosen by the coalition to promote (forged or
     /// suppressed-second-minimum), if the strategy uses one.
-    pub promoted_cert: Option<rfc_core::Certificate>,
+    pub promoted_cert: Option<crate::Certificate>,
 }
 
 /// An immutable description of the coalition plus the shared blackboard.

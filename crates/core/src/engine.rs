@@ -40,7 +40,7 @@ use crate::params::{Params, Phase, PhaseSchedule};
 use gossip_net::agent::{Agent, Op, RoundCtx};
 use gossip_net::ids::{AgentId, ColorId};
 use gossip_net::rng::DetRng;
-use std::sync::Arc;
+use crate::sharing::Shared;
 
 /// Why Verification rejected the winning certificate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -188,13 +188,13 @@ impl ProtocolCore {
     /// minimum certificate with it. Idempotent.
     pub fn ensure_certificate(&mut self) {
         if self.own_cert.is_none() {
-            let cert: Certificate = Arc::new(CertData::build(
+            let cert: Certificate = Shared::new(CertData::build(
                 self.id,
                 self.color,
                 self.votes.clone(),
                 self.params.m,
             ));
-            self.own_cert = Some(Arc::clone(&cert));
+            self.own_cert = Some(Shared::clone(&cert));
             if self.min_cert.is_none() {
                 self.min_cert = Some(cert);
             }
@@ -241,24 +241,24 @@ impl ProtocolCore {
             Phase::Coherence => {
                 self.ensure_certificate();
                 let peer = ctx.topology.sample_peer(self.id, &mut self.rng);
-                let cert = Arc::clone(self.min_cert.as_ref().expect("cert ensured"));
+                let cert = Shared::clone(self.min_cert.as_ref().expect("cert ensured"));
                 Some(Op::push(peer, Msg::Cert(cert)))
             }
             Phase::Finished => None,
         }
     }
 
-    /// Honest pull-answering.
-    pub fn on_pull_honest(&mut self, _from: AgentId, query: Msg, ctx: &RoundCtx) -> Option<Msg> {
+    /// Honest pull-answering (the query is borrowed from the engine).
+    pub fn on_pull_honest(&mut self, _from: AgentId, query: &Msg, ctx: &RoundCtx) -> Option<Msg> {
         if self.failed {
             return None;
         }
         match query {
-            Msg::QIntent => Some(Msg::Intents(Arc::clone(&self.intents))),
+            Msg::QIntent => Some(Msg::Intents(self.intents.clone())),
             Msg::QMinCert => {
                 if self.phase(ctx.round) >= Phase::FindMin {
                     self.ensure_certificate();
-                    self.min_cert.as_ref().map(|c| Msg::Cert(Arc::clone(c)))
+                    self.min_cert.as_ref().map(|c| Msg::Cert(Shared::clone(c)))
                 } else {
                     None
                 }
@@ -267,8 +267,9 @@ impl ProtocolCore {
         }
     }
 
-    /// Honest push-handling.
-    pub fn on_push_honest(&mut self, from: AgentId, msg: Msg, ctx: &RoundCtx) {
+    /// Honest push-handling (the message is borrowed from the engine;
+    /// only the kept parts — a vote record — are copied out).
+    pub fn on_push_honest(&mut self, from: AgentId, msg: &Msg, ctx: &RoundCtx) {
         if self.failed {
             return;
         }
@@ -276,13 +277,19 @@ impl ProtocolCore {
             (Phase::Voting, Msg::Vote { value, round }) => {
                 self.votes.push(VoteRec {
                     voter: from,
-                    round,
-                    value,
+                    round: *round,
+                    value: *value,
                 });
             }
             (Phase::Coherence, Msg::Cert(ce)) => {
                 self.ensure_certificate();
-                if self.min_cert.as_ref() != Some(&ce) {
+                let mine = self.min_cert.as_ref().expect("cert ensured");
+                // Pointer-equality fast path: the network minimum spreads
+                // as clones of one Shared, so agreeing agents usually hold
+                // the *same allocation* — skip the O(|W|) payload
+                // comparison. `ptr_eq ⇒ payload_eq`, so the verdict is
+                // unchanged.
+                if !Shared::ptr_eq(mine, ce) && mine != ce {
                     self.fail(VerifyFailure::FailedEarlier);
                 }
             }
@@ -297,7 +304,7 @@ impl ProtocolCore {
         }
         match self.phase(ctx.round) {
             Phase::Commitment => match reply {
-                Some(Msg::Intents(list)) if self.intents_plausible(&list) => {
+                Some(Msg::Intents(list)) if self.intents_plausible_cached(&list) => {
                     self.ledger.declare(from, ctx.round as u32, list);
                 }
                 // Silence or an unexpected reply: marked faulty, votes
@@ -316,24 +323,38 @@ impl ProtocolCore {
 
     /// Find-Min adoption rule: keep the certificate with the smaller `k`.
     pub fn consider_certificate(&mut self, ce: Certificate) {
+        self.ensure_certificate();
+        let current = self.min_cert.as_ref().expect("cert ensured");
+        // Hot-path order: the k comparison first — a certificate that
+        // would not be adopted anyway (the overwhelmingly common case
+        // once the minimum has spread) never pays the O(|W|) structural
+        // scan. Observationally identical to validating first: both
+        // orders adopt exactly the structurally valid certificates with
+        // smaller k.
+        if ce.k >= current.k {
+            return;
+        }
         if !ce.structurally_valid(self.params.n, self.params.m, self.params.q) {
             return; // implausible garbage is ignored
         }
-        self.ensure_certificate();
-        let current = self.min_cert.as_ref().expect("cert ensured");
-        if ce.k < current.k {
-            self.min_cert = Some(ce);
-        }
+        self.min_cert = Some(ce);
     }
 
     /// Does a received intention list have the committed shape (`q`
     /// entries, all fields in range)? Anything else is "an unexpected
     /// reply" and gets the sender marked faulty.
     pub fn intents_plausible(&self, list: &[IntentEntry]) -> bool {
-        list.len() == self.params.q
-            && list
-                .iter()
-                .all(|e| e.value < self.params.m && (e.target as usize) < self.params.n)
+        entries_plausible(&self.params, list)
+    }
+
+    /// [`ProtocolCore::intents_plausible`] through the list's shared
+    /// receiver-side memo: the verdict is a pure function of the entries
+    /// and the run-wide parameters, so the first receiver's computation
+    /// serves every later receiver of the same shared list.
+    #[inline]
+    pub fn intents_plausible_cached(&self, list: &IntentList) -> bool {
+        let params = self.params;
+        list.memo_plausible(|entries| entries_plausible(&params, entries))
     }
 
     /// The Verification phase (paper, last block of Algorithm 1): accept
@@ -343,7 +364,7 @@ impl ProtocolCore {
             return;
         }
         self.ensure_certificate();
-        let win = Arc::clone(self.min_cert.as_ref().expect("cert ensured"));
+        let win = Shared::clone(self.min_cert.as_ref().expect("cert ensured"));
 
         if !win.structurally_valid(self.params.n, self.params.m, self.params.q) {
             self.fail(VerifyFailure::Structural);
@@ -395,6 +416,21 @@ impl ProtocolCore {
     }
 }
 
+/// The single plausibility predicate both the cached and the uncached
+/// paths share: `q` entries, every field in range. Branchless fold
+/// instead of short-circuiting `all` — honest lists pass every entry, so
+/// early exit never fires on the hot path, while the accumulator form
+/// lets the compiler vectorize the range checks.
+#[inline]
+fn entries_plausible(params: &Params, list: &[IntentEntry]) -> bool {
+    let m = params.m;
+    let n = params.n as u32;
+    list.len() == params.q
+        && list
+            .iter()
+            .fold(true, |ok, e| ok & (e.value < m) & (e.target < n))
+}
+
 /// An agent that follows protocol `P` exactly.
 #[derive(Debug, Clone)]
 pub struct HonestAgent {
@@ -417,10 +453,10 @@ impl Agent<Msg> for HonestAgent {
     fn act(&mut self, ctx: &RoundCtx) -> Option<Op<Msg>> {
         self.core.act_honest(ctx)
     }
-    fn on_pull(&mut self, from: AgentId, query: Msg, ctx: &RoundCtx) -> Option<Msg> {
+    fn on_pull(&mut self, from: AgentId, query: &Msg, ctx: &RoundCtx) -> Option<Msg> {
         self.core.on_pull_honest(from, query, ctx)
     }
-    fn on_push(&mut self, from: AgentId, msg: Msg, ctx: &RoundCtx) {
+    fn on_push(&mut self, from: AgentId, msg: &Msg, ctx: &RoundCtx) {
         self.core.on_push_honest(from, msg, ctx)
     }
     fn on_reply(&mut self, from: AgentId, reply: Option<Msg>, ctx: &RoundCtx) {
@@ -504,7 +540,7 @@ mod tests {
         let topo = Topology::complete(16);
         let mut core = mk_core(0, 16, 1);
         let q = core.params.q;
-        let intents = Arc::clone(&core.intents);
+        let intents = core.intents.clone();
         for i in 0..q {
             let op = core.act_honest(&ctx_at(&topo, q + i)).unwrap();
             match op {
@@ -539,11 +575,11 @@ mod tests {
         let mut core = mk_core(1, 16, 4);
         let q = core.params.q;
         let vote = Msg::Vote { value: 42, round: 0 };
-        core.on_push_honest(3, vote.clone(), &ctx_at(&topo, 0)); // commitment: dropped
+        core.on_push_honest(3, &vote, &ctx_at(&topo, 0)); // commitment: dropped
         assert!(core.votes.is_empty());
-        core.on_push_honest(3, vote.clone(), &ctx_at(&topo, q)); // voting: kept
+        core.on_push_honest(3, &vote, &ctx_at(&topo, q)); // voting: kept
         assert_eq!(core.votes.len(), 1);
-        core.on_push_honest(3, vote, &ctx_at(&topo, 2 * q)); // find-min: dropped
+        core.on_push_honest(3, &vote, &ctx_at(&topo, 2 * q)); // find-min: dropped
         assert_eq!(core.votes.len(), 1);
         assert_eq!(core.votes[0].voter, 3);
     }
@@ -554,8 +590,8 @@ mod tests {
         let mut core = mk_core(1, 16, 4);
         let q = core.params.q;
         let m = core.params.m;
-        core.on_push_honest(2, Msg::Vote { value: m - 1, round: 0 }, &ctx_at(&topo, q));
-        core.on_push_honest(3, Msg::Vote { value: 5, round: 1 }, &ctx_at(&topo, q));
+        core.on_push_honest(2, &Msg::Vote { value: m - 1, round: 0 }, &ctx_at(&topo, q));
+        core.on_push_honest(3, &Msg::Vote { value: 5, round: 1 }, &ctx_at(&topo, q));
         core.ensure_certificate();
         assert_eq!(core.k(), Some(4)); // (m-1+5) mod m
     }
@@ -610,7 +646,7 @@ mod tests {
         core.ensure_certificate();
         let my_k = core.k().unwrap();
         // A structurally valid cert with k = my_k + 1 is not adopted...
-        let bigger = Arc::new(CertData {
+        let bigger = Shared::new(CertData {
             k: my_k + 1,
             votes: vec![],
             color: 5,
@@ -624,10 +660,10 @@ mod tests {
         let mut core2 = mk_core(2, 16, 7);
         let topo = Topology::complete(16);
         let q = core2.params.q;
-        core2.on_push_honest(3, Msg::Vote { value: 100, round: 0 }, &ctx_at(&topo, q));
+        core2.on_push_honest(3, &Msg::Vote { value: 100, round: 0 }, &ctx_at(&topo, q));
         core2.ensure_certificate();
         assert_eq!(core2.k(), Some(100));
-        let smaller = Arc::new(CertData {
+        let smaller = Shared::new(CertData {
             k: 50,
             votes: vec![],
             color: 9,
@@ -641,7 +677,7 @@ mod tests {
     fn find_min_ignores_structurally_invalid() {
         let mut core = mk_core(1, 16, 8);
         core.ensure_certificate();
-        let invalid = Arc::new(CertData {
+        let invalid = Shared::new(CertData {
             k: core.params.m, // out of range
             votes: vec![],
             color: 0,
@@ -657,13 +693,13 @@ mod tests {
         let mut core = mk_core(1, 16, 9);
         let q = core.params.q;
         core.ensure_certificate();
-        let other = Arc::new(CertData {
+        let other = Shared::new(CertData {
             k: 7,
             votes: vec![],
             color: 2,
             owner: 3,
         });
-        core.on_push_honest(3, Msg::Cert(other), &ctx_at(&topo, 3 * q));
+        core.on_push_honest(3, &Msg::Cert(other), &ctx_at(&topo, 3 * q));
         assert!(core.failed);
         assert_eq!(core.decision(), None);
     }
@@ -674,8 +710,8 @@ mod tests {
         let mut core = mk_core(1, 16, 10);
         let q = core.params.q;
         core.ensure_certificate();
-        let same = Arc::clone(core.min_cert.as_ref().unwrap());
-        core.on_push_honest(3, Msg::Cert(same), &ctx_at(&topo, 3 * q));
+        let same = Shared::clone(core.min_cert.as_ref().unwrap());
+        core.on_push_honest(3, &Msg::Cert(same), &ctx_at(&topo, 3 * q));
         assert!(!core.failed);
     }
 
@@ -686,7 +722,7 @@ mod tests {
         core.fail(VerifyFailure::FailedEarlier);
         assert!(core.act_honest(&ctx_at(&topo, 0)).is_none());
         assert!(core
-            .on_pull_honest(2, Msg::QIntent, &ctx_at(&topo, 0))
+            .on_pull_honest(2, &Msg::QIntent, &ctx_at(&topo, 0))
             .is_none());
     }
 
@@ -703,7 +739,7 @@ mod tests {
     fn verification_rejects_bad_sum() {
         let mut core = mk_core(1, 16, 13);
         core.ensure_certificate();
-        core.min_cert = Some(Arc::new(CertData {
+        core.min_cert = Some(Shared::new(CertData {
             k: 5, // but no votes: derived k = 0
             votes: vec![],
             color: 0,
@@ -737,7 +773,7 @@ mod tests {
         );
         // Winner cert from agent 2 omits 7's declared vote.
         core.ensure_certificate();
-        core.min_cert = Some(Arc::new(CertData::build(2, 1, vec![], core.params.m)));
+        core.min_cert = Some(Shared::new(CertData::build(2, 1, vec![], core.params.m)));
         core.finalize_honest();
         assert!(matches!(
             core.verify_failure,
@@ -758,7 +794,7 @@ mod tests {
         // target that *drops* my vote.
         let target = core.intents[0].target;
         core.ensure_certificate();
-        core.min_cert = Some(Arc::new(CertData::build(
+        core.min_cert = Some(Shared::new(CertData::build(
             target,
             1,
             vec![],

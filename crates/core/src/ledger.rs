@@ -136,15 +136,46 @@ impl Ledger {
     ///   exactly `{(i, h) | H_v[i] = (h, winner)}` — matching intention
     ///   indices and values, with no omissions and no extras.
     pub fn check_certificate(&self, cert: &CertData) -> Result<(), ConsistencyError> {
+        // Honest certificates keep `votes` in canonical (voter, round)
+        // order (CertData::build sorts), so the votes of one voter form
+        // a contiguous run findable by binary search. Verify sortedness
+        // once; adversarially unsorted certificates fall back to the
+        // linear scan. Verdicts are identical on both paths.
+        let votes = &cert.votes;
+        let sorted = votes.windows(2).all(|w| (w[0].voter, w[0].round) <= (w[1].voter, w[1].round));
         for entry in &self.entries {
             let v = entry.agent;
+            let actual_run: &[crate::certificate::VoteRec] = if sorted {
+                let lo = votes.partition_point(|r| r.voter < v);
+                let hi = lo + votes[lo..].partition_point(|r| r.voter == v);
+                &votes[lo..hi]
+            } else {
+                &[] // sentinel; unsorted path re-filters below
+            };
+            let actual_count = if sorted {
+                actual_run.len()
+            } else {
+                cert.votes_from(v).count()
+            };
             match &entry.decl {
                 Declaration::Faulty => {
-                    if cert.votes_from(v).next().is_some() {
+                    if actual_count > 0 {
                         return Err(ConsistencyError::VoteFromFaulty { voter: v });
                     }
                 }
                 Declaration::Intents(h_v) => {
+                    // Fast path: most declarers sent *no* vote to the
+                    // winner (targets are uniform over [n]) and most
+                    // certificates attribute no vote to a given v — when
+                    // both sides are empty the entry is consistent
+                    // without building or sorting anything.
+                    let expected_count = h_v.votes_for(cert.owner) as usize;
+                    if expected_count != actual_count {
+                        return Err(ConsistencyError::VoteMismatch { voter: v });
+                    }
+                    if expected_count == 0 {
+                        continue;
+                    }
                     // Expected: declared votes of v addressed to the winner.
                     let mut expected: Vec<(u16, u64)> = h_v
                         .iter()
@@ -153,8 +184,11 @@ impl Ledger {
                         .map(|(i, e)| (i as u16, e.value))
                         .collect();
                     // Actual: votes the certificate attributes to v.
-                    let mut actual: Vec<(u16, u64)> =
-                        cert.votes_from(v).map(|r| (r.round, r.value)).collect();
+                    let mut actual: Vec<(u16, u64)> = if sorted {
+                        actual_run.iter().map(|r| (r.round, r.value)).collect()
+                    } else {
+                        cert.votes_from(v).map(|r| (r.round, r.value)).collect()
+                    };
                     expected.sort_unstable();
                     actual.sort_unstable();
                     if expected != actual {
@@ -172,7 +206,6 @@ mod tests {
     use super::*;
     use crate::certificate::VoteRec;
     use crate::msg::IntentEntry;
-    use std::sync::Arc;
 
     fn intents(entries: &[(u64, AgentId)]) -> IntentList {
         entries
@@ -375,9 +408,9 @@ mod tests {
 
     #[test]
     fn shared_intent_lists_are_cheap() {
-        // IntentList is an Arc<[..]>: cloning shares the allocation.
+        // IntentList is an Shared<[..]>: cloning shares the allocation.
         let list = intents(&[(1, 1), (2, 2)]);
-        let clone = Arc::clone(&list);
-        assert!(Arc::ptr_eq(&list, &clone));
+        let clone = list.clone();
+        assert!(IntentList::ptr_eq(&list, &clone));
     }
 }

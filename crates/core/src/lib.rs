@@ -26,9 +26,14 @@
 //! The module map mirrors those phases: [`params`] (q, m, schedules),
 //! [`msg`] (wire messages), [`certificate`] (`CE_u`), [`ledger`] (`L_u`),
 //! [`engine`] (the per-agent state machine), [`runner`] (whole-run
-//! orchestration), [`audit`] (good-execution checks, Definition 2),
-//! [`election`] (the leader-election special case) and [`asynchronous`]
-//! (the sequential-GOSSIP extension from the Conclusions).
+//! orchestration and the reusable [`runner::TrialArena`]), [`audit`]
+//! (good-execution checks, Definition 2), [`election`] (the
+//! leader-election special case) and [`asynchronous`] (the
+//! sequential-GOSSIP extension from the Conclusions). Around them sits
+//! the agent plane: [`agent_plane`] (the monomorphic [`AgentSlot`] enum
+//! every simulation dispatches through), [`coalition`] (the deviators'
+//! shared blackboard) and [`strategies`] (the deviation suite — honest
+//! and deviating agents share one jump table).
 //!
 //! ## Example
 //!
@@ -43,9 +48,11 @@
 //! // of the time (fairness — see experiment E4).
 //! ```
 
+pub mod agent_plane;
 pub mod asynchronous;
 pub mod audit;
 pub mod certificate;
+pub mod coalition;
 pub mod election;
 pub mod engine;
 pub mod ledger;
@@ -53,21 +60,29 @@ pub mod msg;
 pub mod outcome;
 pub mod params;
 pub mod runner;
+pub mod sharing;
+pub mod strategies;
 
+pub use agent_plane::AgentSlot;
 pub use certificate::{CertData, Certificate, VoteRec};
+pub use coalition::{new_coalition, select_members, Coalition, CoalitionSelection};
 pub use engine::{ConsensusAgent, HonestAgent, ProtocolCore, Role, VerifyFailure};
 pub use ledger::{ConsistencyError, Declaration, Ledger};
 pub use msg::{IntentEntry, IntentList, Msg};
 pub use outcome::{combine_decisions, utility, Decision, Outcome};
 pub use params::{Params, Phase, PhaseSchedule};
 pub use runner::{
-    build_network, collect_report, drive_network, run_protocol, ColorSpec, RunConfig,
-    RunConfigBuilder, RunReport, TopologySpec,
+    build_network, build_network_slots, collect_report, drive_network, honest_slot_factory,
+    run_protocol, run_protocol_boxed, ColorSpec, RunConfig, RunConfigBuilder, RunReport,
+    SlotFactory, TopologySpec, TrialArena,
 };
+pub use strategies::{standard_attacks, Strategy};
 
 /// Convenience re-exports for downstream crates and examples.
 pub mod prelude {
+    pub use crate::agent_plane::AgentSlot;
     pub use crate::asynchronous::run_protocol_async;
+    pub use crate::runner::{TrialArena, run_protocol_boxed};
     pub use crate::audit::GoodExecutionReport;
     pub use crate::certificate::{CertData, Certificate, VoteRec};
     pub use crate::election::{elect_leader, election_config, ElectionResult};

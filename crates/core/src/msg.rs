@@ -15,9 +15,11 @@
 //! experiment E2).
 
 use crate::certificate::{CertData, Certificate};
+use crate::sharing::Shared;
 use gossip_net::ids::AgentId;
 use gossip_net::size::{MsgSize, SizeEnv};
-use std::sync::Arc;
+use std::cell::Cell;
+use std::ops::Deref;
 
 /// One entry `(h, z)` of a vote-intention list `H_u`: "I will send value
 /// `h` to agent `z`".
@@ -29,9 +31,112 @@ pub struct IntentEntry {
     pub target: AgentId,
 }
 
-/// A full vote-intention list, shared cheaply between the owner and the
-/// commitment replies it sends out.
-pub type IntentList = Arc<[IntentEntry]>;
+/// Payload of a shared intention list: the immutable entries plus two
+/// **receiver-side memos** for verdicts that are pure functions of the
+/// entries (and of run-wide parameters every agent shares).
+///
+/// One list is answered to ~`q` different pullers, and each of them
+/// re-derives the same facts: "is this list plausible?" (Commitment) and
+/// "how many of its votes target the winner?" (Verification). The memos
+/// let the first receiver's computation serve all later ones. This is a
+/// *simulator* optimization, not a trust shortcut: the memo is written
+/// only by the receivers' own verdict code, over bytes that never change
+/// after construction — every receiver still gets exactly the verdict it
+/// would have computed itself. Trials are single-threaded, so `Cell`
+/// suffices.
+#[derive(Debug)]
+pub struct IntentListData {
+    entries: Box<[IntentEntry]>,
+    /// Memo: `intents_plausible` verdict (parameters are run-constant).
+    plausible: Cell<Option<bool>>,
+    /// Memo: `(owner, #entries targeting owner)` of the last queried owner.
+    winner_count: Cell<Option<(AgentId, u32)>>,
+}
+
+impl IntentListData {
+    /// Cached plausibility verdict: computes via `check` on first use.
+    #[inline]
+    pub fn memo_plausible(&self, check: impl FnOnce(&[IntentEntry]) -> bool) -> bool {
+        match self.plausible.get() {
+            Some(v) => v,
+            None => {
+                let v = check(&self.entries);
+                self.plausible.set(Some(v));
+                v
+            }
+        }
+    }
+
+    /// Cached count of entries targeting `owner` (recomputed when a
+    /// different owner is queried — verifiers converge on one winner).
+    #[inline]
+    pub fn votes_for(&self, owner: AgentId) -> u32 {
+        if let Some((o, c)) = self.winner_count.get() {
+            if o == owner {
+                return c;
+            }
+        }
+        let c = self.entries.iter().filter(|e| e.target == owner).count() as u32;
+        self.winner_count.set(Some((owner, c)));
+        c
+    }
+}
+
+impl PartialEq for IntentListData {
+    fn eq(&self, other: &Self) -> bool {
+        self.entries == other.entries // memos are caches, not identity
+    }
+}
+impl Eq for IntentListData {}
+
+impl Deref for IntentListData {
+    type Target = [IntentEntry];
+    fn deref(&self) -> &[IntentEntry] {
+        &self.entries
+    }
+}
+
+impl From<Vec<IntentEntry>> for IntentListData {
+    fn from(entries: Vec<IntentEntry>) -> Self {
+        IntentListData {
+            entries: entries.into_boxed_slice(),
+            plausible: Cell::new(None),
+            winner_count: Cell::new(None),
+        }
+    }
+}
+
+/// A full vote-intention list, shared cheaply (one refcount bump) between
+/// the owner and every commitment reply it sends out. Dereferences to
+/// [`IntentListData`] and through it to the entry slice.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IntentList(Shared<IntentListData>);
+
+impl IntentList {
+    /// Do both handles share one allocation (and thus one memo)?
+    pub fn ptr_eq(a: &IntentList, b: &IntentList) -> bool {
+        Shared::ptr_eq(&a.0, &b.0)
+    }
+}
+
+impl Deref for IntentList {
+    type Target = IntentListData;
+    fn deref(&self) -> &IntentListData {
+        &self.0
+    }
+}
+
+impl From<Vec<IntentEntry>> for IntentList {
+    fn from(entries: Vec<IntentEntry>) -> Self {
+        IntentList(Shared::new(IntentListData::from(entries)))
+    }
+}
+
+impl FromIterator<IntentEntry> for IntentList {
+    fn from_iter<I: IntoIterator<Item = IntentEntry>>(iter: I) -> Self {
+        IntentList::from(iter.into_iter().collect::<Vec<_>>())
+    }
+}
 
 /// Protocol messages.
 #[derive(Debug, Clone, PartialEq)]
@@ -54,9 +159,9 @@ pub enum Msg {
 }
 
 impl Msg {
-    /// Convenience constructor wrapping cert data in an [`Arc`].
+    /// Convenience constructor wrapping cert data in an [`Shared`].
     pub fn cert(data: CertData) -> Msg {
-        Msg::Cert(Arc::new(data))
+        Msg::Cert(Shared::new(data))
     }
 
     /// Is this one of the two constant-size query tags?

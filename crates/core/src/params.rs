@@ -64,14 +64,28 @@ pub struct PhaseSchedule {
 
 impl PhaseSchedule {
     /// The phase active at global round `round`.
+    ///
+    /// This is called several times per delivered message (every agent
+    /// callback keys its behaviour off the phase), so it avoids the
+    /// integer division a naive `round / phase_len` would pay on every
+    /// call — a few predictable compares against multiples of
+    /// `phase_len` cost ~1 cycle each, a division by a runtime divisor
+    /// ~20+.
     #[inline]
     pub fn phase_of(&self, round: usize) -> Phase {
-        match round / self.phase_len {
-            0 => Phase::Commitment,
-            1 => Phase::Voting,
-            2 => Phase::FindMin,
-            3 => Phase::Coherence,
-            _ => Phase::Finished,
+        let l = self.phase_len;
+        if round < 2 * l {
+            if round < l {
+                Phase::Commitment
+            } else {
+                Phase::Voting
+            }
+        } else if round < 3 * l {
+            Phase::FindMin
+        } else if round < 4 * l {
+            Phase::Coherence
+        } else {
+            Phase::Finished
         }
     }
 

@@ -3,19 +3,36 @@
 //! [`RunConfig`] captures everything that defines an experiment instance —
 //! network size, `γ`, the initial color configuration, fault fraction and
 //! placement, parameter ablations. [`run_protocol`] executes one fully
-//! honest run; [`build_network`] + [`drive_network`] + [`collect_report`]
-//! expose the pieces so the adversary harness can inject deviating agents
-//! into the same pipeline.
+//! honest run on the monomorphic agent plane; [`build_network_slots`] +
+//! [`drive_network`] + [`collect_report`] expose the pieces so the
+//! adversary harness can inject deviating agents into the same pipeline.
+//!
+//! ## The trial arena
+//!
+//! Monte-Carlo loops should hold a [`TrialArena`] per worker and call
+//! [`TrialArena::run_protocol`] / [`TrialArena::run_with`] per trial: the
+//! arena keeps one `Network<Msg, AgentSlot>` alive and re-arms it in
+//! place ([`Network::reset_into`]), so the per-trial cost is re-seeding
+//! agent state, not reallocating agent storage, scratch buffers, metrics
+//! and op-log. `run_protocol(cfg, seed)` and
+//! `arena.run_protocol(cfg, seed)` return bit-identical reports.
+//!
+//! The legacy boxed pipeline ([`build_network`] over
+//! `Box<dyn ConsensusAgent>` factories, [`run_protocol_boxed`]) is kept
+//! as the dyn-dispatch comparison arm for benchmarks and equivalence
+//! tests — and as the fully dynamic escape hatch.
 //!
 //! Determinism: every run is a pure function of `(RunConfig, seed)`. The
 //! master seed is split into independent streams for color assignment,
 //! fault placement, and each agent's private coins.
 
+use crate::agent_plane::AgentSlot;
 use crate::audit::{audit_good_execution, GoodExecutionReport};
 use crate::engine::{ConsensusAgent, HonestAgent, ProtocolCore, Role, VerifyFailure};
 use crate::msg::Msg;
 use crate::outcome::{combine_decisions, Decision, Outcome};
 use crate::params::{Params, Phase};
+use gossip_net::agent::Agent;
 use gossip_net::fault::{FaultPlan, Placement};
 use gossip_net::ids::{AgentId, ColorId};
 use gossip_net::metrics::Metrics;
@@ -345,38 +362,134 @@ impl RunReport {
 /// Factory signature used to construct each agent: receives the agent's
 /// id, protocol parameters, initial color, private RNG stream, and the
 /// run topology (so intention targets can respect sparse graphs).
+///
+/// This is the *boxed* factory of the legacy dyn-dispatch pipeline; new
+/// code should prefer [`SlotFactory`].
 pub type AgentFactory<'a> =
     dyn FnMut(AgentId, Params, ColorId, DetRng, &Topology) -> Box<dyn ConsensusAgent> + 'a;
 
-/// Build a ready-to-run network with custom agent construction.
-pub fn build_network(
+/// Factory for the monomorphic agent plane: like [`AgentFactory`] but
+/// producing [`AgentSlot`]s, so built-in agents avoid boxing entirely and
+/// only [`AgentSlot::Custom`] pays for dynamism.
+pub type SlotFactory<'a> =
+    dyn FnMut(AgentId, Params, ColorId, DetRng, &Topology) -> AgentSlot + 'a;
+
+/// Everything derived from `(cfg, seed)` that a network build needs.
+fn network_ingredients(
     cfg: &RunConfig,
     seed: u64,
-    factory: &mut AgentFactory,
-) -> Network<Msg, Box<dyn ConsensusAgent>> {
+) -> (Params, Vec<ColorId>, FaultPlan, Topology, SizeEnv, NetworkConfig) {
     let params = cfg.params();
     let colors = cfg.assign_colors(seed);
     let faults = cfg.fault_plan(seed);
     let topology = cfg.topology(seed);
     let env = SizeEnv::with_params(cfg.n, params.m, params.q, color_space_size(cfg));
-    let agents: Vec<Box<dyn ConsensusAgent>> = (0..cfg.n)
-        .map(|i| {
-            let rng = DetRng::seeded(seed, streams::AGENT_BASE + i as u64);
-            factory(i as AgentId, params, colors[i], rng, &topology)
-        })
-        .collect();
-    Network::with_config(
-        topology,
-        env,
-        agents,
-        faults,
-        NetworkConfig {
-            record_ops: cfg.record_ops,
-            loss_probability: cfg.loss_probability,
-            loss_seed: gossip_net::rng::derive_seed(seed, streams::LOSS),
-            ..NetworkConfig::default()
-        },
-    )
+    let net_cfg = NetworkConfig {
+        record_ops: cfg.record_ops,
+        loss_probability: cfg.loss_probability,
+        loss_seed: gossip_net::rng::derive_seed(seed, streams::LOSS),
+        ..NetworkConfig::default()
+    };
+    (params, colors, faults, topology, env, net_cfg)
+}
+
+/// Push the `n` per-trial agents (fresh RNG stream each) into `agents`.
+fn fill_agents<A>(
+    agents: &mut Vec<A>,
+    cfg: &RunConfig,
+    seed: u64,
+    params: Params,
+    colors: &[ColorId],
+    topology: &Topology,
+    factory: &mut dyn FnMut(AgentId, Params, ColorId, DetRng, &Topology) -> A,
+) {
+    agents.reserve(cfg.n);
+    for i in 0..cfg.n {
+        let rng = DetRng::seeded(seed, streams::AGENT_BASE + i as u64);
+        agents.push(factory(i as AgentId, params, colors[i], rng, topology));
+    }
+}
+
+/// Build a ready-to-run network with custom agent construction (legacy
+/// boxed pipeline; see [`build_network_slots`] for the fast path).
+pub fn build_network(
+    cfg: &RunConfig,
+    seed: u64,
+    factory: &mut AgentFactory,
+) -> Network<Msg, Box<dyn ConsensusAgent>> {
+    let (params, colors, faults, topology, env, net_cfg) = network_ingredients(cfg, seed);
+    let mut agents: Vec<Box<dyn ConsensusAgent>> = Vec::new();
+    fill_agents(&mut agents, cfg, seed, params, &colors, &topology, factory);
+    Network::with_config(topology, env, agents, faults, net_cfg)
+}
+
+/// Build a ready-to-run network on the monomorphic agent plane.
+pub fn build_network_slots(
+    cfg: &RunConfig,
+    seed: u64,
+    factory: &mut SlotFactory,
+) -> Network<Msg, AgentSlot> {
+    let (params, colors, faults, topology, env, net_cfg) = network_ingredients(cfg, seed);
+    let mut agents: Vec<AgentSlot> = Vec::new();
+    fill_agents(&mut agents, cfg, seed, params, &colors, &topology, factory);
+    Network::with_config(topology, env, agents, faults, net_cfg)
+}
+
+/// The honest [`SlotFactory`]: every agent runs protocol `P` on the
+/// synchronous schedule.
+pub fn honest_slot_factory(
+    id: AgentId,
+    params: Params,
+    color: ColorId,
+    rng: DetRng,
+    topo: &Topology,
+) -> AgentSlot {
+    AgentSlot::honest(ProtocolCore::new_on(topo, id, params, params.sync_schedule(), color, rng))
+}
+
+/// A reusable per-worker simulation arena (see the module docs).
+///
+/// Holds one slot-typed network across trials and re-arms it in place, so
+/// steady-state trials reuse the agent vector, the op/reply scratch
+/// buffers, the metrics phase table and the op-log event buffer instead
+/// of reallocating them. Dropping the arena frees everything.
+#[derive(Default)]
+pub struct TrialArena {
+    net: Option<Network<Msg, AgentSlot>>,
+}
+
+impl TrialArena {
+    /// An empty arena (the first trial builds the network).
+    pub fn new() -> Self {
+        TrialArena { net: None }
+    }
+
+    /// Run one fully honest trial in the arena. Bit-identical to
+    /// [`run_protocol`] for the same `(cfg, seed)`.
+    pub fn run_protocol(&mut self, cfg: &RunConfig, seed: u64) -> RunReport {
+        self.run_with(cfg, seed, &mut honest_slot_factory)
+    }
+
+    /// Run one trial with custom agent construction (the adversary
+    /// harness plugs deviating slots in here).
+    pub fn run_with(&mut self, cfg: &RunConfig, seed: u64, factory: &mut SlotFactory) -> RunReport {
+        let (params, colors, faults, topology, env, net_cfg) = network_ingredients(cfg, seed);
+        match &mut self.net {
+            Some(net) => {
+                net.reset_into(topology, env, faults, net_cfg, |agents, topo| {
+                    fill_agents(agents, cfg, seed, params, &colors, topo, factory);
+                });
+            }
+            None => {
+                let mut agents: Vec<AgentSlot> = Vec::new();
+                fill_agents(&mut agents, cfg, seed, params, &colors, &topology, factory);
+                self.net = Some(Network::with_config(topology, env, agents, faults, net_cfg));
+            }
+        }
+        let net = self.net.as_mut().expect("arena network just ensured");
+        drive_network(net, cfg);
+        collect_report(net, cfg)
+    }
 }
 
 fn color_space_size(cfg: &RunConfig) -> usize {
@@ -393,10 +506,10 @@ fn color_space_size(cfg: &RunConfig) -> usize {
 /// Drive all four communicating phases (with metrics phase labels) and
 /// finalize (Verification). Respects the `skip_coherence` ablation by
 /// fast-forwarding the phase window without executing it.
-pub fn drive_network(
-    net: &mut Network<Msg, Box<dyn ConsensusAgent>>,
-    cfg: &RunConfig,
-) {
+///
+/// Generic over the agent representation: the same driver serves the
+/// monomorphic [`AgentSlot`] plane and the boxed escape hatch.
+pub fn drive_network<A: Agent<Msg>>(net: &mut Network<Msg, A>, cfg: &RunConfig) {
     let params = cfg.params();
     let q = params.q;
     for phase in Phase::COMMUNICATING {
@@ -418,10 +531,7 @@ pub fn drive_network(
 /// consensus the rest of the network reached (the coalition's utility is
 /// determined by the color the network converges to — paper §3.2, where
 /// the Winner is defined by the certificate held after Coherence).
-pub fn collect_report(
-    net: &Network<Msg, Box<dyn ConsensusAgent>>,
-    cfg: &RunConfig,
-) -> RunReport {
+pub fn collect_report<A: ConsensusAgent>(net: &Network<Msg, A>, cfg: &RunConfig) -> RunReport {
     let faults = net.faults();
     let mut decisions = Vec::with_capacity(net.n());
     let mut honest_decisions = Vec::with_capacity(net.n());
@@ -492,8 +602,22 @@ fn effective_decision(core: &ProtocolCore, cfg: &RunConfig) -> Option<ColorId> {
     core.decision()
 }
 
-/// Run protocol `P` with every agent honest. The canonical entry point.
+/// Run protocol `P` with every agent honest, on the monomorphic agent
+/// plane. The canonical entry point. (Monte-Carlo loops should prefer a
+/// per-worker [`TrialArena`], which additionally reuses allocations
+/// across trials; both produce bit-identical reports.)
 pub fn run_protocol(cfg: &RunConfig, seed: u64) -> RunReport {
+    let mut net = build_network_slots(cfg, seed, &mut honest_slot_factory);
+    drive_network(&mut net, cfg);
+    collect_report(&net, cfg)
+}
+
+/// [`run_protocol`] over the legacy boxed-dyn pipeline: rebuilds a
+/// `Vec<Box<dyn ConsensusAgent>>` for the trial and dispatches every
+/// agent call through a vtable. Kept as the comparison arm for the
+/// `dispatch` benchmark and the dyn-vs-enum equivalence tests — it must
+/// return a bit-identical [`RunReport`] for every `(cfg, seed)`.
+pub fn run_protocol_boxed(cfg: &RunConfig, seed: u64) -> RunReport {
     let mut factory =
         |id: AgentId, params: Params, color: ColorId, rng: DetRng, topo: &Topology| {
             let core = ProtocolCore::new_on(topo, id, params, params.sync_schedule(), color, rng);

@@ -1,0 +1,17 @@
+//! The shared-payload pointer for protocol messages.
+//!
+//! Intention lists and certificates travel the wire thousands of times
+//! per run; sharing one allocation per payload is what keeps Find-Min's
+//! `Θ(n log n)` certificate hops O(1) each. Every *trial* is
+//! single-threaded by construction — parallelism lives at the trial
+//! level in `experiments::parallel`, where each worker owns its whole
+//! network — so the payload pointer is [`std::rc::Rc`]: a wire hop is a
+//! non-atomic refcount bump instead of a `lock inc`/`lock dec` pair,
+//! which measurably matters on the Monte-Carlo hot path (tens of
+//! thousands of hops per trial).
+//!
+//! If a future engine ever shares payloads *across* threads, swap this
+//! alias to `std::sync::Arc` — the APIs match and everything downstream
+//! is written against the alias.
+
+pub use std::rc::Rc as Shared;

@@ -12,13 +12,13 @@
 //! match their ledgers and fail the protocol. The deviator cannot even
 //! tell which version a given verifier holds.
 
+use crate::agent_plane::AgentSlot;
 use crate::coalition::Coalition;
+use crate::engine::{ConsensusAgent, ProtocolCore, Role};
+use crate::msg::{IntentEntry, IntentList, Msg};
 use crate::strategies::Strategy;
 use gossip_net::agent::{Agent, Op, RoundCtx};
 use gossip_net::ids::AgentId;
-use rfc_core::engine::{ConsensusAgent, ProtocolCore, Role};
-use rfc_core::msg::{IntentEntry, IntentList, Msg};
-use std::sync::Arc;
 
 /// The equivocation strategy (see module docs).
 #[derive(Debug, Clone, Copy)]
@@ -33,7 +33,7 @@ impl Strategy for Equivocate {
         "answer different intention lists to different pullers (caught via first-declaration binding)"
     }
 
-    fn build(&self, mut core: ProtocolCore, _coalition: Coalition) -> Box<dyn ConsensusAgent> {
+    fn build(&self, mut core: ProtocolCore, _coalition: Coalition) -> AgentSlot {
         // Version A: the core's own list (votes follow it).
         // Version B: an independent draw from the same distribution.
         let m = core.params.m;
@@ -45,7 +45,7 @@ impl Strategy for Equivocate {
             })
             .collect::<Vec<_>>()
             .into();
-        Box::new(EquivocatorAgent {
+        AgentSlot::Equivocate(EquivocatorAgent {
             core,
             version_b,
             pulls_seen: 0,
@@ -53,7 +53,8 @@ impl Strategy for Equivocate {
     }
 }
 
-struct EquivocatorAgent {
+/// The equivocating agent: version A to odd pullers, B to even ones.
+pub struct EquivocatorAgent {
     core: ProtocolCore,
     version_b: IntentList,
     pulls_seen: usize,
@@ -64,18 +65,18 @@ impl Agent<Msg> for EquivocatorAgent {
         self.core.act_honest(ctx)
     }
 
-    fn on_pull(&mut self, from: AgentId, query: Msg, ctx: &RoundCtx) -> Option<Msg> {
+    fn on_pull(&mut self, from: AgentId, query: &Msg, ctx: &RoundCtx) -> Option<Msg> {
         if matches!(query, Msg::QIntent) {
             self.pulls_seen += 1;
             if self.pulls_seen.is_multiple_of(2) {
-                return Some(Msg::Intents(Arc::clone(&self.version_b)));
+                return Some(Msg::Intents(self.version_b.clone()));
             }
-            return Some(Msg::Intents(Arc::clone(&self.core.intents)));
+            return Some(Msg::Intents(self.core.intents.clone()));
         }
         self.core.on_pull_honest(from, query, ctx)
     }
 
-    fn on_push(&mut self, from: AgentId, msg: Msg, ctx: &RoundCtx) {
+    fn on_push(&mut self, from: AgentId, msg: &Msg, ctx: &RoundCtx) {
         self.core.on_push_honest(from, msg, ctx)
     }
 
@@ -103,7 +104,7 @@ mod tests {
     use crate::coalition::new_coalition;
     use gossip_net::rng::DetRng;
     use gossip_net::topology::Topology;
-    use rfc_core::params::Params;
+    use crate::params::Params;
 
     fn extract(reply: Option<Msg>) -> IntentList {
         match reply {
@@ -128,9 +129,9 @@ mod tests {
             round: 0,
             topology: &topo,
         };
-        let first = extract(agent.on_pull(3, Msg::QIntent, &ctx));
-        let second = extract(agent.on_pull(4, Msg::QIntent, &ctx));
-        let third = extract(agent.on_pull(5, Msg::QIntent, &ctx));
+        let first = extract(agent.on_pull(3, &Msg::QIntent, &ctx));
+        let second = extract(agent.on_pull(4, &Msg::QIntent, &ctx));
+        let third = extract(agent.on_pull(5, &Msg::QIntent, &ctx));
         assert_ne!(first.to_vec(), second.to_vec(), "A and B must differ");
         assert_eq!(first.to_vec(), third.to_vec(), "odd pulls get version A");
     }

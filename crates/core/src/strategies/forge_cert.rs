@@ -23,15 +23,16 @@
 //! *legitimate* winner, so these attacks convert would-be losses into
 //! `⊥` — never into wins.
 
+use crate::agent_plane::AgentSlot;
+use crate::certificate::{CertData, VoteRec};
 use crate::coalition::Coalition;
+use crate::engine::{ConsensusAgent, ProtocolCore, Role};
+use crate::msg::Msg;
+use crate::params::Phase;
 use crate::strategies::Strategy;
 use gossip_net::agent::{Agent, Op, RoundCtx};
 use gossip_net::ids::AgentId;
-use rfc_core::certificate::{CertData, VoteRec};
-use rfc_core::engine::{ConsensusAgent, ProtocolCore, Role};
-use rfc_core::msg::Msg;
-use rfc_core::params::Phase;
-use std::sync::Arc;
+use crate::sharing::Shared;
 
 /// Fabrication mode for the forged certificate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -90,8 +91,8 @@ impl Strategy for ForgeCert {
         }
     }
 
-    fn build(&self, core: ProtocolCore, coalition: Coalition) -> Box<dyn ConsensusAgent> {
-        Box::new(ForgeAgent {
+    fn build(&self, core: ProtocolCore, coalition: Coalition) -> AgentSlot {
+        AgentSlot::ForgeCert(ForgeAgent {
             core,
             coalition,
             mode: self.mode,
@@ -100,7 +101,8 @@ impl Strategy for ForgeCert {
     }
 }
 
-struct ForgeAgent {
+/// The certificate-forging agent (one of the three fabrication modes).
+pub struct ForgeAgent {
     core: ProtocolCore,
     coalition: Coalition,
     mode: ForgeMode,
@@ -114,14 +116,14 @@ impl ForgeAgent {
 
     /// Leader-side: fabricate the coalition's certificate from the true
     /// received votes.
-    fn forge(&mut self) -> rfc_core::Certificate {
+    fn forge(&mut self) -> crate::Certificate {
         let m = self.core.params.m;
         let (votes, k) = match self.mode {
             ForgeMode::ZeroK => (self.core.votes.clone(), 0),
             ForgeMode::DropVotes => (Vec::new(), 0),
             ForgeMode::TunedVote => {
                 let mut votes = self.core.votes.clone();
-                let sum = rfc_core::certificate::sum_votes_mod(&votes, m);
+                let sum = crate::certificate::sum_votes_mod(&votes, m);
                 // Attribute the balancing vote to a fellow member when one
                 // exists (its declarations are also coalition-controlled),
                 // else to ourselves.
@@ -141,21 +143,21 @@ impl ForgeAgent {
                 (votes, 0)
             }
         };
-        let cert = Arc::new(CertData {
+        let cert = Shared::new(CertData {
             k,
             votes,
             color: self.coalition.color,
             owner: self.core.id,
         });
-        self.coalition.intel.borrow_mut().promoted_cert = Some(Arc::clone(&cert));
+        self.coalition.intel.borrow_mut().promoted_cert = Some(Shared::clone(&cert));
         cert
     }
 
     /// The certificate this member currently advertises: the promoted
     /// forgery once it exists, else the honest minimum.
-    fn advertised(&mut self) -> Option<rfc_core::Certificate> {
+    fn advertised(&mut self) -> Option<crate::Certificate> {
         if let Some(ce) = self.coalition.intel.borrow().promoted_cert.as_ref() {
-            return Some(Arc::clone(ce));
+            return Some(Shared::clone(ce));
         }
         self.core.ensure_certificate();
         self.core.min_cert.clone()
@@ -190,11 +192,11 @@ impl Agent<Msg> for ForgeAgent {
         }
     }
 
-    fn on_pull(&mut self, from: AgentId, query: Msg, ctx: &RoundCtx) -> Option<Msg> {
+    fn on_pull(&mut self, from: AgentId, query: &Msg, ctx: &RoundCtx) -> Option<Msg> {
         match query {
             // Commitment answers stay honest (the coalition's own votes
             // must verify).
-            Msg::QIntent => self.core.on_pull_honest(from, Msg::QIntent, ctx),
+            Msg::QIntent => self.core.on_pull_honest(from, query, ctx),
             Msg::QMinCert => {
                 if self.core.phase(ctx.round) >= Phase::FindMin {
                     self.advertised().map(Msg::Cert)
@@ -206,7 +208,7 @@ impl Agent<Msg> for ForgeAgent {
         }
     }
 
-    fn on_push(&mut self, from: AgentId, msg: Msg, ctx: &RoundCtx) {
+    fn on_push(&mut self, from: AgentId, msg: &Msg, ctx: &RoundCtx) {
         // Accept votes honestly; ignore Coherence mismatches (a deviator
         // never "fails itself").
         if self.core.phase(ctx.round) == Phase::Voting && matches!(msg, Msg::Vote { .. }) {
@@ -243,7 +245,7 @@ mod tests {
     use super::*;
     use crate::coalition::new_coalition;
     use gossip_net::rng::DetRng;
-    use rfc_core::params::Params;
+    use crate::params::Params;
 
     fn agent_with(mode: ForgeMode, members: Vec<AgentId>) -> ForgeAgent {
         let params = Params::new(32, 2.0);

@@ -27,10 +27,16 @@ pub mod spy_tune;
 pub mod suppress_min;
 pub mod vote_rig;
 
+use crate::agent_plane::AgentSlot;
 use crate::coalition::Coalition;
-use rfc_core::engine::{ConsensusAgent, ProtocolCore};
+use crate::engine::ProtocolCore;
 
 /// A named coalition strategy: builds the deviating agent for each member.
+///
+/// `build` returns an [`AgentSlot`] — every built-in strategy maps onto
+/// its dedicated enum variant, so coalition agents ride the same
+/// jump-table dispatch as honest ones. Out-of-tree strategies return
+/// [`AgentSlot::Custom`] (the boxed escape hatch).
 pub trait Strategy: std::fmt::Debug + Send + Sync {
     /// Stable identifier used in tables and reports.
     fn name(&self) -> &'static str;
@@ -39,7 +45,7 @@ pub trait Strategy: std::fmt::Debug + Send + Sync {
     fn description(&self) -> &'static str;
 
     /// Build the agent for coalition member `core.id`.
-    fn build(&self, core: ProtocolCore, coalition: Coalition) -> Box<dyn ConsensusAgent>;
+    fn build(&self, core: ProtocolCore, coalition: Coalition) -> AgentSlot;
 }
 
 /// The standard attack suite (one instance of every concrete attack),

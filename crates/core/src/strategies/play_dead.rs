@@ -17,13 +17,14 @@
 //!   that marked it faulty sees a vote from a "faulty" agent ⇒
 //!   `VoteFromFaulty` ⇒ fail. Pure sabotage risk, no win path.
 
+use crate::agent_plane::AgentSlot;
 use crate::coalition::Coalition;
+use crate::engine::{ConsensusAgent, ProtocolCore, Role};
+use crate::msg::Msg;
+use crate::params::Phase;
 use crate::strategies::Strategy;
 use gossip_net::agent::{Agent, Op, RoundCtx};
 use gossip_net::ids::AgentId;
-use rfc_core::engine::{ConsensusAgent, ProtocolCore, Role};
-use rfc_core::msg::Msg;
-use rfc_core::params::Phase;
 
 /// The play-dead strategy (see module docs).
 #[derive(Debug, Clone, Copy)]
@@ -60,8 +61,8 @@ impl Strategy for PlayDead {
         }
     }
 
-    fn build(&self, core: ProtocolCore, _coalition: Coalition) -> Box<dyn ConsensusAgent> {
-        Box::new(DeadAgent {
+    fn build(&self, core: ProtocolCore, _coalition: Coalition) -> AgentSlot {
+        AgentSlot::PlayDead(DeadAgent {
             core,
             vote_anyway: self.vote_anyway,
             name: self.name(),
@@ -69,7 +70,8 @@ impl Strategy for PlayDead {
     }
 }
 
-struct DeadAgent {
+/// The play-dead agent (silent or voting variant).
+pub struct DeadAgent {
     core: ProtocolCore,
     vote_anyway: bool,
     name: &'static str,
@@ -95,15 +97,15 @@ impl Agent<Msg> for DeadAgent {
         }
     }
 
-    fn on_pull(&mut self, from: AgentId, query: Msg, ctx: &RoundCtx) -> Option<Msg> {
-        match (self.core.phase(ctx.round), &query) {
+    fn on_pull(&mut self, from: AgentId, query: &Msg, ctx: &RoundCtx) -> Option<Msg> {
+        match (self.core.phase(ctx.round), query) {
             // The defining move: never answer intention pulls.
             (_, Msg::QIntent) => None,
             _ => self.core.on_pull_honest(from, query, ctx),
         }
     }
 
-    fn on_push(&mut self, from: AgentId, msg: Msg, ctx: &RoundCtx) {
+    fn on_push(&mut self, from: AgentId, msg: &Msg, ctx: &RoundCtx) {
         self.core.on_push_honest(from, msg, ctx)
     }
 
@@ -131,9 +133,9 @@ mod tests {
     use crate::coalition::new_coalition;
     use gossip_net::rng::DetRng;
     use gossip_net::topology::Topology;
-    use rfc_core::params::Params;
+    use crate::params::Params;
 
-    fn mk(variant: PlayDead) -> Box<dyn ConsensusAgent> {
+    fn mk(variant: PlayDead) -> crate::agent_plane::AgentSlot {
         let params = Params::new(32, 2.0);
         let core = ProtocolCore::new(
             2,
@@ -153,7 +155,7 @@ mod tests {
             round: 0,
             topology: &topo,
         };
-        assert!(a.on_pull(5, Msg::QIntent, &ctx).is_none());
+        assert!(a.on_pull(5, &Msg::QIntent, &ctx).is_none());
     }
 
     #[test]

@@ -13,15 +13,16 @@
 //! utility for `χ ≥ 0`, and strictly decreases it for `χ > 0`. The
 //! experiment measures the utility delta as a function of `χ`.
 
+use crate::agent_plane::AgentSlot;
+use crate::certificate::CertData;
 use crate::coalition::Coalition;
+use crate::engine::{ConsensusAgent, ProtocolCore, Role};
+use crate::msg::Msg;
+use crate::params::Phase;
 use crate::strategies::Strategy;
 use gossip_net::agent::{Agent, Op, RoundCtx};
 use gossip_net::ids::AgentId;
-use rfc_core::certificate::CertData;
-use rfc_core::engine::{ConsensusAgent, ProtocolCore, Role};
-use rfc_core::msg::Msg;
-use rfc_core::params::Phase;
-use std::sync::Arc;
+use crate::sharing::Shared;
 
 /// The spite-abort strategy (see module docs).
 #[derive(Debug, Clone, Copy)]
@@ -36,8 +37,8 @@ impl Strategy for SpiteAbort {
         "sabotage Coherence with a fabricated certificate whenever the coalition color lost"
     }
 
-    fn build(&self, core: ProtocolCore, coalition: Coalition) -> Box<dyn ConsensusAgent> {
-        Box::new(SpiteAgent {
+    fn build(&self, core: ProtocolCore, coalition: Coalition) -> AgentSlot {
+        AgentSlot::SpiteAbort(SpiteAgent {
             core,
             coalition,
             poison: None,
@@ -45,11 +46,12 @@ impl Strategy for SpiteAbort {
     }
 }
 
-struct SpiteAgent {
+/// The spite-abort agent: sabotages Coherence when the coalition loses.
+pub struct SpiteAgent {
     core: ProtocolCore,
     coalition: Coalition,
     /// Fabricated certificate used for sabotage (built lazily).
-    poison: Option<rfc_core::Certificate>,
+    poison: Option<crate::Certificate>,
 }
 
 impl SpiteAgent {
@@ -60,19 +62,19 @@ impl SpiteAgent {
         }
     }
 
-    fn poison_cert(&mut self) -> rfc_core::Certificate {
+    fn poison_cert(&mut self) -> crate::Certificate {
         if let Some(p) = &self.poison {
-            return Arc::clone(p);
+            return Shared::clone(p);
         }
         // A structurally valid certificate that cannot equal the honest
         // minimum: claims our id as owner with an empty vote set.
-        let p = Arc::new(CertData {
+        let p = Shared::new(CertData {
             k: 0,
             votes: vec![],
             color: self.coalition.color,
             owner: self.core.id,
         });
-        self.poison = Some(Arc::clone(&p));
+        self.poison = Some(Shared::clone(&p));
         p
     }
 }
@@ -89,7 +91,7 @@ impl Agent<Msg> for SpiteAgent {
         }
     }
 
-    fn on_pull(&mut self, from: AgentId, query: Msg, ctx: &RoundCtx) -> Option<Msg> {
+    fn on_pull(&mut self, from: AgentId, query: &Msg, ctx: &RoundCtx) -> Option<Msg> {
         // Also answer Find-Min pulls with poison once losing is apparent
         // (harsher variant of the same sabotage).
         if matches!(query, Msg::QMinCert)
@@ -102,10 +104,10 @@ impl Agent<Msg> for SpiteAgent {
         self.core.on_pull_honest(from, query, ctx)
     }
 
-    fn on_push(&mut self, from: AgentId, msg: Msg, ctx: &RoundCtx) {
+    fn on_push(&mut self, from: AgentId, msg: &Msg, ctx: &RoundCtx) {
         // Ignore Coherence mismatches against ourselves; stay honest
         // otherwise.
-        if let (Phase::Coherence, Msg::Cert(_)) = (self.core.phase(ctx.round), &msg) {
+        if let (Phase::Coherence, Msg::Cert(_)) = (self.core.phase(ctx.round), msg) {
             return;
         }
         self.core.on_push_honest(from, msg, ctx)
@@ -135,7 +137,7 @@ mod tests {
     use crate::coalition::new_coalition;
     use gossip_net::rng::DetRng;
     use gossip_net::topology::Topology;
-    use rfc_core::params::Params;
+    use crate::params::Params;
 
     fn mk() -> SpiteAgent {
         let params = Params::new(32, 2.0);
@@ -158,7 +160,7 @@ mod tests {
         let mut a = mk();
         a.core.ensure_certificate();
         assert!(!a.losing(), "own color == coalition color");
-        a.core.min_cert = Some(Arc::new(CertData {
+        a.core.min_cert = Some(Shared::new(CertData {
             k: 0,
             votes: vec![],
             color: 0, // not the coalition color
@@ -172,7 +174,7 @@ mod tests {
         let mut a = mk();
         let q = a.core.params.q;
         a.core.ensure_certificate();
-        a.core.min_cert = Some(Arc::new(CertData {
+        a.core.min_cert = Some(Shared::new(CertData {
             k: 0,
             votes: vec![],
             color: 0,
@@ -218,6 +220,6 @@ mod tests {
         let mut a = mk();
         let p1 = a.poison_cert();
         let p2 = a.poison_cert();
-        assert!(Arc::ptr_eq(&p1, &p2));
+        assert!(Shared::ptr_eq(&p1, &p2));
     }
 }

@@ -23,14 +23,14 @@
 //! uniform on `[m]`. Expected measurement: win rate `≈ 1/|A|` per member,
 //! flat in `t` until `t` approaches `n` itself.
 
+use crate::agent_plane::AgentSlot;
 use crate::coalition::Coalition;
+use crate::engine::{ConsensusAgent, ProtocolCore, Role};
+use crate::msg::{IntentEntry, IntentList, Msg};
+use crate::params::Phase;
 use crate::strategies::Strategy;
 use gossip_net::agent::{Agent, Op, RoundCtx};
 use gossip_net::ids::AgentId;
-use rfc_core::engine::{ConsensusAgent, ProtocolCore, Role};
-use rfc_core::msg::{IntentEntry, IntentList, Msg};
-use rfc_core::params::Phase;
-use std::sync::Arc;
 
 /// The spy-and-tune strategy (see module docs).
 #[derive(Debug, Clone, Copy)]
@@ -45,8 +45,8 @@ impl Strategy for SpyAndTune {
         "harvest honest intentions, then tune own votes to drive the leader's k toward 0"
     }
 
-    fn build(&self, core: ProtocolCore, coalition: Coalition) -> Box<dyn ConsensusAgent> {
-        Box::new(SpyAgent {
+    fn build(&self, core: ProtocolCore, coalition: Coalition) -> AgentSlot {
+        AgentSlot::SpyTune(SpyAgent {
             core,
             coalition,
             declared: false,
@@ -55,7 +55,8 @@ impl Strategy for SpyAndTune {
     }
 }
 
-struct SpyAgent {
+/// The spy-and-tune agent (see module docs).
+pub struct SpyAgent {
     core: ProtocolCore,
     coalition: Coalition,
     /// Whether our intention list has been finalized (bound).
@@ -112,7 +113,7 @@ impl SpyAgent {
             .fold(0, |acc, e| (acc + e.value) % m);
         intel.known_sum_for_leader = (intel.known_sum_for_leader + contribution) % m;
         intel.coverage += 1;
-        intel.learned_intents.push((owner, Arc::clone(list)));
+        intel.learned_intents.push((owner, list.clone()));
     }
 
     /// Next spy target: sweep all non-member ids round-robin, starting
@@ -148,7 +149,7 @@ impl Agent<Msg> for SpyAgent {
         }
     }
 
-    fn on_pull(&mut self, from: AgentId, query: Msg, ctx: &RoundCtx) -> Option<Msg> {
+    fn on_pull(&mut self, from: AgentId, query: &Msg, ctx: &RoundCtx) -> Option<Msg> {
         if matches!(query, Msg::QIntent) {
             // A pull binds us: finalize now, then answer consistently.
             self.finalize_intents();
@@ -156,7 +157,7 @@ impl Agent<Msg> for SpyAgent {
         self.core.on_pull_honest(from, query, ctx)
     }
 
-    fn on_push(&mut self, from: AgentId, msg: Msg, ctx: &RoundCtx) {
+    fn on_push(&mut self, from: AgentId, msg: &Msg, ctx: &RoundCtx) {
         self.core.on_push_honest(from, msg, ctx)
     }
 
@@ -194,7 +195,7 @@ mod tests {
     use super::*;
     use crate::coalition::new_coalition;
     use gossip_net::rng::DetRng;
-    use rfc_core::params::Params;
+    use crate::params::Params;
 
     fn mk_spy(id: AgentId, members: Vec<AgentId>) -> SpyAgent {
         let params = Params::new(32, 2.0);

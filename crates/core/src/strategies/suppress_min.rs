@@ -13,15 +13,16 @@
 //! between two certificates and Coherence fails the run — a loss, not a
 //! win.
 
+use crate::agent_plane::AgentSlot;
 use crate::coalition::Coalition;
+use crate::engine::{ConsensusAgent, ProtocolCore, Role};
+use crate::msg::Msg;
+use crate::params::Phase;
 use crate::strategies::Strategy;
+use crate::Certificate;
 use gossip_net::agent::{Agent, Op, RoundCtx};
 use gossip_net::ids::AgentId;
-use rfc_core::engine::{ConsensusAgent, ProtocolCore, Role};
-use rfc_core::msg::Msg;
-use rfc_core::params::Phase;
-use rfc_core::Certificate;
-use std::sync::Arc;
+use crate::sharing::Shared;
 
 /// The minimum-suppression strategy (see module docs).
 #[derive(Debug, Clone, Copy)]
@@ -36,8 +37,8 @@ impl Strategy for SuppressMin {
         "censor non-coalition minima while spreading the best coalition certificate"
     }
 
-    fn build(&self, core: ProtocolCore, coalition: Coalition) -> Box<dyn ConsensusAgent> {
-        Box::new(CensorAgent {
+    fn build(&self, core: ProtocolCore, coalition: Coalition) -> AgentSlot {
+        AgentSlot::SuppressMin(CensorAgent {
             core,
             coalition,
             best_coalition_cert: None,
@@ -45,7 +46,8 @@ impl Strategy for SuppressMin {
     }
 }
 
-struct CensorAgent {
+/// The censoring agent: advertises coalition certificates over the truth.
+pub struct CensorAgent {
     core: ProtocolCore,
     coalition: Coalition,
     /// Best (lowest-k) certificate owned by a coalition member seen so far.
@@ -61,7 +63,7 @@ impl CensorAgent {
                 Some(cur) => ce.k < cur.k,
             };
             if better {
-                self.best_coalition_cert = Some(Arc::clone(ce));
+                self.best_coalition_cert = Some(Shared::clone(ce));
             }
         }
     }
@@ -72,7 +74,7 @@ impl CensorAgent {
     fn advertised(&mut self) -> Option<Certificate> {
         self.core.ensure_certificate();
         if let Some(ce) = &self.best_coalition_cert {
-            return Some(Arc::clone(ce));
+            return Some(Shared::clone(ce));
         }
         self.core.min_cert.clone()
     }
@@ -92,24 +94,23 @@ impl Agent<Msg> for CensorAgent {
         }
     }
 
-    fn on_pull(&mut self, from: AgentId, query: Msg, ctx: &RoundCtx) -> Option<Msg> {
+    fn on_pull(&mut self, from: AgentId, query: &Msg, ctx: &RoundCtx) -> Option<Msg> {
         if matches!(query, Msg::QMinCert) && self.core.phase(ctx.round) >= Phase::FindMin {
             // The censoring move: advertise coalition certs, not the truth.
             self.core.ensure_certificate();
             if let Some(own) = &self.core.min_cert {
-                self.observe(&Arc::clone(own));
+                self.observe(&Shared::clone(own));
             }
             return self.advertised().map(Msg::Cert);
         }
         self.core.on_pull_honest(from, query, ctx)
     }
 
-    fn on_push(&mut self, from: AgentId, msg: Msg, ctx: &RoundCtx) {
-        match (self.core.phase(ctx.round), &msg) {
+    fn on_push(&mut self, from: AgentId, msg: &Msg, ctx: &RoundCtx) {
+        match (self.core.phase(ctx.round), msg) {
             (Phase::Coherence, Msg::Cert(ce)) => {
                 // Track, never fail ourselves.
-                let ce = Arc::clone(ce);
-                self.observe(&ce);
+                self.observe(ce);
             }
             _ => self.core.on_push_honest(from, msg, ctx),
         }
@@ -143,8 +144,8 @@ mod tests {
     use super::*;
     use crate::coalition::new_coalition;
     use gossip_net::rng::DetRng;
-    use rfc_core::certificate::CertData;
-    use rfc_core::params::Params;
+    use crate::certificate::CertData;
+    use crate::params::Params;
 
     fn mk() -> CensorAgent {
         let params = Params::new(32, 2.0);
@@ -163,7 +164,7 @@ mod tests {
     }
 
     fn cert(owner: AgentId, k: u64) -> Certificate {
-        Arc::new(CertData {
+        Shared::new(CertData {
             k,
             votes: vec![],
             color: 1,
@@ -189,7 +190,7 @@ mod tests {
         let mut a = mk();
         // Give the censor a nonzero own k so smaller honest certs can be
         // adopted internally.
-        a.core.votes.push(rfc_core::VoteRec {
+        a.core.votes.push(crate::VoteRec {
             voter: 2,
             round: 0,
             value: 500,

@@ -10,12 +10,13 @@
 //! probability stays `1/|A|`. Expected measurement: neutral, within
 //! confidence intervals of the honest arm.
 
+use crate::agent_plane::AgentSlot;
 use crate::coalition::Coalition;
+use crate::engine::{ConsensusAgent, ProtocolCore, Role};
+use crate::msg::{IntentEntry, Msg};
 use crate::strategies::Strategy;
 use gossip_net::agent::{Agent, Op, RoundCtx};
 use gossip_net::ids::AgentId;
-use rfc_core::engine::{ConsensusAgent, ProtocolCore, Role};
-use rfc_core::msg::{IntentEntry, Msg};
 
 /// The vote-rigging strategy (see module docs).
 #[derive(Debug, Clone, Copy)]
@@ -30,7 +31,7 @@ impl Strategy for VoteRig {
         "declare every vote for the coalition leader (undetectable, provably neutral)"
     }
 
-    fn build(&self, mut core: ProtocolCore, coalition: Coalition) -> Box<dyn ConsensusAgent> {
+    fn build(&self, mut core: ProtocolCore, coalition: Coalition) -> AgentSlot {
         // Re-draw the intention list: same uniform values, but every
         // target is the leader. Done at construction time — i.e. in the
         // Voting-Intention phase, before any communication.
@@ -43,12 +44,12 @@ impl Strategy for VoteRig {
             })
             .collect::<Vec<_>>()
             .into();
-        Box::new(VoteRigAgent { core })
+        AgentSlot::VoteRig(VoteRigAgent { core })
     }
 }
 
 /// Behaviourally honest agent over a rigged intention list.
-struct VoteRigAgent {
+pub struct VoteRigAgent {
     core: ProtocolCore,
 }
 
@@ -56,10 +57,10 @@ impl Agent<Msg> for VoteRigAgent {
     fn act(&mut self, ctx: &RoundCtx) -> Option<Op<Msg>> {
         self.core.act_honest(ctx)
     }
-    fn on_pull(&mut self, from: AgentId, query: Msg, ctx: &RoundCtx) -> Option<Msg> {
+    fn on_pull(&mut self, from: AgentId, query: &Msg, ctx: &RoundCtx) -> Option<Msg> {
         self.core.on_pull_honest(from, query, ctx)
     }
-    fn on_push(&mut self, from: AgentId, msg: Msg, ctx: &RoundCtx) {
+    fn on_push(&mut self, from: AgentId, msg: &Msg, ctx: &RoundCtx) {
         self.core.on_push_honest(from, msg, ctx)
     }
     fn on_reply(&mut self, from: AgentId, reply: Option<Msg>, ctx: &RoundCtx) {
@@ -84,7 +85,7 @@ mod tests {
     use super::*;
     use crate::coalition::new_coalition;
     use gossip_net::rng::DetRng;
-    use rfc_core::params::Params;
+    use crate::params::Params;
 
     #[test]
     fn all_intents_target_the_leader() {

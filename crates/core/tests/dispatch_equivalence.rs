@@ -1,0 +1,108 @@
+//! Dispatch equivalence: the monomorphic agent plane (enum jump table,
+//! reusable arena) and the boxed-dyn escape hatch are *representations*
+//! of the same simulation — for any `(config, seed)` they must produce
+//! bit-identical [`RunReport`]s: same decisions, same rounds, same
+//! message/bit meters, same winner, same audit.
+//!
+//! This is the refactor's safety net: any divergence (an extra RNG draw,
+//! a reordered delivery, state leaking through an arena reset) shows up
+//! here as a hard failure.
+
+use gossip_net::fault::Placement;
+use rfc_core::engine::HonestAgent;
+use rfc_core::runner::{
+    build_network_slots, collect_report, drive_network, run_protocol, run_protocol_boxed,
+    RunConfig, RunReport, TrialArena,
+};
+use rfc_core::{AgentSlot, ProtocolCore};
+
+/// Field-by-field report equality (audit included when requested).
+fn assert_reports_identical(a: &RunReport, b: &RunReport, what: &str) {
+    assert_eq!(a.outcome, b.outcome, "{what}: outcome");
+    assert_eq!(a.rounds, b.rounds, "{what}: rounds");
+    assert_eq!(a.winner, b.winner, "{what}: winner");
+    assert_eq!(a.decisions, b.decisions, "{what}: decisions");
+    assert_eq!(a.initial_colors, b.initial_colors, "{what}: colors");
+    assert_eq!(a.n_active, b.n_active, "{what}: n_active");
+    assert_eq!(a.verify_failures, b.verify_failures, "{what}: verify_failures");
+    assert_eq!(a.metrics, b.metrics, "{what}: metrics (messages/bits/phases)");
+    assert_eq!(a.audit, b.audit, "{what}: audit");
+}
+
+fn configs() -> Vec<RunConfig> {
+    vec![
+        RunConfig::builder(32).gamma(3.0).colors(vec![16, 16]).build(),
+        RunConfig::builder(48)
+            .gamma(4.0)
+            .colors(vec![16, 16, 16])
+            .faults(0.25, Placement::Random { seed: 5 })
+            .record_ops(true)
+            .build(),
+        RunConfig::builder(24)
+            .gamma(3.0)
+            .colors(vec![12, 12])
+            .message_loss(0.2)
+            .build(),
+    ]
+}
+
+#[test]
+fn enum_path_equals_boxed_dyn_path() {
+    for (ci, cfg) in configs().iter().enumerate() {
+        for seed in [0u64, 7, 0xDEAD] {
+            let fast = run_protocol(cfg, seed);
+            let boxed = run_protocol_boxed(cfg, seed);
+            assert_reports_identical(&fast, &boxed, &format!("cfg {ci} seed {seed}"));
+        }
+    }
+}
+
+#[test]
+fn custom_escape_hatch_equals_enum_fast_path() {
+    // The same honest agent, routed through `AgentSlot::Custom(Box<dyn …>)`
+    // instead of `AgentSlot::Honest`: one extra indirection, zero
+    // behavioral difference.
+    for (ci, cfg) in configs().iter().enumerate() {
+        for seed in [1u64, 42] {
+            let fast = run_protocol(cfg, seed);
+            let mut custom_factory =
+                |id, params: rfc_core::Params, color, rng, topo: &gossip_net::topology::Topology| {
+                    let core =
+                        ProtocolCore::new_on(topo, id, params, params.sync_schedule(), color, rng);
+                    AgentSlot::custom(HonestAgent::new(core))
+                };
+            let mut net = build_network_slots(cfg, seed, &mut custom_factory);
+            drive_network(&mut net, cfg);
+            let custom = collect_report(&net, cfg);
+            assert_reports_identical(&fast, &custom, &format!("custom cfg {ci} seed {seed}"));
+        }
+    }
+}
+
+#[test]
+fn arena_reuse_equals_fresh_networks() {
+    // One arena, many trials across *different* configs and seeds: every
+    // report must match a freshly built network's, in any order — no
+    // state may survive a reset.
+    let cfgs = configs();
+    let mut arena = TrialArena::new();
+    let schedule: Vec<(usize, u64)> = vec![(0, 3), (1, 3), (0, 9), (2, 11), (1, 9), (0, 3)];
+    for (ci, seed) in schedule {
+        let from_arena = arena.run_protocol(&cfgs[ci], seed);
+        let fresh = run_protocol(&cfgs[ci], seed);
+        assert_reports_identical(&from_arena, &fresh, &format!("arena cfg {ci} seed {seed}"));
+    }
+}
+
+#[test]
+fn arena_handles_changing_network_sizes() {
+    // Resizing between trials rebuilds what must be rebuilt and nothing
+    // else; reports stay exact.
+    let mut arena = TrialArena::new();
+    for n in [16usize, 64, 16, 32] {
+        let cfg = RunConfig::builder(n).gamma(3.0).colors(vec![n - n / 2, n / 2]).build();
+        let a = arena.run_protocol(&cfg, 5);
+        let f = run_protocol(&cfg, 5);
+        assert_reports_identical(&a, &f, &format!("resize n={n}"));
+    }
+}

@@ -16,7 +16,7 @@ use rfc_core::certificate::{CertData, VoteRec};
 use rfc_core::engine::{HonestAgent, ProtocolCore};
 use rfc_core::msg::{IntentEntry, Msg};
 use rfc_core::Params;
-use std::sync::Arc;
+use rfc_core::sharing::Shared;
 
 /// Generator for arbitrary protocol messages (including malformed ones).
 fn arb_msg() -> impl proptest::strategy::Strategy<Value = Msg> {
@@ -43,7 +43,7 @@ fn arb_msg() -> impl proptest::strategy::Strategy<Value = Msg> {
             proptest::collection::vec((any::<u32>(), any::<u16>(), any::<u64>()), 0..30)
         )
             .prop_map(|(k, color, owner, votes)| {
-                Msg::Cert(Arc::new(CertData {
+                Msg::Cert(Shared::new(CertData {
                     k,
                     votes: votes
                         .into_iter()
@@ -90,8 +90,8 @@ proptest! {
             let ctx = RoundCtx { round, topology: &topo };
             // Alternate between delivery paths.
             match round % 3 {
-                0 => agent.on_push(from, msg, &ctx),
-                1 => { let _ = agent.on_pull(from, msg, &ctx); }
+                0 => agent.on_push(from, &msg, &ctx),
+                1 => { let _ = agent.on_pull(from, &msg, &ctx); }
                 _ => agent.on_reply(from, Some(msg), &ctx),
             }
         }
@@ -123,7 +123,7 @@ proptest! {
             let ctx = RoundCtx { round, topology: &topo };
             let _ = agent.act(&ctx);
             if let Some((msg, from)) = g.next() {
-                agent.on_push(from, msg, &ctx);
+                agent.on_push(from, &msg, &ctx);
             }
         }
         let ctx = RoundCtx { round: total, topology: &topo };
@@ -147,7 +147,7 @@ proptest! {
         let before: Vec<IntentEntry> = agent.core().intents.to_vec();
         for (q, from, round) in queries {
             let ctx = RoundCtx { round, topology: &topo };
-            let _ = agent.on_pull(from, q, &ctx);
+            let _ = agent.on_pull(from, &q, &ctx);
         }
         prop_assert_eq!(before, agent.core().intents.to_vec());
     }

@@ -13,10 +13,10 @@ use rfc_core::certificate::{CertData, VoteRec};
 use rfc_core::engine::{ConsensusAgent, HonestAgent, ProtocolCore};
 use rfc_core::runner::{build_network, drive_network, RunConfig};
 use rfc_core::Params;
-use std::sync::Arc;
+use rfc_core::sharing::Shared;
 
 /// Run a full honest protocol and harvest (verifier cores, winning cert).
-fn finished_run(n: usize, seed: u64) -> (Vec<ProtocolCore>, Arc<CertData>) {
+fn finished_run(n: usize, seed: u64) -> (Vec<ProtocolCore>, Shared<CertData>) {
     let cfg = RunConfig::builder(n).gamma(3.0).colors(vec![n - n / 2, n / 2]).build();
     let mut factory = |id, params: Params, color, rng: DetRng, topo: &gossip_net::topology::Topology| {
         let core = ProtocolCore::new_on(topo, id, params, params.sync_schedule(), color, rng);
@@ -38,7 +38,7 @@ fn finished_run(n: usize, seed: u64) -> (Vec<ProtocolCore>, Arc<CertData>) {
 
 /// Re-run Verification of `cert` against every agent's ledger/self-votes;
 /// count rejections.
-fn rejections(cores: &[ProtocolCore], cert: &Arc<CertData>) -> usize {
+fn rejections(cores: &[ProtocolCore], cert: &Shared<CertData>) -> usize {
     cores
         .iter()
         .filter(|core| {
@@ -46,7 +46,7 @@ fn rejections(cores: &[ProtocolCore], cert: &Arc<CertData>) -> usize {
             c.failed = false;
             c.verify_failure = None;
             c.decided = None;
-            c.min_cert = Some(Arc::clone(cert));
+            c.min_cert = Some(Shared::clone(cert));
             c.finalize_honest();
             c.decision().is_none()
         })
@@ -74,7 +74,7 @@ proptest! {
         let mut data = (*cert).clone();
         data.votes[idx].value = (data.votes[idx].value + 1) % cores[0].params.m;
         data.k = data.derived_k(cores[0].params.m); // keep the sum check green
-        let tampered = Arc::new(data);
+        let tampered = Shared::new(data);
         prop_assert!(
             rejections(&cores, &tampered) > 0,
             "no verifier caught a mutated vote value"
@@ -90,7 +90,7 @@ proptest! {
         let mut data = (*cert).clone();
         data.votes.remove(idx);
         data.k = data.derived_k(cores[0].params.m);
-        let tampered = Arc::new(data);
+        let tampered = Shared::new(data);
         prop_assert!(rejections(&cores, &tampered) > 0, "vote removal not caught");
     }
 
@@ -112,7 +112,7 @@ proptest! {
         data.votes.sort_unstable_by_key(|v| (v.voter, v.round));
         data.votes.dedup();
         data.k = data.derived_k(m);
-        let tampered = Arc::new(data);
+        let tampered = Shared::new(data);
         // If dedup removed the injection (it collided with a real vote)
         // the cert is genuine again; otherwise it must be rejected.
         if *tampered != *cert {
@@ -127,7 +127,7 @@ proptest! {
         let m = cores[0].params.m;
         let mut data = (*cert).clone();
         data.k = (data.k + delta) % m;
-        let tampered = Arc::new(data);
+        let tampered = Shared::new(data);
         prop_assert_eq!(
             rejections(&cores, &tampered),
             cores.len(),
@@ -144,7 +144,7 @@ proptest! {
         let (cores, cert) = finished_run(24, seed);
         let mut data = (*cert).clone();
         data.color = data.color.wrapping_add(1);
-        let recolored = Arc::new(data);
+        let recolored = Shared::new(data);
         prop_assert_ne!(&recolored, &cert);
         // Verification alone accepts it (the ledger checks only bind W):
         prop_assert_eq!(rejections(&cores, &recolored), 0);
@@ -162,7 +162,7 @@ fn verify_failure_kinds_are_accurately_reported() {
     let mut bad_sum = (*cert).clone();
     bad_sum.k = (bad_sum.k + 1) % m;
     let mut c = cores[0].clone();
-    c.min_cert = Some(Arc::new(bad_sum));
+    c.min_cert = Some(Shared::new(bad_sum));
     c.finalize_honest();
     assert_eq!(
         c.verify_failure,
@@ -210,7 +210,7 @@ fn verification_uses_queries_not_trust() {
         0,
         DetRng::seeded(1, 0),
     );
-    let fake = Arc::new(CertData::build(3, 1, vec![], params.m));
+    let fake = Shared::new(CertData::build(3, 1, vec![], params.m));
     lone.min_cert = Some(fake);
     lone.finalize_honest();
     assert_eq!(lone.decision(), Some(1), "no evidence ⇒ no rejection");

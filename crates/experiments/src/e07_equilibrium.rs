@@ -7,13 +7,13 @@
 //! forging mostly convert losses into `⊥`.
 
 use crate::opts::ExpOptions;
-use crate::parallel::run_trials_fold;
+use crate::parallel::run_trials_fold_with_scratch;
 use crate::table::{fmt, Table};
 use adversary::coalition::{select_members, CoalitionSelection};
-use adversary::harness::{coalition_colors, run_attack_trial, ArmStats};
+use adversary::harness::{coalition_colors, run_attack_trial_in, ArmStats};
 use adversary::strategies::spy_tune::SpyAndTune;
 use adversary::strategies::standard_attacks;
-use rfc_core::runner::{run_protocol, ColorSpec, RunConfig};
+use rfc_core::runner::{ColorSpec, RunConfig, TrialArena};
 
 /// Run E7 and produce its tables.
 pub fn run(opts: &ExpOptions) -> Vec<Table> {
@@ -50,16 +50,18 @@ pub fn run(opts: &ExpOptions) -> Vec<Table> {
             let members_ref = &members;
             let cfg_ref = &cfg;
             // Paired trials stream directly into per-arm ArmStats — the
-            // RunReports are folded away instead of buffered.
-            let (honest, deviating) = run_trials_fold(
+            // RunReports are folded away instead of buffered — through a
+            // per-worker TrialArena serving both arms of every pair.
+            let ((honest, deviating), _) = run_trials_fold_with_scratch(
                 trials,
                 opts.threads_for(trials),
                 opts.seed,
+                TrialArena::new,
                 <(ArmStats, ArmStats)>::default,
-                move |acc, _i, seed| {
-                    let h = run_protocol(cfg_ref, seed);
+                move |acc, arena, _i, seed| {
+                    let h = arena.run_protocol(cfg_ref, seed);
                     acc.0.record(&h, members_ref, chi);
-                    let d = run_attack_trial(cfg_ref, strategy_ref, members_ref, seed);
+                    let d = run_attack_trial_in(arena, cfg_ref, strategy_ref, members_ref, seed);
                     acc.1.record(&d, members_ref, chi);
                 },
                 |a, b| {
@@ -112,13 +114,14 @@ pub fn run(opts: &ExpOptions) -> Vec<Table> {
         let strategy = SpyAndTune;
         let members_ref = &members;
         let cfg_ref = &cfg;
-        let arm = run_trials_fold(
+        let (arm, _) = run_trials_fold_with_scratch(
             trials,
             opts.threads_for(trials),
             opts.seed,
+            TrialArena::new,
             ArmStats::default,
-            move |acc, _i, seed| {
-                let r = run_attack_trial(cfg_ref, &strategy, members_ref, seed);
+            move |acc, arena, _i, seed| {
+                let r = run_attack_trial_in(arena, cfg_ref, &strategy, members_ref, seed);
                 acc.record(&r, members_ref, chi);
             },
             |a, b| a.merge(&b),

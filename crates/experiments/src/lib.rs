@@ -39,7 +39,10 @@
 //! mergeable accumulators (see `rfc_stats::{Summary, Tally, Histogram}`)
 //! block by block with O(threads) peak memory and **bit-identical**
 //! output for every thread count — the million-trial path E1/E4/E5/E7
-//! and E14 run on.
+//! and E14 run on. The `*_with_scratch` variants add per-worker state:
+//! E7 and E14 pass `rfc_core::TrialArena::new`, so each worker recycles
+//! one simulation network (enum-dispatched agents, reused buffers)
+//! across all its trials instead of rebuilding boxed agents per trial.
 
 pub mod e01_rounds;
 pub mod e02_message_size;
@@ -60,7 +63,10 @@ pub mod parallel;
 pub mod table;
 
 pub use opts::ExpOptions;
-pub use parallel::{default_threads, par_map, run_trials, run_trials_fold};
+pub use parallel::{
+    default_threads, par_fold_with_scratch, par_map, run_trials, run_trials_fold,
+    run_trials_fold_with_scratch,
+};
 pub use table::Table;
 
 /// A registered experiment.

@@ -28,6 +28,13 @@
 //! aggregate a pure function of `(experiment, master_seed)` regardless of
 //! parallelism — the property that lets EXPERIMENTS.md quote exact
 //! numbers.
+//!
+//! The `*_with_scratch` variants add **per-worker state**: each worker
+//! thread owns one scratch value (typically an `rfc_core::TrialArena`)
+//! that survives across all the blocks it processes, so per-trial setup
+//! cost (agent storage, network buffers) is paid once per worker, not
+//! once per trial. Scratch state must not influence results — the
+//! aggregate stays a pure function of `(experiment, master_seed)`.
 
 use gossip_net::rng::derive_seed;
 use parking_lot::Mutex;
@@ -77,31 +84,42 @@ struct Merger<A> {
 }
 
 /// Core streaming engine: fold `count` indexed items into block
-/// accumulators and merge the blocks in order. `produce(acc, i)` folds
-/// item `i`; blocks are [`fold_block_size`]`(count)` consecutive indices
-/// (≤ `FOLD_BLOCK`, a pure function of `count`).
-fn fold_indexed<A, I, P, M>(
+/// accumulators and merge the blocks in order. `produce(acc, scratch, i)`
+/// folds item `i`; blocks are [`fold_block_size`]`(count)` consecutive
+/// indices (≤ `FOLD_BLOCK`, a pure function of `count`).
+///
+/// `scratch_init` builds one **per-worker scratch state** (a simulation
+/// arena, a reusable buffer, …): the serial path makes exactly one, the
+/// parallel path one per worker thread, created *on* that thread — so
+/// the scratch type needs neither `Send` nor `Sync`, and its lifetime
+/// spans every block the worker processes. Correctness requirement
+/// (pinned by the bit-identity tests): `produce` must give results
+/// independent of the scratch's prior state, otherwise the aggregate
+/// would depend on which worker processed which block.
+fn fold_indexed<S, A, SI, I, P, M>(
     count: usize,
     threads: usize,
+    scratch_init: SI,
     init: I,
     produce: P,
     merge: M,
 ) -> (A, FoldStats)
 where
     A: Send,
+    SI: Fn() -> S + Sync,
     I: Fn() -> A + Sync,
-    P: Fn(&mut A, usize) + Sync,
+    P: Fn(&mut A, &mut S, usize) + Sync,
     M: Fn(&mut A, A) + Sync,
 {
     let threads = threads.max(1).min(count.max(1));
     let block_size = fold_block_size(count);
     let blocks = count.div_ceil(block_size);
-    let fold_block = |b: usize| {
+    let fold_block = |b: usize, scratch: &mut S| {
         let mut acc = init();
         let lo = b * block_size;
         let hi = (lo + block_size).min(count);
         for i in lo..hi {
-            produce(&mut acc, i);
+            produce(&mut acc, scratch, i);
         }
         acc
     };
@@ -111,9 +129,10 @@ where
     if threads == 1 {
         // Same block structure as the parallel path, so the result is
         // bit-identical for any thread count.
-        let mut result = fold_block(0);
+        let mut scratch = scratch_init();
+        let mut result = fold_block(0, &mut scratch);
         for b in 1..blocks {
-            merge(&mut result, fold_block(b));
+            merge(&mut result, fold_block(b, &mut scratch));
         }
         return (result, FoldStats { blocks, peak_pending: 0 });
     }
@@ -131,35 +150,40 @@ where
     let not_full = Condvar::new();
     std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|| loop {
-                {
-                    // Claim gate: keep the out-of-order window bounded.
-                    let guard = merger.lock().expect("fold merger lock");
-                    let _guard = not_full
-                        .wait_while(guard, |m| m.pending.len() >= window)
-                        .expect("fold merger wait");
-                }
-                let b = next.fetch_add(1, Ordering::Relaxed);
-                if b >= blocks {
-                    break;
-                }
-                let acc = fold_block(b);
-                let mut m = merger.lock().expect("fold merger lock");
-                m.pending.push((b, acc));
-                m.peak_pending = m.peak_pending.max(m.pending.len());
-                // Drain everything now mergeable, in block order.
-                while let Some(pos) =
-                    m.pending.iter().position(|(i, _)| *i == m.next_to_merge)
-                {
-                    let (_, acc) = m.pending.swap_remove(pos);
-                    match &mut m.result {
-                        None => m.result = Some(acc),
-                        Some(r) => merge(r, acc),
+            scope.spawn(|| {
+                // Worker-local scratch: created on this thread, reused
+                // across every block this worker claims.
+                let mut scratch = scratch_init();
+                loop {
+                    {
+                        // Claim gate: keep the out-of-order window bounded.
+                        let guard = merger.lock().expect("fold merger lock");
+                        let _guard = not_full
+                            .wait_while(guard, |m| m.pending.len() >= window)
+                            .expect("fold merger wait");
                     }
-                    m.next_to_merge += 1;
+                    let b = next.fetch_add(1, Ordering::Relaxed);
+                    if b >= blocks {
+                        break;
+                    }
+                    let acc = fold_block(b, &mut scratch);
+                    let mut m = merger.lock().expect("fold merger lock");
+                    m.pending.push((b, acc));
+                    m.peak_pending = m.peak_pending.max(m.pending.len());
+                    // Drain everything now mergeable, in block order.
+                    while let Some(pos) =
+                        m.pending.iter().position(|(i, _)| *i == m.next_to_merge)
+                    {
+                        let (_, acc) = m.pending.swap_remove(pos);
+                        match &mut m.result {
+                            None => m.result = Some(acc),
+                            Some(r) => merge(r, acc),
+                        }
+                        m.next_to_merge += 1;
+                    }
+                    drop(m);
+                    not_full.notify_all();
                 }
-                drop(m);
-                not_full.notify_all();
             });
         }
     });
@@ -196,6 +220,44 @@ where
     run_trials_fold_with_stats(trials, threads, master_seed, init, fold, merge).0
 }
 
+/// [`run_trials_fold`] with **per-worker scratch state**: `scratch_init`
+/// builds one `S` per worker (serial: one total), and the fold closure
+/// receives `&mut S` alongside the accumulator. This is how the
+/// simulation arenas ride the harness: pass
+/// `rfc_core::TrialArena::new` as `scratch_init` and run each trial
+/// through the arena — agent storage, scratch buffers, metrics and
+/// op-log are then recycled across every trial a worker executes.
+///
+/// The block-merge contract is unchanged: results are bit-identical for
+/// any thread count provided each trial's result does not depend on the
+/// scratch's prior state (true for arenas by construction — pinned by
+/// the `arena_reuse_equals_fresh_networks` and thread-invariance tests).
+pub fn run_trials_fold_with_scratch<S, A, SI, I, F, M>(
+    trials: usize,
+    threads: usize,
+    master_seed: u64,
+    scratch_init: SI,
+    init: I,
+    fold: F,
+    merge: M,
+) -> (A, FoldStats)
+where
+    A: Send,
+    SI: Fn() -> S + Sync,
+    I: Fn() -> A + Sync,
+    F: Fn(&mut A, &mut S, usize, u64) + Sync,
+    M: Fn(&mut A, A) + Sync,
+{
+    fold_indexed(
+        trials,
+        threads,
+        scratch_init,
+        init,
+        |acc, scratch, i| fold(acc, scratch, i, derive_seed(master_seed, i as u64)),
+        merge,
+    )
+}
+
 /// [`run_trials_fold`] plus [`FoldStats`] instrumentation (used by tests
 /// and `rfc-bench` to demonstrate the O(threads) memory behavior).
 pub fn run_trials_fold_with_stats<A, I, F, M>(
@@ -215,8 +277,9 @@ where
     fold_indexed(
         trials,
         threads,
+        || (),
         init,
-        |acc, i| fold(acc, i, derive_seed(master_seed, i as u64)),
+        |acc, _scratch, i| fold(acc, i, derive_seed(master_seed, i as u64)),
         merge,
     )
 }
@@ -241,8 +304,38 @@ where
     fold_indexed(
         inputs.len(),
         threads,
+        || (),
         init,
-        |acc, i| fold(acc, i, &inputs[i]),
+        |acc, _scratch, i| fold(acc, i, &inputs[i]),
+        merge,
+    )
+    .0
+}
+
+/// [`par_fold`] with per-worker scratch state (see
+/// [`run_trials_fold_with_scratch`] for the contract).
+pub fn par_fold_with_scratch<T, S, A, SI, I, F, M>(
+    inputs: &[T],
+    threads: usize,
+    scratch_init: SI,
+    init: I,
+    fold: F,
+    merge: M,
+) -> A
+where
+    T: Sync,
+    A: Send,
+    SI: Fn() -> S + Sync,
+    I: Fn() -> A + Sync,
+    F: Fn(&mut A, &mut S, usize, &T) + Sync,
+    M: Fn(&mut A, A) + Sync,
+{
+    fold_indexed(
+        inputs.len(),
+        threads,
+        scratch_init,
+        init,
+        |acc, scratch, i| fold(acc, scratch, i, &inputs[i]),
         merge,
     )
     .0
@@ -475,6 +568,103 @@ mod tests {
             |a, mut b| a.append(&mut b),
         );
         assert_eq!(folded, inputs.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn scratch_fold_is_bit_identical_and_reuses_worker_state() {
+        // Scratch state must not change results: a fold that counts via
+        // an arena-like scratch (here: a Vec used as a reusable buffer)
+        // agrees with the plain fold for every thread count.
+        let plain = run_trials_fold(
+            777,
+            4,
+            21,
+            || 0u64,
+            |acc, _i, seed| *acc = acc.wrapping_add(seed % 97),
+            |a, b| *a = a.wrapping_add(b),
+        );
+        for threads in [1usize, 3, 8] {
+            let (scratched, _) = run_trials_fold_with_scratch(
+                777,
+                threads,
+                21,
+                Vec::<u64>::new,
+                || 0u64,
+                |acc, scratch: &mut Vec<u64>, _i, seed| {
+                    // Reuse the scratch buffer across trials (its prior
+                    // content must be irrelevant).
+                    scratch.clear();
+                    scratch.push(seed % 97);
+                    *acc = acc.wrapping_add(scratch[0]);
+                },
+                |a, b| *a = a.wrapping_add(b),
+            );
+            assert_eq!(plain, scratched, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn scratch_is_per_worker_not_per_trial() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let created = AtomicUsize::new(0);
+        let threads = 4;
+        let trials = 2000;
+        let _ = run_trials_fold_with_scratch(
+            trials,
+            threads,
+            3,
+            || {
+                created.fetch_add(1, Ordering::Relaxed);
+            },
+            || 0u64,
+            |acc, _s, _i, _seed| *acc += 1,
+            |a, b| *a += b,
+        );
+        let made = created.load(Ordering::Relaxed);
+        assert!(
+            made <= threads,
+            "scratch must be created once per worker, not per trial/block (made {made})"
+        );
+        assert!(made >= 1);
+    }
+
+    #[test]
+    fn arena_scratch_trials_match_fresh_runs() {
+        // The real thing: protocol trials through per-worker TrialArenas
+        // must aggregate exactly like fresh-network trials.
+        let cfg = rfc_core::RunConfig::builder(24).gamma(3.0).colors(vec![12, 12]).build();
+        let fresh = run_trials_fold(
+            24,
+            4,
+            9,
+            || (0u64, 0u64),
+            |acc, _i, seed| {
+                let r = rfc_core::run_protocol(&cfg, seed);
+                acc.0 += r.outcome.is_consensus() as u64;
+                acc.1 += r.metrics.bits_sent;
+            },
+            |a, b| {
+                a.0 += b.0;
+                a.1 += b.1;
+            },
+        );
+        let (arena_agg, _) = run_trials_fold_with_scratch(
+            24,
+            4,
+            9,
+            rfc_core::TrialArena::new,
+            || (0u64, 0u64),
+            |acc, arena, _i, seed| {
+                let r = arena.run_protocol(&cfg, seed);
+                acc.0 += r.outcome.is_consensus() as u64;
+                acc.1 += r.metrics.bits_sent;
+            },
+            |a, b| {
+                a.0 += b.0;
+                a.1 += b.1;
+            },
+        );
+        assert_eq!(fresh, arena_agg);
     }
 
     #[test]

@@ -82,6 +82,13 @@ impl<'a> RoundCtx<'a> {
 /// All methods have no-op defaults except [`Agent::act`]; a passive agent
 /// that never communicates is just `fn act(..) -> None`.
 ///
+/// Deliveries are **by reference**: the engine retains ownership of the
+/// in-flight operation and hands each receiver a `&M`, so a delivery
+/// costs no clone — an agent clones only the parts it actually keeps
+/// (protocol messages make that cheap via `Arc` payloads). The reply to
+/// a pull is the one owned message an agent produces per delivery, and
+/// it is *moved* to the puller via [`Agent::on_reply`].
+///
 /// Implementations must be deterministic functions of (constructor
 /// arguments, observed messages, own RNG stream) — the simulator provides
 /// no other entropy source, which is what makes whole runs replayable.
@@ -94,13 +101,14 @@ pub trait Agent<M> {
     /// `query` its question. Return `Some(reply)` to answer or `None` to
     /// stay silent (the puller observes silence, exactly like pulling a
     /// faulty node — the "pretend to be faulty" deviation of §1).
-    fn on_pull(&mut self, from: AgentId, query: M, ctx: &RoundCtx) -> Option<M> {
+    fn on_pull(&mut self, from: AgentId, query: &M, ctx: &RoundCtx) -> Option<M> {
         let _ = (from, query, ctx);
         None
     }
 
-    /// A pushed message arrived (authenticated sender `from`).
-    fn on_push(&mut self, from: AgentId, msg: M, ctx: &RoundCtx) {
+    /// A pushed message arrived (authenticated sender `from`). The
+    /// message is borrowed from the sender's op; clone what you keep.
+    fn on_push(&mut self, from: AgentId, msg: &M, ctx: &RoundCtx) {
         let _ = (from, msg, ctx);
     }
 
@@ -148,8 +156,8 @@ mod tests {
         };
         let mut a = Passive;
         assert!(a.act(&ctx).is_none());
-        assert!(a.on_pull(1, Unit, &ctx).is_none());
-        a.on_push(1, Unit, &ctx);
+        assert!(a.on_pull(1, &Unit, &ctx).is_none());
+        a.on_push(1, &Unit, &ctx);
         a.on_reply(1, None, &ctx);
         a.finalize(&ctx);
     }

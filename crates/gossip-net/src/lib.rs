@@ -67,7 +67,7 @@
 //!         let to = ctx.topology.sample_peer(self.id, &mut self.rng);
 //!         Some(Op::push(to, Num(self.id as u64)))
 //!     }
-//!     fn on_push(&mut self, _from: AgentId, msg: Num, _ctx: &RoundCtx) {
+//!     fn on_push(&mut self, _from: AgentId, msg: &Num, _ctx: &RoundCtx) {
 //!         self.seen.push(msg.0);
 //!     }
 //! }

@@ -50,7 +50,7 @@ impl Tally {
 }
 
 /// Run-wide communication metrics collected by the [`crate::Network`].
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Metrics {
     /// Global message count (pushes + pull queries + pull replies).
     pub messages_sent: u64,
@@ -73,6 +73,20 @@ impl Metrics {
     /// Fresh, zeroed metrics.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Zero every counter **in place**, keeping the phase table's backing
+    /// allocation (arena reuse: a reset Metrics is `==` to a fresh one,
+    /// but re-entering the same phases won't reallocate).
+    pub fn reset(&mut self) {
+        self.messages_sent = 0;
+        self.bits_sent = 0;
+        self.max_message_bits = 0;
+        self.rounds = 0;
+        self.ticks = 0;
+        self.max_active_links = 0;
+        self.phases.clear();
+        self.current_phase = None;
     }
 
     /// Open (or switch to) a named phase; subsequent messages accrue to it.

@@ -92,10 +92,11 @@ impl Default for NetworkConfig {
 
 /// A network of agents driven in synchronous GOSSIP rounds.
 ///
-/// `M` is the protocol's message type (`Clone` is needed for the pull
-/// reply path, `MsgSize` for wire metering); `A` is the agent type —
-/// usually a boxed trait object such as `Box<dyn Agent<M>>`, or a richer
-/// protocol-specific object like rfc-core's `Box<dyn ConsensusAgent>`
+/// `M` is the protocol's message type (`MsgSize` for wire metering;
+/// deliveries are by reference, so `M` does not need `Clone`); `A` is the
+/// agent type — ideally a concrete type or a monomorphic enum such as
+/// rfc-core's `AgentSlot` (jump-table dispatch, agents stored inline), or
+/// a boxed trait object like `Box<dyn Agent<M>>` when dynamism is needed
 /// (a blanket impl forwards `Agent` through `Box`).
 pub struct Network<M, A = Box<dyn Agent<M>>> {
     topology: Topology,
@@ -112,7 +113,7 @@ pub struct Network<M, A = Box<dyn Agent<M>>> {
     replies: Vec<(AgentId, AgentId, Option<M>)>,
 }
 
-impl<M: MsgSize + Clone, A: Agent<M>> Network<M, A> {
+impl<M: MsgSize, A: Agent<M>> Network<M, A> {
     /// Build a network. `agents.len()` must equal the topology size and the
     /// fault plan size.
     pub fn new(
@@ -167,6 +168,57 @@ impl<M: MsgSize + Clone, A: Agent<M>> Network<M, A> {
         }
     }
 
+    /// Re-arm this network for a fresh trial **in place**, reusing every
+    /// reusable allocation: the agent storage (`fill` pushes the new
+    /// agents into the cleared, capacity-retaining vector), the op/reply
+    /// scratch buffers, the metrics' phase table, and the op log's event
+    /// buffer. This is the trial-arena primitive: a Monte-Carlo worker
+    /// keeps one `Network` alive and calls `reset_into` per trial instead
+    /// of rebuilding the world.
+    ///
+    /// Semantics are exactly those of [`Network::with_config`] — a reset
+    /// network is observationally identical to a freshly built one (same
+    /// seed ⇒ bit-identical run), only cheaper.
+    pub fn reset_into(
+        &mut self,
+        topology: Topology,
+        env: SizeEnv,
+        faults: FaultPlan,
+        config: NetworkConfig,
+        fill: impl FnOnce(&mut Vec<A>, &Topology),
+    ) {
+        assert!(
+            (0.0..=1.0).contains(&config.loss_probability),
+            "loss probability must be in [0, 1]"
+        );
+        self.topology = topology;
+        self.env = env;
+        self.agents.clear();
+        fill(&mut self.agents, &self.topology);
+        assert_eq!(
+            self.agents.len(),
+            self.topology.n(),
+            "agent count must match topology size"
+        );
+        assert_eq!(
+            self.agents.len(),
+            faults.n(),
+            "fault plan size must match agent count"
+        );
+        self.faults = faults;
+        self.metrics.reset();
+        self.oplog.clear();
+        self.loss_rng = if config.loss_probability > 0.0 {
+            Some(DetRng::seeded(config.loss_seed, 0x1055))
+        } else {
+            None
+        };
+        self.config = config;
+        self.round = 0;
+        self.ops.clear();
+        self.replies.clear();
+    }
+
     /// Sample the loss process: true if the current message is dropped.
     #[inline]
     fn dropped(&mut self) -> bool {
@@ -215,8 +267,13 @@ impl<M: MsgSize + Clone, A: Agent<M>> Network<M, A> {
         self.metrics.record_round(self.ops.len() as u64);
 
         // -- 2. answer pulls (compute replies before any delivery) -------
+        // Both scratch buffers are borrowed out via `take` and put back
+        // exactly once, emptied *before* the put-back, so their grown
+        // capacity always survives into the next round (a two-step
+        // `self.ops = ops; self.ops.clear()` could silently discard the
+        // buffer if code between the steps ever touched `self.ops`).
         self.replies.clear();
-        let ops = std::mem::take(&mut self.ops);
+        let mut ops = std::mem::take(&mut self.ops);
         for (from, op) in &ops {
             if let Op::Pull { from: target, query } = op {
                 let reply = self.answer_pull(*from, *target, query, round);
@@ -230,8 +287,9 @@ impl<M: MsgSize + Clone, A: Agent<M>> Network<M, A> {
                 self.deliver_push(*from, *to, msg, round);
             }
         }
+        ops.clear();
+        debug_assert!(self.ops.is_empty(), "ops buffer grew during delivery");
         self.ops = ops;
-        self.ops.clear();
 
         // -- 4. deliver replies (already metered at send time in
         //    `answer_pull`; a reply lost in transit was still sent) ------
@@ -245,6 +303,7 @@ impl<M: MsgSize + Clone, A: Agent<M>> Network<M, A> {
                 self.agents[puller as usize].on_reply(pullee, reply, &ctx);
             }
         }
+        debug_assert!(self.replies.is_empty(), "replies buffer grew during delivery");
         self.replies = replies;
 
         self.round += 1;
@@ -270,7 +329,8 @@ impl<M: MsgSize + Clone, A: Agent<M>> Network<M, A> {
                 round,
                 topology: &self.topology,
             };
-            self.agents[pullee as usize].on_pull(puller, query.clone(), &ctx)
+            // By-ref delivery: the pullee reads the engine-owned query.
+            self.agents[pullee as usize].on_pull(puller, query, &ctx)
         };
         // A produced reply is metered HERE, at send time: it went on the
         // wire whether or not it survives transit. (Metering at delivery
@@ -297,6 +357,12 @@ impl<M: MsgSize + Clone, A: Agent<M>> Network<M, A> {
     }
 
     fn deliver_push(&mut self, from: AgentId, to: AgentId, msg: &M, round: usize) {
+        // Metering contract: a push is metered HERE, at send time —
+        // *before* the edge/fault/loss checks below. A push addressed
+        // off-edge (no such link), to a faulty receiver, or lost in
+        // transit was still *sent* by its author and still occupied the
+        // wire on the sender's side, so it counts toward messages_sent
+        // and bits_sent even though it is never delivered.
         self.metrics.record_message(msg.size_bits(&self.env));
         if self.config.record_ops {
             self.oplog.record(round as u32, OpKind::Push, from, to);
@@ -308,7 +374,8 @@ impl<M: MsgSize + Clone, A: Agent<M>> Network<M, A> {
             round,
             topology: &self.topology,
         };
-        self.agents[to as usize].on_push(from, msg.clone(), &ctx);
+        // By-ref delivery: no clone on the push path.
+        self.agents[to as usize].on_push(from, msg, &ctx);
     }
 
     /// Run the **asynchronous (sequential) GOSSIP** variant: `ticks`
@@ -442,10 +509,10 @@ impl<M, T: Agent<M> + ?Sized> Agent<M> for Box<T> {
     fn act(&mut self, ctx: &RoundCtx) -> Option<Op<M>> {
         (**self).act(ctx)
     }
-    fn on_pull(&mut self, from: AgentId, query: M, ctx: &RoundCtx) -> Option<M> {
+    fn on_pull(&mut self, from: AgentId, query: &M, ctx: &RoundCtx) -> Option<M> {
         (**self).on_pull(from, query, ctx)
     }
-    fn on_push(&mut self, from: AgentId, msg: M, ctx: &RoundCtx) {
+    fn on_push(&mut self, from: AgentId, msg: &M, ctx: &RoundCtx) {
         (**self).on_push(from, msg, ctx)
     }
     fn on_reply(&mut self, from: AgentId, reply: Option<M>, ctx: &RoundCtx) {
@@ -480,7 +547,7 @@ mod tests {
         fn act(&mut self, _ctx: &RoundCtx) -> Option<Op<Num>> {
             Some(Op::push(self.target, Num(self.id as u64)))
         }
-        fn on_push(&mut self, from: AgentId, msg: Num, _ctx: &RoundCtx) {
+        fn on_push(&mut self, from: AgentId, msg: &Num, _ctx: &RoundCtx) {
             self.heard.push((from, msg.0));
         }
     }
@@ -494,7 +561,7 @@ mod tests {
         fn act(&mut self, _ctx: &RoundCtx) -> Option<Op<Num>> {
             Some(Op::pull(self.target, Num(0)))
         }
-        fn on_pull(&mut self, _from: AgentId, _q: Num, _ctx: &RoundCtx) -> Option<Num> {
+        fn on_pull(&mut self, _from: AgentId, _q: &Num, _ctx: &RoundCtx) -> Option<Num> {
             Some(Num(77))
         }
         fn on_reply(&mut self, _from: AgentId, reply: Option<Num>, _ctx: &RoundCtx) {
@@ -636,7 +703,7 @@ mod tests {
             fn act(&mut self, _ctx: &RoundCtx) -> Option<Op<Num>> {
                 None
             }
-            fn on_push(&mut self, _f: AgentId, _m: Num, _c: &RoundCtx) {
+            fn on_push(&mut self, _f: AgentId, _m: &Num, _c: &RoundCtx) {
                 self.0 += 1;
             }
         }
@@ -698,7 +765,7 @@ mod tests {
             fn act(&mut self, _ctx: &RoundCtx) -> Option<Op<Num>> {
                 None
             }
-            fn on_push(&mut self, _f: AgentId, _m: Num, _c: &RoundCtx) {
+            fn on_push(&mut self, _f: AgentId, _m: &Num, _c: &RoundCtx) {
                 self.0 += 1;
             }
         }
@@ -775,7 +842,7 @@ mod tests {
                 None
             }
         }
-        fn on_push(&mut self, _f: AgentId, _m: Num, _c: &RoundCtx) {
+        fn on_push(&mut self, _f: AgentId, _m: &Num, _c: &RoundCtx) {
             self.received += 1;
         }
     }
@@ -800,7 +867,7 @@ mod tests {
         fn act(&mut self, _ctx: &RoundCtx) -> Option<Op<Num>> {
             Some(Op::pull(self.target, Num(0)))
         }
-        fn on_pull(&mut self, _from: AgentId, _q: Num, _ctx: &RoundCtx) -> Option<Num> {
+        fn on_pull(&mut self, _from: AgentId, _q: &Num, _ctx: &RoundCtx) -> Option<Num> {
             self.produced += 1;
             Some(Num(7))
         }
@@ -861,13 +928,13 @@ mod tests {
                     Mixed::Pull(a) => a.act(ctx),
                 }
             }
-            fn on_pull(&mut self, from: AgentId, q: Num, ctx: &RoundCtx) -> Option<Num> {
+            fn on_pull(&mut self, from: AgentId, q: &Num, ctx: &RoundCtx) -> Option<Num> {
                 match self {
                     Mixed::Push(a) => a.on_pull(from, q, ctx),
                     Mixed::Pull(a) => a.on_pull(from, q, ctx),
                 }
             }
-            fn on_push(&mut self, from: AgentId, m: Num, ctx: &RoundCtx) {
+            fn on_push(&mut self, from: AgentId, m: &Num, ctx: &RoundCtx) {
                 match self {
                     Mixed::Push(a) => a.on_push(from, m, ctx),
                     Mixed::Pull(a) => a.on_push(from, m, ctx),
@@ -1032,6 +1099,115 @@ mod tests {
             SizeEnv::for_n(3),
             pushers(2, 0),
             FaultPlan::none(2),
+        );
+    }
+
+    #[test]
+    fn pushes_to_unreachable_targets_are_metered_at_send_time() {
+        // Metering contract (pinned): a push is "sent" the moment its
+        // author emits it, so it is metered even when the target edge
+        // does not exist AND even when the target is faulty — the checks
+        // that suppress *delivery* must never suppress *metering*.
+        struct Quiet;
+        impl Agent<Num> for Quiet {
+            fn act(&mut self, _ctx: &RoundCtx) -> Option<Op<Num>> {
+                None
+            }
+        }
+        struct PushOffEdge;
+        impl Agent<Num> for PushOffEdge {
+            fn act(&mut self, _ctx: &RoundCtx) -> Option<Op<Num>> {
+                Some(Op::push(3, Num(9))) // ring of 6: 0–3 is not an edge
+            }
+        }
+        let mut agents: Vec<Box<dyn Agent<Num>>> = vec![Box::new(PushOffEdge)];
+        agents.extend((1..6).map(|_| Box::new(Quiet) as Box<dyn Agent<Num>>));
+        let faults = FaultPlan::place(6, 1, Placement::HighIds); // 5 faulty
+        let mut net = Network::new(Topology::ring(6), SizeEnv::for_n(6), agents, faults);
+        net.run(4);
+        // 4 rounds × 1 off-edge push: all metered, none delivered.
+        assert_eq!(net.metrics().messages_sent, 4);
+        assert_eq!(net.metrics().bits_sent, 4 * 8);
+
+        // Same for a push to a *faulty* neighbor: metered, not delivered.
+        struct PushToFaulty;
+        impl Agent<Num> for PushToFaulty {
+            fn act(&mut self, _ctx: &RoundCtx) -> Option<Op<Num>> {
+                Some(Op::push(5, Num(1))) // 5 is a ring neighbor of 0, faulty
+            }
+        }
+        let mut agents: Vec<Box<dyn Agent<Num>>> = vec![Box::new(PushToFaulty)];
+        agents.extend((1..6).map(|_| Box::new(Quiet) as Box<dyn Agent<Num>>));
+        let faults = FaultPlan::place(6, 1, Placement::HighIds);
+        let mut net = Network::new(Topology::ring(6), SizeEnv::for_n(6), agents, faults);
+        net.run(4);
+        assert_eq!(net.metrics().messages_sent, 4);
+    }
+
+    #[test]
+    fn reset_into_matches_fresh_network_bit_for_bit() {
+        let n = 8;
+        let mk_cfg = || NetworkConfig {
+            record_ops: true,
+            loss_probability: 0.25,
+            loss_seed: 13,
+            ..NetworkConfig::default()
+        };
+        let run = |net: &mut Network<Num, Box<dyn Agent<Num>>>| {
+            net.enter_phase("a");
+            net.run(10);
+            net.enter_phase("b");
+            net.run(10);
+            (net.metrics().clone(), net.oplog().len(), net.round())
+        };
+        let mut fresh = Network::with_config(
+            Topology::complete(n),
+            SizeEnv::for_n(n),
+            pushers(n, 0),
+            FaultPlan::none(n),
+            mk_cfg(),
+        );
+        let expected = run(&mut fresh);
+
+        // Arena path: one network, reset twice, must reproduce `expected`
+        // both times (no state may leak through the reset).
+        let mut arena = Network::with_config(
+            Topology::complete(n),
+            SizeEnv::for_n(n),
+            pushers(n, 7), // different agents on purpose
+            FaultPlan::none(n),
+            NetworkConfig::default(),
+        );
+        run(&mut arena);
+        for _ in 0..2 {
+            arena.reset_into(
+                Topology::complete(n),
+                SizeEnv::for_n(n),
+                FaultPlan::none(n),
+                mk_cfg(),
+                |agents, _topo| agents.extend(pushers(n, 0)),
+            );
+            let got = run(&mut arena);
+            assert_eq!(got, expected, "reset network must be indistinguishable");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "agent count must match")]
+    fn reset_into_rejects_size_mismatch() {
+        let n = 4;
+        let mut net = Network::new(
+            Topology::complete(n),
+            SizeEnv::for_n(n),
+            pushers(n, 0),
+            FaultPlan::none(n),
+        );
+        net.reset_into(
+            Topology::complete(n),
+            SizeEnv::for_n(n),
+            FaultPlan::none(n),
+            NetworkConfig::default(),
+            |agents, _| agents.extend(pushers(n - 1, 0)),
         );
     }
 }

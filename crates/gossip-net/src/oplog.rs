@@ -69,6 +69,11 @@ impl OpLog {
         &self.events
     }
 
+    /// Forget all events, retaining the backing allocation (arena reuse).
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+
     /// Events within a round range `[lo, hi)` (phase window).
     pub fn in_rounds(&self, lo: u32, hi: u32) -> impl Iterator<Item = &OpEvent> {
         self.events

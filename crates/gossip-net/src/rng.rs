@@ -46,44 +46,136 @@ pub fn derive_seed(master: u64, stream: u64) -> u64 {
 /// Thin wrapper over `SmallRng` so downstream crates depend on one concrete
 /// type (keeping trait objects object-safe and avoiding generic infection
 /// of every agent type).
+///
+/// ## Bounded-draw fast path
+///
+/// [`DetRng::below`]/[`DetRng::index`] are the simulator's hottest calls
+/// (every peer sample and vote draw). The generic `gen_range` pays two
+/// 64-bit divisions per draw (`zone` setup and the final `v % range`);
+/// agents, however, draw from the *same* bound over and over (`n`, `m`).
+/// `DetRng` therefore caches, per bound, the rejection `zone` and a
+/// 128-bit reciprocal of the bound, replacing both divisions with
+/// multiplies. The algorithm (modulo rejection over xoshiro256++ output)
+/// and every returned value are **bit-identical** to the generic path —
+/// pinned by the `bounded_draws_match_generic_gen_range` test.
 #[derive(Debug, Clone)]
-pub struct DetRng(SmallRng);
+pub struct DetRng {
+    rng: SmallRng,
+    /// Two per-bound constant slots (bound, zone, reciprocal). Two, not
+    /// one: the hottest loop — intention drawing — alternates between
+    /// the vote-space bound `m` and the peer bound `n` every entry, and
+    /// a single-slot cache would recompute the (slow, u128-division)
+    /// constants on every draw.
+    cache: [BoundCache; 2],
+    /// Which cache slot was used last (the other one is the eviction
+    /// victim).
+    last_slot: u8,
+}
+
+/// Precomputed sampling constants for one bound.
+#[derive(Debug, Clone, Copy, Default)]
+struct BoundCache {
+    /// The bound (0 = slot empty).
+    range: u64,
+    /// Rejection threshold (inclusive).
+    zone: u64,
+    /// `floor((2^128 - 1) / range)`: reciprocal for division-free `v % range`.
+    recip: u128,
+}
+
+/// Exact `v / d` via the precomputed reciprocal `recip = floor((2^128-1)/d)`:
+/// the high-128 product underestimates the true quotient by at most one,
+/// fixed up with a single compare. No division instructions anywhere.
+#[inline]
+fn fast_div(v: u64, d: u64, recip: u128) -> u64 {
+    // (recip * v) >> 128, computed in 64-bit halves to avoid overflow.
+    let lo = (recip as u64 as u128) * (v as u128);
+    let mid = ((recip >> 64) as u128) * (v as u128) + (lo >> 64);
+    let mut q = (mid >> 64) as u64;
+    // q ∈ {true_q - 1, true_q}: one fixup step suffices.
+    if v.wrapping_sub(q.wrapping_mul(d)) >= d {
+        q += 1;
+    }
+    q
+}
 
 impl DetRng {
     /// RNG for stream `stream` of `master` (see [`derive_seed`]).
     pub fn seeded(master: u64, stream: u64) -> Self {
-        DetRng(SmallRng::seed_from_u64(derive_seed(master, stream)))
+        Self::wrap(SmallRng::seed_from_u64(derive_seed(master, stream)))
     }
 
     /// RNG from a raw seed, bypassing stream derivation.
     pub fn from_raw_seed(seed: u64) -> Self {
-        DetRng(SmallRng::seed_from_u64(seed))
+        Self::wrap(SmallRng::seed_from_u64(seed))
     }
 
-    /// Uniform draw from `0..bound` (`bound > 0`).
+    fn wrap(rng: SmallRng) -> Self {
+        DetRng {
+            rng,
+            cache: [BoundCache::default(); 2],
+            last_slot: 0,
+        }
+    }
+
+    /// Fetch (or compute into the least-recently-used slot) the sampling
+    /// constants for `range`.
+    #[inline]
+    fn bound_cache(&mut self, range: u64) -> BoundCache {
+        if self.cache[0].range == range {
+            self.last_slot = 0;
+            return self.cache[0];
+        }
+        if self.cache[1].range == range {
+            self.last_slot = 1;
+            return self.cache[1];
+        }
+        // Same zone the generic rejection sampler derives:
+        // zone = MAX - ((MAX - range + 1) % range).
+        let ints_to_reject = (u64::MAX - range + 1) % range;
+        let fresh = BoundCache {
+            range,
+            zone: u64::MAX - ints_to_reject,
+            recip: u128::MAX / range as u128,
+        };
+        let victim = 1 - self.last_slot as usize;
+        self.cache[victim] = fresh;
+        self.last_slot = victim as u8;
+        fresh
+    }
+
+    /// Uniform draw from `0..bound` (`bound > 0`). Bit-identical to
+    /// `gen_range(0..bound)` on the same generator state.
     #[inline]
     pub fn below(&mut self, bound: u64) -> u64 {
         debug_assert!(bound > 0, "below(0) is meaningless");
-        self.0.gen_range(0..bound)
+        let cache = self.bound_cache(bound);
+        // Classic modulo rejection, divisions strength-reduced away.
+        loop {
+            let v = self.rng.next_u64();
+            if v <= cache.zone {
+                return v - fast_div(v, bound, cache.recip) * bound;
+            }
+        }
     }
 
     /// Uniform draw from `0..n` as a `usize` index.
     #[inline]
     pub fn index(&mut self, n: usize) -> usize {
         debug_assert!(n > 0, "index(0) is meaningless");
-        self.0.gen_range(0..n)
+        self.below(n as u64) as usize
     }
 
     /// Uniform `u64` over the full range.
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
-        self.0.next_u64()
+        self.rng.next_u64()
     }
 
     /// Uniform `f64` in `[0, 1)`.
     #[inline]
     pub fn unit(&mut self) -> f64 {
-        self.0.gen::<f64>()
+        self.rng.gen::<f64>()
     }
 
     /// Bernoulli draw with success probability `p` (clamped to `[0, 1]`).
@@ -104,16 +196,16 @@ impl DetRng {
 // Allow `DetRng` wherever a `rand` RNG is expected (distributions etc.).
 impl RngCore for DetRng {
     fn next_u32(&mut self) -> u32 {
-        self.0.next_u32()
+        self.rng.next_u32()
     }
     fn next_u64(&mut self) -> u64 {
-        self.0.next_u64()
+        self.rng.next_u64()
     }
     fn fill_bytes(&mut self, dest: &mut [u8]) {
-        self.0.fill_bytes(dest)
+        self.rng.fill_bytes(dest)
     }
     fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.0.try_fill_bytes(dest)
+        self.rng.try_fill_bytes(dest)
     }
 }
 
@@ -171,6 +263,34 @@ mod tests {
         let mut b = DetRng::seeded(99, 4);
         let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
         assert!(same < 2, "streams look correlated: {same}/64 equal draws");
+    }
+
+    #[test]
+    fn bounded_draws_match_generic_gen_range() {
+        // The cached fast path must replay gen_range's exact outputs:
+        // same generator state, same rejection pattern, same values —
+        // for small, large, power-of-two and near-MAX bounds, including
+        // bound switches that thrash the one-entry cache.
+        let bounds: Vec<u64> = vec![
+            1, 2, 3, 7, 8, 256, 1000, 1 << 20, (1 << 40) + 7,
+            u64::MAX / 2, u64::MAX - 1, u64::MAX,
+        ];
+        let mut fast = DetRng::seeded(42, 9);
+        let mut slow = SmallRng::seed_from_u64(derive_seed(42, 9));
+        for round in 0..2000u64 {
+            let bound = bounds[(round % bounds.len() as u64) as usize];
+            assert_eq!(
+                fast.below(bound),
+                slow.gen_range(0..bound),
+                "diverged at round {round} bound {bound}"
+            );
+        }
+        // usize index path too.
+        let mut fast = DetRng::seeded(7, 1);
+        let mut slow = SmallRng::seed_from_u64(derive_seed(7, 1));
+        for _ in 0..500 {
+            assert_eq!(fast.index(321), slow.gen_range(0..321usize));
+        }
     }
 
     #[test]

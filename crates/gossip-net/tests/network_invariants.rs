@@ -63,7 +63,7 @@ impl Agent<Blob> for ChaoticAgent {
             _ => None,
         }
     }
-    fn on_pull(&mut self, _from: AgentId, _q: Blob, _ctx: &RoundCtx) -> Option<Blob> {
+    fn on_pull(&mut self, _from: AgentId, _q: &Blob, _ctx: &RoundCtx) -> Option<Blob> {
         // Answer every second pull, deterministically in arrival count.
         self.pulls_answered += 1;
         if self.pulls_answered % 2 == 1 {
@@ -72,7 +72,7 @@ impl Agent<Blob> for ChaoticAgent {
             None
         }
     }
-    fn on_push(&mut self, _from: AgentId, _m: Blob, _ctx: &RoundCtx) {
+    fn on_push(&mut self, _from: AgentId, _m: &Blob, _ctx: &RoundCtx) {
         self.received += 1;
     }
     fn on_reply(&mut self, _from: AgentId, reply: Option<Blob>, _ctx: &RoundCtx) {

@@ -13,19 +13,30 @@
 //! (a mild, "deniable" censorship). The harness then compares it against
 //! honest play.
 //!
+//! ## The `Custom` escape hatch
+//!
+//! Built-in agents live in dedicated [`AgentSlot`] variants — a
+//! monomorphic enum the network dispatches through a jump table. An
+//! out-of-tree strategy cannot add a variant, so its `build` returns
+//! [`AgentSlot::Custom`] (a `Box<dyn ConsensusAgent>`): *that slot* pays
+//! one boxed indirect call per delivery, while every honest agent in the
+//! same run still rides the enum fast path. Note the deliveries are
+//! by-reference (`&Msg`); clone only what you keep.
+//!
 //! Prediction: self-promotion cannot help. The deviator's own `k` is
 //! still uniform (it cannot choose it), honest agents learn the true
 //! minimum from each other, and if its stubborn certificate ever survives
 //! into Coherence alongside the real minimum, the mismatch fails the run.
 
-use rational_fair_consensus::adversary::prelude::*;
 use rational_fair_consensus::adversary::coalition::Coalition;
+use rational_fair_consensus::adversary::prelude::*;
 use rational_fair_consensus::gossip_net::agent::{Agent, Op, RoundCtx};
 use rational_fair_consensus::gossip_net::ids::AgentId;
+use rational_fair_consensus::rfc_core::agent_plane::AgentSlot;
 use rational_fair_consensus::rfc_core::engine::{ConsensusAgent, ProtocolCore, Role};
 use rational_fair_consensus::rfc_core::msg::Msg;
 use rational_fair_consensus::rfc_core::params::Phase;
-use std::sync::Arc;
+use rational_fair_consensus::rfc_core::sharing::Shared;
 
 /// The strategy object: a factory for deviating agents.
 #[derive(Debug)]
@@ -38,8 +49,10 @@ impl Strategy for SelfPromoter {
     fn description(&self) -> &'static str {
         "never adopt other certificates; always advertise one's own"
     }
-    fn build(&self, core: ProtocolCore, _coalition: Coalition) -> Box<dyn ConsensusAgent> {
-        Box::new(SelfPromoterAgent { core })
+    fn build(&self, core: ProtocolCore, _coalition: Coalition) -> AgentSlot {
+        // Out-of-tree agent ⇒ the boxed escape hatch. Everything else in
+        // the network keeps jump-table dispatch.
+        AgentSlot::custom(SelfPromoterAgent { core })
     }
 }
 
@@ -54,7 +67,7 @@ impl Agent<Msg> for SelfPromoterAgent {
             Phase::Coherence => {
                 // Push own certificate, not the network minimum.
                 self.core.ensure_certificate();
-                let own = Arc::clone(self.core.own_cert.as_ref().unwrap());
+                let own = Shared::clone(self.core.own_cert.as_ref().unwrap());
                 let peer = ctx
                     .topology
                     .sample_peer(self.core.id, &mut self.core.rng);
@@ -64,18 +77,18 @@ impl Agent<Msg> for SelfPromoterAgent {
         }
     }
 
-    fn on_pull(&mut self, from: AgentId, query: Msg, ctx: &RoundCtx) -> Option<Msg> {
+    fn on_pull(&mut self, from: AgentId, query: &Msg, ctx: &RoundCtx) -> Option<Msg> {
         if matches!(query, Msg::QMinCert) && self.core.phase(ctx.round) >= Phase::FindMin {
             // Advertise own certificate, whatever we have seen.
             self.core.ensure_certificate();
-            return Some(Msg::Cert(Arc::clone(self.core.own_cert.as_ref().unwrap())));
+            return Some(Msg::Cert(Shared::clone(self.core.own_cert.as_ref().unwrap())));
         }
         self.core.on_pull_honest(from, query, ctx)
     }
 
-    fn on_push(&mut self, from: AgentId, msg: Msg, ctx: &RoundCtx) {
+    fn on_push(&mut self, from: AgentId, msg: &Msg, ctx: &RoundCtx) {
         // Ignore Coherence mismatches against ourselves; accept votes.
-        if let (Phase::Coherence, Msg::Cert(_)) = (self.core.phase(ctx.round), &msg) {
+        if let (Phase::Coherence, Msg::Cert(_)) = (self.core.phase(ctx.round), msg) {
             return;
         }
         self.core.on_push_honest(from, msg, ctx)
@@ -131,6 +144,7 @@ fn main() {
         "\nas predicted: self-promotion either changes nothing (its own k loses the\n\
          lottery anyway) or survives into Coherence and burns the run to ⊥ — it\n\
          cannot manufacture wins. Implementing a strategy = one Agent impl + one\n\
-         Strategy impl; the harness does the rest."
+         Strategy impl returning AgentSlot::custom(...); the harness does the rest,\n\
+         and only the deviating slots pay for dynamic dispatch."
     );
 }
