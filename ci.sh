@@ -17,6 +17,14 @@ cargo test -q
 echo "==> workspace tests (all member crates)"
 cargo test --workspace -q
 
+echo "==> tier-2: golden-run regression corpus (pinned seed->digest matrix)"
+# Thread count pinned for a stable wall clock; the corpus itself is
+# thread-independent (each row is one single-threaded run). Budget:
+# the full matrix is ~15 debug-mode runs at n <= 48 — seconds, not
+# minutes; if it ever creeps past ~60 s, shrink rows before raising
+# the budget.
+RUST_TEST_THREADS=2 cargo test -q --test golden_runs
+
 echo "==> benches compile"
 cargo build --benches
 
@@ -31,6 +39,9 @@ cargo build --release --examples
 
 echo "==> experiment registry lists"
 cargo run --release -q -p experiments --bin rfc-experiments -- list
+
+echo "==> dynamics smoke: e15 --quick (churn / partition-heal / loss bursts)"
+cargo run --release -q -p experiments --bin rfc-experiments -- e15 --quick >/dev/null
 
 echo "==> perf snapshot: e14 --quick -> BENCH_scale.json"
 cargo run --release -q -p experiments --bin rfc-experiments -- e14 --quick --json target/bench-json >/dev/null

@@ -13,6 +13,13 @@
 //!
 //! Pairing trials by seed makes the comparison a within-pair contrast, so
 //! far fewer trials are needed to resolve utility deltas.
+//!
+//! Dynamic adversity composes: a [`RunConfig`] carrying a
+//! `ScenarioScript` or `LossSchedule` (see `rfc_core::ScenarioScript`)
+//! flows through [`run_equilibrium_with`] unchanged, so both arms of
+//! every pair face the *same* scripted churn/partition/loss timeline —
+//! the deviation's profitability is measured under identical dynamic
+//! conditions (pinned by `equilibrium_composes_with_dynamic_scenarios`).
 
 use crate::coalition::{new_coalition, select_members, Coalition, CoalitionSelection};
 use crate::strategies::Strategy;
@@ -328,6 +335,32 @@ mod tests {
                 strategy.name()
             );
         }
+    }
+
+    #[test]
+    fn equilibrium_composes_with_dynamic_scenarios() {
+        // Phase-boundary churn of non-coalition agents: the paired
+        // harness must thread the script through both arms. Crashing at
+        // a phase boundary is tolerated quiescence (E15a), so the honest
+        // arm keeps its fair-share behavior over the survivor set.
+        let n = 32;
+        let q = rfc_core::RunConfig::builder(n).gamma(3.0).build().params().q;
+        let script = rfc_core::ScenarioScript::new().crash(2 * q, vec![28, 29, 30, 31]);
+        let spec = AttackSpec {
+            strategy: &VoteRig,
+            t: 8,
+            selection: CoalitionSelection::LowIds,
+            chi: 1.0,
+        };
+        let builder = rfc_core::RunConfig::builder(n).gamma(3.0).scenario(script);
+        let rep = run_equilibrium_with(builder, &spec, 40, 0xD1A);
+        assert_eq!(rep.honest.trials, 40);
+        assert!(
+            rep.honest.consensus >= 30,
+            "boundary churn must leave the honest arm mostly succeeding: {:?}",
+            rep.honest
+        );
+        assert!(rep.no_significant_gain(), "vote-rig must stay unprofitable under churn");
     }
 
     #[test]

@@ -46,8 +46,15 @@ impl GoodExecutionReport {
 }
 
 /// Audit a finished network for the Definition-2 events.
+///
+/// "Active" is the survivor set — agents active **at finalization**
+/// ([`Network::fault_state`]) — matching the survivor-set outcome
+/// accounting of `collect_report`: an agent still crashed at the end is
+/// not audited (it holds no votes by construction), one that recovered
+/// is audited for whatever it managed to collect. Identical to the plan
+/// view for static runs.
 pub fn audit_good_execution<A: ConsensusAgent>(net: &Network<Msg, A>) -> GoodExecutionReport {
-    let faults = net.faults();
+    let faults = net.fault_state();
     let mut votes_min = usize::MAX;
     let mut votes_max = 0usize;
     let mut votes_sum = 0usize;
@@ -57,7 +64,7 @@ pub fn audit_good_execution<A: ConsensusAgent>(net: &Network<Msg, A>) -> GoodExe
     let mut n_active = 0usize;
 
     for id in 0..net.n() as AgentId {
-        if faults.is_faulty(id) {
+        if faults.is_down(id) {
             continue;
         }
         n_active += 1;
@@ -135,6 +142,27 @@ mod tests {
         let audit = report.audit.unwrap();
         assert!(audit.is_good(), "{audit:?}");
         assert_eq!(audit.n_active, 64 - 19);
+    }
+
+    #[test]
+    fn audit_counts_the_survivor_set_under_churn() {
+        // Regression: the audit used to consult the immutable FaultPlan,
+        // so scripted-crash agents were audited as active — a round-0
+        // crash (behaviorally identical to a plan fault) then reported
+        // n_active = n and is_good() = false purely from churn
+        // accounting. It must audit the survivor set instead.
+        let cfg = RunConfig::builder(32)
+            .gamma(3.0)
+            .colors(vec![16, 16])
+            .record_ops(true)
+            .scenario(gossip_net::dynamics::ScenarioScript::new().crash(0, (24..32).collect()))
+            .build();
+        let report = run_protocol(&cfg, 7);
+        assert!(report.outcome.is_consensus());
+        assert_eq!(report.n_active, 24);
+        let audit = report.audit.unwrap();
+        assert_eq!(audit.n_active, 24, "audit must cover the survivor set");
+        assert!(audit.is_good(), "round-0 churn ≈ plan faults: {audit:?}");
     }
 
     #[test]

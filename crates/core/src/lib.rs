@@ -78,6 +78,13 @@ pub use runner::{
 };
 pub use strategies::{standard_attacks, Strategy};
 
+// The dynamic-adversity vocabulary (scenario scripts, loss schedules,
+// partition cuts) is defined by the network layer; re-export it so
+// experiment code can build dynamic `RunConfig`s from one crate.
+pub use gossip_net::dynamics::{
+    FaultState, LossSchedule, PartitionCut, ScenarioEvent, ScenarioScript,
+};
+
 /// Convenience re-exports for downstream crates and examples.
 pub mod prelude {
     pub use crate::agent_plane::AgentSlot;
@@ -91,4 +98,5 @@ pub mod prelude {
     pub use crate::outcome::{utility, Decision, Outcome};
     pub use crate::params::{Params, Phase};
     pub use crate::runner::{run_protocol, ColorSpec, RunConfig, RunReport, TopologySpec};
+    pub use gossip_net::dynamics::{LossSchedule, PartitionCut, ScenarioEvent, ScenarioScript};
 }

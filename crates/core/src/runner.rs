@@ -33,6 +33,7 @@ use crate::msg::Msg;
 use crate::outcome::{combine_decisions, Decision, Outcome};
 use crate::params::{Params, Phase};
 use gossip_net::agent::Agent;
+use gossip_net::dynamics::{LossSchedule, ScenarioScript};
 use gossip_net::fault::{FaultPlan, Placement};
 use gossip_net::ids::{AgentId, ColorId};
 use gossip_net::metrics::Metrics;
@@ -115,6 +116,13 @@ pub struct RunConfig {
     /// Per-message drop probability (failure injection, E13; the paper's
     /// model assumes reliable channels, i.e. 0.0).
     pub loss_probability: f64,
+    /// Time-varying loss schedule; overrides `loss_probability` when
+    /// set. `None` is the static path.
+    pub loss_schedule: Option<LossSchedule>,
+    /// Timed adversity events (churn, partitions; E15). The empty
+    /// script is the static path, bit-identical to the pre-dynamics
+    /// engine.
+    pub scenario: ScenarioScript,
 }
 
 impl RunConfig {
@@ -216,6 +224,8 @@ impl RunConfigBuilder {
                 skip_coherence: false,
                 skip_verification: false,
                 loss_probability: 0.0,
+                loss_schedule: None,
+                scenario: ScenarioScript::new(),
             },
         }
     }
@@ -299,6 +309,20 @@ impl RunConfigBuilder {
         self
     }
 
+    /// Time-varying loss: a piecewise-constant schedule (overrides
+    /// [`Self::message_loss`]).
+    pub fn loss_schedule(mut self, schedule: LossSchedule) -> Self {
+        self.cfg.loss_schedule = Some(schedule);
+        self
+    }
+
+    /// Dynamic adversity: a scripted timeline of crash/recover/
+    /// partition/heal events applied by the network before each round.
+    pub fn scenario(mut self, script: ScenarioScript) -> Self {
+        self.cfg.scenario = script;
+        self
+    }
+
     /// Finish building.
     pub fn build(self) -> RunConfig {
         self.cfg
@@ -316,11 +340,17 @@ pub struct RunReport {
     pub metrics: Metrics,
     /// Owner of the agreed certificate, if consensus was reached.
     pub winner: Option<AgentId>,
-    /// Per-agent terminal status (id-indexed).
+    /// Per-agent terminal status (id-indexed). Under a dynamic scenario
+    /// an agent still crashed at finalization is reported
+    /// [`Decision::Faulty`], exactly like a plan-permanent fault — the
+    /// outcome is defined over the **survivor set**.
     pub decisions: Vec<Decision>,
     /// Initial colors (id-indexed).
     pub initial_colors: Vec<ColorId>,
-    /// Number of active (non-faulty) agents.
+    /// Number of agents active **at finalization** (the survivor set:
+    /// plan-active and not crashed, or crashed-and-recovered). Equals
+    /// the plan's active count for static runs; validity and fairness
+    /// ([`Self::active_fraction`]) are measured over this set.
     pub n_active: usize,
     /// Per-agent failure diagnostics (id-indexed; `None` = did not fail).
     pub verify_failures: Vec<Option<VerifyFailure>>,
@@ -343,7 +373,17 @@ impl RunReport {
         out
     }
 
-    /// Fraction of *active* agents initially supporting `c` — the
+    /// Ids of the agents active at finalization (the survivor set the
+    /// outcome was combined over).
+    pub fn survivors(&self) -> impl Iterator<Item = AgentId> + '_ {
+        self.decisions
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| !matches!(d, Decision::Faulty))
+            .map(|(i, _)| i as AgentId)
+    }
+
+    /// Fraction of *surviving* agents initially supporting `c` — the
     /// fairness target probability for color `c`.
     pub fn active_fraction(&self, c: ColorId) -> f64 {
         if self.n_active == 0 {
@@ -388,6 +428,8 @@ fn network_ingredients(
         record_ops: cfg.record_ops,
         loss_probability: cfg.loss_probability,
         loss_seed: gossip_net::rng::derive_seed(seed, streams::LOSS),
+        loss_schedule: cfg.loss_schedule.clone(),
+        scenario: cfg.scenario.clone(),
         ..NetworkConfig::default()
     };
     (params, colors, faults, topology, env, net_cfg)
@@ -531,8 +573,14 @@ pub fn drive_network<A: Agent<Msg>>(net: &mut Network<Msg, A>, cfg: &RunConfig) 
 /// consensus the rest of the network reached (the coalition's utility is
 /// determined by the color the network converges to — paper §3.2, where
 /// the Winner is defined by the certificate held after Coherence).
+///
+/// Survivor-set accounting: "active" means active **at finalization**
+/// ([`Network::fault_state`]), so scripted churn is reflected — an agent
+/// still crashed at the end counts as [`Decision::Faulty`], one that
+/// recovered counts by whatever it decided. For static runs this is the
+/// plan's active set, unchanged.
 pub fn collect_report<A: ConsensusAgent>(net: &Network<Msg, A>, cfg: &RunConfig) -> RunReport {
-    let faults = net.faults();
+    let faults = net.fault_state();
     let mut decisions = Vec::with_capacity(net.n());
     let mut honest_decisions = Vec::with_capacity(net.n());
     let mut initial_colors = Vec::with_capacity(net.n());
@@ -543,7 +591,7 @@ pub fn collect_report<A: ConsensusAgent>(net: &Network<Msg, A>, cfg: &RunConfig)
         let core = agent.core();
         initial_colors.push(core.color);
         verify_failures.push(core.verify_failure);
-        let d = if faults.is_faulty(id) {
+        let d = if faults.is_down(id) {
             Decision::Faulty
         } else {
             match effective_decision(core, cfg) {

@@ -8,6 +8,7 @@
 //! a reordered delivery, state leaking through an arena reset) shows up
 //! here as a hard failure.
 
+use gossip_net::dynamics::{LossSchedule, PartitionCut, ScenarioScript};
 use gossip_net::fault::Placement;
 use rfc_core::engine::HonestAgent;
 use rfc_core::runner::{
@@ -42,6 +43,41 @@ fn configs() -> Vec<RunConfig> {
             .gamma(3.0)
             .colors(vec![12, 12])
             .message_loss(0.2)
+            .build(),
+    ]
+}
+
+/// Dynamic-adversity configs: churn, a partition window, and a loss
+/// burst — every representation (enum/boxed/arena) must agree on these
+/// too, including the mutable `FaultState` threaded through resets.
+fn dynamic_configs() -> Vec<RunConfig> {
+    let n = 32;
+    let q = RunConfig::builder(n).gamma(3.0).build().params().q;
+    vec![
+        RunConfig::builder(n)
+            .gamma(3.0)
+            .colors(vec![16, 16])
+            .scenario(
+                ScenarioScript::new()
+                    .crash(q / 2, (24..32).collect())
+                    .recover(2 * q, (24..32).collect()),
+            )
+            .build(),
+        RunConfig::builder(n)
+            .gamma(3.0)
+            .colors(vec![16, 16])
+            .record_ops(true)
+            .scenario(
+                ScenarioScript::new()
+                    .partition(2 * q, PartitionCut::split_at(n, 16))
+                    .heal(2 * q + q / 2),
+            )
+            .build(),
+        RunConfig::builder(n)
+            .gamma(3.0)
+            .colors(vec![16, 16])
+            .loss_schedule(LossSchedule::burst(0.1, 0.8, q, q + 4))
+            .scenario(ScenarioScript::new().crash(3 * q, vec![0, 1]))
             .build(),
     ]
 }
@@ -92,6 +128,70 @@ fn arena_reuse_equals_fresh_networks() {
         let fresh = run_protocol(&cfgs[ci], seed);
         assert_reports_identical(&from_arena, &fresh, &format!("arena cfg {ci} seed {seed}"));
     }
+}
+
+#[test]
+fn empty_script_and_constant_schedule_equal_the_static_path() {
+    // The acceptance bar for the dynamics subsystem: spelling the static
+    // configuration through the new vocabulary — an explicitly empty
+    // `ScenarioScript` and a constant `LossSchedule` — must produce
+    // bit-identical reports to the legacy `loss_probability`-only path
+    // (which itself is pinned against the pre-dynamics engine by the
+    // golden-run corpus).
+    for (p, seed) in [(0.0f64, 3u64), (0.2, 7), (0.2, 0xBEEF)] {
+        let legacy = RunConfig::builder(24)
+            .gamma(3.0)
+            .colors(vec![12, 12])
+            .message_loss(p)
+            .build();
+        let spelled = RunConfig::builder(24)
+            .gamma(3.0)
+            .colors(vec![12, 12])
+            .message_loss(p)
+            .loss_schedule(LossSchedule::constant(p))
+            .scenario(ScenarioScript::new())
+            .build();
+        let a = run_protocol(&legacy, seed);
+        let b = run_protocol(&spelled, seed);
+        assert_reports_identical(&a, &b, &format!("static spelling p={p} seed={seed}"));
+    }
+}
+
+#[test]
+fn dynamic_scenarios_enum_equals_boxed_dyn() {
+    for (ci, cfg) in dynamic_configs().iter().enumerate() {
+        for seed in [2u64, 19] {
+            let fast = run_protocol(cfg, seed);
+            let boxed = run_protocol_boxed(cfg, seed);
+            assert_reports_identical(&fast, &boxed, &format!("dynamic cfg {ci} seed {seed}"));
+        }
+    }
+}
+
+#[test]
+fn arena_reuse_equals_fresh_networks_under_dynamic_scenarios() {
+    // One arena cycling through churn, partition and burst configs in an
+    // interleaved schedule: every report must match a fresh network's —
+    // no `FaultState`, partition overlay, event cursor or schedule state
+    // may leak through a reset.
+    let cfgs = dynamic_configs();
+    let mut arena = TrialArena::new();
+    let schedule: Vec<(usize, u64)> =
+        vec![(0, 1), (1, 1), (2, 1), (0, 8), (2, 8), (1, 8), (0, 1)];
+    for (ci, seed) in schedule {
+        let from_arena = arena.run_protocol(&cfgs[ci], seed);
+        let fresh = run_protocol(&cfgs[ci], seed);
+        assert_reports_identical(
+            &from_arena,
+            &fresh,
+            &format!("dynamic arena cfg {ci} seed {seed}"),
+        );
+    }
+    // A dynamic trial must not contaminate a following static one.
+    let static_cfg = RunConfig::builder(32).gamma(3.0).colors(vec![16, 16]).build();
+    let from_arena = arena.run_protocol(&static_cfg, 5);
+    let fresh = run_protocol(&static_cfg, 5);
+    assert_reports_identical(&from_arena, &fresh, "static after dynamic");
 }
 
 #[test]

@@ -3,7 +3,7 @@
 //! ```text
 //! rfc-experiments list                      # show the experiment registry
 //! rfc-experiments all [--quick]             # run everything
-//! rfc-experiments e04 e07 [--quick]         # run selected experiments
+//! rfc-experiments e04 e15 [--quick]         # run selected experiments
 //!     --quick         ~10× smaller trials/sweeps (CI mode)
 //!     --seed <u64>    master seed (default 0x5EED2017)
 //!     --threads <k>   worker threads (default: all cores)
@@ -125,7 +125,7 @@ fn parse_u64(s: &str) -> Option<u64> {
 
 fn usage() {
     eprintln!(
-        "usage: rfc-experiments <list | all | e01..e14...> [--quick] [--seed N] [--threads K] [--csv DIR] [--json DIR]"
+        "usage: rfc-experiments <list | all | e01..e15...> [--quick] [--seed N] [--threads K] [--csv DIR] [--json DIR]"
     );
 }
 

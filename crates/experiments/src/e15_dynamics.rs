@@ -1,0 +1,308 @@
+//! E15 — dynamic adversity: churn, partitions, and scheduled loss
+//! bursts over the streaming-fold pipeline.
+//!
+//! The paper's adversary commits before round 0; E1–E14 inherit that.
+//! This experiment drives the scenario-script subsystem
+//! ([`rfc_core::ScenarioScript`], [`rfc_core::LossSchedule`]) through
+//! the same E14-style fold harness (per-worker [`TrialArena`]s, `n` up
+//! to 10⁴) to measure how protocol `P` behaves when adversity is a
+//! *function of time* — the regime Halpern & Vilaça's recovering agents
+//! and Becchetti et al.'s dynamic stabilizing adversary point at:
+//!
+//! * **E15a (churn)** — a quarter of the agents crash at a scripted
+//!   round and possibly recover later. Timing is everything: a crash at
+//!   round 0 *is* a plan fault (consensus w.h.p. over survivors), and a
+//!   crash at a phase boundary is the tolerated "play dead" deviation —
+//!   but a *mid-Voting* crash leaves half-declared vote sets behind,
+//!   which Verification cannot distinguish from lying (the E13
+//!   mechanism), so it fails the run by design. Recovery re-admits
+//!   agents into the survivor set without repairing what they missed.
+//! * **E15b (partition-heal)** — the network splits into two halves at
+//!   the start of Find-Min and heals `h` rounds later. Find-Min is pull
+//!   rumor spreading, so each half spreads its own minimum; consensus
+//!   survives iff the post-heal window suffices to re-spread the global
+//!   minimum (~`log n` rounds — the re-stabilization question).
+//! * **E15c (loss bursts)** — a total blackout (`p = 1`) of `w` rounds
+//!   placed either in Voting or in Find-Min. E13 showed constant loss
+//!   is fatal because lost *votes* are indistinguishable from lying;
+//!   the burst placement shows the asymmetry: Find-Min shrugs off
+//!   blackout rounds (silence is a legal pull outcome), Voting does not.
+//!
+//! Outcome accounting is over the survivor set (agents active at
+//! finalization); every number is a pure function of `(opts.seed)` —
+//! the undelivered column measures the metered-but-suppressed traffic
+//! the scenario induced.
+
+use crate::opts::ExpOptions;
+use crate::parallel::run_trials_fold_with_scratch;
+use crate::table::{fmt, Table};
+use rfc_core::runner::{RunConfig, RunConfigBuilder, TrialArena};
+use rfc_core::{LossSchedule, PartitionCut, ScenarioScript};
+use rfc_stats::Tally;
+
+/// Agent-trials budgeted per sweep point (trials(n) = budget / n), so
+/// cost stays roughly flat across the n sweep; quick mode divides by 8.
+const AGENT_TRIAL_BUDGET: usize = 512_000;
+
+/// Streaming per-point aggregate — O(1) in the trial count.
+#[derive(Default)]
+struct Acc {
+    trials: u64,
+    consensus: u64,
+    survivors: u64,
+    undelivered: Tally,
+}
+
+impl Acc {
+    fn merge(&mut self, other: Acc) {
+        self.trials += other.trials;
+        self.consensus += other.consensus;
+        self.survivors += other.survivors;
+        self.undelivered.merge(&other.undelivered);
+    }
+}
+
+/// Fold `trials` runs of `cfg` into an [`Acc`] through per-worker arenas.
+fn measure(opts: &ExpOptions, cfg: &RunConfig, trials: usize) -> Acc {
+    let (acc, _) = run_trials_fold_with_scratch(
+        trials,
+        opts.threads_for(trials),
+        opts.seed,
+        TrialArena::new,
+        Acc::default,
+        |acc: &mut Acc, arena: &mut TrialArena, _i, seed| {
+            let r = arena.run_protocol(cfg, seed);
+            acc.trials += 1;
+            acc.consensus += r.outcome.is_consensus() as u64;
+            acc.survivors += r.n_active as u64;
+            acc.undelivered.add(r.metrics.undelivered);
+        },
+        Acc::merge,
+    );
+    acc
+}
+
+fn base_cfg(n: usize, gamma: f64) -> RunConfigBuilder {
+    RunConfig::builder(n).gamma(gamma).colors(vec![n - n / 2, n / 2])
+}
+
+/// Run E15 and produce its tables.
+pub fn run(opts: &ExpOptions) -> Vec<Table> {
+    let budget = opts.trials(AGENT_TRIAL_BUDGET);
+    vec![
+        churn_table(opts, budget),
+        partition_table(opts, budget),
+        burst_table(opts, budget),
+    ]
+}
+
+/// E15a — churn: crash the top quarter of ids, with and without
+/// recovery, at different points of the protocol timeline.
+fn churn_table(opts: &ExpOptions, budget: usize) -> Table {
+    let gamma = 3.0;
+    let sizes: Vec<usize> = [64, 256, 1024, 4096, 10_000]
+        .into_iter()
+        .filter(|&n| n <= opts.cap_n(10_000))
+        .collect();
+    let mut table = Table::new(
+        format!("E15a — churn: crash n/4 agents, optional recovery (γ = {gamma}, {budget} agent-trials/point)"),
+        &["n", "q", "scenario", "trials", "consensus", "survivors/n", "undeliv/trial"],
+    );
+    for &n in &sizes {
+        let trials = (budget / n).max(4);
+        let q = base_cfg(n, gamma).build().params().q;
+        let k = n / 4;
+        let set: Vec<u32> = ((n - k) as u32..n as u32).collect();
+        let variants: [(&str, ScenarioScript); 4] = [
+            (
+                "crash@0 (≈ plan faults)",
+                ScenarioScript::new().crash(0, set.clone()),
+            ),
+            (
+                "crash@1.5q (mid-Voting)",
+                ScenarioScript::new().crash(3 * q / 2, set.clone()),
+            ),
+            (
+                "crash@2q (phase boundary)",
+                ScenarioScript::new().crash(2 * q, set.clone()),
+            ),
+            (
+                "crash@1.5q, recover@2.5q",
+                ScenarioScript::new()
+                    .crash(3 * q / 2, set.clone())
+                    .recover(5 * q / 2, set.clone()),
+            ),
+        ];
+        for (label, script) in variants {
+            let cfg = base_cfg(n, gamma).scenario(script).build();
+            let acc = measure(opts, &cfg, trials);
+            table.row(vec![
+                n.to_string(),
+                q.to_string(),
+                label.to_string(),
+                acc.trials.to_string(),
+                fmt::rate_ci(acc.consensus, acc.trials),
+                fmt::f3(acc.survivors as f64 / (acc.trials as f64 * n as f64)),
+                fmt::f2(acc.undelivered.mean()),
+            ]);
+        }
+    }
+    table.note("crash = involuntary play-dead: quiescent from its round on; outcome/validity are over the survivor set (agents active at finalization)");
+    table.note("timing is everything: round-0 and phase-boundary crashes degrade gracefully (quiescence is legal), a mid-Voting crash leaves half-declared vote sets that Verification must treat as lying (E13 mechanism)");
+    table.note("recovered agents rejoin with the state they crashed with — everything sent to them in between was metered but undelivered");
+    table
+}
+
+/// E15b — partition at Find-Min start, heal `h` rounds later.
+fn partition_table(opts: &ExpOptions, budget: usize) -> Table {
+    let gamma = 3.0;
+    let sizes: Vec<usize> = [256, 1024, 4096]
+        .into_iter()
+        .filter(|&n| n <= opts.cap_n(4096))
+        .collect();
+    let mut table = Table::new(
+        format!("E15b — halved network at Find-Min start, healed h rounds later (γ = {gamma})"),
+        &["n", "q", "heal after", "trials", "consensus", "undeliv/trial"],
+    );
+    for &n in &sizes {
+        let trials = (budget / n).max(4);
+        let q = base_cfg(n, gamma).build().params().q;
+        let heals: Vec<usize> = vec![0, q / 4, q / 2, 3 * q / 4, q];
+        for h in heals {
+            let cut = PartitionCut::split_at(n, n / 2);
+            let script = ScenarioScript::new().partition(2 * q, cut).heal(2 * q + h);
+            let cfg = base_cfg(n, gamma).scenario(script).build();
+            let acc = measure(opts, &cfg, trials);
+            table.row(vec![
+                n.to_string(),
+                q.to_string(),
+                format!("{h} rounds"),
+                acc.trials.to_string(),
+                fmt::rate_ci(acc.consensus, acc.trials),
+                fmt::f2(acc.undelivered.mean()),
+            ]);
+        }
+    }
+    table.note("the cut is a delivery overlay: agents keep sampling cross-cut peers, those messages are metered but undelivered (h = 0: heal lands with the cut, no round is masked)");
+    table.note("Find-Min is pull rumor spreading: each half spreads its own min; consensus needs the post-heal window to re-spread the global min (~log n rounds)");
+    table
+}
+
+/// E15c — total-blackout bursts (`p = 1`) of width `w`, placed in
+/// Voting vs in Find-Min.
+fn burst_table(opts: &ExpOptions, budget: usize) -> Table {
+    let gamma = 3.0;
+    let sizes: Vec<usize> = [256, 1024]
+        .into_iter()
+        .filter(|&n| n <= opts.cap_n(1024))
+        .collect();
+    let mut table = Table::new(
+        format!("E15c — blackout bursts (p = 1 for w rounds) by phase placement (γ = {gamma})"),
+        &["n", "q", "phase", "w", "trials", "consensus"],
+    );
+    for &n in &sizes {
+        let trials = (budget / n).max(4);
+        let q = base_cfg(n, gamma).build().params().q;
+        for (phase, start) in [("voting", q), ("find-min", 2 * q)] {
+            for w in [1usize, 4, 8] {
+                let cfg = base_cfg(n, gamma)
+                    .loss_schedule(LossSchedule::burst(0.0, 1.0, start, start + w))
+                    .build();
+                let acc = measure(opts, &cfg, trials);
+                table.row(vec![
+                    n.to_string(),
+                    q.to_string(),
+                    phase.to_string(),
+                    w.to_string(),
+                    acc.trials.to_string(),
+                    fmt::rate_ci(acc.consensus, acc.trials),
+                ]);
+            }
+        }
+    }
+    table.note("a blackout in Voting destroys votes — indistinguishable from lying (E13), so even w = 1 is near-fatal");
+    table.note("a blackout in Find-Min looks like unlucky pulls (silence is legal); the phase absorbs small w and degrades only as w approaches q");
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rate(row: &[String], col: usize) -> f64 {
+        row[col].split(' ').next().unwrap().parse().unwrap()
+    }
+
+    #[test]
+    fn e15_churn_round0_crash_matches_plan_fault_regime() {
+        let t = churn_table(&ExpOptions::quick(), 16_000);
+        for row in &t.rows {
+            if row[2].starts_with("crash@0") {
+                assert!(
+                    rate(row, 4) > 0.6,
+                    "round-0 crash must behave like plan faults (w.h.p. consensus): {row:?}"
+                );
+                assert!(
+                    (rate(row, 5) - 0.75).abs() < 1e-9,
+                    "n/4 crashed, never recovered ⇒ 75% survivors: {row:?}"
+                );
+            }
+            if row[2].starts_with("crash@2q") {
+                assert!(
+                    rate(row, 4) > 0.6,
+                    "phase-boundary crash is legal quiescence and must degrade gracefully: {row:?}"
+                );
+            }
+            if row[2].starts_with("crash@1.5q (") {
+                assert!(
+                    rate(row, 4) < 0.5,
+                    "mid-Voting crash breaks the vote binding and must collapse: {row:?}"
+                );
+            }
+            // Scenario traffic suppression is measured, not zero.
+            let undeliv: f64 = row[6].parse().unwrap();
+            assert!(undeliv > 0.0, "crashed receivers must show up as undelivered: {row:?}");
+        }
+    }
+
+    #[test]
+    fn e15_partition_heal_gradient() {
+        let t = partition_table(&ExpOptions::quick(), 16_000);
+        let h0: Vec<f64> = t
+            .rows
+            .iter()
+            .filter(|r| r[2] == "0 rounds")
+            .map(|r| rate(r, 4))
+            .collect();
+        for r in &h0 {
+            assert!(*r > 0.8, "h = 0 masks no round and must stay near the static rate");
+        }
+        // A healed partition can only hurt: the latest heal is no better
+        // than the earliest (within noise).
+        for rows in t.rows.chunks(5) {
+            let first = rate(&rows[0].clone(), 4);
+            let last = rate(&rows[rows.len() - 1].clone(), 4);
+            assert!(last <= first + 0.1, "late heal must not beat no-mask: {rows:?}");
+        }
+    }
+
+    #[test]
+    fn e15_burst_placement_asymmetry() {
+        let t = burst_table(&ExpOptions::quick(), 16_000);
+        for row in &t.rows {
+            let w: usize = row[3].parse().unwrap();
+            if row[2] == "voting" {
+                assert!(
+                    rate(row, 5) < 0.5,
+                    "a Voting blackout destroys votes and must collapse: {row:?}"
+                );
+            }
+            if row[2] == "find-min" && w == 1 {
+                assert!(
+                    rate(row, 5) > 0.6,
+                    "one blackout Find-Min round is absorbed: {row:?}"
+                );
+            }
+        }
+    }
+}

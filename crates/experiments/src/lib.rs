@@ -22,6 +22,7 @@
 //! | E12 | Extensions: other graph classes + sequential GOSSIP |
 //! | E13 | Failure injection: per-message loss vs the reliable-channel assumption |
 //! | E14 | Production-scale throughput sweep (n up to 10⁵, streaming fold) |
+//! | E15 | Dynamic adversity: scripted churn, partitions, loss bursts |
 //!
 //! Every number is a deterministic function of `(experiment, master
 //! seed)` regardless of thread count ([`parallel`]); results render as
@@ -58,6 +59,7 @@ pub mod e11_ablations;
 pub mod e12_extensions;
 pub mod e13_message_loss;
 pub mod e14_scale;
+pub mod e15_dynamics;
 pub mod opts;
 pub mod parallel;
 pub mod table;
@@ -162,10 +164,15 @@ pub fn all_experiments() -> Vec<Experiment> {
             title: "production-scale throughput sweep (streaming fold)",
             run: e14_scale::run,
         },
+        Experiment {
+            id: "e15",
+            title: "dynamic adversity: churn, partitions, loss bursts",
+            run: e15_dynamics::run,
+        },
     ]
 }
 
-/// Run one experiment by id (`"e01"`…`"e14"`); `None` if unknown.
+/// Run one experiment by id (`"e01"`…`"e15"`); `None` if unknown.
 pub fn run_by_id(id: &str, opts: &ExpOptions) -> Option<Vec<Table>> {
     all_experiments()
         .into_iter()
@@ -180,7 +187,7 @@ mod tests {
     #[test]
     fn registry_is_complete_and_ordered() {
         let exps = all_experiments();
-        assert_eq!(exps.len(), 14);
+        assert_eq!(exps.len(), 15);
         for (i, e) in exps.iter().enumerate() {
             assert_eq!(e.id, format!("e{:02}", i + 1));
             assert!(!e.title.is_empty());

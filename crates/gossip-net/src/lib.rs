@@ -86,6 +86,7 @@
 //! ```
 
 pub mod agent;
+pub mod dynamics;
 pub mod fault;
 pub mod ids;
 pub mod metrics;
@@ -96,6 +97,7 @@ pub mod size;
 pub mod topology;
 
 pub use agent::{Agent, Op, RoundCtx};
+pub use dynamics::{FaultState, LossSchedule, PartitionCut, ScenarioEvent, ScenarioScript};
 pub use fault::FaultPlan;
 pub use ids::{AgentId, ColorId};
 pub use metrics::Metrics;
@@ -107,6 +109,7 @@ pub use topology::Topology;
 /// Convenience re-exports for downstream crates and examples.
 pub mod prelude {
     pub use crate::agent::{Agent, Op, RoundCtx};
+    pub use crate::dynamics::{LossSchedule, PartitionCut, ScenarioEvent, ScenarioScript};
     pub use crate::fault::FaultPlan;
     pub use crate::ids::{AgentId, ColorId};
     pub use crate::network::{Network, NetworkConfig};

@@ -54,6 +54,13 @@ impl Tally {
 pub struct Metrics {
     /// Global message count (pushes + pull queries + pull replies).
     pub messages_sent: u64,
+    /// Metered messages that never reached a handler: sent off-edge,
+    /// across a partition cut, to a faulty/crashed receiver, or lost in
+    /// transit. `messages_sent - undelivered` is the exact number of
+    /// deliveries (`on_push`/`on_pull`/`Some`-reply invocations) the
+    /// wire produced. (Unmetered queries — `meter_queries` off — are
+    /// excluded from both counters.)
+    pub undelivered: u64,
     /// Global bit count.
     pub bits_sent: u64,
     /// Largest single message observed.
@@ -80,6 +87,7 @@ impl Metrics {
     /// but re-entering the same phases won't reallocate).
     pub fn reset(&mut self) {
         self.messages_sent = 0;
+        self.undelivered = 0;
         self.bits_sent = 0;
         self.max_message_bits = 0;
         self.rounds = 0;
@@ -114,6 +122,13 @@ impl Metrics {
         if let Some(p) = self.current_phase {
             self.phases[p].1.record(bits);
         }
+    }
+
+    /// Record one metered message that was suppressed before delivery
+    /// (off-edge, cross-partition, faulty/crashed receiver, or loss).
+    #[inline]
+    pub fn record_undelivered(&mut self) {
+        self.undelivered += 1;
     }
 
     /// Record the number of active operations of a completed round.

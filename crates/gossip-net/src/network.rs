@@ -43,6 +43,26 @@
 //! `messages_sent == pushes + queries + produced replies` exactly, for
 //! every `p`.
 //!
+//! **Dynamic adversity** (see [`crate::dynamics`]) extends, but never
+//! changes, this contract:
+//!
+//! * a push or pull query addressed to a **crashed** agent (down via
+//!   [`ScenarioEvent::Crash`]) is metered at send time and never
+//!   delivered — exactly like one addressed to a plan-faulty agent;
+//! * a push or pull query crossing an installed **partition cut** is
+//!   metered at send time and never delivered — exactly like one
+//!   addressed off-edge; a pull across the cut produces no reply (the
+//!   query never arrived), so no reply is metered;
+//! * a **recovered** agent is metered like any active agent from the
+//!   round its [`ScenarioEvent::Recover`] fires;
+//! * the per-round probability of a [`LossSchedule`] decides whether a
+//!   message is *delivered*, never whether it is *metered*.
+//!
+//! Every metered-but-undelivered message (off-edge, cross-cut, faulty or
+//! crashed receiver, or lost in transit) additionally increments
+//! [`Metrics::undelivered`], so `messages_sent - undelivered` is the
+//! exact count of handler invocations the wire produced.
+//!
 //! [`Network::run_async`] implements the sequential variant from the
 //! paper's Conclusions: at each tick exactly one uniformly-random agent
 //! wakes and performs one operation, which completes (including the pull
@@ -50,6 +70,7 @@
 //! activations == ticks**, independent of fault placement.
 
 use crate::agent::{Agent, Op, RoundCtx};
+use crate::dynamics::{FaultState, LossSchedule, PartitionCut, ScenarioEvent, ScenarioScript};
 use crate::fault::FaultPlan;
 use crate::ids::AgentId;
 use crate::metrics::Metrics;
@@ -77,6 +98,13 @@ pub struct NetworkConfig {
     /// Seed for the loss process (kept separate from agent randomness so
     /// loss patterns are reproducible and orthogonal).
     pub loss_seed: u64,
+    /// Time-varying loss: a piecewise-constant [`LossSchedule`] that
+    /// **overrides** `loss_probability` when set. `None` (the default)
+    /// means the constant `loss_probability` — the legacy static path.
+    pub loss_schedule: Option<LossSchedule>,
+    /// Timed adversity events (churn, partitions). The empty script is
+    /// the static case and takes the historical code path bit for bit.
+    pub scenario: ScenarioScript,
 }
 
 impl Default for NetworkConfig {
@@ -86,9 +114,19 @@ impl Default for NetworkConfig {
             meter_queries: true,
             loss_probability: 0.0,
             loss_seed: 0,
+            loss_schedule: None,
+            scenario: ScenarioScript::new(),
         }
     }
 }
+
+/// Stream base for the **dynamic** loss-draw discipline: in a dynamic
+/// run the loss RNG for round `r` is `seeded(loss_seed, BASE + r)`, so
+/// the loss pattern of a round depends only on that round's messages
+/// (see [`crate::dynamics`] module docs). Static runs keep the single
+/// stream `seeded(loss_seed, 0x1055)` for bit-compatibility with the
+/// pre-dynamics corpus.
+const LOSS_ROUND_STREAM_BASE: u64 = 0x1055_0000_0000;
 
 /// A network of agents driven in synchronous GOSSIP rounds.
 ///
@@ -103,6 +141,17 @@ pub struct Network<M, A = Box<dyn Agent<M>>> {
     env: SizeEnv,
     agents: Vec<A>,
     faults: FaultPlan,
+    // Dynamic-adversity state, layered over the immutable plan/topology:
+    // the live fault flags, the installed partition overlay (if any), the
+    // cursor into the scenario timeline, the resolved loss schedule and
+    // the round's probability, and whether the run is dynamic at all
+    // (decides the loss-draw discipline; see `begin_round`).
+    fault_state: FaultState,
+    partition: Option<PartitionCut>,
+    next_event: usize,
+    loss: LossSchedule,
+    current_p: f64,
+    dynamic: bool,
     metrics: Metrics,
     oplog: OpLog,
     config: NetworkConfig,
@@ -148,16 +197,29 @@ impl<M: MsgSize, A: Agent<M>> Network<M, A> {
             "loss probability must be in [0, 1]"
         );
         let n = agents.len();
-        let loss_rng = if config.loss_probability > 0.0 {
+        config.scenario.validate(n);
+        let loss = config
+            .loss_schedule
+            .clone()
+            .unwrap_or_else(|| LossSchedule::constant(config.loss_probability));
+        let dynamic = !config.scenario.is_empty() || !loss.is_constant();
+        let loss_rng = if loss.max_p() > 0.0 {
             Some(DetRng::seeded(config.loss_seed, 0x1055))
         } else {
             None
         };
+        let fault_state = FaultState::from_plan(&faults);
         Network {
             topology,
             env,
             agents,
             faults,
+            fault_state,
+            partition: None,
+            next_event: 0,
+            loss,
+            current_p: 0.0,
+            dynamic,
             metrics: Metrics::new(),
             oplog: OpLog::new(),
             config,
@@ -205,10 +267,20 @@ impl<M: MsgSize, A: Agent<M>> Network<M, A> {
             faults.n(),
             "fault plan size must match agent count"
         );
+        config.scenario.validate(self.agents.len());
         self.faults = faults;
+        self.fault_state.reset_from(&self.faults);
+        self.partition = None;
+        self.next_event = 0;
         self.metrics.reset();
         self.oplog.clear();
-        self.loss_rng = if config.loss_probability > 0.0 {
+        self.loss = config
+            .loss_schedule
+            .clone()
+            .unwrap_or_else(|| LossSchedule::constant(config.loss_probability));
+        self.dynamic = !config.scenario.is_empty() || !self.loss.is_constant();
+        self.current_p = 0.0;
+        self.loss_rng = if self.loss.max_p() > 0.0 {
             Some(DetRng::seeded(config.loss_seed, 0x1055))
         } else {
             None
@@ -219,16 +291,65 @@ impl<M: MsgSize, A: Agent<M>> Network<M, A> {
         self.replies.clear();
     }
 
+    /// Open round (or async tick) `round`: apply every scenario event
+    /// due at or before it — in timeline order, so same-round events
+    /// apply in script order — and fix the round's loss probability.
+    ///
+    /// Loss-draw discipline: a **static** run (empty script, constant
+    /// schedule) keeps the single loss stream seeded at construction —
+    /// bit-identical to the pre-dynamics engine. A **dynamic** run
+    /// re-derives the stream per round from `(loss_seed, round)`, so
+    /// events or schedule edits in one round can never perturb the loss
+    /// draws of another.
+    fn begin_round(&mut self, round: usize) {
+        loop {
+            let ev = match self.config.scenario.events().get(self.next_event) {
+                Some(ev) if ev.round() <= round => ev.clone(),
+                _ => break,
+            };
+            self.next_event += 1;
+            match ev {
+                ScenarioEvent::Crash { set, .. } => self.fault_state.crash(&set),
+                ScenarioEvent::Recover { set, .. } => self.fault_state.recover(&set),
+                ScenarioEvent::Partition { cut, .. } => self.partition = Some(cut),
+                ScenarioEvent::Heal { .. } => self.partition = None,
+            }
+        }
+        self.current_p = self.loss.p_at(round);
+        if self.dynamic {
+            if let Some(rng) = &mut self.loss_rng {
+                *rng = DetRng::seeded(
+                    self.config.loss_seed,
+                    LOSS_ROUND_STREAM_BASE + round as u64,
+                );
+            }
+        }
+    }
+
     /// Sample the loss process: true if the current message is dropped.
+    /// Draws from the loss stream only while the round's probability is
+    /// positive (a `p = 0` round consumes no draws — in a static run
+    /// that is the whole run, matching the legacy no-RNG path).
     #[inline]
     fn dropped(&mut self) -> bool {
+        if self.current_p <= 0.0 {
+            return false;
+        }
         match &mut self.loss_rng {
             Some(rng) => {
-                let p = self.config.loss_probability;
+                let p = self.current_p;
                 rng.chance(p)
             }
             None => false,
         }
+    }
+
+    /// Effective connectivity: the base topology minus any installed
+    /// partition overlay (delivery masking; see [`crate::dynamics`]).
+    #[inline]
+    fn reachable(&self, u: AgentId, v: AgentId) -> bool {
+        self.topology.connected(u, v)
+            && !matches!(&self.partition, Some(cut) if cut.blocks(u, v))
     }
 
     /// Run `rounds` synchronous rounds (without finalizing).
@@ -245,9 +366,11 @@ impl<M: MsgSize, A: Agent<M>> Network<M, A> {
         self.finalize();
     }
 
-    /// Execute one synchronous round.
+    /// Execute one synchronous round. Scenario events due this round are
+    /// applied first, before any `act` call ([`Self::begin_round`]).
     pub fn step(&mut self) {
         let round = self.round;
+        self.begin_round(round);
         // -- 1. act ------------------------------------------------------
         self.ops.clear();
         {
@@ -256,7 +379,7 @@ impl<M: MsgSize, A: Agent<M>> Network<M, A> {
                 topology: &self.topology,
             };
             for id in 0..self.agents.len() {
-                if self.faults.is_faulty(id as AgentId) {
+                if self.fault_state.is_down(id as AgentId) {
                     continue; // quiescent: never acts
                 }
                 if let Some(op) = self.agents[id].act(&ctx) {
@@ -320,9 +443,14 @@ impl<M: MsgSize, A: Agent<M>> Network<M, A> {
         if self.config.meter_queries {
             self.metrics.record_message(query.size_bits(&self.env));
         }
-        let reachable = self.topology.connected(puller, pullee);
+        let reachable = self.reachable(puller, pullee);
         let query_lost = self.dropped();
-        let reply = if !reachable || query_lost || self.faults.is_faulty(pullee) {
+        let reply = if !reachable || query_lost || self.fault_state.is_down(pullee) {
+            // The query never reached a live handler (off-edge, cross-cut,
+            // lost, or a faulty/crashed pullee): undelivered if metered.
+            if self.config.meter_queries {
+                self.metrics.record_undelivered();
+            }
             None
         } else {
             let ctx = RoundCtx {
@@ -341,6 +469,7 @@ impl<M: MsgSize, A: Agent<M>> Network<M, A> {
         }
         // A produced reply can itself be lost in transit.
         let reply = if reply.is_some() && self.dropped() {
+            self.metrics.record_undelivered();
             None
         } else {
             reply
@@ -358,8 +487,9 @@ impl<M: MsgSize, A: Agent<M>> Network<M, A> {
 
     fn deliver_push(&mut self, from: AgentId, to: AgentId, msg: &M, round: usize) {
         // Metering contract: a push is metered HERE, at send time —
-        // *before* the edge/fault/loss checks below. A push addressed
-        // off-edge (no such link), to a faulty receiver, or lost in
+        // *before* the edge/partition/fault/loss checks below. A push
+        // addressed off-edge (no such link), across an installed
+        // partition cut, to a faulty or crashed receiver, or lost in
         // transit was still *sent* by its author and still occupied the
         // wire on the sender's side, so it counts toward messages_sent
         // and bits_sent even though it is never delivered.
@@ -367,8 +497,10 @@ impl<M: MsgSize, A: Agent<M>> Network<M, A> {
         if self.config.record_ops {
             self.oplog.record(round as u32, OpKind::Push, from, to);
         }
-        if !self.topology.connected(from, to) || self.faults.is_faulty(to) || self.dropped() {
-            return; // no such edge, quiescent receiver, or lost in transit
+        if !self.reachable(from, to) || self.fault_state.is_down(to) || self.dropped() {
+            // No such edge / cross-cut, quiescent receiver, or lost.
+            self.metrics.record_undelivered();
+            return;
         }
         let ctx = RoundCtx {
             round,
@@ -393,9 +525,10 @@ impl<M: MsgSize, A: Agent<M>> Network<M, A> {
         let n = self.agents.len();
         for _ in 0..ticks {
             let round = self.round;
+            self.begin_round(round);
             self.metrics.record_tick();
             let id = scheduler_rng.index(n) as AgentId;
-            if self.faults.is_faulty(id) {
+            if self.fault_state.is_down(id) {
                 self.metrics.record_round(0); // activation with no op
                 self.round += 1;
                 continue;
@@ -429,14 +562,17 @@ impl<M: MsgSize, A: Agent<M>> Network<M, A> {
         }
     }
 
-    /// Call [`Agent::finalize`] on every active agent.
+    /// Call [`Agent::finalize`] on every agent active **at finalization
+    /// time** — the survivor set: plan-active agents that are not
+    /// currently crashed. An agent that crashed and recovered before the
+    /// end is finalized; one still down is not.
     pub fn finalize(&mut self) {
         let ctx = RoundCtx {
             round: self.round,
             topology: &self.topology,
         };
         for id in 0..self.agents.len() {
-            if !self.faults.is_faulty(id as AgentId) {
+            if !self.fault_state.is_down(id as AgentId) {
                 self.agents[id].finalize(&ctx);
             }
         }
@@ -457,9 +593,20 @@ impl<M: MsgSize, A: Agent<M>> Network<M, A> {
         self.agents.len()
     }
 
-    /// The fault plan.
+    /// The fault plan (the adversary's immutable pre-round-0 choice).
     pub fn faults(&self) -> &FaultPlan {
         &self.faults
+    }
+
+    /// The live fault flags (plan ∪ scripted crashes): who is down *now*
+    /// — after the last executed round's events.
+    pub fn fault_state(&self) -> &FaultState {
+        &self.fault_state
+    }
+
+    /// The currently installed partition cut, if any.
+    pub fn partition(&self) -> Option<&PartitionCut> {
+        self.partition.as_ref()
     }
 
     /// Communication metrics so far.

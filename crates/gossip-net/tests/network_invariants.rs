@@ -107,6 +107,7 @@ fn run_chaos(
             meter_queries: true,
             loss_probability: loss,
             loss_seed: seed,
+            ..NetworkConfig::default()
         },
     );
     net.run(rounds);
