@@ -25,6 +25,12 @@ echo "==> tier-2: golden-run regression corpus (pinned seed->digest matrix)"
 # the budget.
 RUST_TEST_THREADS=2 cargo test -q --test golden_runs
 
+echo "==> tier-2: sharded golden rows at RFC_THREADS=1,2,8 (digest must be identical at every count)"
+# The sharded (PerAgent-discipline) corpus: each row runs once per
+# listed thread count and the suite asserts all digests agree AND match
+# the pinned capture — the staged engine's thread-invariance contract.
+RFC_THREADS=1,2,8 RUST_TEST_THREADS=2 cargo test -q --test sharded_engine
+
 echo "==> benches compile"
 cargo build --benches
 
@@ -43,11 +49,15 @@ cargo run --release -q -p experiments --bin rfc-experiments -- list
 echo "==> dynamics smoke: e15 --quick (churn / partition-heal / loss bursts)"
 cargo run --release -q -p experiments --bin rfc-experiments -- e15 --quick >/dev/null
 
-echo "==> perf snapshot: e14 --quick -> BENCH_scale.json"
-cargo run --release -q -p experiments --bin rfc-experiments -- e14 --quick --json target/bench-json >/dev/null
-# Two JSON lines: the scale sweep (E14) and the enum-vs-dyn dispatch
-# comparison (E14b) — the perf trajectory tracked across PRs.
-cat target/bench-json/e14_0.json target/bench-json/e14_1.json > BENCH_scale.json
-echo "    wrote BENCH_scale.json (scale sweep + dispatch comparison rows)"
+echo "==> staged-engine smoke: e16 --quick (intra-trial shard sweep + digest assert)"
+cargo run --release -q -p experiments --bin rfc-experiments -- e16 --quick >/dev/null
+
+echo "==> perf snapshot: e14/e16 --quick -> BENCH_scale.json"
+cargo run --release -q -p experiments --bin rfc-experiments -- e14 e16 --quick --json target/bench-json >/dev/null
+# Three JSON lines: the trial-level scale sweep (E14), the enum-vs-dyn
+# dispatch comparison (E14b), and the intra-trial shard sweep (E16) —
+# the perf trajectory tracked across PRs.
+cat target/bench-json/e14_0.json target/bench-json/e14_1.json target/bench-json/e16_0.json > BENCH_scale.json
+echo "    wrote BENCH_scale.json (scale sweep + dispatch + intra-trial shard rows)"
 
 echo "CI OK"

@@ -194,6 +194,17 @@ pub fn run_attack_trial_in(
     members: &[AgentId],
     seed: u64,
 ) -> RunReport {
+    // Coalition agents share mutable intel, so their handler
+    // interleaving is observable — the sharded engine's determinism
+    // argument (handlers touch only their own agent) does not cover
+    // them. Attack trials therefore always run on the sequential
+    // engine, whatever the incoming config says; this also keeps the
+    // paired honest arm comparable (same engine, same loss discipline).
+    let cfg = &RunConfig {
+        threads: 1,
+        rng_discipline: gossip_net::rng::RngDiscipline::Sequential,
+        ..cfg.clone()
+    };
     let member_set: Vec<AgentId> = members.to_vec();
     let coalition: Coalition = new_coalition(member_set.clone(), COALITION_COLOR);
     let mut factory = |id: AgentId,
@@ -203,7 +214,7 @@ pub fn run_attack_trial_in(
                        topo: &gossip_net::topology::Topology| {
         let core = ProtocolCore::new_on(topo, id, params, params.sync_schedule(), color, rng);
         if member_set.binary_search(&id).is_ok() {
-            strategy.build(core, std::rc::Rc::clone(&coalition))
+            strategy.build(core, Coalition::clone(&coalition))
         } else {
             AgentSlot::honest(core)
         }
@@ -242,6 +253,11 @@ pub fn run_equilibrium_with(
     let colors = coalition_colors(n, &members);
     let mut cfg = cfg_proto;
     cfg.colors = rfc_core::runner::ColorSpec::Explicit(colors);
+    // Both arms on the sequential engine (the attack arm is forced
+    // there anyway — see `run_attack_trial_in`): the paired comparison
+    // needs one loss discipline across honest and deviating runs.
+    cfg.threads = 1;
+    cfg.rng_discipline = gossip_net::rng::RngDiscipline::Sequential;
 
     // One arena serves both arms of every paired trial: honest and
     // deviating runs alternate through the same recycled network.
@@ -271,6 +287,42 @@ mod tests {
     use super::*;
     use crate::strategies::forge_cert::ForgeCert;
     use crate::strategies::vote_rig::VoteRig;
+
+    #[test]
+    fn attack_trials_are_pinned_to_the_sequential_engine() {
+        // Coalition agents share mutable intel, so sharded execution
+        // would make their runs scheduler-dependent. The harness must
+        // ignore any sharded spelling in the incoming config: same
+        // (cfg, seed) ⇒ the exact sequential report, however the caller
+        // set threads/discipline.
+        let members = [0, 1, 2, 3];
+        let colors = coalition_colors(16, &members);
+        let base = RunConfig::builder(16)
+            .gamma(3.0)
+            .explicit_colors(colors)
+            .message_loss(0.1);
+        let key = |r: &RunReport| {
+            format!("{:?}|{:?}|{:?}|{:?}", r.outcome, r.winner, r.decisions, r.metrics)
+        };
+        let mut arena = TrialArena::new();
+        let sequential = key(&run_attack_trial_in(
+            &mut arena,
+            &base.clone().build(),
+            &ForgeCert::zero_k(),
+            &members,
+            9,
+        ));
+        for sharded_cfg in [base.clone().sharded(4).build(), base.clone().threads(0).build()] {
+            let got = key(&run_attack_trial_in(
+                &mut arena,
+                &sharded_cfg,
+                &ForgeCert::zero_k(),
+                &members,
+                9,
+            ));
+            assert_eq!(got, sequential, "harness must force the sequential engine");
+        }
+    }
 
     #[test]
     fn honest_arm_wins_fair_share() {

@@ -143,5 +143,61 @@ fn bench_trial_fold(c: &mut Criterion) {
     );
 }
 
-criterion_group!(benches, bench_round_engine, bench_trial_fold);
+fn bench_intra_trial(c: &mut Criterion) {
+    // The staged engine's intra-trial axis: one protocol trial, sharded
+    // plan/apply. Shard counts beyond the core count still measure the
+    // staging overhead (and the 1-shard row measures the staged engine
+    // against the monolithic baseline below it).
+    let mut group = c.benchmark_group("intra_trial_sharding");
+    group.sample_size(10);
+    let n = 8192usize;
+    let cfg_seq = RunConfig::builder(n).gamma(3.0).colors(vec![n / 2, n / 2]).build();
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("monolithic_step", |b| {
+        b.iter(|| black_box(run_protocol(&cfg_seq, 11).rounds))
+    });
+    for shards in [1usize, 2, 4] {
+        let cfg = RunConfig::builder(n)
+            .gamma(3.0)
+            .colors(vec![n / 2, n / 2])
+            .sharded(shards)
+            .build();
+        group.bench_with_input(
+            BenchmarkId::new("staged_per_agent", shards),
+            &shards,
+            |b, _| b.iter(|| black_box(run_protocol(&cfg, 11).rounds)),
+        );
+    }
+    group.finish();
+
+    // Composition: shards within a trial × arenas across trials — the
+    // two parallelism layers the workspace now has, working together.
+    let mut group = c.benchmark_group("intra_trial_x_arena_composition");
+    group.sample_size(10);
+    let n = 2048usize;
+    let trials = 8usize;
+    let cfg = RunConfig::builder(n)
+        .gamma(3.0)
+        .colors(vec![n / 2, n / 2])
+        .sharded(2)
+        .build();
+    group.throughput(Throughput::Elements((n * trials) as u64));
+    group.bench_function("sharded_trials_through_one_arena", |b| {
+        use rfc_core::runner::TrialArena;
+        b.iter(|| {
+            let mut arena = TrialArena::new();
+            let mut consensus = 0u64;
+            for t in 0..trials {
+                consensus += arena
+                    .run_protocol(&cfg, 100 + t as u64)
+                    .outcome
+                    .is_consensus() as u64;
+            }
+            black_box(consensus)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_round_engine, bench_trial_fold, bench_intra_trial);
 criterion_main!(benches);

@@ -128,6 +128,18 @@ impl ConsensusAgent for AgentSlot {
     }
 }
 
+// The staged round engine shards one trial's `Vec<AgentSlot>` (and the
+// in-flight `Op<Msg>` buffer) across scoped worker threads. These
+// assertions fail to *compile* if any slot variant or message payload
+// regresses to thread-bound state (`Rc`, `Cell`, `RefCell`).
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    const fn assert_sync<T: Sync>() {}
+    assert_send::<AgentSlot>();
+    assert_send::<Msg>();
+    assert_sync::<Msg>(); // deliveries hand shards a shared `&Msg`
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -161,7 +173,7 @@ mod tests {
 
     #[test]
     fn strategy_builds_land_in_their_variant() {
-        use crate::coalition::new_coalition;
+        use crate::coalition::{new_coalition, Coalition};
         use crate::strategies::{self, Strategy};
         let coalition = new_coalition(vec![1], 1);
         let cases: Vec<(Box<dyn Strategy>, fn(&AgentSlot) -> bool)> = vec![
@@ -188,7 +200,7 @@ mod tests {
             }),
         ];
         for (strategy, is_variant) in cases {
-            let slot = strategy.build(mk_core(1), std::rc::Rc::clone(&coalition));
+            let slot = strategy.build(mk_core(1), Coalition::clone(&coalition));
             assert!(is_variant(&slot), "{} built the wrong variant", strategy.name());
             assert_eq!(
                 ConsensusAgent::role(&slot),

@@ -4,15 +4,22 @@
 //! may coordinate arbitrarily *before* the run (choose a joint strategy)
 //! and share whatever they observe *during* the run. We model the latter
 //! with a shared blackboard: every coalition agent holds an
-//! `Rc<Coalition>` and reads/writes the interior-mutable [`Intel`] pool.
-//! A trial runs on one thread, so `Rc<RefCell<…>>` is the right tool —
-//! cross-trial parallelism happens at a higher level, with one coalition
-//! object per trial.
+//! `Arc<CoalitionCore>` and reads/writes the interior-mutable [`Intel`]
+//! pool through [`CoalitionCore::intel`].
+//!
+//! The blackboard is `Arc<Mutex<…>>` (it was `Rc<RefCell<…>>` until the
+//! staged round engine landed) so coalition agents satisfy the `Send`
+//! bound the sharded engine places on every [`crate::AgentSlot`]. The
+//! lock is uncontended on the adversary harness's sequential path, so
+//! the swap costs an atomic pair per intel access. Note that coalition
+//! intel is *order-dependent* cross-agent state: adversary trials must
+//! keep running on the sequential engine (the default) — the sharded
+//! engine is for honest large-`n` runs, and sharding a coalition run
+//! would make the intel interleaving depend on shard scheduling.
 
 use gossip_net::ids::{AgentId, ColorId};
 use crate::msg::IntentList;
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 /// Shared knowledge pool sustained by coalition members during a run.
 #[derive(Debug, Default)]
@@ -43,12 +50,12 @@ pub struct CoalitionCore {
     pub leader: AgentId,
     /// The color the coalition wants to win.
     pub color: ColorId,
-    /// Shared mutable intel.
-    pub intel: RefCell<Intel>,
+    /// Shared mutable intel (access via [`CoalitionCore::intel`]).
+    pub intel: Mutex<Intel>,
 }
 
 /// Shared handle to the coalition state.
-pub type Coalition = Rc<CoalitionCore>;
+pub type Coalition = Arc<CoalitionCore>;
 
 /// Build a coalition over `members` (must be non-empty and sorted) that
 /// pushes `color`.
@@ -57,15 +64,22 @@ pub fn new_coalition(mut members: Vec<AgentId>, color: ColorId) -> Coalition {
     members.sort_unstable();
     members.dedup();
     let leader = members[0];
-    Rc::new(CoalitionCore {
+    Arc::new(CoalitionCore {
         members,
         leader,
         color,
-        intel: RefCell::new(Intel::default()),
+        intel: Mutex::new(Intel::default()),
     })
 }
 
 impl CoalitionCore {
+    /// Lock the shared intel pool (no poisoning: a panicked writer's
+    /// partial state is taken as-is, matching the old `RefCell` behavior
+    /// where a panic aborted the trial anyway).
+    pub fn intel(&self) -> MutexGuard<'_, Intel> {
+        self.intel.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Is `u` a member?
     pub fn contains(&self, u: AgentId) -> bool {
         self.members.binary_search(&u).is_ok()
@@ -133,9 +147,9 @@ mod tests {
     #[test]
     fn intel_is_shared_between_handles() {
         let c = new_coalition(vec![0, 1], 0);
-        let c2 = Rc::clone(&c);
-        c.intel.borrow_mut().known_sum_for_leader = 42;
-        assert_eq!(c2.intel.borrow().known_sum_for_leader, 42);
+        let c2 = Arc::clone(&c);
+        c.intel().known_sum_for_leader = 42;
+        assert_eq!(c2.intel().known_sum_for_leader, 42);
     }
 
     #[test]

@@ -470,7 +470,14 @@ impl Agent<Msg> for HonestAgent {
 /// The common interface for every agent participating in protocol `P`,
 /// honest or deviating — used by the runner and audits to inspect final
 /// state regardless of the concrete strategy type.
-pub trait ConsensusAgent: Agent<Msg> {
+///
+/// `Send` is a supertrait: the staged round engine
+/// (`gossip_net::network::staged`) shards one trial's agents across
+/// worker threads, so every slot — including [`crate::AgentSlot::Custom`]
+/// boxes — must be movable across threads. All built-in agents are
+/// `Send` (Arc-shared payloads, Mutex-guarded coalition intel); an
+/// out-of-tree agent just needs to avoid `Rc`/`RefCell` state.
+pub trait ConsensusAgent: Agent<Msg> + Send {
     /// The protocol state (every strategy carries one, since deviators
     /// must still produce plausible protocol traffic).
     fn core(&self) -> &ProtocolCore;

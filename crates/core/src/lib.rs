@@ -84,6 +84,10 @@ pub use strategies::{standard_attacks, Strategy};
 pub use gossip_net::dynamics::{
     FaultState, LossSchedule, PartitionCut, ScenarioEvent, ScenarioScript,
 };
+// The staged engine's loss-draw discipline selector lives next to the
+// network's RNG plumbing; re-exported so sharded `RunConfig`s build
+// from one crate.
+pub use gossip_net::rng::RngDiscipline;
 
 /// Convenience re-exports for downstream crates and examples.
 pub mod prelude {
@@ -99,4 +103,5 @@ pub mod prelude {
     pub use crate::params::{Params, Phase};
     pub use crate::runner::{run_protocol, ColorSpec, RunConfig, RunReport, TopologySpec};
     pub use gossip_net::dynamics::{LossSchedule, PartitionCut, ScenarioEvent, ScenarioScript};
+    pub use gossip_net::rng::RngDiscipline;
 }

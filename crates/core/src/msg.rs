@@ -18,8 +18,8 @@ use crate::certificate::{CertData, Certificate};
 use crate::sharing::Shared;
 use gossip_net::ids::AgentId;
 use gossip_net::size::{MsgSize, SizeEnv};
-use std::cell::Cell;
 use std::ops::Deref;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 
 /// One entry `(h, z)` of a vote-intention list `H_u`: "I will send value
 /// `h` to agent `z`".
@@ -42,26 +42,38 @@ pub struct IntentEntry {
 /// *simulator* optimization, not a trust shortcut: the memo is written
 /// only by the receivers' own verdict code, over bytes that never change
 /// after construction — every receiver still gets exactly the verdict it
-/// would have computed itself. Trials are single-threaded, so `Cell`
-/// suffices.
+/// would have computed itself.
+///
+/// The memos are relaxed atomics (not `Cell`) because the staged round
+/// engine shares one list across apply-stage shards. A memo race is
+/// benign by construction: the cached verdict is a pure function of the
+/// immutable entries (plus run-wide parameters every agent shares), so
+/// concurrent writers can only store the same value — losing a race
+/// costs a recomputation, never a wrong answer.
 #[derive(Debug)]
 pub struct IntentListData {
     entries: Box<[IntentEntry]>,
     /// Memo: `intents_plausible` verdict (parameters are run-constant).
-    plausible: Cell<Option<bool>>,
-    /// Memo: `(owner, #entries targeting owner)` of the last queried owner.
-    winner_count: Cell<Option<(AgentId, u32)>>,
+    /// 0 = unset, 1 = implausible, 2 = plausible.
+    plausible: AtomicU8,
+    /// Memo: `(owner, #entries targeting owner)` of the last queried
+    /// owner, packed `owner << 32 | count`; `u64::MAX` = unset (a real
+    /// count is bounded by `q` and can never be `u32::MAX`).
+    winner_count: AtomicU64,
 }
+
+const WINNER_MEMO_UNSET: u64 = u64::MAX;
 
 impl IntentListData {
     /// Cached plausibility verdict: computes via `check` on first use.
     #[inline]
     pub fn memo_plausible(&self, check: impl FnOnce(&[IntentEntry]) -> bool) -> bool {
-        match self.plausible.get() {
-            Some(v) => v,
-            None => {
+        match self.plausible.load(Ordering::Relaxed) {
+            1 => false,
+            2 => true,
+            _ => {
                 let v = check(&self.entries);
-                self.plausible.set(Some(v));
+                self.plausible.store(if v { 2 } else { 1 }, Ordering::Relaxed);
                 v
             }
         }
@@ -71,13 +83,13 @@ impl IntentListData {
     /// different owner is queried — verifiers converge on one winner).
     #[inline]
     pub fn votes_for(&self, owner: AgentId) -> u32 {
-        if let Some((o, c)) = self.winner_count.get() {
-            if o == owner {
-                return c;
-            }
+        let packed = self.winner_count.load(Ordering::Relaxed);
+        if packed != WINNER_MEMO_UNSET && (packed >> 32) as AgentId == owner {
+            return packed as u32;
         }
         let c = self.entries.iter().filter(|e| e.target == owner).count() as u32;
-        self.winner_count.set(Some((owner, c)));
+        self.winner_count
+            .store((owner as u64) << 32 | c as u64, Ordering::Relaxed);
         c
     }
 }
@@ -100,8 +112,8 @@ impl From<Vec<IntentEntry>> for IntentListData {
     fn from(entries: Vec<IntentEntry>) -> Self {
         IntentListData {
             entries: entries.into_boxed_slice(),
-            plausible: Cell::new(None),
-            winner_count: Cell::new(None),
+            plausible: AtomicU8::new(0),
+            winner_count: AtomicU64::new(WINNER_MEMO_UNSET),
         }
     }
 }

@@ -38,7 +38,7 @@ use gossip_net::fault::{FaultPlan, Placement};
 use gossip_net::ids::{AgentId, ColorId};
 use gossip_net::metrics::Metrics;
 use gossip_net::network::{Network, NetworkConfig};
-use gossip_net::rng::DetRng;
+use gossip_net::rng::{DetRng, RngDiscipline};
 use gossip_net::size::SizeEnv;
 use gossip_net::topology::Topology;
 
@@ -123,6 +123,21 @@ pub struct RunConfig {
     /// script is the static path, bit-identical to the pre-dynamics
     /// engine.
     pub scenario: ScenarioScript,
+    /// Loss-draw discipline (see [`RngDiscipline`]). `Sequential` (the
+    /// default) runs the monolithic engine when `threads == 1` and
+    /// otherwise the staged engine's legacy-replay path — either way
+    /// bit-identical to every historical digest. `PerAgent` selects the
+    /// sharded engine's own discipline, whose digests are pinned by
+    /// their own golden rows.
+    pub rng_discipline: RngDiscipline,
+    /// Worker threads for intra-trial sharding (`0` = available
+    /// parallelism, `1` = fully sequential). A pure throughput knob:
+    /// the report is bit-identical for every value — *for agents whose
+    /// handlers touch only their own state*, which every slot satisfies
+    /// except coalition deviators (shared intel). The adversary harness
+    /// therefore forces attack trials onto the sequential engine
+    /// regardless of this field.
+    pub threads: usize,
 }
 
 impl RunConfig {
@@ -226,6 +241,8 @@ impl RunConfigBuilder {
                 loss_probability: 0.0,
                 loss_schedule: None,
                 scenario: ScenarioScript::new(),
+                rng_discipline: RngDiscipline::Sequential,
+                threads: 1,
             },
         }
     }
@@ -321,6 +338,25 @@ impl RunConfigBuilder {
     pub fn scenario(mut self, script: ScenarioScript) -> Self {
         self.cfg.scenario = script;
         self
+    }
+
+    /// Select the loss-draw discipline (see [`RngDiscipline`]).
+    pub fn rng_discipline(mut self, d: RngDiscipline) -> Self {
+        self.cfg.rng_discipline = d;
+        self
+    }
+
+    /// Intra-trial worker threads (`0` = available parallelism). Results
+    /// are bit-identical for every value; see [`RunConfig::threads`].
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.cfg.threads = threads;
+        self
+    }
+
+    /// Convenience: the sharded engine preset — [`RngDiscipline::PerAgent`]
+    /// with `threads` plan/apply shards (`0` = available parallelism).
+    pub fn sharded(self, threads: usize) -> Self {
+        self.rng_discipline(RngDiscipline::PerAgent).threads(threads)
     }
 
     /// Finish building.
@@ -430,6 +466,8 @@ fn network_ingredients(
         loss_seed: gossip_net::rng::derive_seed(seed, streams::LOSS),
         loss_schedule: cfg.loss_schedule.clone(),
         scenario: cfg.scenario.clone(),
+        rng_discipline: cfg.rng_discipline,
+        threads: cfg.threads,
         ..NetworkConfig::default()
     };
     (params, colors, faults, topology, env, net_cfg)
@@ -550,10 +588,20 @@ fn color_space_size(cfg: &RunConfig) -> usize {
 /// fast-forwarding the phase window without executing it.
 ///
 /// Generic over the agent representation: the same driver serves the
-/// monomorphic [`AgentSlot`] plane and the boxed escape hatch.
-pub fn drive_network<A: Agent<Msg>>(net: &mut Network<Msg, A>, cfg: &RunConfig) {
+/// monomorphic [`AgentSlot`] plane and the boxed escape hatch (every
+/// [`crate::ConsensusAgent`] is `Send`, which is what lets one driver
+/// serve both the monolithic and the staged engine).
+///
+/// Engine selection: the default config (`Sequential`, `threads == 1`)
+/// takes the monolithic [`Network::step`] path — the literal pre-staged
+/// code, so every historical digest (including the PR-4 golden corpus)
+/// is untouched. Any other `(rng_discipline, threads)` takes the staged
+/// engine, which is itself bit-identical to the monolithic path under
+/// `Sequential` and bit-identical across thread counts always.
+pub fn drive_network<A: Agent<Msg> + Send>(net: &mut Network<Msg, A>, cfg: &RunConfig) {
     let params = cfg.params();
     let q = params.q;
+    let staged = cfg.rng_discipline != RngDiscipline::Sequential || cfg.threads != 1;
     for phase in Phase::COMMUNICATING {
         if phase == Phase::Coherence && cfg.skip_coherence {
             // Ablation: the phase's rounds simply don't happen; agents
@@ -561,7 +609,11 @@ pub fn drive_network<A: Agent<Msg>>(net: &mut Network<Msg, A>, cfg: &RunConfig) 
             break;
         }
         net.enter_phase(phase.name());
-        net.run(q);
+        if staged {
+            net.run_staged(q);
+        } else {
+            net.run(q);
+        }
     }
     net.finalize();
 }
@@ -798,6 +850,70 @@ mod tests {
             "max message {} bits exceeds O(log² n) ballpark",
             report.metrics.max_message_bits
         );
+    }
+
+    fn report_key(r: &RunReport) -> String {
+        format!(
+            "{:?}|{:?}|{:?}|{:?}|{}|{:?}|{:?}",
+            r.outcome, r.winner, r.decisions, r.metrics, r.rounds, r.initial_colors,
+            r.verify_failures
+        )
+    }
+
+    #[test]
+    fn staged_sequential_run_matches_monolithic_run() {
+        // Sequential discipline + threads > 1 takes the staged engine,
+        // which must replay the monolithic engine bit for bit — loss,
+        // faults and all.
+        let base = RunConfig::builder(24)
+            .colors(vec![12, 12])
+            .faults(0.25, Placement::Random { seed: 3 })
+            .message_loss(0.2);
+        let want = report_key(&run_protocol(&base.clone().build(), 41));
+        for threads in [2usize, 5, 0] {
+            let cfg = base.clone().threads(threads).build();
+            assert_eq!(
+                report_key(&run_protocol(&cfg, 41)),
+                want,
+                "staged sequential (threads={threads}) diverged from monolithic"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_loss_free_run_matches_sequential() {
+        // With p = 0 neither discipline draws loss coins, so the sharded
+        // engine's report equals the sequential one exactly.
+        let base = RunConfig::builder(32).colors(vec![16, 16]);
+        let want = report_key(&run_protocol(&base.clone().build(), 9));
+        let cfg = base.clone().sharded(4).build();
+        assert_eq!(report_key(&run_protocol(&cfg, 9)), want);
+    }
+
+    #[test]
+    fn sharded_run_is_thread_invariant() {
+        let base = RunConfig::builder(32)
+            .colors(vec![16, 16])
+            .message_loss(0.05)
+            .record_ops(true);
+        let want = report_key(&run_protocol(&base.clone().sharded(1).build(), 17));
+        for threads in [2usize, 8] {
+            let got = report_key(&run_protocol(&base.clone().sharded(threads).build(), 17));
+            assert_eq!(got, want, "sharded report must not depend on thread count");
+        }
+    }
+
+    #[test]
+    fn arena_reuses_sharded_runs_bit_for_bit() {
+        let cfg = RunConfig::builder(24).colors(vec![12, 12]).sharded(3).build();
+        let fresh = report_key(&run_protocol(&cfg, 5));
+        let mut arena = TrialArena::new();
+        // Interleave other shapes to try to poison the scratch.
+        let other = RunConfig::builder(16).colors(vec![8, 8]).build();
+        let _ = arena.run_protocol(&other, 1);
+        assert_eq!(report_key(&arena.run_protocol(&cfg, 5)), fresh);
+        let _ = arena.run_protocol(&other, 2);
+        assert_eq!(report_key(&arena.run_protocol(&cfg, 5)), fresh);
     }
 
     #[test]

@@ -2,16 +2,17 @@
 //!
 //! Intention lists and certificates travel the wire thousands of times
 //! per run; sharing one allocation per payload is what keeps Find-Min's
-//! `Θ(n log n)` certificate hops O(1) each. Every *trial* is
-//! single-threaded by construction — parallelism lives at the trial
-//! level in `experiments::parallel`, where each worker owns its whole
-//! network — so the payload pointer is [`std::rc::Rc`]: a wire hop is a
-//! non-atomic refcount bump instead of a `lock inc`/`lock dec` pair,
-//! which measurably matters on the Monte-Carlo hot path (tens of
-//! thousands of hops per trial).
+//! `Θ(n log n)` certificate hops O(1) each.
 //!
-//! If a future engine ever shares payloads *across* threads, swap this
-//! alias to `std::sync::Arc` — the APIs match and everything downstream
-//! is written against the alias.
+//! The pointer is [`std::sync::Arc`]. Through PR 4 it was `Rc` — every
+//! *trial* was single-threaded by construction, with parallelism only at
+//! the trial level in `experiments::parallel`. The staged round engine
+//! (`gossip_net::network::staged`) changed that invariant: one trial now
+//! shards its plan/apply stages across worker threads, so a certificate
+//! produced by an agent in one shard is cloned into agent state in
+//! another shard — the refcount must be atomic. The uncontended
+//! `lock inc`/`lock dec` pair this costs on the sequential path is the
+//! price of the sharded engine's existence; the `dispatch` bench tracks
+//! it PR over PR.
 
-pub use std::rc::Rc as Shared;
+pub use std::sync::Arc as Shared;

@@ -149,14 +149,14 @@ impl ForgeAgent {
             color: self.coalition.color,
             owner: self.core.id,
         });
-        self.coalition.intel.borrow_mut().promoted_cert = Some(Shared::clone(&cert));
+        self.coalition.intel().promoted_cert = Some(Shared::clone(&cert));
         cert
     }
 
     /// The certificate this member currently advertises: the promoted
     /// forgery once it exists, else the honest minimum.
     fn advertised(&mut self) -> Option<crate::Certificate> {
-        if let Some(ce) = self.coalition.intel.borrow().promoted_cert.as_ref() {
+        if let Some(ce) = self.coalition.intel().promoted_cert.as_ref() {
             return Some(Shared::clone(ce));
         }
         self.core.ensure_certificate();
@@ -173,7 +173,7 @@ impl Agent<Msg> for ForgeAgent {
             Phase::FindMin => {
                 self.core.ensure_certificate();
                 if self.is_leader()
-                    && self.coalition.intel.borrow().promoted_cert.is_none()
+                    && self.coalition.intel().promoted_cert.is_none()
                 {
                     let forged = self.forge();
                     self.core.min_cert = Some(forged);
@@ -312,9 +312,9 @@ mod tests {
     #[test]
     fn forged_cert_is_shared_via_intel() {
         let mut a = agent_with(ForgeMode::DropVotes, vec![0, 1]);
-        assert!(a.coalition.intel.borrow().promoted_cert.is_none());
+        assert!(a.coalition.intel().promoted_cert.is_none());
         let _ = a.forge();
-        assert!(a.coalition.intel.borrow().promoted_cert.is_some());
+        assert!(a.coalition.intel().promoted_cert.is_some());
     }
 
     #[test]

@@ -74,7 +74,7 @@ impl SpyAgent {
         let m = self.core.params.m;
         let q = self.core.params.q;
         let leader = self.coalition.leader;
-        let mut intel = self.coalition.intel.borrow_mut();
+        let mut intel = self.coalition.intel();
         // Our q votes all target the leader. The first q-1 carry random
         // values; the last balances everything known so far toward 0.
         let mut entries: Vec<IntentEntry> = (0..q - 1)
@@ -103,7 +103,7 @@ impl SpyAgent {
         }
         let m = self.core.params.m;
         let leader = self.coalition.leader;
-        let mut intel = self.coalition.intel.borrow_mut();
+        let mut intel = self.coalition.intel();
         if intel.learned_intents.iter().any(|(o, _)| *o == owner) {
             return; // already harvested — avoid double counting
         }
@@ -218,7 +218,7 @@ mod tests {
     fn tuned_intents_sum_to_minus_known(
     ) {
         let mut spy = mk_spy(3, vec![3, 8]);
-        spy.coalition.intel.borrow_mut().known_sum_for_leader = 1000;
+        spy.coalition.intel().known_sum_for_leader = 1000;
         spy.finalize_intents();
         let m = spy.core.params.m;
         let own: u64 = spy.core.intents.iter().fold(0, |a, e| (a + e.value) % m);
@@ -238,13 +238,13 @@ mod tests {
                 1,
                 DetRng::seeded(5, id as u64),
             ),
-            coalition: std::rc::Rc::clone(&coalition),
+            coalition: Coalition::clone(&coalition),
             declared: false,
             spy_cursor: 0,
         };
         let mut a = mk(3);
         let mut b = mk(8);
-        coalition.intel.borrow_mut().known_sum_for_leader = 777;
+        coalition.intel().known_sum_for_leader = 777;
         a.finalize_intents();
         b.finalize_intents();
         let m = params.m;
@@ -273,16 +273,16 @@ mod tests {
             .collect::<Vec<_>>()
             .into();
         spy.harvest(8, &list); // member: ignored
-        assert_eq!(spy.coalition.intel.borrow().coverage, 0);
+        assert_eq!(spy.coalition.intel().coverage, 0);
         spy.harvest(5, &list);
-        assert_eq!(spy.coalition.intel.borrow().coverage, 1);
+        assert_eq!(spy.coalition.intel().coverage, 1);
         let expected = (10 * spy.core.params.q as u64) % spy.core.params.m;
         assert_eq!(
-            spy.coalition.intel.borrow().known_sum_for_leader,
+            spy.coalition.intel().known_sum_for_leader,
             expected
         );
         spy.harvest(5, &list); // duplicate: ignored
-        assert_eq!(spy.coalition.intel.borrow().coverage, 1);
+        assert_eq!(spy.coalition.intel().coverage, 1);
     }
 
     #[test]
@@ -302,7 +302,7 @@ mod tests {
         let mut spy = mk_spy(3, vec![3]);
         let m = spy.core.params.m;
         // Simulate total knowledge: honest votes for leader sum to 5555.
-        spy.coalition.intel.borrow_mut().known_sum_for_leader = 5555;
+        spy.coalition.intel().known_sum_for_leader = 5555;
         spy.finalize_intents();
         let own: u64 = spy.core.intents.iter().fold(0, |a, e| (a + e.value) % m);
         assert_eq!((5555 + own) % m, 0);

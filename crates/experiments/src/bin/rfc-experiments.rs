@@ -125,7 +125,7 @@ fn parse_u64(s: &str) -> Option<u64> {
 
 fn usage() {
     eprintln!(
-        "usage: rfc-experiments <list | all | e01..e15...> [--quick] [--seed N] [--threads K] [--csv DIR] [--json DIR]"
+        "usage: rfc-experiments <list | all | e01..e16...> [--quick] [--seed N] [--threads K] [--csv DIR] [--json DIR]"
     );
 }
 

@@ -17,7 +17,7 @@
 //! distinguish loss from lying, *by design*.
 
 use crate::opts::ExpOptions;
-use crate::parallel::run_trials;
+use crate::parallel::run_trials_fold;
 use crate::table::{fmt, Table};
 use rfc_core::runner::{run_protocol, RunConfig};
 
@@ -30,7 +30,13 @@ pub fn run(opts: &ExpOptions) -> Vec<Table> {
 
     let mut table = Table::new(
         format!("E13 — success rate under per-message loss probability p ({trials} trials/cell)"),
-        &["n", "p", "success rate", "survival model (1-p)^(2nq)"],
+        &[
+            "n",
+            "p",
+            "success rate",
+            "survival model (1-p)^(2nq)",
+            "undelivered/trial",
+        ],
     );
     for &n in &sizes {
         let q = RunConfig::builder(n).gamma(gamma).build().params().q;
@@ -40,12 +46,22 @@ pub fn run(opts: &ExpOptions) -> Vec<Table> {
                 .colors(vec![n - n / 2, n / 2])
                 .message_loss(p)
                 .build();
-            let successes = run_trials(trials, opts.threads_for(trials), opts.seed, |seed| {
-                run_protocol(&cfg, seed).outcome.is_consensus()
-            })
-            .iter()
-            .filter(|&&b| b)
-            .count() as u64;
+            // Streaming fold: (successes, suppressed-traffic meter).
+            let (successes, undelivered) = run_trials_fold(
+                trials,
+                opts.threads_for(trials),
+                opts.seed,
+                || (0u64, 0u64),
+                |acc, _i, seed| {
+                    let r = run_protocol(&cfg, seed);
+                    acc.0 += r.outcome.is_consensus() as u64;
+                    acc.1 += r.metrics.undelivered;
+                },
+                |a, b| {
+                    a.0 += b.0;
+                    a.1 += b.1;
+                },
+            );
             // Loss is fatal if any of ~n·q votes or ~n·q commitment
             // replies vanish: survival ≈ (1-p)^(2nq).
             let model = (1.0 - p).powi((2 * n * q) as i32);
@@ -54,11 +70,13 @@ pub fn run(opts: &ExpOptions) -> Vec<Table> {
                 format!("{p:.4}"),
                 fmt::rate_ci(successes, trials as u64),
                 fmt::f3(model),
+                fmt::f2(undelivered as f64 / trials as f64),
             ]);
         }
     }
     table.note("the protocol cannot distinguish loss from lying — any lost vote/commitment breaks the binding and fails the run (by design)");
     table.note("deployments over lossy transport need reliable delivery (acks/retransmit) underneath the GOSSIP abstraction");
+    table.note("undelivered/trial = mean Metrics::undelivered — metered-but-suppressed traffic (lost in transit here; same counter covers crash/partition suppression in E15)");
     vec![table]
 }
 
@@ -80,6 +98,36 @@ mod tests {
             }
             if p >= 0.05 {
                 assert!(rate(row) < 0.05, "p=0.05 must collapse: {row:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn e13_reports_undelivered_traffic() {
+        // Satellite pin: the undelivered column exists (so Table::to_json
+        // carries it for every E13 row) and is nonzero wherever p > 0 —
+        // loss experiments must report the traffic they suppressed.
+        let tables = run(&ExpOptions::quick());
+        let t = &tables[0];
+        let idx = t
+            .columns
+            .iter()
+            .position(|c| c == "undelivered/trial")
+            .expect("E13 must have an undelivered/trial column");
+        assert!(
+            t.to_json().contains("\"undelivered/trial\""),
+            "undelivered column must reach the JSON output"
+        );
+        for row in &t.rows {
+            let p: f64 = row[1].parse().unwrap();
+            let undelivered: f64 = row[idx].parse().unwrap();
+            if p == 0.0 {
+                assert_eq!(undelivered, 0.0, "no loss ⇒ nothing suppressed: {row:?}");
+            } else {
+                assert!(
+                    undelivered > 0.0,
+                    "p={p} must suppress measurable traffic: {row:?}"
+                );
             }
         }
     }

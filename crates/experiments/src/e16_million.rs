@@ -1,0 +1,206 @@
+//! E16 — the first million-agent run: intra-trial sharding under the
+//! staged round engine.
+//!
+//! E14 scales *trials* across cores; every trial stays single-threaded
+//! inside, so one giant run — the regime the paper's asymptotics
+//! actually concern — could use exactly one core. The staged engine
+//! (`gossip_net::network::staged`) opens the other axis: plan and apply
+//! shard the agents of **one** trial across worker threads under the
+//! [`RngDiscipline::PerAgent`] loss discipline, and the two layers
+//! compose (shards within a trial × arenas across trials — the
+//! `intra_trial` row of `rfc-bench` measures the composition).
+//!
+//! This experiment runs **single trials** at `n` up to 10⁶ and sweeps
+//! the shard count, reporting per row:
+//!
+//! * **rounds/s** and **Magent·rounds/s** — wall-clock throughput of
+//!   the staged engine at this shard count;
+//! * **bytes/agent** — wire traffic per agent (seed-deterministic);
+//! * **ΔRSS** — `VmHWM` growth attributed to the row (the first row of
+//!   each `n` pays the arena's build; later rows reuse it);
+//! * **digest** — an FNV-1a fingerprint over the deterministic headline
+//!   fields of the [`RunReport`]. The experiment *asserts* that every
+//!   shard count of an `n` produces the same digest: the scaling sweep
+//!   is also a live bit-identity check, machine-verified on every run.
+//!
+//! Like E14, the throughput/ΔRSS columns are measurements of this
+//! machine; outcome, traffic, and digest are pure functions of the seed.
+
+use crate::opts::ExpOptions;
+use crate::table::{fmt, Table};
+use rfc_core::runner::{RunConfig, RunReport, TrialArena};
+
+/// Shard counts every sweep visits (plus the `--threads` value, so the
+/// CLI flag drives the engine it asks about).
+const SHARD_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+/// FNV-1a 64 over a compact deterministic subset of the report
+/// (outcome, winner, wire meters, per-agent decisions — wall-clock
+/// excluded). This is E16's *in-run invariance check* across shard
+/// counts, deliberately cheaper than the full golden digest in
+/// `tests/common/mod.rs`, which remains the pinned-corpus definition.
+fn report_digest(r: &RunReport) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1_0000_01b3);
+        }
+    };
+    eat(format!("{:?}", r.outcome).as_bytes());
+    eat(&(r.rounds as u64).to_le_bytes());
+    eat(format!("{:?}", r.winner).as_bytes());
+    eat(&r.metrics.messages_sent.to_le_bytes());
+    eat(&r.metrics.bits_sent.to_le_bytes());
+    eat(&r.metrics.undelivered.to_le_bytes());
+    eat(&r.metrics.max_message_bits.to_le_bytes());
+    eat(&r.metrics.max_active_links.to_le_bytes());
+    eat(&(r.n_active as u64).to_le_bytes());
+    // Decisions hashed numerically — at n = 10⁶ this loop runs a
+    // million times per row, so no per-entry formatting.
+    for d in &r.decisions {
+        let code: u64 = match d {
+            rfc_core::Decision::Faulty => 1 << 32,
+            rfc_core::Decision::Failed => 2 << 32,
+            rfc_core::Decision::Decided(c) => (3 << 32) | *c as u64,
+        };
+        eat(&code.to_le_bytes());
+    }
+    h
+}
+
+/// Process peak-RSS proxy in MiB (`VmHWM`); `None` off Linux.
+fn peak_rss_mib() -> Option<f64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kib: f64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kib / 1024.0)
+}
+
+/// Run E16 and produce its table.
+pub fn run(opts: &ExpOptions) -> Vec<Table> {
+    let sizes: Vec<usize> = if opts.quick {
+        vec![512, 4096]
+    } else {
+        vec![100_000, 1_000_000]
+    };
+    run_with_sizes(opts, &sizes)
+}
+
+/// [`run`] over explicit sweep sizes (tests pass small ones).
+pub fn run_with_sizes(opts: &ExpOptions, sizes: &[usize]) -> Vec<Table> {
+    let gamma = 3.0;
+    // Quick mode trims the fixed sweep but always keeps the CLI's
+    // `--threads` value — the flag drives the engine in both modes.
+    let mut shards: Vec<usize> = if opts.quick {
+        vec![1, 2, opts.intra_threads()]
+    } else {
+        let mut s = SHARD_SWEEP.to_vec();
+        s.push(opts.intra_threads());
+        s
+    };
+    shards.sort_unstable();
+    shards.dedup();
+
+    let mut table = Table::new(
+        format!(
+            "E16 — single-trial scaling under the staged engine (γ = {gamma}, PerAgent discipline)"
+        ),
+        &[
+            "n",
+            "q",
+            "shards",
+            "outcome",
+            "rounds/s",
+            "Magent·rounds/s",
+            "bytes/agent",
+            "ΔRSS MiB",
+            "digest",
+        ],
+    );
+    let mut arena = TrialArena::new();
+    for &n in sizes {
+        let cfg_for = |threads: usize| {
+            RunConfig::builder(n)
+                .gamma(gamma)
+                .colors(vec![n - n / 2, n / 2])
+                .sharded(threads)
+                .build()
+        };
+        let mut first_digest: Option<u64> = None;
+        for &threads in &shards {
+            let cfg = cfg_for(threads);
+            let rss_before = peak_rss_mib();
+            let started = std::time::Instant::now();
+            let report = arena.run_protocol(&cfg, opts.seed);
+            let secs = started.elapsed().as_secs_f64().max(1e-9);
+            let digest = report_digest(&report);
+            // The sweep is itself a bit-identity check: every shard
+            // count must reproduce the first row's digest exactly.
+            match first_digest {
+                None => first_digest = Some(digest),
+                Some(want) => assert_eq!(
+                    digest, want,
+                    "E16: digest changed with shard count (n={n}, shards={threads})"
+                ),
+            }
+            let rounds_per_s = report.rounds as f64 / secs;
+            let rss_growth = match (rss_before, peak_rss_mib()) {
+                (Some(b), Some(a)) => fmt::f2(a - b),
+                _ => "n/a".into(),
+            };
+            table.row(vec![
+                n.to_string(),
+                cfg.params().q.to_string(),
+                threads.to_string(),
+                format!("{:?}", report.outcome),
+                format!("{rounds_per_s:.1}"),
+                fmt::f2(rounds_per_s * n as f64 / 1e6),
+                fmt::f2(report.metrics.bits_sent as f64 / 8.0 / n as f64),
+                rss_growth,
+                format!("{:016x}", digest),
+            ]);
+        }
+    }
+    table.note("single trial per row; one TrialArena reused across the whole sweep (ΔRSS of later rows ≈ 0 is the arena-reuse witness)");
+    table.note("digest = FNV-1a over the deterministic RunReport fields; equal digests across the shard column are asserted, not just printed");
+    table.note("PerAgent discipline: loss draws keyed (seed, round, agent) — this table is loss-free, so digests also equal the sequential engine's");
+    table.note("rounds/s and ΔRSS are wall-clock measurements of this machine; shard counts beyond the core count still pin determinism");
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e16_sweeps_and_pins_digest_across_shards() {
+        let tables = run_with_sizes(&ExpOptions::quick(), &[96, 256]);
+        assert_eq!(tables.len(), 1);
+        let t = &tables[0];
+        assert!(t.rows.len() >= 4, "two sizes × ≥2 shard counts");
+        // Per n, every digest cell matches (also asserted inside run).
+        for n in ["96", "256"] {
+            let digests: Vec<&String> = t
+                .rows
+                .iter()
+                .filter(|r| r[0] == n)
+                .map(|r| &r[8])
+                .collect();
+            assert!(digests.len() >= 2);
+            assert!(digests.windows(2).all(|w| w[0] == w[1]), "digest drift at n={n}");
+        }
+        // Consensus at γ = 3 for these sizes, w.h.p.
+        for row in &t.rows {
+            assert!(row[3].starts_with("Consensus"), "expected consensus: {row:?}");
+        }
+    }
+
+    #[test]
+    fn e16_quick_mode_runs_the_registry_entry() {
+        let tables = run(&ExpOptions::quick());
+        let t = &tables[0];
+        let max_n: usize = t.rows.iter().map(|r| r[0].parse().unwrap()).max().unwrap();
+        assert!(max_n <= 4096, "quick mode must stay CI-sized");
+    }
+}

@@ -23,13 +23,15 @@
 //! | E13 | Failure injection: per-message loss vs the reliable-channel assumption |
 //! | E14 | Production-scale throughput sweep (n up to 10⁵, streaming fold) |
 //! | E15 | Dynamic adversity: scripted churn, partitions, loss bursts |
+//! | E16 | Million-agent single trials: intra-trial sharding (staged engine) |
 //!
 //! Every number is a deterministic function of `(experiment, master
 //! seed)` regardless of thread count ([`parallel`]); results render as
 //! aligned text, CSV, and JSON ([`table`]). Run them via the
 //! `rfc-experiments` binary or [`run_by_id`] / [`all_experiments`].
-//! (E14's throughput/RSS columns are the one exception: they are
-//! wall-clock measurements by design.)
+//! (The throughput/RSS columns of E14 and E16 are the one exception:
+//! they are wall-clock measurements by design — their digest/count
+//! columns stay seed-deterministic.)
 //!
 //! ## Aggregation styles
 //!
@@ -60,6 +62,7 @@ pub mod e12_extensions;
 pub mod e13_message_loss;
 pub mod e14_scale;
 pub mod e15_dynamics;
+pub mod e16_million;
 pub mod opts;
 pub mod parallel;
 pub mod table;
@@ -169,10 +172,15 @@ pub fn all_experiments() -> Vec<Experiment> {
             title: "dynamic adversity: churn, partitions, loss bursts",
             run: e15_dynamics::run,
         },
+        Experiment {
+            id: "e16",
+            title: "million-agent single trials (staged engine, shard sweep)",
+            run: e16_million::run,
+        },
     ]
 }
 
-/// Run one experiment by id (`"e01"`…`"e15"`); `None` if unknown.
+/// Run one experiment by id (`"e01"`…`"e16"`); `None` if unknown.
 pub fn run_by_id(id: &str, opts: &ExpOptions) -> Option<Vec<Table>> {
     all_experiments()
         .into_iter()
@@ -187,7 +195,7 @@ mod tests {
     #[test]
     fn registry_is_complete_and_ordered() {
         let exps = all_experiments();
-        assert_eq!(exps.len(), 15);
+        assert_eq!(exps.len(), 16);
         for (i, e) in exps.iter().enumerate() {
             assert_eq!(e.id, format!("e{:02}", i + 1));
             assert!(!e.title.is_empty());

@@ -9,7 +9,11 @@ pub struct ExpOptions {
     pub quick: bool,
     /// Master seed; every number in a report is a pure function of it.
     pub seed: u64,
-    /// Worker threads (0 = auto).
+    /// Worker threads (0 = auto). One `--threads` flag governs **both**
+    /// parallelism layers — trials across workers
+    /// ([`ExpOptions::threads_for`]) and shards within a trial
+    /// ([`ExpOptions::intra_threads`]) — instead of each call site
+    /// picking its own count.
     pub threads: usize,
 }
 
@@ -47,6 +51,18 @@ impl ExpOptions {
             default_threads(trials)
         } else {
             self.threads.min(trials.max(1))
+        }
+    }
+
+    /// Worker threads for **intra-trial** sharding (the staged engine's
+    /// plan/apply shards): the explicit `--threads` value, or available
+    /// parallelism when `0`/unset. Unlike [`ExpOptions::threads_for`]
+    /// there is no trial-count cap — one giant trial wants every core.
+    pub fn intra_threads(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+        } else {
+            self.threads
         }
     }
 

@@ -103,6 +103,7 @@ pub use ids::{AgentId, ColorId};
 pub use metrics::Metrics;
 pub use network::{Network, NetworkConfig};
 pub use oplog::{OpEvent, OpKind, OpLog};
+pub use rng::RngDiscipline;
 pub use size::{MsgSize, SizeEnv};
 pub use topology::Topology;
 
@@ -113,6 +114,7 @@ pub mod prelude {
     pub use crate::fault::FaultPlan;
     pub use crate::ids::{AgentId, ColorId};
     pub use crate::network::{Network, NetworkConfig};
+    pub use crate::rng::RngDiscipline;
     pub use crate::rng::DetRng;
     pub use crate::size::{MsgSize, SizeEnv};
     pub use crate::topology::Topology;

@@ -32,8 +32,9 @@ pub struct Tally {
 }
 
 impl Tally {
+    /// Count one message of `bits` bits into this tally.
     #[inline]
-    fn record(&mut self, bits: u64) {
+    pub fn record(&mut self, bits: u64) {
         self.messages += 1;
         self.bits += bits;
         if bits > self.max_message_bits {
@@ -129,6 +130,22 @@ impl Metrics {
     #[inline]
     pub fn record_undelivered(&mut self) {
         self.undelivered += 1;
+    }
+
+    /// Fold a pre-aggregated message [`Tally`] (plus an undelivered
+    /// count) into the globals and the current phase — the staged
+    /// engine's per-shard reply meters land here, merged in shard order.
+    /// Exactly equivalent to calling [`Metrics::record_message`] once per
+    /// message (sums and maxes commute), so sharded and sequential
+    /// metering agree bit for bit.
+    pub fn record_bulk(&mut self, tally: &Tally, undelivered: u64) {
+        self.messages_sent += tally.messages;
+        self.bits_sent += tally.bits;
+        self.max_message_bits = self.max_message_bits.max(tally.max_message_bits);
+        self.undelivered += undelivered;
+        if let Some(p) = self.current_phase {
+            self.phases[p].1.merge(tally);
+        }
     }
 
     /// Record the number of active operations of a completed round.

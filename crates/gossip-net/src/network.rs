@@ -68,6 +68,13 @@
 //! wakes and performs one operation, which completes (including the pull
 //! reply) before the next tick. Async metrics count **rounds ==
 //! activations == ticks**, independent of fault placement.
+//!
+//! [`Network::step_staged`] (module [`staged`]) executes the same round
+//! as an explicit plan → exchange → apply pipeline whose plan and apply
+//! stages shard across worker threads — the intra-trial parallelism
+//! axis. Under the default [`RngDiscipline::Sequential`] it replays
+//! this engine bit for bit; see the [`staged`] module docs for the
+//! discipline contract and the sharded-apply metering addendum.
 
 use crate::agent::{Agent, Op, RoundCtx};
 use crate::dynamics::{FaultState, LossSchedule, PartitionCut, ScenarioEvent, ScenarioScript};
@@ -75,9 +82,11 @@ use crate::fault::FaultPlan;
 use crate::ids::AgentId;
 use crate::metrics::Metrics;
 use crate::oplog::{OpKind, OpLog};
-use crate::rng::DetRng;
+use crate::rng::{DetRng, RngDiscipline};
 use crate::size::{MsgSize, SizeEnv};
 use crate::topology::Topology;
+
+pub mod staged;
 
 /// Engine options.
 #[derive(Debug, Clone)]
@@ -105,6 +114,17 @@ pub struct NetworkConfig {
     /// Timed adversity events (churn, partitions). The empty script is
     /// the static case and takes the historical code path bit for bit.
     pub scenario: ScenarioScript,
+    /// Which loss-draw discipline the run uses (see
+    /// [`RngDiscipline`]). Only consulted by the staged engine
+    /// ([`staged`]); the monolithic [`Network::step`] is always
+    /// `Sequential`. The default, `Sequential`, keeps every historical
+    /// digest.
+    pub rng_discipline: RngDiscipline,
+    /// Worker threads for the staged engine's plan/apply shards
+    /// (`0` = available parallelism). Has **no effect on results** —
+    /// staged output is bit-identical for every thread count — and no
+    /// effect at all on the monolithic [`Network::step`] path.
+    pub threads: usize,
 }
 
 impl Default for NetworkConfig {
@@ -116,6 +136,8 @@ impl Default for NetworkConfig {
             loss_seed: 0,
             loss_schedule: None,
             scenario: ScenarioScript::new(),
+            rng_discipline: RngDiscipline::Sequential,
+            threads: 1,
         }
     }
 }
@@ -160,6 +182,9 @@ pub struct Network<M, A = Box<dyn Agent<M>>> {
     // Workhorse buffers reused across rounds (perf-book: reuse collections).
     ops: Vec<(AgentId, Op<M>)>,
     replies: Vec<(AgentId, AgentId, Option<M>)>,
+    // Staged-engine scratch (CSR ledgers, reply slots, shard buffers) —
+    // empty and allocation-free until `step_staged` is first called.
+    staged: staged::StagedScratch<M>,
 }
 
 impl<M: MsgSize, A: Agent<M>> Network<M, A> {
@@ -227,6 +252,7 @@ impl<M: MsgSize, A: Agent<M>> Network<M, A> {
             round: 0,
             ops: Vec::with_capacity(n),
             replies: Vec::with_capacity(n),
+            staged: staged::StagedScratch::new(),
         }
     }
 
@@ -289,6 +315,7 @@ impl<M: MsgSize, A: Agent<M>> Network<M, A> {
         self.round = 0;
         self.ops.clear();
         self.replies.clear();
+        self.staged.clear();
     }
 
     /// Open round (or async tick) `round`: apply every scenario event

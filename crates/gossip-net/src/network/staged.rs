@@ -1,0 +1,937 @@
+//! The staged round engine: plan → exchange → apply, sharded across
+//! worker threads **inside** one trial.
+//!
+//! [`Network::step`] walks agents one by one; trial-level parallelism
+//! (`experiments::parallel`) therefore tops out where one trial stops
+//! fitting the experiment — the million-agent regime has no per-trial
+//! parallelism to offer it. This module refactors the round into three
+//! explicit stages:
+//!
+//! 1. **plan** — every active agent is asked for its at-most-one [`Op`],
+//!    *in parallel over contiguous agent shards*; per-shard intent
+//!    buffers are concatenated in shard order, which reproduces exactly
+//!    the id-order op list the monolithic engine builds (an agent's
+//!    `act` touches only its own state and private RNG, so acts
+//!    commute).
+//! 2. **exchange** — sequential: the flat op list is turned into a
+//!    CSR-style *delivery ledger* grouped by receiver (one ledger for
+//!    pushes by receiver, one for pull queries by pullee, one flat list
+//!    of pulls by puller), and every dynamics mask — topology edge,
+//!    partition cut, crash/fault state, loss draw — is applied once per
+//!    message, at send time, exactly as the metering contract demands.
+//! 3. **apply** — deliveries run *in parallel over receiver shards*:
+//!    first every pull query reaches its pullee's `on_pull`
+//!    ([`RngDiscipline::PerAgent`] only — see below), then every
+//!    delivered push reaches `on_push` and every reply reaches its
+//!    puller's `on_reply`. A receiver's deliveries stay in ledger
+//!    (= sender-id) order, and handlers mutate only their own agent, so
+//!    the interleaving across shards is unobservable.
+//!
+//! ## Determinism: bit-identical for any thread count
+//!
+//! Nothing any stage computes depends on the shard count: plan buffers
+//! merge in shard order (= id order), the ledger is built sequentially,
+//! per-shard reply meters are exact [`Tally`]s merged in shard order
+//! (sums and maxes commute), the op log is written sequentially after
+//! the pull barrier, and every loss draw comes from a stream whose
+//! identity is independent of sharding. `threads` is a pure throughput
+//! knob — pinned by the thread-invariance suite (`tests/sharded_engine.rs`)
+//! and the sharded golden rows.
+//!
+//! ## The two RNG disciplines
+//!
+//! * [`RngDiscipline::Sequential`] (default): the exchange stage replays
+//!   the monolithic engine literally — pull queries are answered inline,
+//!   in puller order, drawing the query/reply loss coins from the single
+//!   sequential loss stream in the legacy interleaving. Plan and apply
+//!   still shard, and the result — metrics, op log, every agent's state —
+//!   is **bit-identical to [`Network::step`]** (pinned by
+//!   `staged_properties.rs`). The cost is that `on_pull` work stays
+//!   serial, which caps speedup in the pull-heavy Commitment/Find-Min
+//!   phases.
+//! * [`RngDiscipline::PerAgent`]: every loss draw for a message agent
+//!   `v` receives in round `r` comes from the stream
+//!   [`loss_streams::per_agent`]`(loss_seed, FAMILY, r, v)` — families
+//!   [`loss_streams::QUERY`], [`loss_streams::PUSH`],
+//!   [`loss_streams::REPLY`] keep the three legs independent — drawn in
+//!   ledger order. Draws no longer thread through a shared stream, so
+//!   the *reply* coin can be pre-drawn at exchange time (one draw per
+//!   pull, consumed whether or not the pullee answers) and `on_pull`
+//!   moves into the parallel apply stage. This discipline produces
+//!   different (equally valid) loss patterns than `Sequential`, so it
+//!   has its own golden rows; with `p = 0` it differs from `Sequential`
+//!   only in handler interleaving, which is unobservable.
+//!
+//! ## Metering contract addendum (sharded apply)
+//!
+//! The send-time metering contract of [`crate::network`] is unchanged:
+//! pushes and pull queries are metered sequentially in the exchange
+//! stage, in op order, before any mask. Pull replies are metered where
+//! they are *produced* — inside the parallel pull-apply shards — into
+//! per-shard [`Tally`]s that are merged into [`Metrics`] in shard order
+//! ([`Metrics::record_bulk`]); since tallies are sums and maxes, the
+//! merged meters equal the sequential ones exactly. A produced reply
+//! whose pre-drawn transit coin came up "lost" is metered and counted
+//! undelivered, like every other lost message.
+
+use super::*;
+use crate::metrics::Tally;
+use crate::rng::loss_streams;
+
+/// Reusable scratch for the staged engine: the delivery ledgers, reply
+/// slots, and per-shard plan buffers. All buffers are retained across
+/// rounds (and across [`Network::reset_into`] trials, cleared) — the
+/// steady-state staged round allocates only when a high-water mark
+/// grows.
+#[derive(Debug)]
+pub struct StagedScratch<M> {
+    /// Per-shard plan output, concatenated into `Network::ops` in shard
+    /// order after the plan barrier.
+    plan_bufs: Vec<Vec<(AgentId, Op<M>)>>,
+    /// Counting-sort scratch (`n + 1` counters).
+    counts: Vec<u32>,
+    /// Push ledger offsets by receiver (`n + 1`).
+    push_off: Vec<u32>,
+    /// Push ledger entries, grouped by receiver, op order within a
+    /// receiver.
+    push_entries: Vec<PushEntry>,
+    /// Query ledger offsets by pullee (`n + 1`; `PerAgent` only).
+    query_off: Vec<u32>,
+    /// Query ledger entries, grouped by pullee (`PerAgent` only).
+    query_entries: Vec<QueryEntry>,
+    /// Scatter target for the push counting sort (swapped with
+    /// `push_entries` after grouping; retained across rounds).
+    push_scratch: Vec<PushEntry>,
+    /// All pulls of the round, in op (= puller-id) order.
+    pulls: Vec<PullRec>,
+    /// Reply slots aligned with `query_entries`, written by the
+    /// pull-apply shards (`PerAgent` only).
+    reply_out: Vec<Option<M>>,
+    /// Replies to deliver, aligned with `pulls`.
+    reply_inbox: Vec<Option<M>>,
+}
+
+/// One push delivery: `from` pushed op `op`; `delivered` is the
+/// exchange-stage verdict of every mask (edge, partition, fault, loss).
+#[derive(Debug, Clone, Copy)]
+struct PushEntry {
+    from: AgentId,
+    op: u32,
+    delivered: bool,
+}
+
+/// One pull-query delivery to a pullee (`PerAgent` only): `delivered`
+/// gates `on_pull`; `reply_lost` is the pre-drawn transit coin of the
+/// reply leg.
+#[derive(Debug, Clone, Copy)]
+struct QueryEntry {
+    puller: AgentId,
+    op: u32,
+    delivered: bool,
+    reply_lost: bool,
+}
+
+/// One pull, in op order: `qpos` is the index of its query entry in the
+/// query ledger (`u32::MAX` under `Sequential`, which answers inline).
+#[derive(Debug, Clone, Copy)]
+struct PullRec {
+    puller: AgentId,
+    pullee: AgentId,
+    qpos: u32,
+}
+
+impl<M> StagedScratch<M> {
+    /// Empty scratch; every buffer allocates lazily on first staged
+    /// round.
+    pub fn new() -> Self {
+        StagedScratch {
+            plan_bufs: Vec::new(),
+            counts: Vec::new(),
+            push_off: Vec::new(),
+            push_entries: Vec::new(),
+            push_scratch: Vec::new(),
+            query_off: Vec::new(),
+            query_entries: Vec::new(),
+            pulls: Vec::new(),
+            reply_out: Vec::new(),
+            reply_inbox: Vec::new(),
+        }
+    }
+
+    /// Forget all round state, retaining allocations (arena reuse).
+    pub fn clear(&mut self) {
+        for buf in &mut self.plan_bufs {
+            buf.clear();
+        }
+        self.counts.clear();
+        self.push_off.clear();
+        self.push_entries.clear();
+        self.push_scratch.clear();
+        self.query_off.clear();
+        self.query_entries.clear();
+        self.pulls.clear();
+        self.reply_out.clear();
+        self.reply_inbox.clear();
+    }
+}
+
+impl<M> Default for StagedScratch<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M: MsgSize + Send + Sync, A: Agent<M> + Send> Network<M, A> {
+    /// Worker threads the staged stages shard over: the configured
+    /// count, `0` meaning available parallelism, capped by `n`.
+    fn effective_threads(&self) -> usize {
+        let t = if self.config.threads == 0 {
+            std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+        } else {
+            self.config.threads
+        };
+        t.clamp(1, self.agents.len().max(1))
+    }
+
+    /// Execute one staged round (see the module docs). Output is
+    /// bit-identical for every `NetworkConfig::threads` value; under
+    /// [`RngDiscipline::Sequential`] it is additionally bit-identical to
+    /// the monolithic [`Network::step`].
+    pub fn step_staged(&mut self) {
+        let round = self.round;
+        self.begin_round(round);
+        let threads = self.effective_threads();
+        self.plan(round, threads);
+        self.metrics.record_round(self.ops.len() as u64);
+        match self.config.rng_discipline {
+            RngDiscipline::Sequential => self.exchange_sequential(round),
+            RngDiscipline::PerAgent => {
+                self.exchange_per_agent(round);
+                self.apply_pulls(round, threads);
+                self.log_round_ops(round);
+            }
+        }
+        self.apply_deliveries(round, threads);
+        self.round += 1;
+    }
+
+    /// Run `rounds` staged rounds (without finalizing).
+    pub fn run_staged(&mut self, rounds: usize) {
+        for _ in 0..rounds {
+            self.step_staged();
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Stage 1: plan
+    // ------------------------------------------------------------------
+
+    /// Collect every active agent's op into `self.ops`, sharded. The
+    /// per-shard buffers concatenate in shard order, i.e. id order —
+    /// exactly the monolithic act loop's output.
+    fn plan(&mut self, round: usize, threads: usize) {
+        self.ops.clear();
+        let n = self.agents.len();
+        let topology = &self.topology;
+        let fault_state = &self.fault_state;
+        if threads <= 1 {
+            let ctx = RoundCtx { round, topology };
+            for (id, agent) in self.agents.iter_mut().enumerate() {
+                if fault_state.is_down(id as AgentId) {
+                    continue; // quiescent: never acts
+                }
+                if let Some(op) = agent.act(&ctx) {
+                    self.ops.push((id as AgentId, op));
+                }
+            }
+            return;
+        }
+        let chunk = n.div_ceil(threads);
+        let bufs = &mut self.staged.plan_bufs;
+        if bufs.len() < threads {
+            bufs.resize_with(threads, Vec::new);
+        }
+        std::thread::scope(|scope| {
+            let mut rest: &mut [A] = &mut self.agents;
+            let mut base = 0usize;
+            for buf in bufs[..threads].iter_mut() {
+                let take = chunk.min(rest.len());
+                if take == 0 {
+                    break;
+                }
+                let (head, tail) = rest.split_at_mut(take);
+                rest = tail;
+                let lo = base;
+                base += take;
+                scope.spawn(move || {
+                    buf.clear();
+                    let ctx = RoundCtx { round, topology };
+                    for (off, agent) in head.iter_mut().enumerate() {
+                        let id = (lo + off) as AgentId;
+                        if fault_state.is_down(id) {
+                            continue;
+                        }
+                        if let Some(op) = agent.act(&ctx) {
+                            buf.push((id, op));
+                        }
+                    }
+                });
+            }
+        });
+        for buf in self.staged.plan_bufs[..threads].iter_mut() {
+            self.ops.append(buf);
+        }
+        debug_assert!(
+            self.ops.windows(2).all(|w| w[0].0 < w[1].0),
+            "plan merge must produce strictly id-ordered ops"
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Stage 2: exchange
+    // ------------------------------------------------------------------
+
+    /// Sequential-discipline exchange: a literal replay of the
+    /// monolithic engine's stages 2–3. Pulls are answered inline via
+    /// [`Network::answer_pull`] (same metering, op log, and loss-stream
+    /// interleaving, draw for draw); pushes are metered, logged, and
+    /// gated exactly like [`Network::deliver_push`] — only the handler
+    /// invocation is deferred to the apply stage.
+    fn exchange_sequential(&mut self, round: usize) {
+        self.staged.pulls.clear();
+        self.staged.reply_inbox.clear();
+        let ops = std::mem::take(&mut self.ops);
+        for (from, op) in &ops {
+            if let Op::Pull { from: target, query } = op {
+                let reply = self.answer_pull(*from, *target, query, round);
+                self.staged.pulls.push(PullRec {
+                    puller: *from,
+                    pullee: *target,
+                    qpos: u32::MAX,
+                });
+                self.staged.reply_inbox.push(reply);
+            }
+        }
+        // Pushes: metering contract first (send time, before any mask),
+        // then the exact legacy gate — note the short-circuit: the loss
+        // coin is drawn only for reachable, live receivers, precisely as
+        // `deliver_push` does.
+        self.staged.push_entries.clear();
+        for (i, (from, op)) in ops.iter().enumerate() {
+            if let Op::Push { to, msg } = op {
+                self.metrics.record_message(msg.size_bits(&self.env));
+                if self.config.record_ops {
+                    self.oplog.record(round as u32, OpKind::Push, *from, *to);
+                }
+                let delivered = self.reachable(*from, *to)
+                    && !self.fault_state.is_down(*to)
+                    && !self.dropped();
+                if !delivered {
+                    self.metrics.record_undelivered();
+                }
+                self.staged.push_entries.push(PushEntry {
+                    from: *from,
+                    op: i as u32,
+                    delivered,
+                });
+            }
+        }
+        self.ops = ops;
+        self.group_pushes_by_receiver();
+    }
+
+    /// Per-agent-discipline exchange: meter everything in op order,
+    /// build both delivery ledgers, and resolve every mask and loss coin
+    /// from the per-`(seed, round, agent)` streams — no agent code runs
+    /// here, so the whole apply stage can shard.
+    fn exchange_per_agent(&mut self, round: usize) {
+        let n = self.agents.len();
+        let p = self.current_p;
+        let loss_seed = self.config.loss_seed;
+        let meter_queries = self.config.meter_queries;
+
+        // Metering, in op order (send time, before any mask).
+        let ops = std::mem::take(&mut self.ops);
+        for (_, op) in &ops {
+            match op {
+                Op::Pull { query, .. } => {
+                    if meter_queries {
+                        self.metrics.record_message(query.size_bits(&self.env));
+                    }
+                }
+                Op::Push { msg, .. } => {
+                    self.metrics.record_message(msg.size_bits(&self.env));
+                }
+            }
+        }
+
+        // Build the pull list (op order) and the query ledger grouped by
+        // pullee (counting sort; stable, so a pullee's queries stay in
+        // op order).
+        let st = &mut self.staged;
+        st.pulls.clear();
+        st.query_entries.clear();
+        st.push_entries.clear();
+        st.counts.clear();
+        st.counts.resize(n + 1, 0);
+        for (_, op) in &ops {
+            if let Op::Pull { from: target, .. } = op {
+                st.counts[*target as usize + 1] += 1;
+            }
+        }
+        st.query_off.clear();
+        st.query_off.reserve(n + 1);
+        let mut acc = 0u32;
+        for &c in &st.counts {
+            acc += c;
+            st.query_off.push(acc);
+        }
+        let total_queries = acc as usize;
+        st.query_entries.resize(
+            total_queries,
+            QueryEntry { puller: 0, op: 0, delivered: false, reply_lost: false },
+        );
+        // Scatter cursors: reuse `counts` as the per-pullee write cursor.
+        st.counts.copy_from_slice(&st.query_off);
+        for (i, (from, op)) in ops.iter().enumerate() {
+            if let Op::Pull { from: target, .. } = op {
+                let cursor = &mut st.counts[*target as usize];
+                let pos = *cursor;
+                *cursor += 1;
+                st.query_entries[pos as usize] = QueryEntry {
+                    puller: *from,
+                    op: i as u32,
+                    delivered: false,
+                    reply_lost: false,
+                };
+                st.pulls.push(PullRec { puller: *from, pullee: *target, qpos: pos });
+            }
+        }
+
+        // Resolve query masks + loss: one stream per pullee per round,
+        // one draw per inbound query (ledger order), drawn whether or
+        // not a mask already suppresses the delivery — the draws of one
+        // agent's inbox never depend on another agent's traffic.
+        for v in 0..n as AgentId {
+            let lo = st.query_off[v as usize] as usize;
+            let hi = st.query_off[v as usize + 1] as usize;
+            if lo == hi {
+                continue;
+            }
+            let down = self.fault_state.is_down(v);
+            let mut rng = (p > 0.0)
+                .then(|| loss_streams::per_agent(loss_seed, loss_streams::QUERY, round, v));
+            for e in &mut st.query_entries[lo..hi] {
+                let lost = rng.as_mut().map(|r| r.chance(p)).unwrap_or(false);
+                let reachable = self.topology.connected(e.puller, v)
+                    && !matches!(&self.partition, Some(cut) if cut.blocks(e.puller, v));
+                e.delivered = reachable && !down && !lost;
+                if !e.delivered && meter_queries {
+                    self.metrics.record_undelivered();
+                }
+            }
+        }
+
+        // Pre-draw the reply transit coin: one stream per *puller* per
+        // round, one draw per pull, consumed whether or not the pullee
+        // ends up answering (the per-agent discipline's documented
+        // difference from the sequential stream).
+        if p > 0.0 {
+            for pull in &st.pulls {
+                let mut rng =
+                    loss_streams::per_agent(loss_seed, loss_streams::REPLY, round, pull.puller);
+                st.query_entries[pull.qpos as usize].reply_lost = rng.chance(p);
+            }
+        }
+
+        // Push ledger: raw entries in op order, masks and loss per
+        // receiver stream, then group by receiver.
+        for (i, (from, op)) in ops.iter().enumerate() {
+            if let Op::Push { .. } = op {
+                st.push_entries.push(PushEntry { from: *from, op: i as u32, delivered: false });
+            }
+        }
+        self.ops = ops;
+        self.group_pushes_by_receiver();
+        let st = &mut self.staged;
+        for v in 0..n as AgentId {
+            let lo = st.push_off[v as usize] as usize;
+            let hi = st.push_off[v as usize + 1] as usize;
+            if lo == hi {
+                continue;
+            }
+            let down = self.fault_state.is_down(v);
+            let mut rng = (p > 0.0)
+                .then(|| loss_streams::per_agent(loss_seed, loss_streams::PUSH, round, v));
+            for e in &mut st.push_entries[lo..hi] {
+                let lost = rng.as_mut().map(|r| r.chance(p)).unwrap_or(false);
+                let reachable = self.topology.connected(e.from, v)
+                    && !matches!(&self.partition, Some(cut) if cut.blocks(e.from, v));
+                e.delivered = reachable && !down && !lost;
+                if !e.delivered {
+                    self.metrics.record_undelivered();
+                }
+            }
+        }
+    }
+
+    /// Regroup `staged.push_entries` (currently in op order, with the
+    /// receiver recoverable from `ops`) into receiver-grouped CSR form,
+    /// building `push_off`. Stable: a receiver's entries stay in op
+    /// (= sender-id) order, the monolithic engine's delivery order.
+    fn group_pushes_by_receiver(&mut self) {
+        let n = self.agents.len();
+        let st = &mut self.staged;
+        st.counts.clear();
+        st.counts.resize(n + 1, 0);
+        let receiver = |ops: &[(AgentId, Op<M>)], e: &PushEntry| -> usize {
+            match &ops[e.op as usize].1 {
+                Op::Push { to, .. } => *to as usize,
+                Op::Pull { .. } => unreachable!("push ledger entry points at a pull"),
+            }
+        };
+        for e in &st.push_entries {
+            st.counts[receiver(&self.ops, e) + 1] += 1;
+        }
+        st.push_off.clear();
+        st.push_off.reserve(n + 1);
+        let mut acc = 0u32;
+        for &c in &st.counts {
+            acc += c;
+            st.push_off.push(acc);
+        }
+        st.counts.copy_from_slice(&st.push_off);
+        st.push_scratch.clear();
+        st.push_scratch
+            .resize(st.push_entries.len(), PushEntry { from: 0, op: 0, delivered: false });
+        for e in &st.push_entries {
+            let cursor = &mut st.counts[receiver(&self.ops, e)];
+            st.push_scratch[*cursor as usize] = *e;
+            *cursor += 1;
+        }
+        std::mem::swap(&mut st.push_entries, &mut st.push_scratch);
+    }
+
+    // ------------------------------------------------------------------
+    // Stage 3: apply
+    // ------------------------------------------------------------------
+
+    /// `PerAgent` apply, leg one: deliver every gated query to its
+    /// pullee's `on_pull`, sharded over pullees. Produced replies are
+    /// metered into per-shard tallies (merged in shard order), written
+    /// into ledger-aligned slots, then gathered into the per-puller
+    /// inbox.
+    fn apply_pulls(&mut self, round: usize, threads: usize) {
+        let n = self.agents.len();
+        let st = &mut self.staged;
+        st.reply_out.clear();
+        st.reply_out.resize_with(st.query_entries.len(), || None);
+        let topology = &self.topology;
+        let env = &self.env;
+        let ops = &self.ops[..];
+        let entries = &st.query_entries[..];
+        let off = &st.query_off[..];
+        let chunk = n.div_ceil(threads);
+        let mut shard_meters: Vec<(Tally, u64)> = Vec::with_capacity(threads);
+        if threads <= 1 {
+            let meter = apply_pull_chunk(
+                &mut self.agents[..],
+                0,
+                entries,
+                off,
+                &mut st.reply_out[..],
+                ops,
+                round,
+                topology,
+                env,
+            );
+            shard_meters.push(meter);
+        } else {
+            std::thread::scope(|scope| {
+                let mut agents_rest: &mut [A] = &mut self.agents;
+                let mut reply_rest: &mut [Option<M>] = &mut st.reply_out;
+                let mut consumed = off[0] as usize; // == 0
+                let mut lo = 0usize;
+                let mut handles = Vec::with_capacity(threads);
+                while lo < n {
+                    let hi = (lo + chunk).min(n);
+                    let (agents_chunk, ar) = agents_rest.split_at_mut(hi - lo);
+                    agents_rest = ar;
+                    let e_hi = off[hi] as usize;
+                    let (reply_chunk, rr) = reply_rest.split_at_mut(e_hi - consumed);
+                    reply_rest = rr;
+                    consumed = e_hi;
+                    let base = lo;
+                    handles.push(scope.spawn(move || {
+                        apply_pull_chunk(
+                            agents_chunk,
+                            base,
+                            entries,
+                            off,
+                            reply_chunk,
+                            ops,
+                            round,
+                            topology,
+                            env,
+                        )
+                    }));
+                    lo = hi;
+                }
+                for h in handles {
+                    shard_meters.push(h.join().expect("pull-apply shard panicked"));
+                }
+            });
+        }
+        // Merge per-shard reply meters in shard order — exact, so the
+        // totals equal single-threaded metering bit for bit.
+        for (tally, undelivered) in shard_meters {
+            self.metrics.record_bulk(&tally, undelivered);
+        }
+        // Gather replies into the per-puller inbox (pull/op order).
+        let st = &mut self.staged;
+        st.reply_inbox.clear();
+        for pull in &st.pulls {
+            st.reply_inbox.push(st.reply_out[pull.qpos as usize].take());
+        }
+    }
+
+    /// `PerAgent` op-log pass: pull outcomes in op order, then pushes in
+    /// op order — the same per-round shape the monolithic engine writes
+    /// (its stage 2 then stage 3). Runs after the pull barrier, when
+    /// outcomes are known; sequential, so the log is shard-independent.
+    fn log_round_ops(&mut self, round: usize) {
+        if !self.config.record_ops {
+            return;
+        }
+        let st = &self.staged;
+        for (pull, reply) in st.pulls.iter().zip(&st.reply_inbox) {
+            let kind = if reply.is_some() { OpKind::Pull } else { OpKind::PullUnanswered };
+            self.oplog.record(round as u32, kind, pull.puller, pull.pullee);
+        }
+        for (from, op) in &self.ops {
+            if let Op::Push { to, .. } = op {
+                self.oplog.record(round as u32, OpKind::Push, *from, *to);
+            }
+        }
+    }
+
+    /// Apply, final leg (both disciplines): deliver gated pushes to
+    /// `on_push` and gathered replies to `on_reply`, sharded over
+    /// receivers. Pushes of one receiver arrive in ledger (sender-id)
+    /// order; each puller's single reply follows its pushes — handlers
+    /// mutate only their own agent, so this matches the monolithic
+    /// all-pushes-then-all-replies order observationally.
+    fn apply_deliveries(&mut self, round: usize, threads: usize) {
+        let n = self.agents.len();
+        let st = &mut self.staged;
+        let topology = &self.topology;
+        let ops = &self.ops[..];
+        let entries = &st.push_entries[..];
+        let off = &st.push_off[..];
+        let chunk = n.div_ceil(threads);
+        if threads <= 1 {
+            apply_delivery_chunk(
+                &mut self.agents[..],
+                0,
+                entries,
+                off,
+                &st.pulls[..],
+                &mut st.reply_inbox[..],
+                ops,
+                round,
+                topology,
+            );
+        } else {
+            std::thread::scope(|scope| {
+                let mut agents_rest: &mut [A] = &mut self.agents;
+                let mut pulls_rest: &[PullRec] = &st.pulls;
+                let mut inbox_rest: &mut [Option<M>] = &mut st.reply_inbox;
+                let mut lo = 0usize;
+                while lo < n {
+                    let hi = (lo + chunk).min(n);
+                    let (agents_chunk, ar) = agents_rest.split_at_mut(hi - lo);
+                    agents_rest = ar;
+                    let k = pulls_rest.partition_point(|p| (p.puller as usize) < hi);
+                    let (pulls_chunk, pr) = pulls_rest.split_at(k);
+                    pulls_rest = pr;
+                    let (inbox_chunk, ir) = inbox_rest.split_at_mut(k);
+                    inbox_rest = ir;
+                    let base = lo;
+                    scope.spawn(move || {
+                        apply_delivery_chunk(
+                            agents_chunk,
+                            base,
+                            entries,
+                            off,
+                            pulls_chunk,
+                            inbox_chunk,
+                            ops,
+                            round,
+                            topology,
+                        );
+                    });
+                    lo = hi;
+                }
+            });
+        }
+    }
+}
+
+/// Deliver queries to one contiguous pullee shard (`agents` holds ids
+/// `base..base + agents.len()`); returns the shard's reply meter
+/// `(tally of produced replies, undelivered count)`.
+#[allow(clippy::too_many_arguments)]
+fn apply_pull_chunk<M: MsgSize, A: Agent<M>>(
+    agents: &mut [A],
+    base: usize,
+    entries: &[QueryEntry],
+    off: &[u32],
+    reply_out: &mut [Option<M>],
+    ops: &[(AgentId, Op<M>)],
+    round: usize,
+    topology: &Topology,
+    env: &SizeEnv,
+) -> (Tally, u64) {
+    let ctx = RoundCtx { round, topology };
+    let mut tally = Tally::default();
+    let mut undelivered = 0u64;
+    let e_base = off[base] as usize;
+    for (local, agent) in agents.iter_mut().enumerate() {
+        let v = base + local;
+        let lo = off[v] as usize;
+        let hi = off[v + 1] as usize;
+        for pos in lo..hi {
+            let e = &entries[pos];
+            if !e.delivered {
+                continue;
+            }
+            let query = match &ops[e.op as usize].1 {
+                Op::Pull { query, .. } => query,
+                Op::Push { .. } => unreachable!("query ledger entry points at a push"),
+            };
+            let reply = agent.on_pull(e.puller, query, &ctx);
+            if let Some(msg) = reply {
+                // Metering contract: the reply went on the wire at
+                // production, whether or not it survives transit.
+                tally.record(msg.size_bits(env));
+                if e.reply_lost {
+                    undelivered += 1;
+                } else {
+                    reply_out[pos - e_base] = Some(msg);
+                }
+            }
+        }
+    }
+    (tally, undelivered)
+}
+
+/// Deliver pushes and replies to one contiguous receiver shard.
+#[allow(clippy::too_many_arguments)]
+fn apply_delivery_chunk<M: MsgSize, A: Agent<M>>(
+    agents: &mut [A],
+    base: usize,
+    entries: &[PushEntry],
+    off: &[u32],
+    pulls: &[PullRec],
+    inbox: &mut [Option<M>],
+    ops: &[(AgentId, Op<M>)],
+    round: usize,
+    topology: &Topology,
+) {
+    let ctx = RoundCtx { round, topology };
+    for (local, agent) in agents.iter_mut().enumerate() {
+        let v = base + local;
+        for e in &entries[off[v] as usize..off[v + 1] as usize] {
+            if !e.delivered {
+                continue;
+            }
+            let msg = match &ops[e.op as usize].1 {
+                Op::Push { msg, .. } => msg,
+                Op::Pull { .. } => unreachable!("push ledger entry points at a pull"),
+            };
+            agent.on_push(e.from, msg, &ctx);
+        }
+    }
+    for (pull, slot) in pulls.iter().zip(inbox.iter_mut()) {
+        let local = pull.puller as usize - base;
+        agents[local].on_reply(pull.pullee, slot.take(), &ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::Placement;
+
+    #[derive(Clone, Debug, PartialEq)]
+    struct Num(u64);
+    impl MsgSize for Num {
+        fn size_bits(&self, _env: &SizeEnv) -> u64 {
+            8
+        }
+    }
+
+    /// Mixed workload: even agents push to `(id + 1) % n`, odd agents
+    /// pull `(id + 3) % n`; everyone answers pulls with its own id and
+    /// remembers everything it hears (pushes, produced pulls, replies).
+    struct Mixer {
+        id: AgentId,
+        n: usize,
+        heard: Vec<(AgentId, u64)>,
+        answered: u64,
+        replies: Vec<Option<u64>>,
+    }
+    impl Mixer {
+        fn new(id: AgentId, n: usize) -> Self {
+            Mixer { id, n, heard: vec![], answered: 0, replies: vec![] }
+        }
+    }
+    impl Agent<Num> for Mixer {
+        fn act(&mut self, _ctx: &RoundCtx) -> Option<Op<Num>> {
+            if self.id % 2 == 0 {
+                Some(Op::push((self.id + 1) % self.n as AgentId, Num(self.id as u64)))
+            } else {
+                Some(Op::pull((self.id + 3) % self.n as AgentId, Num(0)))
+            }
+        }
+        fn on_pull(&mut self, _from: AgentId, _q: &Num, _ctx: &RoundCtx) -> Option<Num> {
+            self.answered += 1;
+            Some(Num(self.id as u64))
+        }
+        fn on_push(&mut self, from: AgentId, msg: &Num, _ctx: &RoundCtx) {
+            self.heard.push((from, msg.0));
+        }
+        fn on_reply(&mut self, _from: AgentId, reply: Option<Num>, _ctx: &RoundCtx) {
+            self.replies.push(reply.map(|m| m.0));
+        }
+    }
+
+    fn mk_net(n: usize, cfg: NetworkConfig) -> Network<Num, Mixer> {
+        let agents = (0..n).map(|id| Mixer::new(id as AgentId, n)).collect();
+        Network::with_config(
+            Topology::complete(n),
+            SizeEnv::for_n(n),
+            agents,
+            FaultPlan::place(n, n / 5, Placement::HighIds),
+            cfg,
+        )
+    }
+
+    /// Every observable a test can compare: metrics, op log, and each
+    /// agent's full observation history.
+    fn observe(net: &Network<Num, Mixer>) -> (Metrics, Vec<crate::oplog::OpEvent>, Vec<String>) {
+        let agents = net
+            .agents()
+            .iter()
+            .map(|a| format!("{:?}|{}|{:?}", a.heard, a.answered, a.replies))
+            .collect();
+        (net.metrics().clone(), net.oplog().events().to_vec(), agents)
+    }
+
+    #[test]
+    fn staged_sequential_replays_legacy_engine_bit_for_bit() {
+        let cfg = NetworkConfig {
+            record_ops: true,
+            loss_probability: 0.3,
+            loss_seed: 11,
+            ..NetworkConfig::default()
+        };
+        let mut legacy = mk_net(20, cfg.clone());
+        legacy.run(12);
+        let want = observe(&legacy);
+        for threads in [1usize, 2, 4, 7] {
+            let mut net = mk_net(20, NetworkConfig { threads, ..cfg.clone() });
+            net.run_staged(12);
+            assert_eq!(observe(&net), want, "threads={threads} diverged from legacy step()");
+        }
+    }
+
+    #[test]
+    fn per_agent_discipline_is_thread_invariant() {
+        let cfg = NetworkConfig {
+            record_ops: true,
+            loss_probability: 0.25,
+            loss_seed: 7,
+            rng_discipline: RngDiscipline::PerAgent,
+            ..NetworkConfig::default()
+        };
+        let mut one = mk_net(24, NetworkConfig { threads: 1, ..cfg.clone() });
+        one.run_staged(10);
+        let want = observe(&one);
+        for threads in [2usize, 3, 8, 24] {
+            let mut net = mk_net(24, NetworkConfig { threads, ..cfg.clone() });
+            net.run_staged(10);
+            assert_eq!(observe(&net), want, "threads={threads} changed per-agent output");
+        }
+    }
+
+    #[test]
+    fn per_agent_loss_free_matches_sequential_loss_free() {
+        // With p = 0 the disciplines draw nothing: the only difference
+        // is handler interleaving, which must be unobservable.
+        let mut seq = mk_net(16, NetworkConfig::default());
+        seq.run(8);
+        let mut per = mk_net(
+            16,
+            NetworkConfig {
+                rng_discipline: RngDiscipline::PerAgent,
+                threads: 3,
+                ..NetworkConfig::default()
+            },
+        );
+        per.run_staged(8);
+        let (m_seq, _, a_seq) = observe(&seq);
+        let (m_per, _, a_per) = observe(&per);
+        assert_eq!(m_seq, m_per);
+        assert_eq!(a_seq, a_per);
+    }
+
+    #[test]
+    fn per_agent_metering_identity_holds_under_loss() {
+        // messages_sent - undelivered == handler invocations, exactly.
+        let cfg = NetworkConfig {
+            loss_probability: 0.4,
+            loss_seed: 3,
+            rng_discipline: RngDiscipline::PerAgent,
+            threads: 4,
+            ..NetworkConfig::default()
+        };
+        let mut net = mk_net(30, cfg);
+        net.run_staged(20);
+        let m = net.metrics().clone();
+        let delivered_pushes: u64 = net.agents().iter().map(|a| a.heard.len() as u64).sum();
+        let delivered_queries: u64 = net.agents().iter().map(|a| a.answered).sum();
+        let delivered_replies: u64 = net
+            .agents()
+            .iter()
+            .flat_map(|a| &a.replies)
+            .filter(|r| r.is_some())
+            .count() as u64;
+        assert_eq!(
+            m.messages_sent - m.undelivered,
+            delivered_pushes + delivered_queries + delivered_replies,
+            "metering contract: sent - undelivered must equal deliveries"
+        );
+        assert!(m.undelivered > 0, "40% loss must suppress something");
+    }
+
+    #[test]
+    fn staged_respects_scenario_scripts() {
+        // Crash half the network mid-run under the sharded discipline:
+        // crashed agents stop acting and stop hearing, deterministically
+        // across thread counts.
+        let script = ScenarioScript::new().crash(3, (0..8).collect());
+        let cfg = NetworkConfig {
+            scenario: script,
+            rng_discipline: RngDiscipline::PerAgent,
+            ..NetworkConfig::default()
+        };
+        let mut one = mk_net(16, NetworkConfig { threads: 1, ..cfg.clone() });
+        one.run_staged(8);
+        let want = observe(&one);
+        let mut eight = mk_net(16, NetworkConfig { threads: 8, ..cfg.clone() });
+        eight.run_staged(8);
+        assert_eq!(observe(&eight), want);
+        assert!(one.fault_state().is_down(0), "scripted crash must hold");
+    }
+}

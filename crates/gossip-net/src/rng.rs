@@ -41,6 +41,52 @@ pub fn derive_seed(master: u64, stream: u64) -> u64 {
     a ^ b.rotate_left(17)
 }
 
+/// How the engine's loss process consumes randomness (see
+/// [`crate::network::staged`] for the full discipline contract).
+///
+/// * [`RngDiscipline::Sequential`] — the historical discipline: one loss
+///   stream for the whole run, drawn message by message in the engine's
+///   sequential delivery order (dynamic runs re-derive it per round, see
+///   [`crate::dynamics`]). This is the default; every pre-PR-5 digest —
+///   including the static golden corpus — is a `Sequential` run.
+/// * [`RngDiscipline::PerAgent`] — the sharded discipline: every loss
+///   draw comes from a stream keyed on `(loss_seed, round, agent)` (the
+///   *receiving* agent), so the draws of one agent's inbox are
+///   independent of every other agent's traffic and of the thread count.
+///   This is what lets the staged engine run plan and apply in parallel
+///   over agent shards while staying bit-identical for any shard count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RngDiscipline {
+    /// One sequential loss stream, drawn in delivery order (legacy).
+    #[default]
+    Sequential,
+    /// Per-`(seed, round, agent)` loss streams (sharded engine).
+    PerAgent,
+}
+
+/// Stream families of the [`RngDiscipline::PerAgent`] discipline: the
+/// loss draws for the messages agent `v` *receives* in round `r` come
+/// from `DetRng::seeded(derive_seed(loss_seed, FAMILY + r), v)`. Three
+/// disjoint families keep query, push, and reply legs independent, so
+/// each per-agent stream is opened exactly once per round.
+pub mod loss_streams {
+    use super::{derive_seed, DetRng};
+    use crate::ids::AgentId;
+
+    /// Family tag for pull-query deliveries (keyed on the pullee).
+    pub const QUERY: u64 = 0x51AE_0000_0000_0000;
+    /// Family tag for push deliveries (keyed on the receiver).
+    pub const PUSH: u64 = 0x52AE_0000_0000_0000;
+    /// Family tag for pull-reply deliveries (keyed on the puller).
+    pub const REPLY: u64 = 0x53AE_0000_0000_0000;
+
+    /// The per-agent loss stream for `(family, round, agent)`.
+    #[inline]
+    pub fn per_agent(loss_seed: u64, family: u64, round: usize, agent: AgentId) -> DetRng {
+        DetRng::seeded(derive_seed(loss_seed, family + round as u64), agent as u64)
+    }
+}
+
 /// A deterministic, seedable RNG for simulator components.
 ///
 /// Thin wrapper over `SmallRng` so downstream crates depend on one concrete

@@ -243,3 +243,203 @@ fn async_scheduler_is_deterministic_and_bounded() {
     assert_eq!(net.metrics().ticks, 500);
     assert!(net.metrics().max_active_links <= 1, "async: one op per tick");
 }
+
+// ---------------------------------------------------------------------
+// Arena resets across topology shape changes
+// ---------------------------------------------------------------------
+
+/// Fingerprint of everything a recycled arena could leak: metrics, op
+/// log length, per-agent observation counters, and the current round.
+fn chaos_fingerprint(net: &Network<Blob, ChaoticAgent>) -> (String, usize, Vec<(u32, u32, u32, u32)>, usize) {
+    let agents = net
+        .agents()
+        .iter()
+        .map(|a| (a.acts, a.pulls_answered, a.received, a.replies_seen))
+        .collect();
+    (
+        format!("{:?}", net.metrics()),
+        net.oplog().len(),
+        agents,
+        net.round(),
+    )
+}
+
+/// Run a fresh network over `topology` and return its fingerprint.
+fn fresh_run(topology: Topology, seed: u64, rounds: usize) -> (String, usize, Vec<(u32, u32, u32, u32)>, usize) {
+    let n = topology.n();
+    let agents: Vec<ChaoticAgent> = (0..n as AgentId)
+        .map(|id| ChaoticAgent::new(id, seed))
+        .collect();
+    let mut net = Network::with_config(
+        topology,
+        SizeEnv::for_n(n),
+        agents,
+        FaultPlan::none(n),
+        NetworkConfig {
+            record_ops: true,
+            loss_probability: 0.2,
+            loss_seed: seed,
+            ..NetworkConfig::default()
+        },
+    );
+    net.run(rounds);
+    chaos_fingerprint(&net)
+}
+
+/// Re-arm `net` in place over `topology` and return the trial fingerprint.
+fn reset_run(
+    net: &mut Network<Blob, ChaoticAgent>,
+    topology: Topology,
+    seed: u64,
+    rounds: usize,
+) -> (String, usize, Vec<(u32, u32, u32, u32)>, usize) {
+    let n = topology.n();
+    net.reset_into(
+        topology,
+        SizeEnv::for_n(n),
+        FaultPlan::none(n),
+        NetworkConfig {
+            record_ops: true,
+            loss_probability: 0.2,
+            loss_seed: seed,
+            ..NetworkConfig::default()
+        },
+        |agents, _topo| {
+            agents.extend((0..n as AgentId).map(|id| ChaoticAgent::new(id, seed)))
+        },
+    );
+    net.run(rounds);
+    chaos_fingerprint(net)
+}
+
+/// `reset_into` across size and shape changes: a recycled network must
+/// be indistinguishable from a fresh one when the incoming trial grows,
+/// shrinks, or swaps graph family — no stale edges (the old topology's
+/// connectivity must not gate deliveries) and no stale agent or scratch
+/// state may survive the reset.
+#[test]
+fn reset_into_survives_topology_size_and_shape_changes() {
+    let rounds = 12;
+    // A trial sequence that exercises grow, shrink, and family changes:
+    // complete(8) → complete(24) grow → ring(24) family change at equal
+    // size → random_regular(40, 6) grow+family → complete(6) shrink.
+    let trials: Vec<(Topology, u64)> = vec![
+        (Topology::complete(8), 10),
+        (Topology::complete(24), 11),
+        (Topology::ring(24), 12),
+        (Topology::random_regular(40, 6, 99), 13),
+        (Topology::complete(6), 14),
+    ];
+    // Arena: one network driven through every trial in sequence.
+    let first = &trials[0];
+    let agents: Vec<ChaoticAgent> = (0..first.0.n() as AgentId)
+        .map(|id| ChaoticAgent::new(id, first.1))
+        .collect();
+    let mut arena = Network::with_config(
+        first.0.clone(),
+        SizeEnv::for_n(first.0.n()),
+        agents,
+        FaultPlan::none(first.0.n()),
+        NetworkConfig {
+            record_ops: true,
+            loss_probability: 0.2,
+            loss_seed: first.1,
+            ..NetworkConfig::default()
+        },
+    );
+    arena.run(rounds);
+    assert_eq!(
+        chaos_fingerprint(&arena),
+        fresh_run(first.0.clone(), first.1, rounds),
+        "trial 0 (construction) must match a fresh run"
+    );
+    for (i, (topology, seed)) in trials.iter().enumerate().skip(1) {
+        let got = reset_run(&mut arena, topology.clone(), *seed, rounds);
+        let want = fresh_run(topology.clone(), *seed, rounds);
+        assert_eq!(
+            got, want,
+            "trial {i} ({:?} n={}) leaked state through reset_into",
+            std::mem::discriminant(topology),
+            topology.n()
+        );
+    }
+}
+
+/// The same grow/shrink/family sequence through the *staged* engine:
+/// the staged scratch (CSR ledgers, reply slots, plan buffers) is also
+/// recycled by `reset_into` and must never leak across shapes either.
+#[test]
+fn reset_into_recycles_staged_scratch_across_shapes() {
+    use gossip_net::rng::RngDiscipline;
+    let rounds = 10;
+    let run_staged_fresh = |topology: Topology, seed: u64| {
+        let n = topology.n();
+        let agents: Vec<ChaoticAgent> =
+            (0..n as AgentId).map(|id| ChaoticAgent::new(id, seed)).collect();
+        let mut net = Network::with_config(
+            topology,
+            SizeEnv::for_n(n),
+            agents,
+            FaultPlan::none(n),
+            NetworkConfig {
+                record_ops: true,
+                loss_probability: 0.3,
+                loss_seed: seed,
+                rng_discipline: RngDiscipline::PerAgent,
+                threads: 3,
+                ..NetworkConfig::default()
+            },
+        );
+        net.run_staged(rounds);
+        chaos_fingerprint(&net)
+    };
+    let trials: Vec<(Topology, u64)> = vec![
+        (Topology::complete(9), 20),
+        (Topology::ring(30), 21),      // grow + family change
+        (Topology::complete(5), 22),   // shrink
+        (Topology::random_regular(16, 4, 7), 23),
+    ];
+    let first = &trials[0];
+    let agents: Vec<ChaoticAgent> = (0..first.0.n() as AgentId)
+        .map(|id| ChaoticAgent::new(id, first.1))
+        .collect();
+    let mut arena = Network::with_config(
+        first.0.clone(),
+        SizeEnv::for_n(first.0.n()),
+        agents,
+        FaultPlan::none(first.0.n()),
+        NetworkConfig {
+            record_ops: true,
+            loss_probability: 0.3,
+            loss_seed: first.1,
+            rng_discipline: RngDiscipline::PerAgent,
+            threads: 3,
+            ..NetworkConfig::default()
+        },
+    );
+    arena.run_staged(rounds);
+    assert_eq!(chaos_fingerprint(&arena), run_staged_fresh(first.0.clone(), first.1));
+    for (topology, seed) in trials.iter().skip(1) {
+        let n = topology.n();
+        arena.reset_into(
+            topology.clone(),
+            SizeEnv::for_n(n),
+            FaultPlan::none(n),
+            NetworkConfig {
+                record_ops: true,
+                loss_probability: 0.3,
+                loss_seed: *seed,
+                rng_discipline: RngDiscipline::PerAgent,
+                threads: 3,
+                ..NetworkConfig::default()
+            },
+            |agents, _| agents.extend((0..n as AgentId).map(|id| ChaoticAgent::new(id, *seed))),
+        );
+        arena.run_staged(rounds);
+        assert_eq!(
+            chaos_fingerprint(&arena),
+            run_staged_fresh(topology.clone(), *seed),
+            "staged scratch leaked across reset_into (n={n})"
+        );
+    }
+}

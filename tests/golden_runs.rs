@@ -22,64 +22,13 @@
 //! wall-clock is excluded, and the post-dynamics `undelivered` meter is
 //! pinned as its own `GOLDEN` column (see [`report_digest`]).
 
+mod common;
+
+use common::report_digest;
 use gossip_net::fault::Placement;
-use rfc_core::runner::{RunConfig, RunReport, TopologySpec};
+use rfc_core::runner::{RunConfig, TopologySpec};
 use rfc_core::run_protocol;
 use rfc_core::{LossSchedule, PartitionCut, ScenarioScript};
-
-/// FNV-1a 64-bit.
-struct Digest(u64);
-
-impl Digest {
-    fn new() -> Self {
-        Digest(0xcbf2_9ce4_8422_2325)
-    }
-    fn bytes(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.0 ^= b as u64;
-            self.0 = self.0.wrapping_mul(0x1_0000_01b3);
-        }
-    }
-    fn u64(&mut self, v: u64) {
-        self.bytes(&v.to_le_bytes());
-    }
-    fn str(&mut self, s: &str) {
-        self.bytes(s.as_bytes());
-    }
-}
-
-/// Digest every deterministic field of a [`RunReport`] **that existed
-/// before the dynamics subsystem** — keeping this field set frozen is
-/// what lets the static rows below stay the literal pre-dynamics
-/// captures. The one post-dynamics meter, `metrics.undelivered`, is
-/// pinned as its own column in `GOLDEN` instead of being folded into
-/// the digest.
-fn report_digest(r: &RunReport) -> u64 {
-    let mut d = Digest::new();
-    d.str(&format!("{:?}", r.outcome));
-    d.u64(r.rounds as u64);
-    d.str(&format!("{:?}", r.winner));
-    d.str(&format!("{:?}", r.decisions));
-    for &c in &r.initial_colors {
-        d.u64(c as u64);
-    }
-    d.u64(r.n_active as u64);
-    d.str(&format!("{:?}", r.verify_failures));
-    d.u64(r.metrics.messages_sent);
-    d.u64(r.metrics.bits_sent);
-    d.u64(r.metrics.max_message_bits);
-    d.u64(r.metrics.rounds);
-    d.u64(r.metrics.ticks);
-    d.u64(r.metrics.max_active_links);
-    for (name, t) in &r.metrics.phases {
-        d.str(name);
-        d.u64(t.messages);
-        d.u64(t.bits);
-        d.u64(t.max_message_bits);
-    }
-    d.str(&format!("{:?}", r.audit));
-    d.0
-}
 
 /// The corpus matrix: label, config, seed. Labels are stable identifiers;
 /// rows may be appended but never silently changed.
