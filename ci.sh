@@ -31,6 +31,16 @@ echo "==> tier-2: sharded golden rows at RFC_THREADS=1,2,8 (digest must be ident
 # the pinned capture — the staged engine's thread-invariance contract.
 RFC_THREADS=1,2,8 RUST_TEST_THREADS=2 cargo test -q --test sharded_engine
 
+echo "==> tier-2: checkpoint/resume equivalence corpus (static + sharded + equilibrium rows)"
+# Every golden row snapshotted mid-run, restored, and run to completion
+# must be bit-identical (digest, Metrics, op-log) to straight-through;
+# sharded rows repeat at every RFC_THREADS count incl. cross-thread
+# resume. Negative paths (truncated/corrupt/mismatched files) ride along.
+RFC_THREADS=1,2,8 RUST_TEST_THREADS=2 cargo test -q --test checkpoint_resume
+
+echo "==> tier-2: checkpoint/resume property sweep (random topology x adversity x snapshot round)"
+cargo test -q --test checkpoint_prop
+
 echo "==> benches compile"
 cargo build --benches
 
@@ -52,12 +62,54 @@ cargo run --release -q -p experiments --bin rfc-experiments -- e15 --quick >/dev
 echo "==> staged-engine smoke: e16 --quick (intra-trial shard sweep + digest assert)"
 cargo run --release -q -p experiments --bin rfc-experiments -- e16 --quick >/dev/null
 
-echo "==> perf snapshot: e14/e16 --quick -> BENCH_scale.json"
+echo "==> checkpoint/resume smoke: e16 --quick with --checkpoint-every, then --resume-from"
+# Two full CLI invocations: the first writes a checkpoint file per row,
+# the second restores each row from its file and runs it to completion.
+# The digest column (16 hex chars per row) of both JSON outputs must be
+# identical — the end-to-end resume seam, exercised through the binary
+# rather than the library API.
+rm -rf target/ckpt-smoke target/ckpt-json-a target/ckpt-json-b
+cargo run --release -q -p experiments --bin rfc-experiments -- \
+    e16 --quick --checkpoint-every 16 --checkpoint-dir target/ckpt-smoke \
+    --json target/ckpt-json-a >/dev/null
+cargo run --release -q -p experiments --bin rfc-experiments -- \
+    e16 --quick --resume-from target/ckpt-smoke \
+    --json target/ckpt-json-b >/dev/null
+grep -oE '[0-9a-f]{16}' target/ckpt-json-a/e16_0.json > target/ckpt-smoke/digests-a
+grep -oE '[0-9a-f]{16}' target/ckpt-json-b/e16_0.json > target/ckpt-smoke/digests-b
+if ! diff -q target/ckpt-smoke/digests-a target/ckpt-smoke/digests-b >/dev/null; then
+    echo "FAIL: resumed e16 digests differ from checkpointed straight run" >&2
+    diff target/ckpt-smoke/digests-a target/ckpt-smoke/digests-b >&2 || true
+    exit 1
+fi
+echo "    resume smoke OK: $(wc -l < target/ckpt-smoke/digests-a) row digests identical across the seam"
+
+echo "==> perf snapshot: e14/e16 --quick -> fresh JSON (two captures for a best-of-2 gate)"
 cargo run --release -q -p experiments --bin rfc-experiments -- e14 e16 --quick --json target/bench-json >/dev/null
+cargo run --release -q -p experiments --bin rfc-experiments -- e14 e16 --quick --json target/bench-json2 >/dev/null
+
+echo "==> perf gate: self-test (injected 50% slowdown must trip the comparator)"
+cargo run --release -q -p rfc-bench --bin rfc-bench -- selftest BENCH_scale.json
+
+echo "==> perf gate: fresh throughput vs committed BENCH_scale.json (tolerance ${RFC_GATE_TOLERANCE:-0.20})"
+# Gates every rounds/s column: the best of the two fresh captures must
+# stay within tolerance of the committed baseline, and the check runs
+# *before* the baseline is refreshed below. Throughput noise is
+# one-sided (a busy machine reads low, never high), so best-of-2 damps
+# flakes without hiding regressions that show in every sample. Override
+# with RFC_GATE_TOLERANCE=0.35 ./ci.sh on a persistently noisy machine.
+cargo run --release -q -p rfc-bench --bin rfc-bench -- gate BENCH_scale.json \
+    target/bench-json/e14_0.json target/bench-json/e14_1.json target/bench-json/e16_0.json \
+    target/bench-json2/e14_0.json target/bench-json2/e14_1.json target/bench-json2/e16_0.json
+
 # Three JSON lines: the trial-level scale sweep (E14), the enum-vs-dyn
 # dispatch comparison (E14b), and the intra-trial shard sweep (E16) —
-# the perf trajectory tracked across PRs.
-cat target/bench-json/e14_0.json target/bench-json/e14_1.json target/bench-json/e16_0.json > BENCH_scale.json
-echo "    wrote BENCH_scale.json (scale sweep + dispatch + intra-trial shard rows)"
+# the perf trajectory tracked across PRs. The committed BENCH_scale.json
+# is the gate's baseline and is deliberately a *floor* (per-cell minimum
+# over repeated captures), so CI does NOT overwrite it; refresh it on
+# purpose with the line below when the floor genuinely moves:
+#     cp target/BENCH_scale.fresh.json BENCH_scale.json
+cat target/bench-json/e14_0.json target/bench-json/e14_1.json target/bench-json/e16_0.json > target/BENCH_scale.fresh.json
+echo "    wrote target/BENCH_scale.fresh.json (scale sweep + dispatch + intra-trial shard rows)"
 
 echo "CI OK"

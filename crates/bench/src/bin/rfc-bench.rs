@@ -1,0 +1,148 @@
+//! The `rfc-bench` CLI: the CI perf-regression gate.
+//!
+//! ```text
+//! rfc-bench gate <committed.json> <fresh.json>...
+//!     Parse the committed baseline and the freshly measured table
+//!     files (concatenated), compare every throughput column, and exit
+//!     non-zero on a drop beyond tolerance. Tolerance is the
+//!     RFC_GATE_TOLERANCE env var (a fraction, default 0.20).
+//!
+//! rfc-bench selftest <committed.json>
+//!     Prove the gate can fire: re-compare the baseline against a copy
+//!     of itself with every throughput cell halved (must FAIL) and
+//!     against an identical copy (must PASS). Exit non-zero if either
+//!     expectation breaks.
+//! ```
+
+use rfc_bench::gate::{compare, is_gated_column, parse_tables, TableData};
+use std::process::ExitCode;
+
+fn tolerance() -> f64 {
+    match std::env::var("RFC_GATE_TOLERANCE") {
+        Ok(v) => match v.parse::<f64>() {
+            Ok(t) if (0.0..1.0).contains(&t) => t,
+            _ => {
+                eprintln!("rfc-bench: RFC_GATE_TOLERANCE must be a fraction in [0,1), got {v:?}");
+                std::process::exit(2);
+            }
+        },
+        Err(_) => 0.20,
+    }
+}
+
+fn load(path: &str) -> Vec<TableData> {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("rfc-bench: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    parse_tables(&text).unwrap_or_else(|e| {
+        eprintln!("rfc-bench: cannot parse {path}: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn run_gate(committed_path: &str, fresh_paths: &[String]) -> ExitCode {
+    let committed = load(committed_path);
+    let mut fresh = Vec::new();
+    for p in fresh_paths {
+        fresh.extend(load(p));
+    }
+    let tol = tolerance();
+    let report = compare(&committed, &fresh, tol);
+    for note in &report.notes {
+        println!("note: {note}");
+    }
+    for failure in &report.failures {
+        println!("FAIL: {failure}");
+    }
+    if report.pass() {
+        println!(
+            "perf gate OK: {} throughput checks within {:.0}% of {}",
+            report.checks,
+            tol * 100.0,
+            committed_path
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "perf gate FAILED: {} violation(s) against {} (tolerance {:.0}%)",
+            report.failures.len(),
+            committed_path,
+            tol * 100.0
+        );
+        ExitCode::FAILURE
+    }
+}
+
+fn run_selftest(committed_path: &str) -> ExitCode {
+    let committed = load(committed_path);
+    let gated_cells: usize = committed
+        .iter()
+        .map(|t| {
+            let cols = t.columns.iter().filter(|c| is_gated_column(c)).count();
+            cols * t.rows.len()
+        })
+        .sum();
+    if gated_cells == 0 {
+        eprintln!("rfc-bench selftest: {committed_path} has no throughput cells to gate");
+        return ExitCode::FAILURE;
+    }
+    // Injected slowdown: halve every throughput cell. The gate must fire.
+    let slowed: Vec<TableData> = committed
+        .iter()
+        .map(|t| {
+            let mut t = t.clone();
+            let gated: Vec<usize> = t
+                .columns
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| is_gated_column(c))
+                .map(|(i, _)| i)
+                .collect();
+            for row in &mut t.rows {
+                for &c in &gated {
+                    if let Ok(v) = row[c].parse::<f64>() {
+                        row[c] = format!("{}", v * 0.5);
+                    }
+                }
+            }
+            t
+        })
+        .collect();
+    let tol = tolerance();
+    let fired = compare(&committed, &slowed, tol);
+    if fired.pass() {
+        println!("selftest FAILED: a 50% slowdown across {gated_cells} cells did not trip the gate");
+        return ExitCode::FAILURE;
+    }
+    let clean = compare(&committed, &committed, tol);
+    if !clean.pass() {
+        println!("selftest FAILED: the baseline does not pass against itself:");
+        for f in &clean.failures {
+            println!("  {f}");
+        }
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "selftest OK: gate trips on injected 50% slowdown ({} violations over {} checks) and passes identity",
+        fired.failures.len(),
+        clean.checks
+    );
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.split_first() {
+        Some((cmd, rest)) if cmd == "gate" && rest.len() >= 2 => {
+            run_gate(&rest[0], &rest[1..])
+        }
+        Some((cmd, rest)) if cmd == "selftest" && rest.len() == 1 => run_selftest(&rest[0]),
+        _ => {
+            eprintln!(
+                "usage: rfc-bench gate <committed.json> <fresh.json>...\n       rfc-bench selftest <committed.json>"
+            );
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -21,3 +21,12 @@
 //!   `TrialArena`, on bit-identical workloads.
 //!
 //! Run with `cargo bench -p rfc-bench` (or `--bench dispatch` etc.).
+//!
+//! Besides the benches, the crate ships the CI **perf-regression gate**
+//! ([`gate`]): a dependency-free parser for the committed
+//! `BENCH_scale.json` baseline plus a throughput comparator, driven by
+//! the `rfc-bench` binary (`rfc-bench gate <committed> <fresh>...`).
+
+pub mod gate;
+
+pub use gate::{compare, parse_table, parse_tables, GateReport, TableData};

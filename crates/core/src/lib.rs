@@ -52,6 +52,7 @@ pub mod agent_plane;
 pub mod asynchronous;
 pub mod audit;
 pub mod certificate;
+pub mod checkpoint;
 pub mod coalition;
 pub mod election;
 pub mod engine;
@@ -65,6 +66,10 @@ pub mod strategies;
 
 pub use agent_plane::AgentSlot;
 pub use certificate::{CertData, Certificate, VoteRec};
+pub use checkpoint::{
+    checkpoint_network, restore_network, resume_protocol, run_protocol_with_checkpoints,
+    CheckpointError,
+};
 pub use coalition::{new_coalition, select_members, Coalition, CoalitionSelection};
 pub use engine::{ConsensusAgent, HonestAgent, ProtocolCore, Role, VerifyFailure};
 pub use ledger::{ConsistencyError, Declaration, Ledger};

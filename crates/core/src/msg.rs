@@ -129,6 +129,13 @@ impl IntentList {
     pub fn ptr_eq(a: &IntentList, b: &IntentList) -> bool {
         Shared::ptr_eq(&a.0, &b.0)
     }
+
+    /// Stable identity of the shared payload — the interning key
+    /// `rfc_core::checkpoint` uses to preserve sharing (and file
+    /// compactness) across snapshot/restore.
+    pub fn as_ptr(list: &IntentList) -> *const IntentListData {
+        Shared::as_ptr(&list.0)
+    }
 }
 
 impl Deref for IntentList {

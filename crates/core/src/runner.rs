@@ -451,7 +451,9 @@ pub type SlotFactory<'a> =
     dyn FnMut(AgentId, Params, ColorId, DetRng, &Topology) -> AgentSlot + 'a;
 
 /// Everything derived from `(cfg, seed)` that a network build needs.
-fn network_ingredients(
+/// Crate-visible so `crate::checkpoint` can rebuild the immutable
+/// ingredients on restore instead of serializing them.
+pub(crate) fn network_ingredients(
     cfg: &RunConfig,
     seed: u64,
 ) -> (Params, Vec<ColorId>, FaultPlan, Topology, SizeEnv, NetworkConfig) {

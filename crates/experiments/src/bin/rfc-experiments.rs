@@ -9,6 +9,13 @@
 //!     --threads <k>   worker threads (default: all cores)
 //!     --csv <dir>     also write each table as CSV into <dir>
 //!     --json <dir>    also write each table as JSON into <dir>
+//!     --checkpoint-every <k>   snapshot checkpoint-aware runs (E16)
+//!                     every k rounds into --checkpoint-dir
+//!     --checkpoint-dir <dir>   where checkpoints land
+//!                     (default target/checkpoints)
+//!     --resume-from <dir>      resume checkpoint-aware runs from the
+//!                     checkpoints in <dir> — bit-identical to a
+//!                     straight run (tests/checkpoint_resume.rs)
 //! ```
 
 use experiments::{all_experiments, ExpOptions};
@@ -47,6 +54,26 @@ fn main() {
             }
             "--json" => {
                 json_dir = Some(it.next().unwrap_or_else(|| die("--json needs a directory")));
+            }
+            "--checkpoint-every" => {
+                opts.checkpoint_every = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&k| k > 0)
+                    .unwrap_or_else(|| die("--checkpoint-every needs a round count > 0"));
+            }
+            "--checkpoint-dir" => {
+                let dir = it
+                    .next()
+                    .unwrap_or_else(|| die("--checkpoint-dir needs a directory"));
+                // Leaked so ExpOptions stays Copy: one flag, process-lifetime.
+                opts.checkpoint_dir = Some(Box::leak(dir.into_boxed_str()));
+            }
+            "--resume-from" => {
+                let dir = it
+                    .next()
+                    .unwrap_or_else(|| die("--resume-from needs a directory"));
+                opts.resume_from = Some(Box::leak(dir.into_boxed_str()));
             }
             "list" => list_only = true,
             "all" => {
@@ -125,7 +152,7 @@ fn parse_u64(s: &str) -> Option<u64> {
 
 fn usage() {
     eprintln!(
-        "usage: rfc-experiments <list | all | e01..e16...> [--quick] [--seed N] [--threads K] [--csv DIR] [--json DIR]"
+        "usage: rfc-experiments <list | all | e01..e16...> [--quick] [--seed N] [--threads K] [--csv DIR] [--json DIR] [--checkpoint-every K] [--checkpoint-dir DIR] [--resume-from DIR]"
     );
 }
 

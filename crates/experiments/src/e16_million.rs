@@ -30,6 +30,58 @@ use crate::opts::ExpOptions;
 use crate::table::{fmt, Table};
 use rfc_core::runner::{RunConfig, RunReport, TrialArena};
 
+/// Default landing directory for `--checkpoint-every` snapshots.
+const DEFAULT_CHECKPOINT_DIR: &str = "target/checkpoints";
+
+/// Per-row checkpoint file name: one snapshot file per `(n, shards)`
+/// row, overwritten at each cadence point so it always holds the
+/// latest boundary.
+fn checkpoint_file(dir: &str, n: usize, shards: usize) -> String {
+    format!("{dir}/e16_n{n}_s{shards}.rfck")
+}
+
+/// Execute one E16 row honoring the checkpoint options: resume from a
+/// prior snapshot (`--resume-from`), emit snapshots while running
+/// (`--checkpoint-every`), or the plain arena path. Returns the report
+/// and a row marker (`""`, `"ckpt"`, or `"resumed@r"`).
+fn run_row(
+    arena: &mut TrialArena,
+    cfg: &RunConfig,
+    opts: &ExpOptions,
+    n: usize,
+    shards: usize,
+) -> (RunReport, String) {
+    if let Some(dir) = opts.resume_from {
+        let path = checkpoint_file(dir, n, shards);
+        let bytes = std::fs::read(&path)
+            .unwrap_or_else(|e| panic!("E16: cannot read checkpoint {path}: {e}"));
+        let round = rfc_core::checkpoint::peek_header(&bytes)
+            .unwrap_or_else(|e| panic!("E16: bad checkpoint {path}: {e}"))
+            .round;
+        let report = rfc_core::resume_protocol(cfg, &bytes)
+            .unwrap_or_else(|e| panic!("E16: resume from {path} failed: {e}"));
+        return (report, format!("resumed@{round}"));
+    }
+    if opts.checkpoint_every > 0 {
+        let dir = opts.checkpoint_dir.unwrap_or(DEFAULT_CHECKPOINT_DIR);
+        std::fs::create_dir_all(dir)
+            .unwrap_or_else(|e| panic!("E16: checkpoint dir {dir}: {e}"));
+        let path = checkpoint_file(dir, n, shards);
+        let report = rfc_core::run_protocol_with_checkpoints(
+            cfg,
+            opts.seed,
+            opts.checkpoint_every,
+            &mut |_round, bytes| {
+                std::fs::write(&path, bytes)
+                    .unwrap_or_else(|e| panic!("E16: write {path}: {e}"));
+            },
+        )
+        .expect("E16: checkpointed run failed");
+        return (report, "ckpt".into());
+    }
+    (arena.run_protocol(cfg, opts.seed), String::new())
+}
+
 /// Shard counts every sweep visits (plus the `--threads` value, so the
 /// CLI flag drives the engine it asks about).
 const SHARD_SWEEP: [usize; 4] = [1, 2, 4, 8];
@@ -119,6 +171,7 @@ pub fn run_with_sizes(opts: &ExpOptions, sizes: &[usize]) -> Vec<Table> {
         ],
     );
     let mut arena = TrialArena::new();
+    let mut markers: Vec<String> = Vec::new();
     for &n in sizes {
         let cfg_for = |threads: usize| {
             RunConfig::builder(n)
@@ -132,8 +185,11 @@ pub fn run_with_sizes(opts: &ExpOptions, sizes: &[usize]) -> Vec<Table> {
             let cfg = cfg_for(threads);
             let rss_before = peak_rss_mib();
             let started = std::time::Instant::now();
-            let report = arena.run_protocol(&cfg, opts.seed);
+            let (report, marker) = run_row(&mut arena, &cfg, opts, n, threads);
             let secs = started.elapsed().as_secs_f64().max(1e-9);
+            if !marker.is_empty() {
+                markers.push(format!("n{n}/s{threads}: {marker}"));
+            }
             let digest = report_digest(&report);
             // The sweep is itself a bit-identity check: every shard
             // count must reproduce the first row's digest exactly.
@@ -166,6 +222,12 @@ pub fn run_with_sizes(opts: &ExpOptions, sizes: &[usize]) -> Vec<Table> {
     table.note("digest = FNV-1a over the deterministic RunReport fields; equal digests across the shard column are asserted, not just printed");
     table.note("PerAgent discipline: loss draws keyed (seed, round, agent) — this table is loss-free, so digests also equal the sequential engine's");
     table.note("rounds/s and ΔRSS are wall-clock measurements of this machine; shard counts beyond the core count still pin determinism");
+    if !markers.is_empty() {
+        // Resumed rows re-enter the in-run digest assertion above: a
+        // resumed row reproducing the straight rows' digest is the
+        // machine-checked bit-identity witness for the CLI path.
+        table.note(format!("checkpointing: {}", markers.join(", ")));
+    }
     vec![table]
 }
 
@@ -194,6 +256,37 @@ mod tests {
         for row in &t.rows {
             assert!(row[3].starts_with("Consensus"), "expected consensus: {row:?}");
         }
+    }
+
+    #[test]
+    fn e16_checkpoint_and_resume_rows_are_bit_identical() {
+        let dir = std::env::temp_dir().join(format!("rfc_e16_ckpt_{}", std::process::id()));
+        let dir_str: &'static str =
+            Box::leak(dir.to_string_lossy().into_owned().into_boxed_str());
+        let straight = run_with_sizes(&ExpOptions::quick(), &[96]);
+        let mut ck = ExpOptions::quick();
+        ck.checkpoint_every = 7;
+        ck.checkpoint_dir = Some(dir_str);
+        let checkpointed = run_with_sizes(&ck, &[96]);
+        let mut rs = ExpOptions::quick();
+        rs.resume_from = Some(dir_str);
+        let resumed = run_with_sizes(&rs, &[96]);
+        std::fs::remove_dir_all(&dir).ok();
+        // Same rows (by identity columns) and the same digest cell in
+        // all three modes: straight, checkpoint-emitting, resumed.
+        let digests = |tables: &[Table]| -> Vec<(String, String)> {
+            tables[0]
+                .rows
+                .iter()
+                .map(|r| (format!("{}/{}", r[0], r[2]), r[8].clone()))
+                .collect()
+        };
+        let want = digests(&straight);
+        assert!(!want.is_empty());
+        assert_eq!(want, digests(&checkpointed), "checkpoint emission changed a digest");
+        assert_eq!(want, digests(&resumed), "resume changed a digest");
+        let resumed_note = resumed.last().unwrap().notes.last().unwrap();
+        assert!(resumed_note.contains("resumed@"), "{resumed_note}");
     }
 
     #[test]

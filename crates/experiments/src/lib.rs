@@ -70,7 +70,7 @@ pub mod table;
 pub use opts::ExpOptions;
 pub use parallel::{
     default_threads, par_fold_with_scratch, par_map, run_trials, run_trials_fold,
-    run_trials_fold_with_scratch,
+    run_trials_fold_resumable, run_trials_fold_with_scratch, FoldCheckpoint,
 };
 pub use table::Table;
 

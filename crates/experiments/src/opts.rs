@@ -15,6 +15,18 @@ pub struct ExpOptions {
     /// ([`ExpOptions::intra_threads`]) — instead of each call site
     /// picking its own count.
     pub threads: usize,
+    /// Emit a run-state checkpoint every `k` rounds into
+    /// [`ExpOptions::checkpoint_dir`] (0 = off). Honored by the
+    /// checkpoint-aware experiments (E16).
+    pub checkpoint_every: usize,
+    /// Directory receiving emitted checkpoints (`&'static` so the
+    /// options stay `Copy`; the CLI leaks its one flag value).
+    pub checkpoint_dir: Option<&'static str>,
+    /// Directory to resume from: checkpoint-aware experiments look for
+    /// their per-row checkpoint files here and resume instead of
+    /// running from round 0 — bit-identical by the resume-equivalence
+    /// corpus (`tests/checkpoint_resume.rs`).
+    pub resume_from: Option<&'static str>,
 }
 
 impl Default for ExpOptions {
@@ -23,6 +35,9 @@ impl Default for ExpOptions {
             quick: false,
             seed: 0x5EED_2017,
             threads: 0,
+            checkpoint_every: 0,
+            checkpoint_dir: None,
+            resume_from: None,
         }
     }
 }

@@ -111,9 +111,55 @@ where
     P: Fn(&mut A, &mut S, usize) + Sync,
     M: Fn(&mut A, A) + Sync,
 {
+    fold_indexed_from(count, threads, scratch_init, init, produce, merge, None, &|_, _| {})
+}
+
+/// [`fold_indexed`] with a **resume point** and an in-order progress
+/// hook — the substrate of harness-level sweep checkpointing.
+///
+/// `resume = Some((blocks_done, acc))` skips blocks `0..blocks_done` and
+/// seeds the in-order merge with `acc`, which **must** be the
+/// left-to-right merge of exactly those blocks (the value a prior
+/// `on_progress(blocks_done, &acc)` reported). Because the block size is
+/// a pure function of `count` and the merge continues *into* the resumed
+/// accumulator, the final aggregate is bit-identical to the
+/// straight-through fold — float merge order included — for any thread
+/// count on either side of the seam.
+///
+/// `on_progress(blocks_done, &prefix)` fires every time the in-order
+/// merged prefix advances (serial: after every block; parallel: after
+/// each drain of the ordered-merge window, under the merge lock — keep
+/// it cheap or accept claim-gate stalls while it runs). A checkpointing
+/// caller snapshots `(blocks_done, prefix)` there; `blocks_done ·`
+/// [`fold_block_size`]`(count)` is the number of items folded in.
+#[allow(clippy::too_many_arguments)]
+fn fold_indexed_from<S, A, SI, I, P, M>(
+    count: usize,
+    threads: usize,
+    scratch_init: SI,
+    init: I,
+    produce: P,
+    merge: M,
+    resume: Option<(usize, A)>,
+    on_progress: &(dyn Fn(usize, &A) + Sync),
+) -> (A, FoldStats)
+where
+    A: Send,
+    SI: Fn() -> S + Sync,
+    I: Fn() -> A + Sync,
+    P: Fn(&mut A, &mut S, usize) + Sync,
+    M: Fn(&mut A, A) + Sync,
+{
     let threads = threads.max(1).min(count.max(1));
     let block_size = fold_block_size(count);
     let blocks = count.div_ceil(block_size);
+    let (start_block, seed_acc) = match resume {
+        Some((b, acc)) => {
+            assert!(b <= blocks, "resume point beyond the block count");
+            (b, Some(acc))
+        }
+        None => (0, None),
+    };
     let fold_block = |b: usize, scratch: &mut S| {
         let mut acc = init();
         let lo = b * block_size;
@@ -124,27 +170,41 @@ where
         acc
     };
     if count == 0 {
-        return (init(), FoldStats::default());
+        return (seed_acc.unwrap_or_else(&init), FoldStats::default());
+    }
+    if start_block >= blocks {
+        return (
+            seed_acc.expect("a completed resume point carries its accumulator"),
+            FoldStats { blocks, peak_pending: 0 },
+        );
     }
     if threads == 1 {
         // Same block structure as the parallel path, so the result is
         // bit-identical for any thread count.
         let mut scratch = scratch_init();
-        let mut result = fold_block(0, &mut scratch);
-        for b in 1..blocks {
-            merge(&mut result, fold_block(b, &mut scratch));
+        let mut result = seed_acc;
+        for b in start_block..blocks {
+            let acc = fold_block(b, &mut scratch);
+            match &mut result {
+                None => result = Some(acc),
+                Some(r) => merge(r, acc),
+            }
+            on_progress(b + 1, result.as_ref().expect("just seeded"));
         }
-        return (result, FoldStats { blocks, peak_pending: 0 });
+        return (
+            result.expect("at least one block"),
+            FoldStats { blocks, peak_pending: 0 },
+        );
     }
     // Out-of-order completions wait in `pending`; a worker may not claim
     // a new block while the window is full, so peak memory is O(threads)
     // accumulators even if one early block is pathologically slow.
     let window = 2 * threads;
-    let next = AtomicUsize::new(0);
+    let next = AtomicUsize::new(start_block);
     let merger = StdMutex::new(Merger {
-        next_to_merge: 0,
+        next_to_merge: start_block,
         pending: Vec::with_capacity(window),
-        result: None,
+        result: seed_acc,
         peak_pending: 0,
     });
     let not_full = Condvar::new();
@@ -171,6 +231,7 @@ where
                     m.pending.push((b, acc));
                     m.peak_pending = m.peak_pending.max(m.pending.len());
                     // Drain everything now mergeable, in block order.
+                    let before = m.next_to_merge;
                     while let Some(pos) =
                         m.pending.iter().position(|(i, _)| *i == m.next_to_merge)
                     {
@@ -180,6 +241,10 @@ where
                             Some(r) => merge(r, acc),
                         }
                         m.next_to_merge += 1;
+                    }
+                    if m.next_to_merge > before {
+                        let done = m.next_to_merge;
+                        on_progress(done, m.result.as_ref().expect("prefix nonempty"));
                     }
                     drop(m);
                     not_full.notify_all();
@@ -255,6 +320,66 @@ where
         init,
         |acc, scratch, i| fold(acc, scratch, i, derive_seed(master_seed, i as u64)),
         merge,
+    )
+}
+
+/// A resumable sweep position: the left-to-right merge of the first
+/// `blocks_done` fold blocks. `blocks_done · `[`fold_block_size`]`(trials)`
+/// is the index of the first trial **not** folded into `acc` (clamped to
+/// `trials` on the last block).
+///
+/// Produced by the progress hook of [`run_trials_fold_resumable`] and fed
+/// back as its `resume` argument; because the merge continues *into*
+/// `acc` in block order, the resumed sweep's final accumulator is
+/// bit-identical to a straight-through run — float merge order included —
+/// regardless of the thread counts used on either side of the seam.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FoldCheckpoint<A> {
+    /// Number of leading blocks already merged into `acc`.
+    pub blocks_done: usize,
+    /// The in-order merged prefix accumulator.
+    pub acc: A,
+}
+
+/// [`run_trials_fold_with_scratch`] with **mid-sweep checkpointing**:
+/// resume from a prior [`FoldCheckpoint`] and observe every in-order
+/// prefix advance through `on_progress(blocks_done, &prefix)`.
+///
+/// A checkpointing caller clones `(blocks_done, prefix)` inside
+/// `on_progress` (it runs under the merge lock on the parallel path —
+/// keep it cheap) and persists it however it likes; feeding the snapshot
+/// back as `resume` skips the already-folded trials and reproduces the
+/// straight-through result bit for bit. `trials` and `master_seed` must
+/// match between the two runs — block boundaries are a pure function of
+/// `trials`, and per-trial seeds derive from `master_seed`.
+#[allow(clippy::too_many_arguments)]
+pub fn run_trials_fold_resumable<S, A, SI, I, F, M>(
+    trials: usize,
+    threads: usize,
+    master_seed: u64,
+    scratch_init: SI,
+    init: I,
+    fold: F,
+    merge: M,
+    resume: Option<FoldCheckpoint<A>>,
+    on_progress: &(dyn Fn(usize, &A) + Sync),
+) -> (A, FoldStats)
+where
+    A: Send,
+    SI: Fn() -> S + Sync,
+    I: Fn() -> A + Sync,
+    F: Fn(&mut A, &mut S, usize, u64) + Sync,
+    M: Fn(&mut A, A) + Sync,
+{
+    fold_indexed_from(
+        trials,
+        threads,
+        scratch_init,
+        init,
+        |acc, scratch, i| fold(acc, scratch, i, derive_seed(master_seed, i as u64)),
+        merge,
+        resume.map(|c| (c.blocks_done, c.acc)),
+        on_progress,
     )
 }
 
@@ -477,6 +602,86 @@ mod tests {
             assert_eq!(one.1, t.1);
         }
         assert_eq!(one.1, 1000);
+    }
+
+    #[test]
+    fn resumable_fold_is_bit_identical_at_every_checkpoint() {
+        use std::sync::Mutex;
+        // Float accumulator so merge order matters: capture every
+        // in-order prefix a straight run reports, then resume from each
+        // one and demand bit-identity with the straight-through result —
+        // including across thread counts on either side of the seam.
+        let fold = |acc: &mut (f64, u64), _s: &mut (), i: usize, seed: u64| {
+            acc.0 += (seed % 1000) as f64 * 0.001 + acc.0 * 1e-9 + i as f64 * 1e-6;
+            acc.1 += 1;
+        };
+        let merge = |a: &mut (f64, u64), b: (f64, u64)| {
+            a.0 += b.0;
+            a.1 += b.1;
+        };
+        let trials = 777;
+        let snaps: Mutex<Vec<FoldCheckpoint<(f64, u64)>>> = Mutex::new(Vec::new());
+        let (straight, stats) = run_trials_fold_resumable(
+            trials,
+            1,
+            42,
+            || (),
+            || (0.0f64, 0u64),
+            fold,
+            merge,
+            None,
+            &|done, acc| {
+                snaps.lock().unwrap().push(FoldCheckpoint {
+                    blocks_done: done,
+                    acc: *acc,
+                })
+            },
+        );
+        let snaps = snaps.into_inner().unwrap();
+        assert_eq!(snaps.len(), stats.blocks, "serial path reports every block");
+        assert_eq!(snaps.last().unwrap().acc.1, trials as u64);
+        for snap in snaps {
+            for threads in [1, 4] {
+                let (resumed, _) = run_trials_fold_resumable(
+                    trials,
+                    threads,
+                    42,
+                    || (),
+                    || (0.0f64, 0u64),
+                    fold,
+                    merge,
+                    Some(snap.clone()),
+                    &|_, _| {},
+                );
+                assert_eq!(
+                    straight.0.to_bits(),
+                    resumed.0.to_bits(),
+                    "resume at block {} threads {threads}",
+                    snap.blocks_done
+                );
+                assert_eq!(straight.1, resumed.1);
+            }
+        }
+        // A parallel straight run reports monotonically increasing
+        // prefixes and lands on the same result.
+        let last = Mutex::new(0usize);
+        let (par, _) = run_trials_fold_resumable(
+            trials,
+            4,
+            42,
+            || (),
+            || (0.0f64, 0u64),
+            fold,
+            merge,
+            None,
+            &|done, _| {
+                let mut l = last.lock().unwrap();
+                assert!(done > *l, "prefix advances in order");
+                *l = done;
+            },
+        );
+        assert_eq!(*last.lock().unwrap(), stats.blocks);
+        assert_eq!(straight.0.to_bits(), par.0.to_bits());
     }
 
     #[test]

@@ -16,11 +16,13 @@ fn experiment_output_is_thread_count_invariant() {
         quick: true,
         seed: 0xD0D0,
         threads: 1,
+        ..Default::default()
     };
     let multi = ExpOptions {
         quick: true,
         seed: 0xD0D0,
         threads: 4,
+        ..Default::default()
     };
     let a = run_by_id("e01", &single).unwrap();
     let b = run_by_id("e01", &multi).unwrap();
@@ -38,6 +40,7 @@ fn fold_experiments_are_bit_identical_for_1_2_8_threads() {
                 quick: true,
                 seed: 0xF01D,
                 threads,
+                ..Default::default()
             };
             render_all(&run_by_id(id, &opts).unwrap())
         };
@@ -58,11 +61,13 @@ fn experiment_output_depends_on_seed() {
         quick: true,
         seed: 1,
         threads: 2,
+        ..Default::default()
     };
     let s2 = ExpOptions {
         quick: true,
         seed: 2,
         threads: 2,
+        ..Default::default()
     };
     // E4's observed shares are seed-dependent even when the verdicts
     // agree; the rendered tables must differ somewhere.
@@ -77,6 +82,7 @@ fn csv_matches_table_dimensions() {
         quick: true,
         seed: 9,
         threads: 2,
+        ..Default::default()
     };
     for id in ["e05", "e11"] {
         for table in run_by_id(id, &opts).unwrap() {
@@ -99,6 +105,7 @@ fn rerunning_the_same_experiment_is_idempotent() {
         quick: true,
         seed: 0xABC,
         threads: 3,
+        ..Default::default()
     };
     let a = run_by_id("e10", &opts).unwrap();
     let b = run_by_id("e10", &opts).unwrap();

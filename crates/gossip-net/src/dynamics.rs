@@ -158,6 +158,12 @@ impl PartitionCut {
         self.sides[u as usize]
     }
 
+    /// The full per-agent side assignment (checkpoint support — the
+    /// inverse of [`PartitionCut::from_sides`]).
+    pub fn sides(&self) -> &[u8] {
+        &self.sides
+    }
+
     /// Does the overlay block the edge `{u, v}`?
     #[inline]
     pub fn blocks(&self, u: AgentId, v: AgentId) -> bool {
@@ -349,6 +355,31 @@ impl FaultState {
         self.n_down = plan.n_faulty();
     }
 
+    /// Rebuild a mid-run state from the plan plus the live `down` flags
+    /// captured by a checkpoint (checkpoint support). The permanent
+    /// layer always comes from the plan — it is immutable, so it is
+    /// derived, never serialized. Every plan fault must still be down in
+    /// `down` (plan faults never recover).
+    pub fn restore(plan: &FaultPlan, down: Vec<bool>) -> Self {
+        assert_eq!(down.len(), plan.n(), "down-flag count must match plan");
+        assert!(
+            plan.flags().iter().zip(&down).all(|(&p, &d)| !p || d),
+            "a plan-permanent fault cannot be up in a restored state"
+        );
+        let n_down = down.iter().filter(|&&d| d).count();
+        FaultState {
+            permanent: plan.flags().to_vec(),
+            down,
+            n_down,
+        }
+    }
+
+    /// The live per-agent down flags (checkpoint support — the mutable
+    /// half of the state; the permanent half is the plan's).
+    pub fn down_flags(&self) -> &[bool] {
+        &self.down
+    }
+
     /// Is agent `u` down (plan-faulty or currently crashed)?
     #[inline]
     pub fn is_down(&self, u: AgentId) -> bool {
@@ -450,6 +481,45 @@ mod tests {
         assert!(!b.is_constant());
         assert_eq!(b.p_at(8), 0.9);
         assert_eq!(b.p_at(9), 0.2);
+    }
+
+    #[test]
+    fn overlapping_bursts_compose_later_wins() {
+        // Two bursts spelled as one piecewise script: [10, 20) at 0.9
+        // and [15, 25) at 0.8. In the overlap the later-round step wins
+        // (piecewise semantics), and the tail returns to base.
+        let s = LossSchedule::piecewise(vec![
+            (0, 0.05),
+            (10, 0.9),
+            (20, 0.05), // end of burst one…
+            (15, 0.8),  // …but burst two re-raises inside it
+            (25, 0.05),
+        ]);
+        assert_eq!(s.p_at(9), 0.05);
+        assert_eq!(s.p_at(10), 0.9);
+        assert_eq!(s.p_at(14), 0.9);
+        assert_eq!(s.p_at(15), 0.8);
+        assert_eq!(s.p_at(20), 0.05);
+        assert_eq!(s.p_at(24), 0.05);
+        assert_eq!(s.p_at(25), 0.05);
+        assert_eq!(s.max_p(), 0.9);
+        // Same-round duplicate steps from two bursts: the later list
+        // entry wins and the schedule stays normalized (no dup rounds).
+        let dup = LossSchedule::piecewise(vec![(0, 0.1), (8, 0.9), (8, 0.7)]);
+        assert_eq!(dup.p_at(8), 0.7);
+        assert!(dup.steps().windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn adjacent_equal_steps_merge_to_one_piece() {
+        // A burst whose raised level equals base disappears entirely —
+        // the normalized form is constant, so `max_p` (which gates the
+        // loss-RNG's existence, and with it the checkpoint's RNG slot)
+        // cannot be inflated by a no-op burst.
+        let s = LossSchedule::burst(0.3, 0.3, 5, 9);
+        assert!(s.is_constant());
+        assert_eq!(s.steps().len(), 1);
+        assert_eq!(s.max_p(), 0.3);
     }
 
     #[test]

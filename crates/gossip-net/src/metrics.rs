@@ -112,6 +112,12 @@ impl Metrics {
         }
     }
 
+    /// Name of the phase currently accruing, if any (checkpoint support:
+    /// re-entering this name after restore reproduces the exact state).
+    pub fn current_phase_name(&self) -> Option<&str> {
+        self.current_phase.map(|i| self.phases[i].0.as_str())
+    }
+
     /// Record one wire message of `bits` bits.
     #[inline]
     pub fn record_message(&mut self, bits: u64) {

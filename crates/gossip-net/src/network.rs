@@ -150,6 +150,35 @@ impl Default for NetworkConfig {
 /// pre-dynamics corpus.
 const LOSS_ROUND_STREAM_BASE: u64 = 0x1055_0000_0000;
 
+/// The mutable engine-side state of a run at a **round boundary** —
+/// everything [`Network`] owns that a checkpoint must carry beyond what
+/// is derivable from `(config, seed)`. Immutable ingredients (topology,
+/// size env, fault *plan*, the scenario script and loss schedule inside
+/// [`NetworkConfig`]) are rebuilt by the restorer, never captured; the
+/// round's `current_p` and the `dynamic` flag are recomputed by the next
+/// `begin_round`, which sets them unconditionally.
+///
+/// `Metrics` and the op log travel alongside (they are plain `Clone`
+/// data with public mutators) — see [`Network::engine_state`] /
+/// [`Network::restore_engine_state`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineState {
+    /// Rounds executed so far (the next round to run).
+    pub round: usize,
+    /// Cursor into the scenario timeline: events `< next_event` have
+    /// been applied.
+    pub next_event: usize,
+    /// Live per-agent down flags (plan faults ∪ scripted crashes).
+    pub down: Vec<bool>,
+    /// Installed partition overlay, as its per-agent side assignment.
+    pub partition_sides: Option<Vec<u8>>,
+    /// Raw xoshiro256++ state of the sequential loss stream, if the run
+    /// has one. Dynamic runs re-seed this stream every `begin_round`, so
+    /// for them the captured words are dead weight kept only for
+    /// uniformity; for static lossy runs they are load-bearing.
+    pub loss_rng: Option<[u64; 4]>,
+}
+
 /// A network of agents driven in synchronous GOSSIP rounds.
 ///
 /// `M` is the protocol's message type (`MsgSize` for wire metering;
@@ -674,6 +703,67 @@ impl<M: MsgSize, A: Agent<M>> Network<M, A> {
     /// Consume the network, returning the agents for inspection.
     pub fn into_agents(self) -> Vec<A> {
         self.agents
+    }
+
+    /// Capture the mutable engine state at the current round boundary
+    /// (checkpoint support). At a boundary the op/reply buffers and the
+    /// staged scratch hold only dead last-round data (the monolithic
+    /// path drains them at the end of `step`, the staged path clears
+    /// them at the start of the next), so none of them are captured.
+    pub fn engine_state(&self) -> EngineState {
+        EngineState {
+            round: self.round,
+            next_event: self.next_event,
+            down: self.fault_state.down_flags().to_vec(),
+            partition_sides: self.partition.as_ref().map(|c| c.sides().to_vec()),
+            loss_rng: self.loss_rng.as_ref().map(|r| r.state()),
+        }
+    }
+
+    /// Re-install a captured [`EngineState`] (plus the checkpointed
+    /// metrics and op log) into a freshly built network — the inverse of
+    /// [`Network::engine_state`]. The network must have been constructed
+    /// with the *same* config and ingredients the state was captured
+    /// under; this only swaps the mutable layer, it cannot retarget a
+    /// run. The restored `Metrics` continues exact counts — the
+    /// metering contract extends across the checkpoint seam.
+    pub fn restore_engine_state(
+        &mut self,
+        state: EngineState,
+        metrics: Metrics,
+        oplog: OpLog,
+    ) {
+        assert_eq!(
+            state.down.len(),
+            self.agents.len(),
+            "restored down-flag count must match agent count"
+        );
+        assert!(
+            state.next_event <= self.config.scenario.events().len(),
+            "restored scenario cursor out of range"
+        );
+        if let Some(sides) = &state.partition_sides {
+            assert_eq!(
+                sides.len(),
+                self.agents.len(),
+                "restored partition cut must match agent count"
+            );
+        }
+        assert_eq!(
+            state.loss_rng.is_some(),
+            self.loss_rng.is_some(),
+            "restored loss-stream presence must match the config (max_p > 0)"
+        );
+        self.round = state.round;
+        self.next_event = state.next_event;
+        self.fault_state = FaultState::restore(&self.faults, state.down);
+        self.partition = state.partition_sides.map(PartitionCut::from_sides);
+        self.loss_rng = state.loss_rng.map(DetRng::from_state);
+        // `current_p` and `dynamic` are recomputed: `dynamic` was already
+        // derived from the (identical) config at construction, and the
+        // next `begin_round` sets `current_p` unconditionally.
+        self.metrics = metrics;
+        self.oplog = oplog;
     }
 }
 

@@ -164,6 +164,22 @@ impl DetRng {
         }
     }
 
+    /// The raw xoshiro256++ state words (checkpoint support). The
+    /// per-bound cache slots are *not* part of the state: each
+    /// [`BoundCache`] is a pure function of its bound, so a restored
+    /// generator recomputes identical constants on first use and every
+    /// subsequent draw is bit-identical.
+    pub fn state(&self) -> [u64; 4] {
+        self.rng.state()
+    }
+
+    /// Rebuild a generator from state captured by [`DetRng::state`].
+    /// Panics on the all-zero state (invalid for xoshiro256++ and never
+    /// produced by any seeding path).
+    pub fn from_state(state: [u64; 4]) -> Self {
+        Self::wrap(SmallRng::from_state(state))
+    }
+
     /// Fetch (or compute into the least-recently-used slot) the sampling
     /// constants for `range`.
     #[inline]

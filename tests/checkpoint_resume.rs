@@ -1,0 +1,708 @@
+//! Resume-equivalence corpus (tier-2): checkpoint-at-r + restore +
+//! run-to-completion must be **bit-identical** to the straight-through
+//! run — same `report_digest`, same `Metrics` (full `PartialEq`,
+//! including the current-phase pointer), same op-log event for event.
+//!
+//! The corpus mirrors the golden matrices exactly: every static row of
+//! `golden_runs.rs` (sequential engine), every sharded row of
+//! `sharded_engine.rs` under `RngDiscipline::PerAgent` at the
+//! `RFC_THREADS` counts, plus cross-thread resume (snapshot under one
+//! shard count, resume under another) and equilibrium-arm trial resume.
+//! Straight-through runs go through `run_protocol` — the canonical
+//! runner, itself pinned by the golden suites — so this file needs no
+//! pinned constants of its own: if resume matches straight-through and
+//! straight-through matches the golden capture, resume matches the
+//! capture.
+//!
+//! Negative paths ride along: truncated files, wrong version, wrong
+//! `n`, wrong config, and garbage bodies must come back as typed
+//! [`CheckpointError`]s, never panics.
+
+mod common;
+
+use common::report_digest;
+use gossip_net::fault::Placement;
+use gossip_net::oplog::OpEvent;
+use rfc_core::checkpoint::{
+    self, checkpoint_rounds, config_fingerprint, drive_with_checkpoints, peek_header,
+    restore_network, CheckpointError,
+};
+use rfc_core::runner::{RunConfig, RunReport, TopologySpec};
+use rfc_core::{
+    build_network_slots, collect_report, honest_slot_factory, run_protocol, LossSchedule,
+    PartitionCut, RngDiscipline, ScenarioScript,
+};
+
+/// The static golden matrix (mirrors `golden_runs.rs` row for row).
+fn static_corpus() -> Vec<(&'static str, RunConfig, u64)> {
+    let q = RunConfig::builder(32).gamma(3.0).build().params().q;
+    vec![
+        (
+            "complete/n24/balanced",
+            RunConfig::builder(24).gamma(3.0).colors(vec![12, 12]).build(),
+            1,
+        ),
+        (
+            "complete/n24/balanced/seed2",
+            RunConfig::builder(24).gamma(3.0).colors(vec![12, 12]).build(),
+            2,
+        ),
+        (
+            "complete/n32/faults-random",
+            RunConfig::builder(32)
+                .gamma(3.0)
+                .colors(vec![16, 16])
+                .faults(0.25, Placement::Random { seed: 5 })
+                .build(),
+            3,
+        ),
+        (
+            "complete/n32/faults-lowids",
+            RunConfig::builder(32)
+                .gamma(3.0)
+                .colors(vec![16, 16])
+                .faults(0.25, Placement::LowIds)
+                .build(),
+            4,
+        ),
+        (
+            "ring/n48/three-colors",
+            RunConfig::builder(48)
+                .gamma(4.0)
+                .colors(vec![16, 16, 16])
+                .topology(TopologySpec::Ring)
+                .build(),
+            5,
+        ),
+        (
+            "erdos-renyi/n48",
+            RunConfig::builder(48)
+                .gamma(4.0)
+                .colors(vec![24, 24])
+                .topology(TopologySpec::ErdosRenyi { p: 0.3 })
+                .build(),
+            6,
+        ),
+        (
+            "random-regular/n40/d8",
+            RunConfig::builder(40)
+                .gamma(4.0)
+                .colors(vec![20, 20])
+                .topology(TopologySpec::RandomRegular { d: 8 })
+                .build(),
+            7,
+        ),
+        (
+            "complete/n32/loss-0.25",
+            RunConfig::builder(32)
+                .gamma(3.0)
+                .colors(vec![16, 16])
+                .message_loss(0.25)
+                .build(),
+            8,
+        ),
+        (
+            "complete/n24/record-ops",
+            RunConfig::builder(24)
+                .gamma(3.0)
+                .colors(vec![12, 12])
+                .record_ops(true)
+                .build(),
+            9,
+        ),
+        (
+            "complete/n24/leader-election",
+            RunConfig::builder(24).gamma(3.0).leader_election().build(),
+            10,
+        ),
+        (
+            "complete/n32/faults-highids+loss",
+            RunConfig::builder(32)
+                .gamma(3.0)
+                .colors(vec![16, 16])
+                .faults(0.125, Placement::HighIds)
+                .message_loss(0.1)
+                .build(),
+            11,
+        ),
+        (
+            "complete/n32/skip-coherence",
+            RunConfig::builder(32)
+                .gamma(3.0)
+                .colors(vec![16, 16])
+                .skip_coherence(true)
+                .build(),
+            12,
+        ),
+        (
+            "dynamic/n32/churn",
+            RunConfig::builder(32)
+                .gamma(3.0)
+                .colors(vec![16, 16])
+                .scenario(
+                    ScenarioScript::new()
+                        .crash(q / 2, (24..32).collect())
+                        .recover(2 * q, (28..32).collect()),
+                )
+                .build(),
+            13,
+        ),
+        (
+            "dynamic/n32/partition-heal",
+            RunConfig::builder(32)
+                .gamma(3.0)
+                .colors(vec![16, 16])
+                .scenario(
+                    ScenarioScript::new()
+                        .partition(2 * q, PartitionCut::split_at(32, 16))
+                        .heal(2 * q + q / 2),
+                )
+                .build(),
+            14,
+        ),
+        (
+            "dynamic/n32/loss-burst",
+            RunConfig::builder(32)
+                .gamma(3.0)
+                .colors(vec![16, 16])
+                .loss_schedule(LossSchedule::burst(0.05, 0.9, 2 * q, 2 * q + 4))
+                .build(),
+            15,
+        ),
+    ]
+}
+
+/// The sharded golden matrix (mirrors `sharded_engine.rs`), spelled
+/// sequential; the caller applies PerAgent + a thread count.
+fn sharded_corpus() -> Vec<(&'static str, RunConfig, u64)> {
+    let q = RunConfig::builder(32).gamma(3.0).build().params().q;
+    vec![
+        (
+            "sharded/complete/n24/balanced",
+            RunConfig::builder(24).gamma(3.0).colors(vec![12, 12]).build(),
+            1,
+        ),
+        (
+            "sharded/complete/n32/faults+loss",
+            RunConfig::builder(32)
+                .gamma(3.0)
+                .colors(vec![16, 16])
+                .faults(0.25, Placement::Random { seed: 5 })
+                .message_loss(0.25)
+                .build(),
+            2,
+        ),
+        (
+            "sharded/ring/n48/three-colors",
+            RunConfig::builder(48)
+                .gamma(4.0)
+                .colors(vec![16, 16, 16])
+                .topology(TopologySpec::Ring)
+                .build(),
+            3,
+        ),
+        (
+            "sharded/complete/n24/record-ops+loss",
+            RunConfig::builder(24)
+                .gamma(3.0)
+                .colors(vec![12, 12])
+                .record_ops(true)
+                .message_loss(0.1)
+                .build(),
+            4,
+        ),
+        (
+            "sharded/dynamic/n32/churn+burst",
+            RunConfig::builder(32)
+                .gamma(3.0)
+                .colors(vec![16, 16])
+                .scenario(
+                    ScenarioScript::new()
+                        .crash(q / 2, (24..32).collect())
+                        .recover(2 * q, (28..32).collect()),
+                )
+                .loss_schedule(LossSchedule::burst(0.05, 0.9, 2 * q, 2 * q + 4))
+                .build(),
+            5,
+        ),
+        (
+            "sharded/dynamic/n32/partition-heal",
+            RunConfig::builder(32)
+                .gamma(3.0)
+                .colors(vec![16, 16])
+                .scenario(
+                    ScenarioScript::new()
+                        .partition(2 * q, PartitionCut::split_at(32, 16))
+                        .heal(2 * q + q / 2),
+                )
+                .build(),
+            6,
+        ),
+        (
+            "sharded/complete/n40/leader-election",
+            RunConfig::builder(40).gamma(3.0).leader_election().build(),
+            7,
+        ),
+    ]
+}
+
+/// `RFC_THREADS` counts (the ci.sh knob), default `{1, 2, 8}`.
+fn thread_counts() -> Vec<usize> {
+    match std::env::var("RFC_THREADS") {
+        Ok(s) => {
+            let counts: Vec<usize> =
+                s.split(',').filter_map(|x| x.trim().parse().ok()).collect();
+            assert!(!counts.is_empty(), "RFC_THREADS set but unparsable: {s:?}");
+            counts
+        }
+        Err(_) => vec![1, 2, 8],
+    }
+}
+
+/// Everything a straight-through run produces that resume must
+/// reproduce: the report (compared via digest + full `Metrics`
+/// equality) and the op-log, event for event.
+struct Baseline {
+    report: RunReport,
+    oplog: Vec<OpEvent>,
+    snapshots: Vec<(usize, Vec<u8>)>,
+}
+
+/// One straight-through run, snapshotting at every multiple of `every`.
+fn straight_with_snapshots(cfg: &RunConfig, seed: u64, every: usize) -> Baseline {
+    let mut net = build_network_slots(cfg, seed, &mut honest_slot_factory);
+    let mut snapshots = Vec::new();
+    drive_with_checkpoints(&mut net, cfg, seed, Some(every), &mut |round, bytes| {
+        snapshots.push((round, bytes.to_vec()));
+    })
+    .expect("straight run with snapshots");
+    Baseline {
+        report: collect_report(&net, cfg),
+        oplog: net.oplog().events().to_vec(),
+        snapshots,
+    }
+}
+
+/// Restore `bytes` under `cfg` and run to completion; return the report
+/// and op-log.
+fn finish_from(cfg: &RunConfig, bytes: &[u8]) -> (RunReport, Vec<OpEvent>) {
+    let restored = restore_network(cfg, bytes).expect("restore");
+    let mut net = restored.net;
+    drive_with_checkpoints(&mut net, cfg, restored.seed, None, &mut |_, _| {})
+        .expect("finish restored run");
+    (collect_report(&net, cfg), net.oplog().events().to_vec())
+}
+
+/// Resume cadence: about five snapshots per run (plus the final
+/// boundary), so the quadratic corpus stays CI-sized while still
+/// crossing every phase of the schedule.
+fn cadence(cfg: &RunConfig) -> usize {
+    let q = cfg.params().q;
+    let total = if cfg.skip_coherence { 3 * q } else { 4 * q };
+    (total / 5).max(1)
+}
+
+/// The core contract, applied to one row: every snapshot of the
+/// straight run resumes to the identical end state.
+fn assert_resume_equivalent(label: &str, cfg: &RunConfig, seed: u64) {
+    let every = cadence(cfg);
+    let base = straight_with_snapshots(cfg, seed, every);
+    // The straight-with-snapshots path must itself match the canonical
+    // runner (snapshot emission cannot perturb the run).
+    let canonical = run_protocol(cfg, seed);
+    assert_eq!(
+        report_digest(&base.report),
+        report_digest(&canonical),
+        "{label}: snapshot emission changed the run"
+    );
+    assert_eq!(
+        base.report.metrics, canonical.metrics,
+        "{label}: snapshot emission changed the metrics"
+    );
+    let q = cfg.params().q;
+    let total = if cfg.skip_coherence { 3 * q } else { 4 * q };
+    assert_eq!(
+        base.snapshots.iter().map(|(r, _)| *r).collect::<Vec<_>>(),
+        checkpoint_rounds(total, every),
+        "{label}: snapshot rounds off-cadence"
+    );
+    for (round, bytes) in &base.snapshots {
+        let header = peek_header(bytes).expect("self-describing header");
+        assert_eq!(header.round, *round, "{label}: header round");
+        assert_eq!(header.n, cfg.n, "{label}: header n");
+        assert_eq!(header.seed, seed, "{label}: header seed");
+        let (report, oplog) = finish_from(cfg, bytes);
+        assert_eq!(
+            report_digest(&report),
+            report_digest(&base.report),
+            "{label}: resume at round {round} diverged"
+        );
+        assert_eq!(
+            report.metrics, base.report.metrics,
+            "{label}: resume at round {round} diverged in metrics"
+        );
+        assert_eq!(
+            oplog, base.oplog,
+            "{label}: resume at round {round} diverged in the op-log"
+        );
+    }
+}
+
+#[test]
+fn static_corpus_resumes_bit_identically() {
+    for (label, cfg, seed) in static_corpus() {
+        assert_resume_equivalent(label, &cfg, seed);
+    }
+}
+
+#[test]
+fn sharded_corpus_resumes_bit_identically() {
+    for &threads in &thread_counts() {
+        for (label, cfg, seed) in sharded_corpus() {
+            let mut cfg = cfg;
+            cfg.rng_discipline = RngDiscipline::PerAgent;
+            cfg.threads = threads;
+            assert_resume_equivalent(&format!("{label}@t{threads}"), &cfg, seed);
+        }
+    }
+}
+
+#[test]
+fn resume_is_thread_count_portable() {
+    // Snapshot under one shard count, resume under another: the config
+    // fingerprint normalizes `threads`, and the staged engine is
+    // thread-invariant, so every pairing must land on the same digest.
+    let counts = thread_counts();
+    for (label, cfg, seed) in sharded_corpus().into_iter().take(3) {
+        let spell = |threads: usize| {
+            let mut c = cfg.clone();
+            c.rng_discipline = RngDiscipline::PerAgent;
+            c.threads = threads;
+            c
+        };
+        let from = spell(counts[0]);
+        let base = straight_with_snapshots(&from, seed, cadence(&from));
+        let (mid_round, mid_bytes) = &base.snapshots[base.snapshots.len() / 2];
+        for &to in &counts[1..] {
+            let to_cfg = spell(to);
+            let (report, oplog) = finish_from(&to_cfg, mid_bytes);
+            assert_eq!(
+                report_digest(&report),
+                report_digest(&base.report),
+                "{label}: snapshot@t{} round {mid_round} resumed@t{to} diverged",
+                counts[0]
+            );
+            assert_eq!(oplog, base.oplog, "{label}: cross-thread op-log diverged");
+        }
+    }
+}
+
+#[test]
+fn loss_schedule_edges_resume_at_their_boundaries() {
+    // Loss-schedule edge shapes, snapshotted exactly ON each schedule
+    // boundary (the round a burst begins / ends is the round most
+    // likely to expose an off-by-one between `p_at(round)` and the
+    // restored round counter): zero-width burst (normalizes to
+    // constant), overlapping bursts (piecewise), and a burst whose
+    // window starts right at a snapshot round.
+    let q = RunConfig::builder(32).gamma(3.0).build().params().q;
+    let rows: Vec<(&str, LossSchedule, Vec<usize>)> = vec![
+        (
+            "zero-width-burst",
+            LossSchedule::burst(0.2, 0.9, 2 * q, 2 * q),
+            vec![2 * q],
+        ),
+        (
+            "overlapping-bursts",
+            LossSchedule::piecewise(vec![
+                (0, 0.05),
+                (q, 0.9),
+                (2 * q, 0.05),
+                (q + q / 2, 0.8),
+                (2 * q + 4, 0.05),
+            ]),
+            vec![q, q + q / 2, 2 * q, 2 * q + 4],
+        ),
+        (
+            "burst-at-boundary",
+            LossSchedule::burst(0.05, 0.9, 2 * q, 2 * q + 4),
+            vec![2 * q - 1, 2 * q, 2 * q + 4],
+        ),
+    ];
+    for (label, schedule, boundaries) in rows {
+        let cfg = RunConfig::builder(32)
+            .gamma(3.0)
+            .colors(vec![16, 16])
+            .loss_schedule(schedule)
+            .build();
+        let mut net = build_network_slots(&cfg, 21, &mut honest_slot_factory);
+        let mut wanted = Vec::new();
+        drive_with_checkpoints(&mut net, &cfg, 21, Some(1), &mut |round, bytes| {
+            if boundaries.contains(&round) {
+                wanted.push((round, bytes.to_vec()));
+            }
+        })
+        .expect("straight run");
+        let straight = collect_report(&net, &cfg);
+        let straight_ops = net.oplog().events().to_vec();
+        assert_eq!(wanted.len(), boundaries.len(), "{label}: missed a boundary");
+        for (round, bytes) in &wanted {
+            let (report, oplog) = finish_from(&cfg, bytes);
+            assert_eq!(
+                report_digest(&report),
+                report_digest(&straight),
+                "{label}: resume on boundary round {round} diverged"
+            );
+            assert_eq!(report.metrics, straight.metrics, "{label}@{round}");
+            assert_eq!(oplog, straight_ops, "{label}@{round}");
+        }
+    }
+}
+
+#[test]
+fn resumed_runs_stay_resumable() {
+    // Chained resume: snapshot → resume while snapshotting again →
+    // resume the second-generation snapshot. All three end states match.
+    let (label, cfg, seed) = &static_corpus()[7]; // loss-0.25
+    let every = cadence(cfg);
+    let base = straight_with_snapshots(cfg, *seed, every);
+    let (_, first) = &base.snapshots[0];
+    let restored = restore_network(cfg, first).expect("restore gen-1");
+    let mut net = restored.net;
+    let mut gen2 = Vec::new();
+    drive_with_checkpoints(&mut net, cfg, restored.seed, Some(every), &mut |round, bytes| {
+        gen2.push((round, bytes.to_vec()));
+    })
+    .expect("resume gen-1");
+    assert_eq!(
+        report_digest(&collect_report(&net, cfg)),
+        report_digest(&base.report),
+        "{label}: gen-1 resume diverged"
+    );
+    assert!(!gen2.is_empty(), "resumed run emitted no snapshots");
+    let (round, bytes) = gen2.last().unwrap();
+    let (report, oplog) = finish_from(cfg, bytes);
+    assert_eq!(
+        report_digest(&report),
+        report_digest(&base.report),
+        "{label}: gen-2 resume at round {round} diverged"
+    );
+    assert_eq!(oplog, base.oplog);
+}
+
+#[test]
+fn equilibrium_arms_resume_at_trial_indices() {
+    use adversary::{
+        equilibrium_config, run_equilibrium_span, run_equilibrium_with, ArmStats, AttackSpec,
+        CoalitionSelection,
+    };
+    let strategy = adversary::standard_attacks()
+        .into_iter()
+        .next()
+        .expect("at least one strategy");
+    let spec = AttackSpec {
+        strategy: strategy.as_ref(),
+        t: 4,
+        selection: CoalitionSelection::Spread,
+        chi: 1.0,
+    };
+    let master_seed = 0xA11CE;
+    let trials = 12u64;
+    let builder = || RunConfig::builder(24).gamma(3.0).message_loss(0.1);
+    let full = run_equilibrium_with(builder(), &spec, trials, master_seed);
+    // Split the sweep at every boundary; the in-place span accumulation
+    // must reproduce the one-shot arms exactly (PartialEq covers the
+    // f64 utility sums, so float addition order is checked too).
+    for k in 0..=trials {
+        let (cfg, members) = equilibrium_config(builder(), &spec, master_seed);
+        let mut honest = ArmStats::default();
+        let mut deviating = ArmStats::default();
+        run_equilibrium_span(&cfg, &spec, &members, 0..k, master_seed, &mut honest, &mut deviating);
+        // "Persist" through the restore constructor, as a checkpointing
+        // caller would.
+        let mut honest = ArmStats::restore(
+            honest.trials,
+            honest.consensus,
+            honest.fails,
+            honest.coalition_color_wins,
+            honest.winner_in_coalition,
+            honest.utility_sum(),
+        );
+        let mut deviating = ArmStats::restore(
+            deviating.trials,
+            deviating.consensus,
+            deviating.fails,
+            deviating.coalition_color_wins,
+            deviating.winner_in_coalition,
+            deviating.utility_sum(),
+        );
+        run_equilibrium_span(
+            &cfg,
+            &spec,
+            &members,
+            k..trials,
+            master_seed,
+            &mut honest,
+            &mut deviating,
+        );
+        assert_eq!(honest, full.honest, "honest arm diverged when split at {k}");
+        assert_eq!(
+            deviating, full.deviating,
+            "deviating arm diverged when split at {k}"
+        );
+    }
+}
+
+#[test]
+fn checkpoints_are_compact_and_self_describing() {
+    // "Compact": a mid-run snapshot of a 48-agent ledger-heavy run must
+    // cost far less than the ~n² intent-list blowup a naive (non-
+    // interned) encoder would pay. Every agent's ledger holds up to n
+    // intent lists of q pairs; interning makes that n lists total, so
+    // the per-agent cost stays O(n + q·own-data), not O(n·q).
+    let cfg = RunConfig::builder(48)
+        .gamma(4.0)
+        .colors(vec![24, 24])
+        .build();
+    let q = cfg.params().q;
+    let base = straight_with_snapshots(&cfg, 6, cadence(&cfg));
+    let (round, bytes) = &base.snapshots[base.snapshots.len() / 2];
+    assert!(*round > q, "want a post-commitment snapshot");
+    let n = cfg.n;
+    // Interned budget: pool of n intent lists (q entries × ~2×u64 varint
+    // ≤ 18 bytes each) + per-agent ledger refs/votes/rng. The naive
+    // bound is n× larger; assert we stay within a small multiple of the
+    // interned estimate.
+    let interned_estimate = n * q * 18 + n * (n * 4 + q * 10 + 64);
+    assert!(
+        bytes.len() < interned_estimate,
+        "checkpoint is {} bytes; interned-sharing estimate is {}",
+        bytes.len(),
+        interned_estimate
+    );
+    let naive_floor = n * n * q * 8; // every ledger row re-serialized
+    assert!(
+        bytes.len() * 4 < naive_floor,
+        "checkpoint ({} bytes) should be ≪ the naive no-sharing floor ({})",
+        bytes.len(),
+        naive_floor
+    );
+    let header = peek_header(bytes).expect("header");
+    assert_eq!(header.n, n);
+    assert_eq!(header.round, *round);
+    assert_eq!(header.config_fingerprint, config_fingerprint(&cfg));
+}
+
+// ---------------------------------------------------------------------
+// Negative paths: typed errors, never panics.
+// ---------------------------------------------------------------------
+
+fn some_checkpoint() -> (RunConfig, Vec<u8>) {
+    let cfg = RunConfig::builder(24).gamma(3.0).colors(vec![12, 12]).build();
+    let base = straight_with_snapshots(&cfg, 1, cadence(&cfg));
+    let bytes = base.snapshots[1].1.clone();
+    (cfg, bytes)
+}
+
+#[test]
+fn truncated_checkpoints_error_cleanly() {
+    let (cfg, bytes) = some_checkpoint();
+    // Every strict prefix must fail with a typed error, not a panic.
+    // (Step 7 keeps the loop linear; the header boundary and a byte
+    // sweep near it are covered exactly.)
+    for cut in (0..bytes.len()).step_by(7).chain(bytes.len() - 3..bytes.len()) {
+        let err = match restore_network(&cfg, &bytes[..cut]) {
+            Err(e) => e,
+            Ok(_) => panic!("cut at {cut}: prefix accepted"),
+        };
+        match err {
+            CheckpointError::Truncated | CheckpointError::Corrupt(_) => {}
+            other => panic!("cut at {cut}: unexpected error {other}"),
+        }
+    }
+}
+
+#[test]
+fn wrong_version_is_reported() {
+    let (cfg, mut bytes) = some_checkpoint();
+    bytes[4] = 99; // version u16 LE lives right after the 4-byte magic
+    match restore_network(&cfg, &bytes) {
+        Err(CheckpointError::WrongVersion { found }) => assert_eq!(found, 99),
+        Err(other) => panic!("expected WrongVersion, got {other}"),
+        Ok(_) => panic!("wrong version accepted"),
+    }
+}
+
+#[test]
+fn bad_magic_is_reported() {
+    let (cfg, mut bytes) = some_checkpoint();
+    bytes[0] = b'X';
+    assert!(matches!(
+        restore_network(&cfg, &bytes),
+        Err(CheckpointError::BadMagic)
+    ));
+}
+
+#[test]
+fn n_mismatch_is_reported_before_body_decode() {
+    let (_, bytes) = some_checkpoint();
+    let other = RunConfig::builder(32).gamma(3.0).colors(vec![16, 16]).build();
+    match restore_network(&other, &bytes) {
+        Err(CheckpointError::NMismatch { expected, found }) => {
+            assert_eq!((expected, found), (32, 24));
+        }
+        Err(other) => panic!("expected NMismatch, got {other}"),
+        Ok(_) => panic!("n mismatch accepted"),
+    }
+}
+
+#[test]
+fn config_mismatch_is_reported() {
+    let (_, bytes) = some_checkpoint();
+    // Same n, different protocol parameters ⇒ fingerprint mismatch.
+    let other = RunConfig::builder(24).gamma(4.0).colors(vec![12, 12]).build();
+    assert!(matches!(
+        restore_network(&other, &bytes),
+        Err(CheckpointError::ConfigMismatch { .. })
+    ));
+    // But a different *thread spelling* of the same run is accepted:
+    // the fingerprint normalizes threads (cross-thread resume is legal).
+    let (cfg, bytes) = some_checkpoint();
+    let mut resharded = cfg.clone();
+    resharded.threads = 4;
+    assert!(restore_network(&resharded, &bytes).is_ok());
+}
+
+#[test]
+fn garbage_bodies_error_cleanly() {
+    let (cfg, bytes) = some_checkpoint();
+    // Flip bytes throughout the body; any outcome but a panic or an
+    // accepted-but-different run is fine, and most flips must be caught.
+    let header_len = 4 + 2 + 8 + 8; // magic + version + seed + fingerprint
+    let mut caught = 0usize;
+    let mut tried = 0usize;
+    for pos in (header_len..bytes.len()).step_by(11) {
+        let mut b = bytes.clone();
+        b[pos] ^= 0xA5;
+        tried += 1;
+        match restore_network(&cfg, &b) {
+            Err(_) => caught += 1,
+            Ok(restored) => {
+                // A flip the decoder structurally tolerated (e.g. inside
+                // an RNG word) — it must still finish without panicking.
+                let mut net = restored.net;
+                let _ = drive_with_checkpoints(&mut net, &cfg, restored.seed, None, &mut |_, _| {});
+            }
+        }
+    }
+    assert!(tried > 20, "sweep too small: {tried}");
+    assert!(
+        caught * 2 > tried,
+        "only {caught}/{tried} corruptions were caught as typed errors"
+    );
+    // Pure noise never parses.
+    let noise: Vec<u8> = (0..256u32).map(|i| (i * 37 + 11) as u8).collect();
+    assert!(restore_network(&cfg, &noise).is_err());
+    assert!(restore_network(&cfg, &[]).is_err());
+    assert!(checkpoint::peek_header(&noise).is_err());
+}

@@ -139,6 +139,7 @@ fn experiments_registry_runs_a_small_one() {
         quick: true,
         seed: 1,
         threads: 2,
+        ..Default::default()
     };
     let tables =
         rational_fair_consensus::experiments::run_by_id("e01", &opts).expect("e01 exists");

@@ -251,6 +251,20 @@ pub mod rngs {
         fn rotl(x: u64, k: u32) -> u64 {
             x.rotate_left(k)
         }
+
+        /// The raw xoshiro256++ state words (checkpoint support).
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuild a generator from raw state words captured by
+        /// [`SmallRng::state`]. The all-zero state is rejected the same
+        /// way `from_seed` rejects it, so a restored generator is always
+        /// a valid xoshiro256++ instance.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            assert!(s != [0; 4], "xoshiro256++ state must not be all zero");
+            SmallRng { s }
+        }
     }
 
     impl RngCore for SmallRng {
