@@ -62,6 +62,12 @@ cargo run --release -q -p experiments --bin rfc-experiments -- e15 --quick >/dev
 echo "==> staged-engine smoke: e16 --quick (intra-trial shard sweep + digest assert)"
 cargo run --release -q -p experiments --bin rfc-experiments -- e16 --quick >/dev/null
 
+echo "==> instance-plane smoke: e17 --quick (10^1..10^4 instance sweep + interference assert)"
+# The run itself asserts: High-priority instances never rank behind Low
+# under a send budget, and a consensus instance's report is identical
+# with 0 vs 1000 co-hosted instances (per-instance stream independence).
+cargo run --release -q -p experiments --bin rfc-experiments -- e17 --quick >/dev/null
+
 echo "==> checkpoint/resume smoke: e16 --quick with --checkpoint-every, then --resume-from"
 # Two full CLI invocations: the first writes a checkpoint file per row,
 # the second restores each row from its file and runs it to completion.
@@ -84,9 +90,9 @@ if ! diff -q target/ckpt-smoke/digests-a target/ckpt-smoke/digests-b >/dev/null;
 fi
 echo "    resume smoke OK: $(wc -l < target/ckpt-smoke/digests-a) row digests identical across the seam"
 
-echo "==> perf snapshot: e14/e16 --quick -> fresh JSON (two captures for a best-of-2 gate)"
-cargo run --release -q -p experiments --bin rfc-experiments -- e14 e16 --quick --json target/bench-json >/dev/null
-cargo run --release -q -p experiments --bin rfc-experiments -- e14 e16 --quick --json target/bench-json2 >/dev/null
+echo "==> perf snapshot: e14/e16/e17 --quick -> fresh JSON (two captures for a best-of-2 gate)"
+cargo run --release -q -p experiments --bin rfc-experiments -- e14 e16 e17 --quick --json target/bench-json >/dev/null
+cargo run --release -q -p experiments --bin rfc-experiments -- e14 e16 e17 --quick --json target/bench-json2 >/dev/null
 
 echo "==> perf gate: self-test (injected 50% slowdown must trip the comparator)"
 cargo run --release -q -p rfc-bench --bin rfc-bench -- selftest BENCH_scale.json
@@ -100,16 +106,19 @@ echo "==> perf gate: fresh throughput vs committed BENCH_scale.json (tolerance $
 # with RFC_GATE_TOLERANCE=0.35 ./ci.sh on a persistently noisy machine.
 cargo run --release -q -p rfc-bench --bin rfc-bench -- gate BENCH_scale.json \
     target/bench-json/e14_0.json target/bench-json/e14_1.json target/bench-json/e16_0.json \
-    target/bench-json2/e14_0.json target/bench-json2/e14_1.json target/bench-json2/e16_0.json
+    target/bench-json/e17_0.json \
+    target/bench-json2/e14_0.json target/bench-json2/e14_1.json target/bench-json2/e16_0.json \
+    target/bench-json2/e17_0.json
 
-# Three JSON lines: the trial-level scale sweep (E14), the enum-vs-dyn
-# dispatch comparison (E14b), and the intra-trial shard sweep (E16) —
-# the perf trajectory tracked across PRs. The committed BENCH_scale.json
-# is the gate's baseline and is deliberately a *floor* (per-cell minimum
-# over repeated captures), so CI does NOT overwrite it; refresh it on
-# purpose with the line below when the floor genuinely moves:
+# Four JSON lines: the trial-level scale sweep (E14), the enum-vs-dyn
+# dispatch comparison (E14b), the intra-trial shard sweep (E16), and
+# the instance-plane sweep (E17) — the perf trajectory tracked across
+# PRs. The committed BENCH_scale.json is the gate's baseline and is
+# deliberately a *floor* (per-cell minimum over repeated captures), so
+# CI does NOT overwrite it; refresh it on purpose with the line below
+# when the floor genuinely moves:
 #     cp target/BENCH_scale.fresh.json BENCH_scale.json
-cat target/bench-json/e14_0.json target/bench-json/e14_1.json target/bench-json/e16_0.json > target/BENCH_scale.fresh.json
-echo "    wrote target/BENCH_scale.fresh.json (scale sweep + dispatch + intra-trial shard rows)"
+cat target/bench-json/e14_0.json target/bench-json/e14_1.json target/bench-json/e16_0.json target/bench-json/e17_0.json > target/BENCH_scale.fresh.json
+echo "    wrote target/BENCH_scale.fresh.json (scale sweep + dispatch + intra-trial shard + instance-plane rows)"
 
 echo "CI OK"

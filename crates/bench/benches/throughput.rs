@@ -199,5 +199,70 @@ fn bench_intra_trial(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_round_engine, bench_trial_fold, bench_intra_trial);
+fn bench_pool_spawn(c: &mut Criterion) {
+    // Isolates the per-round worker-spawn overhead the staged engine
+    // used to pay: each "round" dispatches `workers` trivial jobs,
+    // either through a freshly spawned `std::thread::scope` (the old
+    // per-round cost) or through one reusable `ScopedPool` whose
+    // threads persist across rounds (what `run_staged` does now). The
+    // job body is a single atomic increment, so the gap between the two
+    // arms *is* the spawn/join overhead.
+    use gossip_net::ScopedPool;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    let mut group = c.benchmark_group("scoped_pool_spawn_overhead");
+    group.sample_size(10);
+    let rounds = 256usize;
+    for workers in [2usize, 4, 8] {
+        group.throughput(Throughput::Elements(rounds as u64));
+        group.bench_with_input(
+            BenchmarkId::new("respawned_thread_scope", workers),
+            &workers,
+            |b, &workers| {
+                b.iter(|| {
+                    let acc = AtomicU64::new(0);
+                    for _ in 0..rounds {
+                        std::thread::scope(|s| {
+                            for _ in 0..workers {
+                                s.spawn(|| {
+                                    acc.fetch_add(1, Ordering::Relaxed);
+                                });
+                            }
+                        });
+                    }
+                    black_box(acc.load(Ordering::Relaxed))
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("reusable_scoped_pool", workers),
+            &workers,
+            |b, &workers| {
+                let mut pool = ScopedPool::new(workers);
+                b.iter(|| {
+                    let acc = AtomicU64::new(0);
+                    for _ in 0..rounds {
+                        pool.scope(|s| {
+                            for _ in 0..workers {
+                                s.spawn(|| {
+                                    acc.fetch_add(1, Ordering::Relaxed);
+                                });
+                            }
+                        });
+                    }
+                    black_box(acc.load(Ordering::Relaxed))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_round_engine,
+    bench_trial_fold,
+    bench_intra_trial,
+    bench_pool_spawn
+);
 criterion_main!(benches);

@@ -15,8 +15,9 @@
 //! * **row identity** — the cells of every column *before* the first
 //!   throughput column, which by table convention are the configuration
 //!   columns (`n`, `q`, `shards`, `outcome`, …);
-//! * **throughput columns** — headers containing `"rounds/s"`; each is
-//!   compared as `fresh ≥ committed · (1 − tolerance)`.
+//! * **throughput columns** — headers containing `"rounds/s"` or
+//!   `"instances/s"` (the instance-plane sweep, E17); each is compared
+//!   as `fresh ≥ committed · (1 − tolerance)`.
 //!
 //! Tolerance is a fraction (CI reads `RFC_GATE_TOLERANCE`, default
 //! `0.20`). Missing tables, missing rows, and unparseable throughput
@@ -351,7 +352,7 @@ impl GateReport {
 
 /// Is this column a gated throughput column?
 pub fn is_gated_column(header: &str) -> bool {
-    header.contains("rounds/s")
+    header.contains("rounds/s") || header.contains("instances/s")
 }
 
 /// The row-identity cells: everything before the first throughput
@@ -567,6 +568,17 @@ mod tests {
         assert!(r.pass(), "{:?}", r.failures);
         assert_eq!(r.checks, 2);
         assert!(r.notes.is_empty());
+    }
+
+    #[test]
+    fn instances_per_s_columns_are_gated() {
+        assert!(is_gated_column("instances/s"));
+        assert!(is_gated_column("rounds/s"));
+        assert!(!is_gated_column("rtd mean"));
+        let base = vec![table("E17", &["instances", "instances/s"], &[&["1000", "500"]])];
+        let slow = vec![table("E17", &["instances", "instances/s"], &[&["1000", "200"]])];
+        assert!(!compare(&base, &slow, 0.20).pass());
+        assert!(compare(&base, &base, 0.20).pass());
     }
 
     #[test]

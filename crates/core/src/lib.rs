@@ -56,6 +56,7 @@ pub mod checkpoint;
 pub mod coalition;
 pub mod election;
 pub mod engine;
+pub mod instances;
 pub mod ledger;
 pub mod msg;
 pub mod outcome;
@@ -72,8 +73,11 @@ pub use checkpoint::{
 };
 pub use coalition::{new_coalition, select_members, Coalition, CoalitionSelection};
 pub use engine::{ConsensusAgent, HonestAgent, ProtocolCore, Role, VerifyFailure};
+pub use instances::{
+    run_plane, InstanceKind, InstancePlan, InstanceSpec, MuxAgent, PlaneReport, Priority,
+};
 pub use ledger::{ConsistencyError, Declaration, Ledger};
-pub use msg::{IntentEntry, IntentList, Msg};
+pub use msg::{Batch, BatchPart, IntentEntry, IntentList, Msg, INSTANCE_TAG_BITS};
 pub use outcome::{combine_decisions, utility, Decision, Outcome};
 pub use params::{Params, Phase, PhaseSchedule};
 pub use runner::{

@@ -207,6 +207,92 @@ impl MsgSize for Msg {
     }
 }
 
+/// Wire bits of the instance tag each *non-first* part of a [`Batch`]
+/// pays: a 32-bit instance index. The first part's tag is elided — a
+/// singleton batch is bit-for-bit the size of its bare payload, which
+/// is what keeps the single-instance metering (and with it every
+/// pre-instance-plane golden digest) unchanged.
+pub const INSTANCE_TAG_BITS: u64 = 32;
+
+/// One instance-tagged payload inside a [`Batch`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchPart<P> {
+    /// Index of the protocol instance this payload belongs to.
+    pub instance: u32,
+    /// The instance's own wire message.
+    pub payload: P,
+}
+
+/// A multiplexed delivery: every instance payload sharing one
+/// `(edge, round)` pair travels as a single wire message, amortizing
+/// per-round delivery cost across co-hosted instances (the instance
+/// plane's batching layer — see `rfc_core::instances`).
+///
+/// Size accounting: the first part costs exactly its payload size (tag
+/// elided); each further part costs [`INSTANCE_TAG_BITS`] plus its
+/// payload. Parts keep the order their instances emitted them in, which
+/// the receiving multiplexer relies on to pair replies with pulls.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Batch<P> {
+    parts: Vec<BatchPart<P>>,
+}
+
+impl<P> Batch<P> {
+    /// An empty batch (push parts before handing it to the engine).
+    pub fn new() -> Self {
+        Batch { parts: Vec::new() }
+    }
+
+    /// A one-part batch — the single-instance fast path.
+    pub fn single(instance: u32, payload: P) -> Self {
+        Batch { parts: vec![BatchPart { instance, payload }] }
+    }
+
+    /// Append one instance's payload.
+    pub fn push(&mut self, instance: u32, payload: P) {
+        self.parts.push(BatchPart { instance, payload });
+    }
+
+    /// The parts, in emission order.
+    pub fn parts(&self) -> &[BatchPart<P>] {
+        &self.parts
+    }
+
+    /// Consume the batch into its parts.
+    pub fn into_parts(self) -> Vec<BatchPart<P>> {
+        self.parts
+    }
+
+    /// Number of parts.
+    pub fn len(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// True if the batch carries nothing.
+    pub fn is_empty(&self) -> bool {
+        self.parts.is_empty()
+    }
+}
+
+impl<P> Default for Batch<P> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<P: MsgSize> MsgSize for Batch<P> {
+    fn size_bits(&self, env: &SizeEnv) -> u64 {
+        self.parts
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let tag = if i == 0 { 0 } else { INSTANCE_TAG_BITS };
+                tag + p.payload.size_bits(env)
+            })
+            .sum()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -214,6 +300,36 @@ mod tests {
 
     fn env() -> SizeEnv {
         SizeEnv::for_n(1024) // id 10, value 30, round ~5, color 10
+    }
+
+    #[test]
+    fn singleton_batch_is_exactly_its_payload_size() {
+        let e = env();
+        for msg in [Msg::QIntent, Msg::Vote { value: 3, round: 1 }] {
+            let inner = msg.size_bits(&e);
+            assert_eq!(
+                Batch::single(0, msg).size_bits(&e),
+                inner,
+                "singleton batch must elide the instance tag"
+            );
+        }
+    }
+
+    #[test]
+    fn extra_batch_parts_pay_the_instance_tag() {
+        let e = env();
+        let mut b = Batch::new();
+        b.push(0, Msg::QIntent);
+        b.push(7, Msg::Vote { value: 9, round: 0 });
+        b.push(9, Msg::QMinCert);
+        let expect = Msg::QIntent.size_bits(&e)
+            + INSTANCE_TAG_BITS
+            + Msg::Vote { value: 9, round: 0 }.size_bits(&e)
+            + INSTANCE_TAG_BITS
+            + Msg::QMinCert.size_bits(&e);
+        assert_eq!(b.size_bits(&e), expect);
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.parts()[1].instance, 7);
     }
 
     #[test]

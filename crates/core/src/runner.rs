@@ -43,7 +43,9 @@ use gossip_net::size::SizeEnv;
 use gossip_net::topology::Topology;
 
 /// RNG stream labels: one sub-stream per independent randomness consumer.
-mod streams {
+/// Crate-visible so the instance plane (`crate::instances`) can replicate
+/// the legacy per-agent streams exactly for its instance 0.
+pub(crate) mod streams {
     pub const COLORS: u64 = 0x01;
     pub const FAULTS: u64 = 0x02;
     pub const LOSS: u64 = 0x03;
@@ -138,6 +140,14 @@ pub struct RunConfig {
     /// therefore forces attack trials onto the sequential engine
     /// regardless of this field.
     pub threads: usize,
+    /// Concurrent protocol instances multiplexed over the network (the
+    /// instance plane, `crate::instances`). The default — one consensus
+    /// instance starting at round 0 — is what every legacy entry point
+    /// ([`run_protocol`], [`TrialArena`], …) executes; those paths ignore
+    /// this field entirely, while [`crate::instances::run_plane`] consumes
+    /// it. Part of [`RunConfig`]'s `Debug` form, so checkpoint config
+    /// fingerprints cover the instance plan automatically.
+    pub instances: crate::instances::InstancePlan,
 }
 
 impl RunConfig {
@@ -243,6 +253,7 @@ impl RunConfigBuilder {
                 scenario: ScenarioScript::new(),
                 rng_discipline: RngDiscipline::Sequential,
                 threads: 1,
+                instances: crate::instances::InstancePlan::single_consensus(),
             },
         }
     }
@@ -357,6 +368,13 @@ impl RunConfigBuilder {
     /// with `threads` plan/apply shards (`0` = available parallelism).
     pub fn sharded(self, threads: usize) -> Self {
         self.rng_discipline(RngDiscipline::PerAgent).threads(threads)
+    }
+
+    /// Set the instance plan consumed by [`crate::instances::run_plane`]
+    /// (legacy single-run entry points ignore it).
+    pub fn instances(mut self, plan: crate::instances::InstancePlan) -> Self {
+        self.cfg.instances = plan;
+        self
     }
 
     /// Finish building.
@@ -600,7 +618,16 @@ fn color_space_size(cfg: &RunConfig) -> usize {
 /// is untouched. Any other `(rng_discipline, threads)` takes the staged
 /// engine, which is itself bit-identical to the monolithic path under
 /// `Sequential` and bit-identical across thread counts always.
-pub fn drive_network<A: Agent<Msg> + Send>(net: &mut Network<Msg, A>, cfg: &RunConfig) {
+///
+/// Also generic over the *message* type: the instance plane drives a
+/// `Network<Batch<InstPayload>, MuxAgent>` through this exact function on
+/// its single-instance path, which is what pins its phase cadence (and
+/// the metrics phase table) to the legacy one.
+pub fn drive_network<M, A>(net: &mut Network<M, A>, cfg: &RunConfig)
+where
+    M: gossip_net::size::MsgSize + Send + Sync,
+    A: Agent<M> + Send,
+{
     let params = cfg.params();
     let q = params.q;
     let staged = cfg.rng_discipline != RngDiscipline::Sequential || cfg.threads != 1;
@@ -688,7 +715,7 @@ pub fn collect_report<A: ConsensusAgent>(net: &Network<Msg, A>, cfg: &RunConfig)
 /// Apply the `skip_verification` ablation: when verification is disabled
 /// an agent simply adopts its minimum certificate's color (even one that
 /// would have failed the checks).
-fn effective_decision(core: &ProtocolCore, cfg: &RunConfig) -> Option<ColorId> {
+pub(crate) fn effective_decision(core: &ProtocolCore, cfg: &RunConfig) -> Option<ColorId> {
     if cfg.skip_verification {
         if core.failed && core.verify_failure != Some(crate::engine::VerifyFailure::FailedEarlier)
         {

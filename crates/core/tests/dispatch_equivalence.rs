@@ -195,6 +195,54 @@ fn arena_reuse_equals_fresh_networks_under_dynamic_scenarios() {
 }
 
 #[test]
+fn single_instance_plane_equals_legacy_path() {
+    // The instance plane's safety net: one consensus instance pushed
+    // through the multiplexer (batched messages, per-instance clocks and
+    // meters) must be a pure generalization — its legacy-shaped report
+    // is field-identical to `run_protocol`'s, for the monolithic engine,
+    // the staged engine at several thread counts, and the sharded
+    // per-agent discipline, lossy configs included.
+    let bases = vec![
+        RunConfig::builder(32).gamma(3.0).colors(vec![16, 16]).build(),
+        RunConfig::builder(24).gamma(3.0).colors(vec![12, 12]).message_loss(0.2).build(),
+        RunConfig::builder(32)
+            .gamma(3.0)
+            .colors(vec![16, 16])
+            .faults(0.25, Placement::Random { seed: 5 })
+            .build(),
+    ];
+    for (ci, base) in bases.iter().enumerate() {
+        for threads in [1usize, 2, 8] {
+            let mut cfg = base.clone();
+            cfg.threads = threads;
+            let seed = 13;
+            let legacy = run_protocol(&cfg, seed);
+            let plane = rfc_core::run_plane(&cfg, seed);
+            let mux = plane.legacy.as_ref().expect("single-consensus plan has a legacy view");
+            assert_reports_identical(
+                mux,
+                &legacy,
+                &format!("mux cfg {ci} threads {threads}"),
+            );
+            // The per-instance view agrees with the whole-run view.
+            assert_eq!(plane.instances.len(), 1);
+            assert_eq!(plane.instances[0].outcome.as_ref(), Some(&legacy.outcome));
+        }
+        // Sharded per-agent discipline (its own pinned stream family).
+        let mut cfg = base.clone();
+        cfg.rng_discipline = gossip_net::rng::RngDiscipline::PerAgent;
+        cfg.threads = 4;
+        let legacy = run_protocol(&cfg, 29);
+        let plane = rfc_core::run_plane(&cfg, 29);
+        assert_reports_identical(
+            plane.legacy.as_ref().expect("legacy view"),
+            &legacy,
+            &format!("mux sharded cfg {ci}"),
+        );
+    }
+}
+
+#[test]
 fn arena_handles_changing_network_sizes() {
     // Resizing between trials rebuilds what must be rebuilt and nothing
     // else; reports stay exact.

@@ -16,6 +16,9 @@
 //!     --resume-from <dir>      resume checkpoint-aware runs from the
 //!                     checkpoints in <dir> — bit-identical to a
 //!                     straight run (tests/checkpoint_resume.rs)
+//!     --instances <k>          pin the instance-plane sweep (E17) to
+//!                     exactly k concurrent instances
+//!     --instance-kind <kind>   E17 sweep kind: `rumor` or `consensus`
 //! ```
 
 use experiments::{all_experiments, ExpOptions};
@@ -74,6 +77,21 @@ fn main() {
                     .next()
                     .unwrap_or_else(|| die("--resume-from needs a directory"));
                 opts.resume_from = Some(Box::leak(dir.into_boxed_str()));
+            }
+            "--instances" => {
+                opts.instances = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&k| k > 0)
+                    .unwrap_or_else(|| die("--instances needs a count > 0"));
+            }
+            "--instance-kind" => {
+                let kind = it
+                    .next()
+                    .filter(|k| k == "rumor" || k == "consensus")
+                    .unwrap_or_else(|| die("--instance-kind needs `rumor` or `consensus`"));
+                // Leaked so ExpOptions stays Copy: one flag, process-lifetime.
+                opts.instance_kind = Some(Box::leak(kind.into_boxed_str()));
             }
             "list" => list_only = true,
             "all" => {
@@ -152,7 +170,7 @@ fn parse_u64(s: &str) -> Option<u64> {
 
 fn usage() {
     eprintln!(
-        "usage: rfc-experiments <list | all | e01..e16...> [--quick] [--seed N] [--threads K] [--csv DIR] [--json DIR] [--checkpoint-every K] [--checkpoint-dir DIR] [--resume-from DIR]"
+        "usage: rfc-experiments <list | all | e01..e17...> [--quick] [--seed N] [--threads K] [--csv DIR] [--json DIR] [--checkpoint-every K] [--checkpoint-dir DIR] [--resume-from DIR] [--instances K] [--instance-kind rumor|consensus]"
     );
 }
 

@@ -24,6 +24,7 @@
 //! | E14 | Production-scale throughput sweep (n up to 10⁵, streaming fold) |
 //! | E15 | Dynamic adversity: scripted churn, partitions, loss bursts |
 //! | E16 | Million-agent single trials: intra-trial sharding (staged engine) |
+//! | E17 | Multi-instance plane: concurrent instances multiplexed over one network |
 //!
 //! Every number is a deterministic function of `(experiment, master
 //! seed)` regardless of thread count ([`parallel`]); results render as
@@ -63,6 +64,7 @@ pub mod e13_message_loss;
 pub mod e14_scale;
 pub mod e15_dynamics;
 pub mod e16_million;
+pub mod e17_instances;
 pub mod opts;
 pub mod parallel;
 pub mod table;
@@ -177,10 +179,15 @@ pub fn all_experiments() -> Vec<Experiment> {
             title: "million-agent single trials (staged engine, shard sweep)",
             run: e16_million::run,
         },
+        Experiment {
+            id: "e17",
+            title: "multi-instance gossip plane (throughput, priority, interference)",
+            run: e17_instances::run,
+        },
     ]
 }
 
-/// Run one experiment by id (`"e01"`…`"e16"`); `None` if unknown.
+/// Run one experiment by id (`"e01"`…`"e17"`); `None` if unknown.
 pub fn run_by_id(id: &str, opts: &ExpOptions) -> Option<Vec<Table>> {
     all_experiments()
         .into_iter()
@@ -195,7 +202,7 @@ mod tests {
     #[test]
     fn registry_is_complete_and_ordered() {
         let exps = all_experiments();
-        assert_eq!(exps.len(), 16);
+        assert_eq!(exps.len(), 17);
         for (i, e) in exps.iter().enumerate() {
             assert_eq!(e.id, format!("e{:02}", i + 1));
             assert!(!e.title.is_empty());

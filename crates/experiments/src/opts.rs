@@ -27,6 +27,13 @@ pub struct ExpOptions {
     /// running from round 0 — bit-identical by the resume-equivalence
     /// corpus (`tests/checkpoint_resume.rs`).
     pub resume_from: Option<&'static str>,
+    /// Concurrent instance count for the instance-plane experiments
+    /// (E17). `0` = use the experiment's own sweep; any other value
+    /// pins the sweep to exactly that count.
+    pub instances: usize,
+    /// Instance kind for the E17 sweep: `"rumor"` (default) or
+    /// `"consensus"` (`&'static` so the options stay `Copy`).
+    pub instance_kind: Option<&'static str>,
 }
 
 impl Default for ExpOptions {
@@ -38,6 +45,8 @@ impl Default for ExpOptions {
             checkpoint_every: 0,
             checkpoint_dir: None,
             resume_from: None,
+            instances: 0,
+            instance_kind: None,
         }
     }
 }
@@ -78,6 +87,16 @@ impl ExpOptions {
             std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
         } else {
             self.threads
+        }
+    }
+
+    /// Instance-count sweep for the plane experiments: the experiment's
+    /// own `default` sweep, unless `--instances` pinned a single count.
+    pub fn instance_sweep(&self, default: &[usize]) -> Vec<usize> {
+        if self.instances == 0 {
+            default.to_vec()
+        } else {
+            vec![self.instances]
         }
     }
 

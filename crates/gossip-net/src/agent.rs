@@ -97,6 +97,25 @@ pub trait Agent<M> {
     /// active operation for this round, or `None` to stay passive.
     fn act(&mut self, ctx: &RoundCtx) -> Option<Op<M>>;
 
+    /// Multi-op variant of [`Agent::act`], used by the synchronous
+    /// engines. A plain agent keeps the paper's one-op-per-round
+    /// contract via the default (it forwards to `act`); a *multiplexer*
+    /// agent hosting several protocol instances on one network node
+    /// (see rfc-core's instance plane) overrides this to emit one op per
+    /// hosted instance per round — each instance individually still
+    /// plays by GOSSIP rules, the node aggregates their traffic.
+    ///
+    /// Ops are appended to `out` (which arrives empty) and are treated
+    /// by the engine exactly as if consecutive ids had emitted them:
+    /// same-sender ops keep their emission order through every delivery
+    /// stage. `out` is engine-owned scratch; implementations must only
+    /// push into it.
+    fn act_multi(&mut self, ctx: &RoundCtx, out: &mut Vec<Op<M>>) {
+        if let Some(op) = self.act(ctx) {
+            out.push(op);
+        }
+    }
+
     /// Another agent pulled us: `from` is the authenticated peer label,
     /// `query` its question. Return `Some(reply)` to answer or `None` to
     /// stay silent (the puller observes silence, exactly like pulling a

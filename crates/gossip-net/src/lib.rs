@@ -92,6 +92,7 @@ pub mod ids;
 pub mod metrics;
 pub mod network;
 pub mod oplog;
+pub mod pool;
 pub mod rng;
 pub mod size;
 pub mod topology;
@@ -103,6 +104,7 @@ pub use ids::{AgentId, ColorId};
 pub use metrics::Metrics;
 pub use network::{Network, NetworkConfig};
 pub use oplog::{OpEvent, OpKind, OpLog};
+pub use pool::ScopedPool;
 pub use rng::RngDiscipline;
 pub use size::{MsgSize, SizeEnv};
 pub use topology::Topology;

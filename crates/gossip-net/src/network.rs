@@ -211,6 +211,14 @@ pub struct Network<M, A = Box<dyn Agent<M>>> {
     // Workhorse buffers reused across rounds (perf-book: reuse collections).
     ops: Vec<(AgentId, Op<M>)>,
     replies: Vec<(AgentId, AgentId, Option<M>)>,
+    // Scratch for `Agent::act_multi` (one agent's ops before they are
+    // tagged with its id and appended to `ops`).
+    multi_buf: Vec<Op<M>>,
+    // Persistent worker pool for the staged engine's sharded stages —
+    // spawned lazily on the first staged round that shards (see
+    // `gossip_net::pool`), resized on `reset_into` if the thread count
+    // changes.
+    pool: Option<crate::pool::ScopedPool>,
     // Staged-engine scratch (CSR ledgers, reply slots, shard buffers) —
     // empty and allocation-free until `step_staged` is first called.
     staged: staged::StagedScratch<M>,
@@ -281,6 +289,8 @@ impl<M: MsgSize, A: Agent<M>> Network<M, A> {
             round: 0,
             ops: Vec::with_capacity(n),
             replies: Vec::with_capacity(n),
+            multi_buf: Vec::new(),
+            pool: None,
             staged: staged::StagedScratch::new(),
         }
     }
@@ -344,6 +354,10 @@ impl<M: MsgSize, A: Agent<M>> Network<M, A> {
         self.round = 0;
         self.ops.clear();
         self.replies.clear();
+        self.multi_buf.clear();
+        // The worker pool outlives trials (that is its whole point); it
+        // is re-sized lazily by the next staged round if the new config
+        // wants a different thread count.
         self.staged.clear();
     }
 
@@ -434,14 +448,17 @@ impl<M: MsgSize, A: Agent<M>> Network<M, A> {
                 round,
                 topology: &self.topology,
             };
+            let mut multi_buf = std::mem::take(&mut self.multi_buf);
             for id in 0..self.agents.len() {
                 if self.fault_state.is_down(id as AgentId) {
                     continue; // quiescent: never acts
                 }
-                if let Some(op) = self.agents[id].act(&ctx) {
+                self.agents[id].act_multi(&ctx, &mut multi_buf);
+                for op in multi_buf.drain(..) {
                     self.ops.push((id as AgentId, op));
                 }
             }
+            self.multi_buf = multi_buf;
         }
         self.metrics.record_round(self.ops.len() as u64);
 
@@ -772,6 +789,9 @@ impl<M: MsgSize, A: Agent<M>> Network<M, A> {
 impl<M, T: Agent<M> + ?Sized> Agent<M> for Box<T> {
     fn act(&mut self, ctx: &RoundCtx) -> Option<Op<M>> {
         (**self).act(ctx)
+    }
+    fn act_multi(&mut self, ctx: &RoundCtx, out: &mut Vec<Op<M>>) {
+        (**self).act_multi(ctx, out)
     }
     fn on_pull(&mut self, from: AgentId, query: &M, ctx: &RoundCtx) -> Option<M> {
         (**self).on_pull(from, query, ctx)

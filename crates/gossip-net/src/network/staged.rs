@@ -88,6 +88,9 @@ pub struct StagedScratch<M> {
     /// Per-shard plan output, concatenated into `Network::ops` in shard
     /// order after the plan barrier.
     plan_bufs: Vec<Vec<(AgentId, Op<M>)>>,
+    /// Per-shard `act_multi` scratch (one agent's ops before they are
+    /// id-tagged into the shard's plan buffer).
+    plan_tmp: Vec<Vec<Op<M>>>,
     /// Counting-sort scratch (`n + 1` counters).
     counts: Vec<u32>,
     /// Push ledger offsets by receiver (`n + 1`).
@@ -146,6 +149,7 @@ impl<M> StagedScratch<M> {
     pub fn new() -> Self {
         StagedScratch {
             plan_bufs: Vec::new(),
+            plan_tmp: Vec::new(),
             counts: Vec::new(),
             push_off: Vec::new(),
             push_entries: Vec::new(),
@@ -162,6 +166,9 @@ impl<M> StagedScratch<M> {
     pub fn clear(&mut self) {
         for buf in &mut self.plan_bufs {
             buf.clear();
+        }
+        for tmp in &mut self.plan_tmp {
+            tmp.clear();
         }
         self.counts.clear();
         self.push_off.clear();
@@ -226,35 +233,44 @@ impl<M: MsgSize + Send + Sync, A: Agent<M> + Send> Network<M, A> {
     // Stage 1: plan
     // ------------------------------------------------------------------
 
-    /// Collect every active agent's op into `self.ops`, sharded. The
+    /// Collect every active agent's ops into `self.ops`, sharded. The
     /// per-shard buffers concatenate in shard order, i.e. id order —
-    /// exactly the monolithic act loop's output.
+    /// exactly the monolithic act loop's output. Multi-op agents
+    /// (overridden [`Agent::act_multi`]) keep their emission order
+    /// within their id slot.
     fn plan(&mut self, round: usize, threads: usize) {
-        self.ops.clear();
-        let n = self.agents.len();
-        let topology = &self.topology;
-        let fault_state = &self.fault_state;
+        let Network { pool, agents, staged, topology, fault_state, ops, multi_buf, .. } = self;
+        ops.clear();
+        let n = agents.len();
+        let topology: &Topology = topology;
+        let fault_state: &FaultState = fault_state;
         if threads <= 1 {
             let ctx = RoundCtx { round, topology };
-            for (id, agent) in self.agents.iter_mut().enumerate() {
+            for (id, agent) in agents.iter_mut().enumerate() {
                 if fault_state.is_down(id as AgentId) {
                     continue; // quiescent: never acts
                 }
-                if let Some(op) = agent.act(&ctx) {
-                    self.ops.push((id as AgentId, op));
+                agent.act_multi(&ctx, multi_buf);
+                for op in multi_buf.drain(..) {
+                    ops.push((id as AgentId, op));
                 }
             }
             return;
         }
         let chunk = n.div_ceil(threads);
-        let bufs = &mut self.staged.plan_bufs;
+        let bufs = &mut staged.plan_bufs;
+        let tmps = &mut staged.plan_tmp;
         if bufs.len() < threads {
             bufs.resize_with(threads, Vec::new);
         }
-        std::thread::scope(|scope| {
-            let mut rest: &mut [A] = &mut self.agents;
+        if tmps.len() < threads {
+            tmps.resize_with(threads, Vec::new);
+        }
+        let pool = ensure_pool(pool, threads);
+        pool.scope(|scope| {
+            let mut rest: &mut [A] = agents;
             let mut base = 0usize;
-            for buf in bufs[..threads].iter_mut() {
+            for (buf, tmp) in bufs[..threads].iter_mut().zip(tmps[..threads].iter_mut()) {
                 let take = chunk.min(rest.len());
                 if take == 0 {
                     break;
@@ -271,19 +287,20 @@ impl<M: MsgSize + Send + Sync, A: Agent<M> + Send> Network<M, A> {
                         if fault_state.is_down(id) {
                             continue;
                         }
-                        if let Some(op) = agent.act(&ctx) {
+                        agent.act_multi(&ctx, tmp);
+                        for op in tmp.drain(..) {
                             buf.push((id, op));
                         }
                     }
                 });
             }
         });
-        for buf in self.staged.plan_bufs[..threads].iter_mut() {
-            self.ops.append(buf);
+        for buf in staged.plan_bufs[..threads].iter_mut() {
+            ops.append(buf);
         }
         debug_assert!(
-            self.ops.windows(2).all(|w| w[0].0 < w[1].0),
-            "plan merge must produce strictly id-ordered ops"
+            ops.windows(2).all(|w| w[0].0 <= w[1].0),
+            "plan merge must produce id-ordered ops"
         );
     }
 
@@ -523,19 +540,19 @@ impl<M: MsgSize + Send + Sync, A: Agent<M> + Send> Network<M, A> {
     /// inbox.
     fn apply_pulls(&mut self, round: usize, threads: usize) {
         let n = self.agents.len();
-        let st = &mut self.staged;
+        let Network { pool, agents, staged: st, topology, env, ops, metrics, .. } = self;
         st.reply_out.clear();
         st.reply_out.resize_with(st.query_entries.len(), || None);
-        let topology = &self.topology;
-        let env = &self.env;
-        let ops = &self.ops[..];
+        let topology: &Topology = topology;
+        let env: &SizeEnv = env;
+        let ops: &[(AgentId, Op<M>)] = ops;
         let entries = &st.query_entries[..];
         let off = &st.query_off[..];
         let chunk = n.div_ceil(threads);
         let mut shard_meters: Vec<(Tally, u64)> = Vec::with_capacity(threads);
         if threads <= 1 {
             let meter = apply_pull_chunk(
-                &mut self.agents[..],
+                &mut agents[..],
                 0,
                 entries,
                 off,
@@ -547,12 +564,17 @@ impl<M: MsgSize + Send + Sync, A: Agent<M> + Send> Network<M, A> {
             );
             shard_meters.push(meter);
         } else {
-            std::thread::scope(|scope| {
-                let mut agents_rest: &mut [A] = &mut self.agents;
+            // Shard meters are written in place by the pool jobs (an
+            // unused trailing slot stays a zero tally, which merges as
+            // a no-op), so shard order is positional, not join order.
+            shard_meters.resize_with(threads, Default::default);
+            let pool = ensure_pool(pool, threads);
+            pool.scope(|scope| {
+                let mut agents_rest: &mut [A] = agents;
                 let mut reply_rest: &mut [Option<M>] = &mut st.reply_out;
+                let mut meters_rest: &mut [(Tally, u64)] = &mut shard_meters;
                 let mut consumed = off[0] as usize; // == 0
                 let mut lo = 0usize;
-                let mut handles = Vec::with_capacity(threads);
                 while lo < n {
                     let hi = (lo + chunk).min(n);
                     let (agents_chunk, ar) = agents_rest.split_at_mut(hi - lo);
@@ -561,9 +583,11 @@ impl<M: MsgSize + Send + Sync, A: Agent<M> + Send> Network<M, A> {
                     let (reply_chunk, rr) = reply_rest.split_at_mut(e_hi - consumed);
                     reply_rest = rr;
                     consumed = e_hi;
+                    let (meter_slot, mr) = meters_rest.split_first_mut().expect("meter slot per shard");
+                    meters_rest = mr;
                     let base = lo;
-                    handles.push(scope.spawn(move || {
-                        apply_pull_chunk(
+                    scope.spawn(move || {
+                        *meter_slot = apply_pull_chunk(
                             agents_chunk,
                             base,
                             entries,
@@ -573,22 +597,18 @@ impl<M: MsgSize + Send + Sync, A: Agent<M> + Send> Network<M, A> {
                             round,
                             topology,
                             env,
-                        )
-                    }));
+                        );
+                    });
                     lo = hi;
-                }
-                for h in handles {
-                    shard_meters.push(h.join().expect("pull-apply shard panicked"));
                 }
             });
         }
         // Merge per-shard reply meters in shard order — exact, so the
         // totals equal single-threaded metering bit for bit.
         for (tally, undelivered) in shard_meters {
-            self.metrics.record_bulk(&tally, undelivered);
+            metrics.record_bulk(&tally, undelivered);
         }
         // Gather replies into the per-puller inbox (pull/op order).
-        let st = &mut self.staged;
         st.reply_inbox.clear();
         for pull in &st.pulls {
             st.reply_inbox.push(st.reply_out[pull.qpos as usize].take());
@@ -623,15 +643,15 @@ impl<M: MsgSize + Send + Sync, A: Agent<M> + Send> Network<M, A> {
     /// all-pushes-then-all-replies order observationally.
     fn apply_deliveries(&mut self, round: usize, threads: usize) {
         let n = self.agents.len();
-        let st = &mut self.staged;
-        let topology = &self.topology;
-        let ops = &self.ops[..];
+        let Network { pool, agents, staged: st, topology, ops, .. } = self;
+        let topology: &Topology = topology;
+        let ops: &[(AgentId, Op<M>)] = ops;
         let entries = &st.push_entries[..];
         let off = &st.push_off[..];
         let chunk = n.div_ceil(threads);
         if threads <= 1 {
             apply_delivery_chunk(
-                &mut self.agents[..],
+                &mut agents[..],
                 0,
                 entries,
                 off,
@@ -642,8 +662,9 @@ impl<M: MsgSize + Send + Sync, A: Agent<M> + Send> Network<M, A> {
                 topology,
             );
         } else {
-            std::thread::scope(|scope| {
-                let mut agents_rest: &mut [A] = &mut self.agents;
+            let pool = ensure_pool(pool, threads);
+            pool.scope(|scope| {
+                let mut agents_rest: &mut [A] = agents;
                 let mut pulls_rest: &[PullRec] = &st.pulls;
                 let mut inbox_rest: &mut [Option<M>] = &mut st.reply_inbox;
                 let mut lo = 0usize;
@@ -651,6 +672,9 @@ impl<M: MsgSize + Send + Sync, A: Agent<M> + Send> Network<M, A> {
                     let hi = (lo + chunk).min(n);
                     let (agents_chunk, ar) = agents_rest.split_at_mut(hi - lo);
                     agents_rest = ar;
+                    // A multi-op puller has several adjacent pulls; the
+                    // partition point stays correct because `pulls` is
+                    // puller-ordered (op order).
                     let k = pulls_rest.partition_point(|p| (p.puller as usize) < hi);
                     let (pulls_chunk, pr) = pulls_rest.split_at(k);
                     pulls_rest = pr;
@@ -675,6 +699,19 @@ impl<M: MsgSize + Send + Sync, A: Agent<M> + Send> Network<M, A> {
             });
         }
     }
+}
+
+/// Get the network's persistent worker pool, (re)building it lazily if
+/// it does not exist yet or the configured thread count changed. The
+/// pool outlives rounds *and* trials — replacing a per-round
+/// `std::thread::scope` spawn/join with a channel send + condvar wait
+/// (`rfc-bench`'s `staged_spawn_overhead` row isolates the difference).
+fn ensure_pool(slot: &mut Option<crate::pool::ScopedPool>, threads: usize) -> &mut crate::pool::ScopedPool {
+    let rebuild = !matches!(slot, Some(p) if p.workers() == threads);
+    if rebuild {
+        *slot = Some(crate::pool::ScopedPool::new(threads));
+    }
+    slot.as_mut().expect("pool just ensured")
 }
 
 /// Deliver queries to one contiguous pullee shard (`agents` holds ids

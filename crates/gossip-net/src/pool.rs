@@ -1,0 +1,263 @@
+//! A persistent scoped worker pool for the staged round engine.
+//!
+//! The staged engine's plan and apply stages shard one round's work
+//! across threads. Doing that with `std::thread::scope` costs an OS
+//! thread spawn + join per stage per round — the ROADMAP flags exactly
+//! this per-round spawning as the suspect for the sharding losses the
+//! E16 table shows at small `n`. [`ScopedPool`] keeps the workers alive
+//! across rounds (and across trials: [`crate::network::Network`] owns
+//! one for the lifetime of its arena) and replaces spawn/join with a
+//! channel send and a condvar wait.
+//!
+//! ## The scoped-dispatch pattern
+//!
+//! [`ScopedPool::scope`] accepts jobs that borrow the caller's stack
+//! (`'env` closures), like `std::thread::scope` does, but runs them on
+//! the persistent workers. Soundness rests on one invariant, upheld in
+//! exactly one place: **`scope` does not return — not even by panic —
+//! until every job dispatched inside it has finished.** The wait runs
+//! unconditionally after the scope body, and worker panics are caught
+//! (and re-raised on the caller) rather than allowed to strand the
+//! job counter. Given that invariant, erasing the job's `'env` lifetime
+//! to send it through the channel is safe: no borrow inside a job can
+//! outlive the data it references.
+
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// A type-erased job after its scope lifetime has been erased (see the
+/// module docs for why that is sound).
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Job accounting shared between the dispatching side and the workers.
+struct Shared {
+    state: Mutex<State>,
+    all_done: Condvar,
+}
+
+struct State {
+    /// Jobs dispatched but not yet finished.
+    outstanding: usize,
+    /// Jobs that finished by panicking since the last `scope` returned.
+    panicked: usize,
+}
+
+/// A fixed-size pool of persistent worker threads with scoped dispatch
+/// (see module docs).
+pub struct ScopedPool {
+    /// One dedicated channel per worker: jobs are distributed
+    /// round-robin, which for the staged engine's "one chunk per
+    /// worker" dispatch pattern gives each worker exactly one job per
+    /// stage — no work-stealing queue needed.
+    senders: Vec<Sender<Job>>,
+    handles: Vec<JoinHandle<()>>,
+    shared: Arc<Shared>,
+    next: usize,
+}
+
+impl ScopedPool {
+    /// Spawn a pool of `workers` persistent threads (`workers >= 1`).
+    pub fn new(workers: usize) -> Self {
+        assert!(workers >= 1, "a pool needs at least one worker");
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State { outstanding: 0, panicked: 0 }),
+            all_done: Condvar::new(),
+        });
+        let mut senders = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let (tx, rx) = channel::<Job>();
+            let shared = Arc::clone(&shared);
+            handles.push(std::thread::spawn(move || {
+                // Exits when the pool drops its sender (recv errors).
+                while let Ok(job) = rx.recv() {
+                    let panicked = catch_unwind(AssertUnwindSafe(job)).is_err();
+                    let mut st = shared.state.lock().unwrap();
+                    st.outstanding -= 1;
+                    if panicked {
+                        st.panicked += 1;
+                    }
+                    if st.outstanding == 0 {
+                        shared.all_done.notify_all();
+                    }
+                }
+            }));
+            senders.push(tx);
+        }
+        ScopedPool { senders, handles, shared, next: 0 }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Run a dispatch scope: `f` may [`Scope::spawn`] jobs that borrow
+    /// data outside the call; `scope` returns only after every spawned
+    /// job has completed. If any job panicked (or `f` itself did), the
+    /// panic is re-raised here — after the wait, so borrows stay valid
+    /// even on the unwind path.
+    pub fn scope<'env, F>(&mut self, f: F)
+    where
+        F: FnOnce(&mut Scope<'env, '_>),
+    {
+        self.next = 0; // deterministic chunk -> worker assignment per scope
+        let body = catch_unwind(AssertUnwindSafe(|| {
+            let mut scope = Scope { pool: self, _env: PhantomData };
+            f(&mut scope);
+        }));
+        // The load-bearing wait: runs on success AND unwind.
+        let panicked = {
+            let mut st = self.shared.state.lock().unwrap();
+            while st.outstanding > 0 {
+                st = self.shared.all_done.wait(st).unwrap();
+            }
+            std::mem::take(&mut st.panicked)
+        };
+        if let Err(p) = body {
+            resume_unwind(p);
+        }
+        if panicked > 0 {
+            panic!("{panicked} pool job(s) panicked");
+        }
+    }
+}
+
+impl Drop for ScopedPool {
+    fn drop(&mut self) {
+        self.senders.clear(); // hang up every channel
+        for h in self.handles.drain(..) {
+            let _ = h.join(); // worker panics were already re-raised in scope
+        }
+    }
+}
+
+impl std::fmt::Debug for ScopedPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScopedPool")
+            .field("workers", &self.workers())
+            .finish()
+    }
+}
+
+/// Dispatch handle passed to the closure of [`ScopedPool::scope`].
+pub struct Scope<'env, 'pool> {
+    pool: &'pool mut ScopedPool,
+    /// Invariant over `'env`, like `std::thread::Scope`.
+    _env: PhantomData<&'env mut &'env ()>,
+}
+
+impl<'env> Scope<'env, '_> {
+    /// Dispatch one job to a pool worker. The job may borrow anything
+    /// that outlives the enclosing [`ScopedPool::scope`] call.
+    pub fn spawn(&mut self, job: impl FnOnce() + Send + 'env) {
+        let job: Box<dyn FnOnce() + Send + 'env> = Box::new(job);
+        // SAFETY: `ScopedPool::scope` waits for `outstanding == 0`
+        // before returning, on both the success and the unwind path, so
+        // this job — and every `'env` borrow it captures — is finished
+        // before the borrowed data can be touched again. The counter is
+        // incremented *before* the send, so the wait can never miss a
+        // job that is still in a channel.
+        let job: Job = unsafe {
+            std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Job>(job)
+        };
+        self.pool.shared.state.lock().unwrap().outstanding += 1;
+        let w = self.pool.next % self.pool.senders.len();
+        self.pool.next += 1;
+        self.pool.senders[w]
+            .send(job)
+            .expect("pool worker exited while the pool was alive");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn jobs_run_and_scope_waits() {
+        let mut pool = ScopedPool::new(4);
+        let counter = AtomicUsize::new(0);
+        pool.scope(|s| {
+            for _ in 0..16 {
+                s.spawn(|| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 16);
+    }
+
+    #[test]
+    fn jobs_may_borrow_mutable_chunks() {
+        let mut pool = ScopedPool::new(3);
+        let mut data = vec![0u64; 9];
+        pool.scope(|s| {
+            for (i, chunk) in data.chunks_mut(3).enumerate() {
+                s.spawn(move || {
+                    for (j, x) in chunk.iter_mut().enumerate() {
+                        *x = (i * 3 + j) as u64;
+                    }
+                });
+            }
+        });
+        assert_eq!(data, (0..9).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn pool_is_reusable_across_scopes() {
+        let mut pool = ScopedPool::new(2);
+        let mut total = 0u64;
+        for round in 0..50u64 {
+            let mut parts = [0u64; 2];
+            pool.scope(|s| {
+                let (a, b) = parts.split_at_mut(1);
+                s.spawn(move || a[0] = round);
+                s.spawn(move || b[0] = round * 2);
+            });
+            total += parts[0] + parts[1];
+        }
+        assert_eq!(total, (0..50u64).map(|r| 3 * r).sum::<u64>());
+    }
+
+    #[test]
+    fn job_panic_is_relayed_after_the_wait() {
+        let mut pool = ScopedPool::new(2);
+        let flag = AtomicUsize::new(0);
+        let res = catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(|s| {
+                s.spawn(|| panic!("boom"));
+                s.spawn(|| {
+                    flag.fetch_add(1, Ordering::SeqCst);
+                });
+            });
+        }));
+        assert!(res.is_err(), "job panic must propagate to the caller");
+        assert_eq!(flag.load(Ordering::SeqCst), 1, "sibling job still ran");
+        // The pool survives a panicked scope.
+        pool.scope(|s| {
+            s.spawn(|| {
+                flag.fetch_add(1, Ordering::SeqCst);
+            });
+        });
+        assert_eq!(flag.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn more_jobs_than_workers_round_robin() {
+        let mut pool = ScopedPool::new(2);
+        let counter = AtomicUsize::new(0);
+        pool.scope(|s| {
+            for _ in 0..7 {
+                s.spawn(|| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 7);
+    }
+}

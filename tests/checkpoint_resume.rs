@@ -674,6 +674,35 @@ fn config_mismatch_is_reported() {
 }
 
 #[test]
+fn instance_plan_mismatch_is_reported() {
+    // A checkpoint taken under the default single-consensus plan must
+    // refuse to restore into a differently-shaped instance plane: the
+    // instance plan is part of RunConfig's Debug form, so the config
+    // fingerprint covers instance count *and* kinds end to end.
+    let (cfg, bytes) = some_checkpoint();
+    let mut two_instances = cfg.clone();
+    two_instances.instances = rfc_core::InstancePlan::consensus(2);
+    match restore_network(&two_instances, &bytes) {
+        Err(CheckpointError::ConfigMismatch { expected, found }) => {
+            assert_ne!(expected, found, "fingerprints must differ");
+        }
+        Err(other) => panic!("expected ConfigMismatch, got {other}"),
+        Ok(_) => panic!("instance-plan mismatch accepted"),
+    }
+    // A different *kind* at the same count is also rejected.
+    let mut rumor = cfg.clone();
+    rumor.instances = rfc_core::InstancePlan::rumor(1, 8);
+    assert!(matches!(
+        restore_network(&rumor, &bytes),
+        Err(CheckpointError::ConfigMismatch { .. })
+    ));
+    // The same plan spelled explicitly is accepted (it IS the default).
+    let mut same = cfg.clone();
+    same.instances = rfc_core::InstancePlan::single_consensus();
+    assert!(restore_network(&same, &bytes).is_ok());
+}
+
+#[test]
 fn garbage_bodies_error_cleanly() {
     let (cfg, bytes) = some_checkpoint();
     // Flip bytes throughout the body; any outcome but a panic or an

@@ -204,6 +204,33 @@ const GOLDEN: &[(&str, u64, u64)] = &[
 ];
 
 #[test]
+fn golden_single_instance_plane_matches_pinned_rows() {
+    // The instance plane's golden row: a single-consensus plan through
+    // the multiplexer must reproduce the *pre-plane* pinned digests
+    // exactly — including a lossy row, since the single-instance path
+    // keeps loss in the engine. No regeneration story here: if these
+    // move, the plane stopped being a pure generalization.
+    for label in ["complete/n24/balanced", "complete/n32/loss-0.25"] {
+        let (_, cfg, seed) = corpus()
+            .into_iter()
+            .find(|(l, _, _)| *l == label)
+            .expect("corpus row exists");
+        let plane = rfc_core::run_plane(&cfg, seed);
+        let report = plane.legacy.as_ref().expect("single-consensus legacy view");
+        let got = report_digest(report);
+        let (_, want, want_u) = GOLDEN
+            .iter()
+            .find(|(l, _, _)| *l == label)
+            .expect("pinned digest exists");
+        assert_eq!(
+            got, *want,
+            "{label}: plane digest {got:#018x} != pinned {want:#018x}"
+        );
+        assert_eq!(report.metrics.undelivered, *want_u, "{label}: undelivered");
+    }
+}
+
+#[test]
 fn golden_static_corpus_is_bit_identical() {
     let regen = std::env::var("GOLDEN_REGEN").is_ok();
     let mut failures = Vec::new();
