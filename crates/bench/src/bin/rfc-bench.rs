@@ -9,12 +9,12 @@
 //!
 //! rfc-bench selftest <committed.json>
 //!     Prove the gate can fire: re-compare the baseline against a copy
-//!     of itself with every throughput cell halved (must FAIL) and
-//!     against an identical copy (must PASS). Exit non-zero if either
-//!     expectation breaks.
+//!     of itself with every throughput cell halved and every ΔRSS cell
+//!     inflated (must FAIL) and against an identical copy (must PASS).
+//!     Exit non-zero if either expectation breaks.
 //! ```
 
-use rfc_bench::gate::{compare, is_gated_column, parse_tables, TableData};
+use rfc_bench::gate::{compare, is_gated_column, is_memory_column, parse_tables, TableData};
 use std::process::ExitCode;
 
 fn tolerance() -> f64 {
@@ -57,7 +57,7 @@ fn run_gate(committed_path: &str, fresh_paths: &[String]) -> ExitCode {
     }
     if report.pass() {
         println!(
-            "perf gate OK: {} throughput checks within {:.0}% of {}",
+            "perf gate OK: {} throughput/memory checks within {:.0}% of {}",
             report.checks,
             tol * 100.0,
             committed_path
@@ -87,22 +87,35 @@ fn run_selftest(committed_path: &str) -> ExitCode {
         eprintln!("rfc-bench selftest: {committed_path} has no throughput cells to gate");
         return ExitCode::FAILURE;
     }
-    // Injected slowdown: halve every throughput cell. The gate must fire.
-    let slowed: Vec<TableData> = committed
+    // Injected regression: halve every throughput cell and inflate every
+    // memory cell past any plausible slack. The gate must fire on both.
+    let regressed: Vec<TableData> = committed
         .iter()
         .map(|t| {
             let mut t = t.clone();
-            let gated: Vec<usize> = t
+            let throughput: Vec<usize> = t
                 .columns
                 .iter()
                 .enumerate()
                 .filter(|(_, c)| is_gated_column(c))
                 .map(|(i, _)| i)
                 .collect();
+            let memory: Vec<usize> = t
+                .columns
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| is_memory_column(c))
+                .map(|(i, _)| i)
+                .collect();
             for row in &mut t.rows {
-                for &c in &gated {
+                for &c in &throughput {
                     if let Ok(v) = row[c].parse::<f64>() {
                         row[c] = format!("{}", v * 0.5);
+                    }
+                }
+                for &c in &memory {
+                    if let Ok(v) = row[c].parse::<f64>() {
+                        row[c] = format!("{}", v * 10.0 + 100.0);
                     }
                 }
             }
@@ -110,9 +123,21 @@ fn run_selftest(committed_path: &str) -> ExitCode {
         })
         .collect();
     let tol = tolerance();
-    let fired = compare(&committed, &slowed, tol);
+    let fired = compare(&committed, &regressed, tol);
     if fired.pass() {
         println!("selftest FAILED: a 50% slowdown across {gated_cells} cells did not trip the gate");
+        return ExitCode::FAILURE;
+    }
+    let mem_cells: usize = committed
+        .iter()
+        .map(|t| t.columns.iter().filter(|c| is_memory_column(c)).count() * t.rows.len())
+        .sum();
+    if mem_cells > 0
+        && !fired.failures.iter().any(|f| f.contains("ceiling"))
+    {
+        println!(
+            "selftest FAILED: inflating {mem_cells} ΔRSS cells 10×+100 MiB did not trip the memory ceiling"
+        );
         return ExitCode::FAILURE;
     }
     let clean = compare(&committed, &committed, tol);
@@ -124,7 +149,7 @@ fn run_selftest(committed_path: &str) -> ExitCode {
         return ExitCode::FAILURE;
     }
     println!(
-        "selftest OK: gate trips on injected 50% slowdown ({} violations over {} checks) and passes identity",
+        "selftest OK: gate trips on injected 50% slowdown + ΔRSS inflation ({} violations over {} checks) and passes identity",
         fired.failures.len(),
         clean.checks
     );

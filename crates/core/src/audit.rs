@@ -69,7 +69,10 @@ pub fn audit_good_execution<A: ConsensusAgent>(net: &Network<Msg, A>) -> GoodExe
         }
         n_active += 1;
         let core = net.agent(id).core();
-        let nv = core.votes.len();
+        // `votes_received()` (monotone counter), not `votes.len()`: the
+        // receipt buffer moves into `own_cert` at certificate build, so
+        // its length is 0 by audit time.
+        let nv = core.votes_received();
         votes_min = votes_min.min(nv);
         votes_max = votes_max.max(nv);
         votes_sum += nv;

@@ -58,7 +58,6 @@ use gossip_net::ids::{AgentId, ColorId};
 use gossip_net::metrics::{Metrics, Tally};
 use gossip_net::network::{EngineState, Network};
 use gossip_net::oplog::{OpKind, OpLog};
-use gossip_net::rng::RngDiscipline;
 
 use crate::agent_plane::AgentSlot;
 use crate::certificate::{CertData, Certificate, VoteRec};
@@ -174,13 +173,17 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 }
 
 /// Fingerprint of everything in a [`RunConfig`] that determines run
-/// *behavior*. `threads` is normalized out: staged output is
-/// bit-identical for every thread count, so a checkpoint taken at one
-/// count legally resumes at another. `rng_discipline` stays in — the
-/// disciplines are distinct behaviors with distinct digests.
+/// *behavior*. `threads`, `shard_floor`, and `time_stages` are
+/// normalized out: staged output is bit-identical for every thread
+/// count / floor, and stage timing is observability-only, so a
+/// checkpoint taken under one setting legally resumes under another.
+/// `rng_discipline` stays in — the disciplines are distinct behaviors
+/// with distinct digests.
 pub fn config_fingerprint(cfg: &RunConfig) -> u64 {
     let mut norm = cfg.clone();
     norm.threads = 1;
+    norm.shard_floor = None;
+    norm.time_stages = false;
     fnv1a(format!("{norm:?}").as_bytes())
 }
 
@@ -433,8 +436,8 @@ fn encode_pools(e: &mut Enc, pools: &Pools) {
         e.varint(cert.color as u64);
         e.varint(cert.owner as u64);
         e.usize(cert.votes.len());
-        for v in &cert.votes {
-            encode_vote(e, v);
+        for v in cert.votes.iter() {
+            encode_vote(e, &v);
         }
     }
 }
@@ -465,7 +468,7 @@ fn decode_pools(d: &mut Dec) -> Result<(Vec<IntentList>, Vec<Certificate>), Chec
         for _ in 0..n_votes {
             votes.push(decode_vote(d)?);
         }
-        certs.push(Shared::new(CertData { k, votes, color, owner }));
+        certs.push(Shared::new(CertData { k, votes: votes.into(), color, owner }));
     }
     Ok((intents, certs))
 }
@@ -502,9 +505,10 @@ fn encode_core(e: &mut Enc, core: &ProtocolCore, pools: &mut Pools) {
         }
     }
     e.usize(core.votes.len());
-    for v in &core.votes {
-        encode_vote(e, v);
+    for v in core.votes.iter() {
+        encode_vote(e, &v);
     }
+    e.varint(core.votes_recv as u64);
     e.usize(core.vote_idx);
     for cert in [&core.own_cert, &core.min_cert] {
         match cert {
@@ -594,11 +598,13 @@ fn decode_core(
         }
     }
     let n_votes = d.len_capped()?;
-    let mut votes = Vec::with_capacity(n_votes);
+    let mut votes = crate::certificate::VoteLanes::with_capacity(n_votes);
     for _ in 0..n_votes {
         votes.push(decode_vote(d)?);
     }
     core.votes = votes;
+    core.votes_recv = u32::try_from(d.varint()?)
+        .map_err(|_| CheckpointError::Corrupt("vote counter overflows u32"))?;
     core.vote_idx = d.usize()?;
     let mut certs = [None, None];
     for slot in &mut certs {
@@ -929,7 +935,7 @@ pub fn drive_with_checkpoints(
     let schedule = params.sync_schedule();
     let q = params.q;
     let total = if cfg.skip_coherence { 3 * q } else { 4 * q };
-    let staged = cfg.rng_discipline != RngDiscipline::Sequential || cfg.threads != 1;
+    let staged = crate::runner::use_staged_engine(cfg);
     let mut entered: Option<&'static str> = None;
     while net.round() < total {
         let name = schedule.phase_of(net.round()).name();

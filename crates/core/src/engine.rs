@@ -33,7 +33,7 @@
 //!   current certificate; if a tie ever splits the network the Coherence
 //!   phase fails it, and Lemma 3(2) makes ties vanishing-rare.
 
-use crate::certificate::{CertData, Certificate, VoteRec};
+use crate::certificate::{CertData, Certificate, VoteLanes, VoteRec};
 use crate::ledger::{ConsistencyError, Ledger};
 use crate::msg::{IntentEntry, IntentList, Msg};
 use crate::params::{Params, Phase, PhaseSchedule};
@@ -83,8 +83,15 @@ pub struct ProtocolCore {
     pub intents: IntentList,
     /// Commitment ledger `L_u`.
     pub ledger: Ledger,
-    /// Received votes `W_u`.
-    pub votes: Vec<VoteRec>,
+    /// Received votes `W_u`, in struct-of-arrays lanes (receipt order).
+    /// This is a *receipt buffer*: [`ProtocolCore::ensure_certificate`]
+    /// moves it into `own_cert` instead of cloning it, so after the
+    /// certificate is built the lanes are empty — read
+    /// [`ProtocolCore::votes_received`] for the count, which survives.
+    pub votes: VoteLanes,
+    /// Votes received during Voting (monotone; unlike `votes`, not
+    /// consumed by certificate construction).
+    pub votes_recv: u32,
     /// Next intention index to push during Voting.
     pub vote_idx: usize,
     /// Own certificate `CE_u` (built at the end of Voting).
@@ -159,8 +166,9 @@ impl ProtocolCore {
             color,
             rng,
             intents,
-            ledger: Ledger::new(),
-            votes: Vec::with_capacity(params.q + 8),
+            ledger: Ledger::with_capacity(params.q + 1),
+            votes: VoteLanes::with_capacity(params.q + 8),
+            votes_recv: 0,
             vote_idx: 0,
             own_cert: None,
             min_cert: None,
@@ -186,12 +194,21 @@ impl ProtocolCore {
 
     /// Build `CE_u` from the received votes if not yet built, and seed the
     /// minimum certificate with it. Idempotent.
+    ///
+    /// The receipt buffer is *moved* into the certificate, not cloned:
+    /// vote acceptance is phase-gated to Voting and certificate
+    /// construction happens at Find-Min entry, so no later push can miss
+    /// the buffer. (This halves the per-agent vote footprint — the old
+    /// clone kept both the receipt-order buffer and the sorted copy
+    /// alive to the end of the run.) Deviator strategies that need the
+    /// receipt-order votes must read them *before* this call.
     pub fn ensure_certificate(&mut self) {
         if self.own_cert.is_none() {
-            let cert: Certificate = Shared::new(CertData::build(
+            let votes = std::mem::take(&mut self.votes);
+            let cert: Certificate = Shared::new(CertData::build_lanes(
                 self.id,
                 self.color,
-                self.votes.clone(),
+                votes,
                 self.params.m,
             ));
             self.own_cert = Some(Shared::clone(&cert));
@@ -199,6 +216,13 @@ impl ProtocolCore {
                 self.min_cert = Some(cert);
             }
         }
+    }
+
+    /// Total votes accepted during Voting — stable across certificate
+    /// construction (which consumes the receipt buffer itself).
+    #[inline]
+    pub fn votes_received(&self) -> usize {
+        self.votes_recv as usize
     }
 
     /// `k_u`, available from the end of the Voting phase.
@@ -280,6 +304,7 @@ impl ProtocolCore {
                     round: *round,
                     value: *value,
                 });
+                self.votes_recv += 1;
             }
             (Phase::Coherence, Msg::Cert(ce)) => {
                 self.ensure_certificate();
@@ -588,7 +613,8 @@ mod tests {
         assert_eq!(core.votes.len(), 1);
         core.on_push_honest(3, &vote, &ctx_at(&topo, 2 * q)); // find-min: dropped
         assert_eq!(core.votes.len(), 1);
-        assert_eq!(core.votes[0].voter, 3);
+        assert_eq!(core.votes.get(0).voter, 3);
+        assert_eq!(core.votes_received(), 1);
     }
 
     #[test]
@@ -655,7 +681,7 @@ mod tests {
         // A structurally valid cert with k = my_k + 1 is not adopted...
         let bigger = Shared::new(CertData {
             k: my_k + 1,
-            votes: vec![],
+            votes: VoteLanes::new(),
             color: 5,
             owner: 2,
         });
@@ -672,7 +698,7 @@ mod tests {
         assert_eq!(core2.k(), Some(100));
         let smaller = Shared::new(CertData {
             k: 50,
-            votes: vec![],
+            votes: VoteLanes::new(),
             color: 9,
             owner: 4,
         });
@@ -686,7 +712,7 @@ mod tests {
         core.ensure_certificate();
         let invalid = Shared::new(CertData {
             k: core.params.m, // out of range
-            votes: vec![],
+            votes: VoteLanes::new(),
             color: 0,
             owner: 2,
         });
@@ -702,7 +728,7 @@ mod tests {
         core.ensure_certificate();
         let other = Shared::new(CertData {
             k: 7,
-            votes: vec![],
+            votes: VoteLanes::new(),
             color: 2,
             owner: 3,
         });
@@ -748,7 +774,7 @@ mod tests {
         core.ensure_certificate();
         core.min_cert = Some(Shared::new(CertData {
             k: 5, // but no votes: derived k = 0
-            votes: vec![],
+            votes: VoteLanes::new(),
             color: 0,
             owner: 2,
         }));

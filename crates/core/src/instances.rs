@@ -62,7 +62,7 @@ use gossip_net::dynamics::LossSchedule;
 use gossip_net::ids::AgentId;
 use gossip_net::metrics::{Metrics, Tally};
 use gossip_net::network::Network;
-use gossip_net::rng::{derive_seed, loss_streams, DetRng, RngDiscipline};
+use gossip_net::rng::{derive_seed, loss_streams, DetRng};
 use gossip_net::size::{MsgSize, SizeEnv};
 use std::collections::VecDeque;
 
@@ -894,7 +894,7 @@ pub fn run_plane(cfg: &RunConfig, seed: u64) -> PlaneReport {
             .max()
             .expect("non-empty plan");
         net.enter_phase("instances");
-        if cfg.rng_discipline != RngDiscipline::Sequential || cfg.threads != 1 {
+        if crate::runner::use_staged_engine(cfg) {
             net.run_staged(total);
         } else {
             net.run(total);
@@ -1051,6 +1051,7 @@ fn legacy_report(net: &Network<PlaneMsg, MuxAgent>, cfg: &RunConfig) -> RunRepor
         n_active: faults.n_active(),
         verify_failures,
         audit: None,
+        stage_times: None,
     }
 }
 

@@ -77,6 +77,17 @@ impl Ledger {
         Self::default()
     }
 
+    /// Empty ledger with room for `cap` entries. The ledger gains at
+    /// most one entry per Commitment-phase round (plus one slot for a
+    /// late `mark_faulty` straggler), so reserving `q + 1` up front
+    /// keeps steady-state rounds entirely off the allocator — growth
+    /// would otherwise double mid-phase, once per agent.
+    pub fn with_capacity(cap: usize) -> Self {
+        Ledger {
+            entries: Vec::with_capacity(cap),
+        }
+    }
+
     /// Record `v`'s first intention declaration (later declarations are
     /// ignored — first-declaration semantics). Returns whether the entry
     /// was newly inserted.
@@ -138,22 +149,24 @@ impl Ledger {
     pub fn check_certificate(&self, cert: &CertData) -> Result<(), ConsistencyError> {
         // Honest certificates keep `votes` in canonical (voter, round)
         // order (CertData::build sorts), so the votes of one voter form
-        // a contiguous run findable by binary search. Verify sortedness
-        // once; adversarially unsorted certificates fall back to the
-        // linear scan. Verdicts are identical on both paths.
+        // a contiguous run findable by binary search over the flat voter
+        // lane. Verify sortedness once; adversarially unsorted
+        // certificates fall back to the linear scan. Verdicts are
+        // identical on both paths.
         let votes = &cert.votes;
-        let sorted = votes.windows(2).all(|w| (w[0].voter, w[0].round) <= (w[1].voter, w[1].round));
+        let voters = votes.voters();
+        let sorted = votes.is_canonically_sorted();
         for entry in &self.entries {
             let v = entry.agent;
-            let actual_run: &[crate::certificate::VoteRec] = if sorted {
-                let lo = votes.partition_point(|r| r.voter < v);
-                let hi = lo + votes[lo..].partition_point(|r| r.voter == v);
-                &votes[lo..hi]
+            let (lo, hi) = if sorted {
+                let lo = voters.partition_point(|&r| r < v);
+                let hi = lo + voters[lo..].partition_point(|&r| r == v);
+                (lo, hi)
             } else {
-                &[] // sentinel; unsorted path re-filters below
+                (0, 0) // sentinel; unsorted path re-filters below
             };
             let actual_count = if sorted {
-                actual_run.len()
+                hi - lo
             } else {
                 cert.votes_from(v).count()
             };
@@ -185,7 +198,11 @@ impl Ledger {
                         .collect();
                     // Actual: votes the certificate attributes to v.
                     let mut actual: Vec<(u16, u64)> = if sorted {
-                        actual_run.iter().map(|r| (r.round, r.value)).collect()
+                        votes.rounds()[lo..hi]
+                            .iter()
+                            .zip(&votes.values()[lo..hi])
+                            .map(|(&r, &val)| (r, val))
+                            .collect()
                     } else {
                         cert.votes_from(v).map(|r| (r.round, r.value)).collect()
                     };

@@ -37,7 +37,7 @@ use gossip_net::dynamics::{LossSchedule, ScenarioScript};
 use gossip_net::fault::{FaultPlan, Placement};
 use gossip_net::ids::{AgentId, ColorId};
 use gossip_net::metrics::Metrics;
-use gossip_net::network::{Network, NetworkConfig};
+use gossip_net::network::{Network, NetworkConfig, StageTimes};
 use gossip_net::rng::{DetRng, RngDiscipline};
 use gossip_net::size::SizeEnv;
 use gossip_net::topology::Topology;
@@ -140,6 +140,24 @@ pub struct RunConfig {
     /// therefore forces attack trials onto the sequential engine
     /// regardless of this field.
     pub threads: usize,
+    /// Minimum agents per shard before an extra shard pays for itself
+    /// (the small-`n` "sharding cliff" guard). `None` uses the tuned
+    /// default [`gossip_net::MIN_AGENTS_PER_SHARD`]; `Some(0)` disables
+    /// the floor (tests that must exercise real multi-shard execution at
+    /// tiny `n` set this); `Some(k)` sets a custom floor. Under
+    /// `Sequential` a floor that leaves fewer than two shards drops the
+    /// run to the monolithic engine outright; under `PerAgent` it clamps
+    /// the effective shard count. Both are digest-invariant (the staged
+    /// engine is thread-invariant and, under `Sequential`, replays the
+    /// monolithic engine bit for bit), so this is a pure throughput
+    /// knob — checkpoint fingerprints normalize it away like `threads`.
+    pub shard_floor: Option<usize>,
+    /// Collect the per-stage wall-clock breakdown
+    /// ([`RunReport::stage_times`]). Observability only: timing reads
+    /// the clock but never feeds back into execution, so digests are
+    /// unaffected. Only the staged engine is instrumented; monolithic
+    /// runs report `None`.
+    pub time_stages: bool,
     /// Concurrent protocol instances multiplexed over the network (the
     /// instance plane, `crate::instances`). The default — one consensus
     /// instance starting at round 0 — is what every legacy entry point
@@ -253,6 +271,8 @@ impl RunConfigBuilder {
                 scenario: ScenarioScript::new(),
                 rng_discipline: RngDiscipline::Sequential,
                 threads: 1,
+                shard_floor: None,
+                time_stages: false,
                 instances: crate::instances::InstancePlan::single_consensus(),
             },
         }
@@ -370,6 +390,20 @@ impl RunConfigBuilder {
         self.rng_discipline(RngDiscipline::PerAgent).threads(threads)
     }
 
+    /// Override the minimum agents-per-shard floor (`0` disables it);
+    /// see [`RunConfig::shard_floor`].
+    pub fn shard_floor(mut self, floor: usize) -> Self {
+        self.cfg.shard_floor = Some(floor);
+        self
+    }
+
+    /// Collect the per-stage wall-clock breakdown into
+    /// [`RunReport::stage_times`].
+    pub fn time_stages(mut self, on: bool) -> Self {
+        self.cfg.time_stages = on;
+        self
+    }
+
     /// Set the instance plan consumed by [`crate::instances::run_plane`]
     /// (legacy single-run entry points ignore it).
     pub fn instances(mut self, plan: crate::instances::InstancePlan) -> Self {
@@ -410,6 +444,10 @@ pub struct RunReport {
     pub verify_failures: Vec<Option<VerifyFailure>>,
     /// Good-execution audit (present when `record_ops` was set).
     pub audit: Option<GoodExecutionReport>,
+    /// Cumulative per-stage wall-clock breakdown (present when
+    /// [`RunConfig::time_stages`] was set and the run took the staged
+    /// engine). Observability only — never part of a digest.
+    pub stage_times: Option<StageTimes>,
 }
 
 impl RunReport {
@@ -488,9 +526,40 @@ pub(crate) fn network_ingredients(
         scenario: cfg.scenario.clone(),
         rng_discipline: cfg.rng_discipline,
         threads: cfg.threads,
+        shard_floor: resolved_shard_floor(cfg),
+        time_stages: cfg.time_stages,
         ..NetworkConfig::default()
     };
     (params, colors, faults, topology, env, net_cfg)
+}
+
+/// The effective agents-per-shard floor: the run's override, or the
+/// tuned [`gossip_net::MIN_AGENTS_PER_SHARD`] default.
+pub(crate) fn resolved_shard_floor(cfg: &RunConfig) -> usize {
+    cfg.shard_floor.unwrap_or(gossip_net::MIN_AGENTS_PER_SHARD)
+}
+
+/// Shared engine choice for [`drive_network`] and the checkpoint driver.
+///
+/// `Sequential` + `threads == 1` (the default config) is the monolithic
+/// [`Network::step`] path — the literal pre-staged code, so every
+/// historical digest is untouched. `Sequential` with more threads takes
+/// the staged legacy-replay path *unless* the shard floor leaves fewer
+/// than two shards, in which case staging is pure overhead and the run
+/// falls back to the monolithic engine — bit-identical either way, since
+/// staged `Sequential` replays the monolithic engine draw for draw. Any
+/// `PerAgent` config takes the staged engine (its floor is applied
+/// inside the network as a shard-count clamp, which the discipline's
+/// thread-invariance makes unobservable).
+pub(crate) fn use_staged_engine(cfg: &RunConfig) -> bool {
+    if cfg.rng_discipline != RngDiscipline::Sequential {
+        return true;
+    }
+    if cfg.threads == 1 {
+        return false;
+    }
+    let floor = resolved_shard_floor(cfg);
+    floor == 0 || cfg.n / floor >= 2
 }
 
 /// Push the `n` per-trial agents (fresh RNG stream each) into `agents`.
@@ -612,10 +681,11 @@ fn color_space_size(cfg: &RunConfig) -> usize {
 /// [`crate::ConsensusAgent`] is `Send`, which is what lets one driver
 /// serve both the monolithic and the staged engine).
 ///
-/// Engine selection: the default config (`Sequential`, `threads == 1`)
-/// takes the monolithic [`Network::step`] path — the literal pre-staged
-/// code, so every historical digest (including the PR-4 golden corpus)
-/// is untouched. Any other `(rng_discipline, threads)` takes the staged
+/// Engine selection is [`use_staged_engine`]: the default config
+/// (`Sequential`, `threads == 1`) and small-`n` `Sequential` runs below
+/// the shard floor take the monolithic [`Network::step`] path — the
+/// literal pre-staged code, so every historical digest (including the
+/// PR-4 golden corpus) is untouched. Everything else takes the staged
 /// engine, which is itself bit-identical to the monolithic path under
 /// `Sequential` and bit-identical across thread counts always.
 ///
@@ -630,7 +700,7 @@ where
 {
     let params = cfg.params();
     let q = params.q;
-    let staged = cfg.rng_discipline != RngDiscipline::Sequential || cfg.threads != 1;
+    let staged = use_staged_engine(cfg);
     for phase in Phase::COMMUNICATING {
         if phase == Phase::Coherence && cfg.skip_coherence {
             // Ablation: the phase's rounds simply don't happen; agents
@@ -699,6 +769,7 @@ pub fn collect_report<A: ConsensusAgent>(net: &Network<Msg, A>, cfg: &RunConfig)
     } else {
         None
     };
+    let stage_times = (cfg.time_stages && use_staged_engine(cfg)).then(|| net.stage_times());
     RunReport {
         outcome,
         rounds: net.round(),
@@ -709,6 +780,7 @@ pub fn collect_report<A: ConsensusAgent>(net: &Network<Msg, A>, cfg: &RunConfig)
         n_active: faults.n_active(),
         verify_failures,
         audit,
+        stage_times,
     }
 }
 
@@ -897,7 +969,8 @@ mod tests {
         let base = RunConfig::builder(24)
             .colors(vec![12, 12])
             .faults(0.25, Placement::Random { seed: 3 })
-            .message_loss(0.2);
+            .message_loss(0.2)
+            .shard_floor(0); // keep real multi-shard execution at tiny n
         let want = report_key(&run_protocol(&base.clone().build(), 41));
         for threads in [2usize, 5, 0] {
             let cfg = base.clone().threads(threads).build();
@@ -913,7 +986,7 @@ mod tests {
     fn sharded_loss_free_run_matches_sequential() {
         // With p = 0 neither discipline draws loss coins, so the sharded
         // engine's report equals the sequential one exactly.
-        let base = RunConfig::builder(32).colors(vec![16, 16]);
+        let base = RunConfig::builder(32).colors(vec![16, 16]).shard_floor(0);
         let want = report_key(&run_protocol(&base.clone().build(), 9));
         let cfg = base.clone().sharded(4).build();
         assert_eq!(report_key(&run_protocol(&cfg, 9)), want);
@@ -924,7 +997,8 @@ mod tests {
         let base = RunConfig::builder(32)
             .colors(vec![16, 16])
             .message_loss(0.05)
-            .record_ops(true);
+            .record_ops(true)
+            .shard_floor(0);
         let want = report_key(&run_protocol(&base.clone().sharded(1).build(), 17));
         for threads in [2usize, 8] {
             let got = report_key(&run_protocol(&base.clone().sharded(threads).build(), 17));
@@ -933,8 +1007,37 @@ mod tests {
     }
 
     #[test]
+    fn shard_floor_falls_back_digest_identically() {
+        // Below the floor, `Sequential` + threads drops to the monolithic
+        // engine and `PerAgent` clamps its shard count — both must be
+        // invisible in the report. n = 24 is far under the default
+        // 2048-agents-per-shard floor, so the default config exercises
+        // the fallback and `shard_floor(0)` the real multi-shard paths.
+        let base = RunConfig::builder(24)
+            .colors(vec![12, 12])
+            .message_loss(0.15)
+            .record_ops(true);
+        // Engine choice itself: floored sequential falls back, unfloored
+        // shards; PerAgent always stages.
+        assert!(!use_staged_engine(&base.clone().threads(4).build()));
+        assert!(use_staged_engine(&base.clone().threads(4).shard_floor(0).build()));
+        assert!(use_staged_engine(&base.clone().sharded(4).build()));
+        let mono = report_key(&run_protocol(&base.clone().build(), 23));
+        let floored = report_key(&run_protocol(&base.clone().threads(4).build(), 23));
+        let unfloored =
+            report_key(&run_protocol(&base.clone().threads(4).shard_floor(0).build(), 23));
+        assert_eq!(floored, mono, "floored sequential fallback diverged");
+        assert_eq!(unfloored, mono, "unfloored staged sequential diverged");
+        let per_floored = report_key(&run_protocol(&base.clone().sharded(4).build(), 23));
+        let per_unfloored =
+            report_key(&run_protocol(&base.clone().sharded(4).shard_floor(0).build(), 23));
+        assert_eq!(per_floored, per_unfloored, "PerAgent shard-count clamp diverged");
+    }
+
+    #[test]
     fn arena_reuses_sharded_runs_bit_for_bit() {
-        let cfg = RunConfig::builder(24).colors(vec![12, 12]).sharded(3).build();
+        let cfg =
+            RunConfig::builder(24).colors(vec![12, 12]).sharded(3).shard_floor(0).build();
         let fresh = report_key(&run_protocol(&cfg, 5));
         let mut arena = TrialArena::new();
         // Interleave other shapes to try to poison the scratch.

@@ -116,14 +116,18 @@ impl ForgeAgent {
 
     /// Leader-side: fabricate the coalition's certificate from the true
     /// received votes.
+    ///
+    /// Reads the receipt-order vote buffer, so it must run *before*
+    /// `ensure_certificate` (which consumes the buffer into the honest
+    /// own-certificate) — see the call-site ordering in `act`.
     fn forge(&mut self) -> crate::Certificate {
         let m = self.core.params.m;
         let (votes, k) = match self.mode {
             ForgeMode::ZeroK => (self.core.votes.clone(), 0),
-            ForgeMode::DropVotes => (Vec::new(), 0),
+            ForgeMode::DropVotes => (crate::certificate::VoteLanes::new(), 0),
             ForgeMode::TunedVote => {
                 let mut votes = self.core.votes.clone();
-                let sum = crate::certificate::sum_votes_mod(&votes, m);
+                let sum = votes.sum_mod(m);
                 // Attribute the balancing vote to a fellow member when one
                 // exists (its declarations are also coalition-controlled),
                 // else to ourselves.
@@ -139,7 +143,7 @@ impl ForgeAgent {
                     round: 0,
                     value: (m - sum) % m,
                 });
-                votes.sort_unstable_by_key(|v| (v.voter, v.round));
+                votes.sort_canonical();
                 (votes, 0)
             }
         };
@@ -171,12 +175,19 @@ impl Agent<Msg> for ForgeAgent {
             // its commitments to look legitimate.
             Phase::Commitment | Phase::Voting => self.core.act_honest(ctx),
             Phase::FindMin => {
-                self.core.ensure_certificate();
                 if self.is_leader()
                     && self.coalition.intel().promoted_cert.is_none()
                 {
+                    // Forge first (it reads the receipt-order vote
+                    // buffer), build the honest own-certificate second
+                    // (it consumes that buffer), then promote the
+                    // forgery — the same final state as the historical
+                    // ensure-then-forge order.
                     let forged = self.forge();
+                    self.core.ensure_certificate();
                     self.core.min_cert = Some(forged);
+                } else {
+                    self.core.ensure_certificate();
                 }
                 // Keep pulling like honest agents (camouflage), but never
                 // adopt what comes back (see on_reply).

@@ -14,7 +14,7 @@
 //! experiment measures the utility delta as a function of `χ`.
 
 use crate::agent_plane::AgentSlot;
-use crate::certificate::CertData;
+use crate::certificate::{CertData, VoteLanes};
 use crate::coalition::Coalition;
 use crate::engine::{ConsensusAgent, ProtocolCore, Role};
 use crate::msg::Msg;
@@ -70,7 +70,7 @@ impl SpiteAgent {
         // minimum: claims our id as owner with an empty vote set.
         let p = Shared::new(CertData {
             k: 0,
-            votes: vec![],
+            votes: VoteLanes::new(),
             color: self.coalition.color,
             owner: self.core.id,
         });
@@ -162,7 +162,7 @@ mod tests {
         assert!(!a.losing(), "own color == coalition color");
         a.core.min_cert = Some(Shared::new(CertData {
             k: 0,
-            votes: vec![],
+            votes: VoteLanes::new(),
             color: 0, // not the coalition color
             owner: 9,
         }));
@@ -176,7 +176,7 @@ mod tests {
         a.core.ensure_certificate();
         a.core.min_cert = Some(Shared::new(CertData {
             k: 0,
-            votes: vec![],
+            votes: VoteLanes::new(),
             color: 0,
             owner: 9,
         }));

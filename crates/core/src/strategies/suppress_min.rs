@@ -144,7 +144,7 @@ mod tests {
     use super::*;
     use crate::coalition::new_coalition;
     use gossip_net::rng::DetRng;
-    use crate::certificate::CertData;
+    use crate::certificate::{CertData, VoteLanes};
     use crate::params::Params;
 
     fn mk() -> CensorAgent {
@@ -166,7 +166,7 @@ mod tests {
     fn cert(owner: AgentId, k: u64) -> Certificate {
         Shared::new(CertData {
             k,
-            votes: vec![],
+            votes: VoteLanes::new(),
             color: 1,
             owner,
         })

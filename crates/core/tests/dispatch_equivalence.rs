@@ -243,6 +243,60 @@ fn single_instance_plane_equals_legacy_path() {
 }
 
 #[test]
+fn soa_engine_spellings_agree_oplog_event_for_event() {
+    // The SoA agent plane (bitset flags, flat vote lanes) plus the
+    // parallel CSR ledger build are *spellings* of one simulation.
+    // Under the Sequential discipline three routes exist — monolithic
+    // (`threads = 1`), staged with real shards (`threads = 4`, floor
+    // disabled), and the small-n shard-floor fallback (`threads = 4`,
+    // default floor) — and they must agree on the full `RunReport` AND
+    // on the recorded op-log event for event: same (round, kind, from,
+    // to) at the same index, which is stronger than any digest.
+    use rfc_core::runner::honest_slot_factory;
+    for (ci, base) in configs().iter().enumerate() {
+        let mut mono = base.clone();
+        mono.record_ops = true;
+        let mut staged = mono.clone();
+        staged.threads = 4;
+        staged.shard_floor = Some(0);
+        let mut fallback = mono.clone();
+        fallback.threads = 4; // default floor: these n are all below it
+        for seed in [3u64, 0xFEED] {
+            let mut runs = Vec::new();
+            for (what, cfg) in
+                [("monolithic", &mono), ("staged", &staged), ("fallback", &fallback)]
+            {
+                let mut net = build_network_slots(cfg, seed, &mut honest_slot_factory);
+                drive_network(&mut net, cfg);
+                let report = collect_report(&net, cfg);
+                runs.push((what, report, net.oplog().events().to_vec()));
+            }
+            let (_, report0, ops0) = &runs[0];
+            assert!(!ops0.is_empty(), "cfg {ci}: op-log recorded nothing");
+            for (what, report, ops) in &runs[1..] {
+                assert_reports_identical(
+                    report0,
+                    report,
+                    &format!("cfg {ci} seed {seed} {what}"),
+                );
+                assert_eq!(
+                    ops0.len(),
+                    ops.len(),
+                    "cfg {ci} seed {seed} {what}: op-log length"
+                );
+                if let Some(pos) = ops0.iter().zip(ops.iter()).position(|(a, b)| a != b) {
+                    panic!(
+                        "cfg {ci} seed {seed} {what}: op-log diverged at event {pos}: \
+                         {:?} vs {:?}",
+                        ops0[pos], ops[pos]
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
 fn arena_handles_changing_network_sizes() {
     // Resizing between trials rebuilds what must be rebuilt and nothing
     // else; reports stay exact.

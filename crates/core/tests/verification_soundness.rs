@@ -72,7 +72,9 @@ proptest! {
         prop_assume!(!cert.votes.is_empty());
         let idx = pick.index(cert.votes.len());
         let mut data = (*cert).clone();
-        data.votes[idx].value = (data.votes[idx].value + 1) % cores[0].params.m;
+        let mut v = data.votes.get(idx);
+        v.value = (v.value + 1) % cores[0].params.m;
+        data.votes.set(idx, v);
         data.k = data.derived_k(cores[0].params.m); // keep the sum check green
         let tampered = Shared::new(data);
         prop_assert!(
@@ -109,7 +111,7 @@ proptest! {
             round: 0,
             value: value % m,
         });
-        data.votes.sort_unstable_by_key(|v| (v.voter, v.round));
+        data.votes.sort_canonical();
         data.votes.dedup();
         data.k = data.derived_k(m);
         let tampered = Shared::new(data);
@@ -176,7 +178,7 @@ fn every_vote_in_winning_cert_was_declared() {
     // Cross-check the winning certificate against the global truth: all
     // votes in W_min match the voters' actual intention lists.
     let (cores, cert) = finished_run(32, 9);
-    for v in &cert.votes {
+    for v in cert.votes.iter() {
         let voter_core = &cores[v.voter as usize];
         let intent = voter_core.intents[v.round as usize];
         assert_eq!(intent.value, v.value, "vote value differs from declaration");

@@ -19,6 +19,11 @@
 //!     --instances <k>          pin the instance-plane sweep (E17) to
 //!                     exactly k concurrent instances
 //!     --instance-kind <kind>   E17 sweep kind: `rumor` or `consensus`
+//!     --stage-times            collect the staged engine's per-stage
+//!                     wall-clock breakdown (E16 emits an extra table)
+//!     --sizes <n1,n2,..>       override the n sweep (E16); underscores
+//!                     allowed: --sizes 10_000_000
+//!     --shards <k1,k2,..>      override the shard-count sweep (E16)
 //! ```
 
 use experiments::{all_experiments, ExpOptions};
@@ -92,6 +97,16 @@ fn main() {
                     .unwrap_or_else(|| die("--instance-kind needs `rumor` or `consensus`"));
                 // Leaked so ExpOptions stays Copy: one flag, process-lifetime.
                 opts.instance_kind = Some(Box::leak(kind.into_boxed_str()));
+            }
+            "--stage-times" => opts.stage_times = true,
+            "--sizes" => {
+                let spec = it.next().unwrap_or_else(|| die("--sizes needs a comma list"));
+                // Leaked so ExpOptions stays Copy: one flag, process-lifetime.
+                opts.sizes = Some(Box::leak(spec.into_boxed_str()));
+            }
+            "--shards" => {
+                let spec = it.next().unwrap_or_else(|| die("--shards needs a comma list"));
+                opts.shards = Some(Box::leak(spec.into_boxed_str()));
             }
             "list" => list_only = true,
             "all" => {
@@ -170,7 +185,7 @@ fn parse_u64(s: &str) -> Option<u64> {
 
 fn usage() {
     eprintln!(
-        "usage: rfc-experiments <list | all | e01..e17...> [--quick] [--seed N] [--threads K] [--csv DIR] [--json DIR] [--checkpoint-every K] [--checkpoint-dir DIR] [--resume-from DIR] [--instances K] [--instance-kind rumor|consensus]"
+        "usage: rfc-experiments <list | all | e01..e17...> [--quick] [--seed N] [--threads K] [--csv DIR] [--json DIR] [--checkpoint-every K] [--checkpoint-dir DIR] [--resume-from DIR] [--instances K] [--instance-kind rumor|consensus] [--stage-times] [--sizes N1,N2,..] [--shards K1,K2,..]"
     );
 }
 

@@ -33,6 +33,13 @@ use rfc_core::runner::{RunConfig, RunReport, TrialArena};
 /// Default landing directory for `--checkpoint-every` snapshots.
 const DEFAULT_CHECKPOINT_DIR: &str = "target/checkpoints";
 
+/// Pinned digest of the 10⁷-agent landmark row (n = 10 000 000, γ = 3,
+/// balanced two-color split, seed `0x5EED_2017`, loss-free). Captured
+/// from the first completed run; asserted by the `#[ignore]`d
+/// `e16_ten_million_row_pins_digest` test and recorded in
+/// `BENCH_scale.json`.
+pub const TEN_MILLION_DIGEST: u64 = 0x9073c387147af7bf;
+
 /// Per-row checkpoint file name: one snapshot file per `(n, shards)`
 /// row, overwritten at each cadence point so it always holds the
 /// latest boundary.
@@ -131,7 +138,9 @@ fn peak_rss_mib() -> Option<f64> {
 
 /// Run E16 and produce its table.
 pub fn run(opts: &ExpOptions) -> Vec<Table> {
-    let sizes: Vec<usize> = if opts.quick {
+    let sizes: Vec<usize> = if let Some(spec) = opts.sizes {
+        ExpOptions::parse_list(spec)
+    } else if opts.quick {
         vec![512, 4096]
     } else {
         vec![100_000, 1_000_000]
@@ -144,7 +153,11 @@ pub fn run_with_sizes(opts: &ExpOptions, sizes: &[usize]) -> Vec<Table> {
     let gamma = 3.0;
     // Quick mode trims the fixed sweep but always keeps the CLI's
     // `--threads` value — the flag drives the engine in both modes.
-    let mut shards: Vec<usize> = if opts.quick {
+    // `--shards` replaces the sweep outright (e.g. `--shards 1` keeps a
+    // 10⁷ landmark run from re-measuring the same core four times).
+    let mut shards: Vec<usize> = if let Some(spec) = opts.shards {
+        ExpOptions::parse_list(spec)
+    } else if opts.quick {
         vec![1, 2, opts.intra_threads()]
     } else {
         let mut s = SHARD_SWEEP.to_vec();
@@ -172,12 +185,17 @@ pub fn run_with_sizes(opts: &ExpOptions, sizes: &[usize]) -> Vec<Table> {
     );
     let mut arena = TrialArena::new();
     let mut markers: Vec<String> = Vec::new();
+    // `--stage-times`: per-row plan/exchange/apply wall-clock split of
+    // the staged engine, reported as a second table. Observability only
+    // — the timing clocks never feed the digest.
+    let mut stage_rows: Vec<Vec<String>> = Vec::new();
     for &n in sizes {
         let cfg_for = |threads: usize| {
             RunConfig::builder(n)
                 .gamma(gamma)
                 .colors(vec![n - n / 2, n / 2])
                 .sharded(threads)
+                .time_stages(opts.stage_times)
                 .build()
         };
         let mut first_digest: Option<u64> = None;
@@ -216,6 +234,17 @@ pub fn run_with_sizes(opts: &ExpOptions, sizes: &[usize]) -> Vec<Table> {
                 rss_growth,
                 format!("{:016x}", digest),
             ]);
+            if let Some(st) = report.stage_times {
+                let total = st.total_us().max(1) as f64;
+                stage_rows.push(vec![
+                    n.to_string(),
+                    threads.to_string(),
+                    (st.plan_us / 1000).to_string(),
+                    (st.exchange_us / 1000).to_string(),
+                    (st.apply_us / 1000).to_string(),
+                    format!("{:.1}", 100.0 * st.exchange_us as f64 / total),
+                ]);
+            }
         }
     }
     table.note("single trial per row; one TrialArena reused across the whole sweep (ΔRSS of later rows ≈ 0 is the arena-reuse witness)");
@@ -228,7 +257,19 @@ pub fn run_with_sizes(opts: &ExpOptions, sizes: &[usize]) -> Vec<Table> {
         // machine-checked bit-identity witness for the CLI path.
         table.note(format!("checkpointing: {}", markers.join(", ")));
     }
-    vec![table]
+    let mut tables = vec![table];
+    if !stage_rows.is_empty() {
+        let mut st = Table::new(
+            "E16 — staged-engine stage breakdown (--stage-times)".to_string(),
+            &["n", "shards", "plan ms", "exchange ms", "apply ms", "exchange %"],
+        );
+        for row in stage_rows {
+            st.row(row);
+        }
+        st.note("cumulative wall-clock per stage across the whole run; exchange % is the ledger-build + mask-resolution share the parallel CSR path attacks");
+        tables.push(st);
+    }
+    tables
 }
 
 #[cfg(test)]
@@ -295,5 +336,67 @@ mod tests {
         let t = &tables[0];
         let max_n: usize = t.rows.iter().map(|r| r[0].parse().unwrap()).max().unwrap();
         assert!(max_n <= 4096, "quick mode must stay CI-sized");
+    }
+
+    #[test]
+    fn e16_stage_times_emit_second_table_without_digest_drift() {
+        let plain = run_with_sizes(&ExpOptions::quick(), &[96]);
+        let mut st = ExpOptions::quick();
+        st.stage_times = true;
+        let timed = run_with_sizes(&st, &[96]);
+        assert_eq!(plain.len(), 1);
+        assert_eq!(timed.len(), 2, "--stage-times adds the breakdown table");
+        // Timing is observability only: the main table's digest cells
+        // are byte-identical with and without the clocks running.
+        let digests =
+            |t: &Table| t.rows.iter().map(|r| r[8].clone()).collect::<Vec<_>>();
+        assert_eq!(digests(&plain[0]), digests(&timed[0]));
+        // One breakdown row per main row, stages sum to something real.
+        assert_eq!(timed[1].rows.len(), timed[0].rows.len());
+        for row in &timed[1].rows {
+            let pct: f64 = row[5].parse().unwrap();
+            assert!((0.0..=100.0).contains(&pct), "bad exchange %: {row:?}");
+        }
+    }
+
+    #[test]
+    fn e16_sizes_and_shards_overrides_drive_the_sweep() {
+        let mut o = ExpOptions::quick();
+        o.sizes = Some("128");
+        o.shards = Some("1,3");
+        let tables = run(&o);
+        let rows = &tables[0].rows;
+        assert_eq!(rows.len(), 2, "one size × two shard counts");
+        assert!(rows.iter().all(|r| r[0] == "128"));
+        assert_eq!(rows[0][2], "1");
+        assert_eq!(rows[1][2], "3");
+        assert_eq!(rows[0][8], rows[1][8], "override rows must still agree");
+    }
+
+    /// The 10⁷ landmark: a single γ = 3 trial at n = 10 000 000 (≈ 107
+    /// minutes of compute on one core, ~48 GiB peak RSS — hence
+    /// `#[ignore]`). Run with:
+    ///
+    /// ```text
+    /// cargo test --release -p experiments e16_ten_million -- --ignored
+    /// ```
+    ///
+    /// The digest is pinned from the first completed run (seed
+    /// 0x5EED2017, shards = 1; shard count never affects digests, which
+    /// the regular sweep machine-checks at smaller n).
+    #[test]
+    #[ignore = "10^7-agent trial: ~107 min single-core, ~48 GiB peak RSS"]
+    fn e16_ten_million_row_pins_digest() {
+        let mut o = ExpOptions::default();
+        o.shards = Some("1");
+        let tables = run_with_sizes(&o, &[10_000_000]);
+        let row = &tables[0].rows[0];
+        assert!(row[3].starts_with("Consensus"), "outcome: {row:?}");
+        assert_eq!(row[1], "72", "q = ceil(3·log2(1e7))");
+        assert_eq!(
+            row[8],
+            format!("{TEN_MILLION_DIGEST:016x}"),
+            "10^7 landmark digest moved"
+        );
     }
 }

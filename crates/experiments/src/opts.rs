@@ -34,6 +34,20 @@ pub struct ExpOptions {
     /// Instance kind for the E17 sweep: `"rumor"` (default) or
     /// `"consensus"` (`&'static` so the options stay `Copy`).
     pub instance_kind: Option<&'static str>,
+    /// Collect and report the staged engine's per-stage wall-clock
+    /// breakdown (plan / exchange / apply). Honored by E16, which emits
+    /// an extra stage-time table. Observability only — digests are
+    /// unaffected.
+    pub stage_times: bool,
+    /// Override an experiment's `n` sweep (comma-separated, e.g.
+    /// `"100000,10000000"`; `&'static` so the options stay `Copy`).
+    /// Honored by E16 — this is how the 10⁷ landmark row is launched
+    /// without dragging the default sweep along.
+    pub sizes: Option<&'static str>,
+    /// Override an experiment's shard-count sweep (comma-separated).
+    /// Honored by E16; useful to pin `"1"` on single-core boxes where
+    /// sweeping shard counts only re-measures the same core.
+    pub shards: Option<&'static str>,
 }
 
 impl Default for ExpOptions {
@@ -47,6 +61,9 @@ impl Default for ExpOptions {
             resume_from: None,
             instances: 0,
             instance_kind: None,
+            stage_times: false,
+            sizes: None,
+            shards: None,
         }
     }
 }
@@ -98,6 +115,23 @@ impl ExpOptions {
         } else {
             vec![self.instances]
         }
+    }
+
+    /// Parse a `--sizes`/`--shards` comma list (underscores allowed as
+    /// digit separators: `10_000_000`). Panics on junk so a CLI typo
+    /// fails loudly instead of silently running the default sweep.
+    pub fn parse_list(spec: &str) -> Vec<usize> {
+        let v: Vec<usize> = spec
+            .split(',')
+            .map(|s| {
+                s.trim()
+                    .replace('_', "")
+                    .parse()
+                    .unwrap_or_else(|_| panic!("unparsable entry {s:?} in list {spec:?}"))
+            })
+            .collect();
+        assert!(!v.is_empty(), "empty list {spec:?}");
+        v
     }
 
     /// Largest `n` of a sweep: caps `full_max` in quick mode.

@@ -41,6 +41,7 @@
 //! event cannot perturb the loss draws of unrelated rounds (pinned by
 //! `loss_draw_isolation` tests).
 
+use crate::bits::BitSet;
 use crate::fault::FaultPlan;
 use crate::ids::AgentId;
 use crate::topology::Topology;
@@ -329,8 +330,8 @@ impl ScenarioScript {
 /// no-op — the paper's adversary committed to it before round 0.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FaultState {
-    permanent: Vec<bool>,
-    down: Vec<bool>,
+    permanent: BitSet,
+    down: BitSet,
     n_down: usize,
 }
 
@@ -338,8 +339,8 @@ impl FaultState {
     /// Initial state: exactly the plan's faults are down.
     pub fn from_plan(plan: &FaultPlan) -> Self {
         FaultState {
-            permanent: plan.flags().to_vec(),
-            down: plan.flags().to_vec(),
+            permanent: plan.flags().clone(),
+            down: plan.flags().clone(),
             n_down: plan.n_faulty(),
         }
     }
@@ -348,10 +349,8 @@ impl FaultState {
     /// (the arena-reset primitive; a reset state is `==` to
     /// [`FaultState::from_plan`] of the same plan).
     pub fn reset_from(&mut self, plan: &FaultPlan) {
-        self.permanent.clear();
-        self.permanent.extend_from_slice(plan.flags());
-        self.down.clear();
-        self.down.extend_from_slice(plan.flags());
+        self.permanent.clone_from(plan.flags());
+        self.down.clone_from(plan.flags());
         self.n_down = plan.n_faulty();
     }
 
@@ -363,27 +362,28 @@ impl FaultState {
     pub fn restore(plan: &FaultPlan, down: Vec<bool>) -> Self {
         assert_eq!(down.len(), plan.n(), "down-flag count must match plan");
         assert!(
-            plan.flags().iter().zip(&down).all(|(&p, &d)| !p || d),
+            plan.flags().ones().all(|i| down[i]),
             "a plan-permanent fault cannot be up in a restored state"
         );
         let n_down = down.iter().filter(|&&d| d).count();
         FaultState {
-            permanent: plan.flags().to_vec(),
-            down,
+            permanent: plan.flags().clone(),
+            down: BitSet::from_bools(&down),
             n_down,
         }
     }
 
-    /// The live per-agent down flags (checkpoint support — the mutable
-    /// half of the state; the permanent half is the plan's).
-    pub fn down_flags(&self) -> &[bool] {
-        &self.down
+    /// The live per-agent down flags as booleans (checkpoint support —
+    /// the mutable half of the state, the inverse of
+    /// [`FaultState::restore`]; the permanent half is the plan's).
+    pub fn down_vec(&self) -> Vec<bool> {
+        self.down.to_bools()
     }
 
     /// Is agent `u` down (plan-faulty or currently crashed)?
     #[inline]
     pub fn is_down(&self, u: AgentId) -> bool {
-        self.down[u as usize]
+        self.down.get(u as usize)
     }
 
     /// Total number of agents.
@@ -408,8 +408,8 @@ impl FaultState {
     pub fn crash(&mut self, set: &[AgentId]) {
         for &u in set {
             let u = u as usize;
-            if !self.down[u] {
-                self.down[u] = true;
+            if !self.down.get(u) {
+                self.down.set(u);
                 self.n_down += 1;
             }
         }
@@ -419,8 +419,8 @@ impl FaultState {
     pub fn recover(&mut self, set: &[AgentId]) {
         for &u in set {
             let u = u as usize;
-            if self.down[u] && !self.permanent[u] {
-                self.down[u] = false;
+            if self.down.get(u) && !self.permanent.get(u) {
+                self.down.clear_bit(u);
                 self.n_down -= 1;
             }
         }
@@ -428,11 +428,7 @@ impl FaultState {
 
     /// Iterator over the currently active agent ids.
     pub fn active_ids(&self) -> impl Iterator<Item = AgentId> + '_ {
-        self.down
-            .iter()
-            .enumerate()
-            .filter(|(_, &d)| !d)
-            .map(|(i, _)| i as AgentId)
+        (0..self.down.len()).filter(|&i| !self.down.get(i)).map(|i| i as AgentId)
     }
 }
 

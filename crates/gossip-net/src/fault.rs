@@ -12,13 +12,19 @@
 //! We still ship several placement strategies so experiment E6 can
 //! *demonstrate* that equivalence rather than assume it.
 
+use crate::bits::BitSet;
 use crate::ids::AgentId;
 use crate::rng::DetRng;
 
 /// An immutable fault assignment fixed before round 0.
+///
+/// Stored word-packed ([`BitSet`], one `u64` per 64 agents): the flags
+/// are consulted once per op on the hot path and cloned into every
+/// [`crate::dynamics::FaultState`], so at `n = 10⁷` the packed form is
+/// 1.25 MB against 10 MB of `Vec<bool>`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FaultPlan {
-    faulty: Vec<bool>,
+    faulty: BitSet,
     n_faulty: usize,
 }
 
@@ -43,7 +49,7 @@ impl FaultPlan {
     /// No faults: all `n` agents active.
     pub fn none(n: usize) -> Self {
         FaultPlan {
-            faulty: vec![false; n],
+            faulty: BitSet::zeros(n),
             n_faulty: 0,
         }
     }
@@ -55,16 +61,16 @@ impl FaultPlan {
     /// requirement to callers).
     pub fn place(n: usize, k: usize, placement: Placement) -> Self {
         assert!(k < n, "at least one agent must stay active (k={k}, n={n})");
-        let mut faulty = vec![false; n];
+        let mut faulty = BitSet::zeros(n);
         match placement {
             Placement::LowIds => {
-                for f in faulty.iter_mut().take(k) {
-                    *f = true;
+                for i in 0..k {
+                    faulty.set(i);
                 }
             }
             Placement::HighIds => {
-                for f in faulty.iter_mut().skip(n - k) {
-                    *f = true;
+                for i in n - k..n {
+                    faulty.set(i);
                 }
             }
             Placement::Strided => {
@@ -74,8 +80,8 @@ impl FaultPlan {
                     let mut i = 0usize;
                     // Walk with stride n/k, wrapping to unfilled slots.
                     while placed < k {
-                        if !faulty[i % n] {
-                            faulty[i % n] = true;
+                        if !faulty.get(i % n) {
+                            faulty.set(i % n);
                             placed += 1;
                         }
                         i += stride.max(1);
@@ -91,7 +97,7 @@ impl FaultPlan {
                 let mut ids: Vec<AgentId> = (0..n as AgentId).collect();
                 rng.shuffle(&mut ids);
                 for &id in ids.iter().take(k) {
-                    faulty[id as usize] = true;
+                    faulty.set(id as usize);
                 }
             }
         }
@@ -109,7 +115,7 @@ impl FaultPlan {
     /// Is agent `u` faulty?
     #[inline]
     pub fn is_faulty(&self, u: AgentId) -> bool {
-        self.faulty[u as usize]
+        self.faulty.get(u as usize)
     }
 
     /// Total number of agents (active + faulty).
@@ -132,16 +138,12 @@ impl FaultPlan {
 
     /// Iterator over the active agent ids.
     pub fn active_ids(&self) -> impl Iterator<Item = AgentId> + '_ {
-        self.faulty
-            .iter()
-            .enumerate()
-            .filter(|(_, &f)| !f)
-            .map(|(i, _)| i as AgentId)
+        (0..self.faulty.len()).filter(|&i| !self.faulty.get(i)).map(|i| i as AgentId)
     }
 
-    /// Borrow the raw per-agent fault flags.
+    /// Borrow the packed per-agent fault flags.
     #[inline]
-    pub fn flags(&self) -> &[bool] {
+    pub fn flags(&self) -> &BitSet {
         &self.faulty
     }
 }
@@ -178,7 +180,7 @@ mod tests {
         for k in [0, 1, 3, 5, 9] {
             let p = FaultPlan::place(10, k, Placement::Strided);
             assert_eq!(p.n_faulty(), k);
-            assert_eq!(p.flags().iter().filter(|&&f| f).count(), k);
+            assert_eq!(p.flags().count_ones(), k);
         }
     }
 
@@ -190,7 +192,7 @@ mod tests {
         assert_eq!(a, b);
         assert_ne!(a, c);
         assert_eq!(a.n_faulty(), 20);
-        assert_eq!(a.flags().iter().filter(|&&f| f).count(), 20);
+        assert_eq!(a.flags().count_ones(), 20);
     }
 
     #[test]

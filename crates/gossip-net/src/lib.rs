@@ -86,6 +86,7 @@
 //! ```
 
 pub mod agent;
+pub mod bits;
 pub mod dynamics;
 pub mod fault;
 pub mod ids;
@@ -98,11 +99,13 @@ pub mod size;
 pub mod topology;
 
 pub use agent::{Agent, Op, RoundCtx};
+pub use bits::BitSet;
 pub use dynamics::{FaultState, LossSchedule, PartitionCut, ScenarioEvent, ScenarioScript};
 pub use fault::FaultPlan;
 pub use ids::{AgentId, ColorId};
 pub use metrics::Metrics;
-pub use network::{Network, NetworkConfig};
+pub use network::staged::MIN_AGENTS_PER_SHARD;
+pub use network::{Network, NetworkConfig, StageTimes};
 pub use oplog::{OpEvent, OpKind, OpLog};
 pub use pool::ScopedPool;
 pub use rng::RngDiscipline;

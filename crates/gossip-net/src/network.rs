@@ -125,6 +125,18 @@ pub struct NetworkConfig {
     /// staged output is bit-identical for every thread count — and no
     /// effect at all on the monolithic [`Network::step`] path.
     pub threads: usize,
+    /// Minimum agents per shard before the staged engine fans out
+    /// (`0` = no floor, shard exactly as `threads` says). Below the
+    /// floor the effective thread count is clamped so each shard keeps
+    /// at least this many agents — barrier overhead otherwise eats the
+    /// win at small `n`. Pure throughput knob: clamping is as
+    /// result-invisible as `threads` itself.
+    pub shard_floor: usize,
+    /// Accumulate a wall-clock breakdown of the staged stages
+    /// (plan/exchange/apply) into [`Network::stage_times`]. Timing never
+    /// feeds engine logic, so results are identical either way; off by
+    /// default to keep `Instant` calls off the hot path.
+    pub time_stages: bool,
 }
 
 impl Default for NetworkConfig {
@@ -138,7 +150,31 @@ impl Default for NetworkConfig {
             scenario: ScenarioScript::new(),
             rng_discipline: RngDiscipline::Sequential,
             threads: 1,
+            shard_floor: 0,
+            time_stages: false,
         }
+    }
+}
+
+/// Cumulative wall-clock spent in each staged-engine stage, µs
+/// (see [`NetworkConfig::time_stages`]). `exchange_us` covers the
+/// exchange proper plus the pull-apply leg and op-log pass of the
+/// per-agent discipline — everything between the plan barrier and the
+/// final delivery fan-out.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageTimes {
+    /// Scenario replay + the sharded plan stage.
+    pub plan_us: u64,
+    /// Ledger build, mask/loss resolution, pull handling.
+    pub exchange_us: u64,
+    /// The sharded push/reply delivery stage.
+    pub apply_us: u64,
+}
+
+impl StageTimes {
+    /// Total time attributed to staged rounds, µs.
+    pub fn total_us(&self) -> u64 {
+        self.plan_us + self.exchange_us + self.apply_us
     }
 }
 
@@ -222,6 +258,9 @@ pub struct Network<M, A = Box<dyn Agent<M>>> {
     // Staged-engine scratch (CSR ledgers, reply slots, shard buffers) —
     // empty and allocation-free until `step_staged` is first called.
     staged: staged::StagedScratch<M>,
+    // Cumulative per-stage wall clock, populated only when
+    // `config.time_stages` is set (see `StageTimes`).
+    stage_times: StageTimes,
 }
 
 impl<M: MsgSize, A: Agent<M>> Network<M, A> {
@@ -292,6 +331,7 @@ impl<M: MsgSize, A: Agent<M>> Network<M, A> {
             multi_buf: Vec::new(),
             pool: None,
             staged: staged::StagedScratch::new(),
+            stage_times: StageTimes::default(),
         }
     }
 
@@ -359,6 +399,13 @@ impl<M: MsgSize, A: Agent<M>> Network<M, A> {
         // is re-sized lazily by the next staged round if the new config
         // wants a different thread count.
         self.staged.clear();
+        self.stage_times = StageTimes::default();
+    }
+
+    /// The cumulative staged-stage wall-clock breakdown (all-zero unless
+    /// [`NetworkConfig::time_stages`] was set and staged rounds ran).
+    pub fn stage_times(&self) -> StageTimes {
+        self.stage_times
     }
 
     /// Open round (or async tick) `round`: apply every scenario event
@@ -731,7 +778,7 @@ impl<M: MsgSize, A: Agent<M>> Network<M, A> {
         EngineState {
             round: self.round,
             next_event: self.next_event,
-            down: self.fault_state.down_flags().to_vec(),
+            down: self.fault_state.down_vec(),
             partition_sides: self.partition.as_ref().map(|c| c.sides().to_vec()),
             loss_rng: self.loss_rng.as_ref().map(|r| r.state()),
         }

@@ -13,12 +13,18 @@
 //!    the id-order op list the monolithic engine builds (an agent's
 //!    `act` touches only its own state and private RNG, so acts
 //!    commute).
-//! 2. **exchange** — sequential: the flat op list is turned into a
-//!    CSR-style *delivery ledger* grouped by receiver (one ledger for
-//!    pushes by receiver, one for pull queries by pullee, one flat list
-//!    of pulls by puller), and every dynamics mask — topology edge,
-//!    partition cut, crash/fault state, loss draw — is applied once per
-//!    message, at send time, exactly as the metering contract demands.
+//! 2. **exchange** — the flat op list is turned into a CSR-style
+//!    *delivery ledger* grouped by receiver (one ledger for pushes by
+//!    receiver, one for pull queries by pullee, one flat list of pulls
+//!    by puller), and every dynamics mask — topology edge, partition
+//!    cut, crash/fault state, loss draw — is applied once per message,
+//!    at send time, exactly as the metering contract demands. Under
+//!    [`RngDiscipline::Sequential`] this stage is one serial pass;
+//!    under [`RngDiscipline::PerAgent`] with several workers the
+//!    ledgers are built by a sharded counting-sort pipeline
+//!    (`build_ledgers_par`: per-shard histograms → offset prefix
+//!    sum → parallel scatter → sharded mask resolution) that produces
+//!    bit-identical ledgers, verdict bitsets, and meters.
 //! 3. **apply** — deliveries run *in parallel over receiver shards*:
 //!    first every pull query reaches its pullee's `on_pull`
 //!    ([`RngDiscipline::PerAgent`] only — see below), then every
@@ -30,7 +36,8 @@
 //! ## Determinism: bit-identical for any thread count
 //!
 //! Nothing any stage computes depends on the shard count: plan buffers
-//! merge in shard order (= id order), the ledger is built sequentially,
+//! merge in shard order (= id order), ledger scatter positions come
+//! from a global counting sort whether built serially or sharded,
 //! per-shard reply meters are exact [`Tally`]s merged in shard order
 //! (sums and maxes commute), the op log is written sequentially after
 //! the pull barrier, and every loss draw comes from a stream whose
@@ -75,14 +82,31 @@
 //! undelivered, like every other lost message.
 
 use super::*;
+use crate::bits::{atomic_set, BitSet};
 use crate::metrics::Tally;
 use crate::rng::loss_streams;
 
+/// Tuned default for [`NetworkConfig::shard_floor`]: below ~2048 agents
+/// per shard the per-round barrier/merge overhead of an extra shard
+/// outweighs its share of the work (the "sharding cliff" measured by
+/// `rfc-bench`'s staged rows), so runners clamp the shard count to keep
+/// at least this many agents per shard unless explicitly overridden.
+pub const MIN_AGENTS_PER_SHARD: usize = 2048;
+
 /// Reusable scratch for the staged engine: the delivery ledgers, reply
-/// slots, and per-shard plan buffers. All buffers are retained across
-/// rounds (and across [`Network::reset_into`] trials, cleared) — the
-/// steady-state staged round allocates only when a high-water mark
-/// grows.
+/// slots, delivery-verdict bitsets, and per-shard plan/count buffers.
+/// All buffers are retained across rounds (and across
+/// [`Network::reset_into`] trials, cleared) — the steady-state staged
+/// round allocates only when a high-water mark grows.
+///
+/// Delivery verdicts live in [`BitSet`]s indexed by **op index** rather
+/// than as fields of the ledger entries. That keeps the entries at two
+/// words (struct-of-arrays: the cold verdict bits stop riding along on
+/// every entry copy), makes the sequential path's regroup permutation a
+/// no-op for the bits, and — because an op index names its bit globally
+/// — lets the parallel exchange shards resolve verdicts straight into
+/// the shared sets with relaxed atomic ORs (each bit written by exactly
+/// one shard; see [`crate::bits`]).
 #[derive(Debug)]
 pub struct StagedScratch<M> {
     /// Per-shard plan output, concatenated into `Network::ops` in shard
@@ -91,8 +115,10 @@ pub struct StagedScratch<M> {
     /// Per-shard `act_multi` scratch (one agent's ops before they are
     /// id-tagged into the shard's plan buffer).
     plan_tmp: Vec<Vec<Op<M>>>,
-    /// Counting-sort scratch (`n + 1` counters).
+    /// Counting-sort scratch (`n + 1` counters; query side).
     counts: Vec<u32>,
+    /// Counting-sort scratch (`n + 1` counters; push side).
+    counts2: Vec<u32>,
     /// Push ledger offsets by receiver (`n + 1`).
     push_off: Vec<u32>,
     /// Push ledger entries, grouped by receiver, op order within a
@@ -102,8 +128,8 @@ pub struct StagedScratch<M> {
     query_off: Vec<u32>,
     /// Query ledger entries, grouped by pullee (`PerAgent` only).
     query_entries: Vec<QueryEntry>,
-    /// Scatter target for the push counting sort (swapped with
-    /// `push_entries` after grouping; retained across rounds).
+    /// Scatter target for the sequential path's push regroup (swapped
+    /// with `push_entries` after grouping; retained across rounds).
     push_scratch: Vec<PushEntry>,
     /// All pulls of the round, in op (= puller-id) order.
     pulls: Vec<PullRec>,
@@ -112,26 +138,45 @@ pub struct StagedScratch<M> {
     reply_out: Vec<Option<M>>,
     /// Replies to deliver, aligned with `pulls`.
     reply_inbox: Vec<Option<M>>,
+    /// Push delivery verdicts, by op index.
+    push_delivered: BitSet,
+    /// Query delivery verdicts, by op index (`PerAgent` only).
+    query_delivered: BitSet,
+    /// Pre-drawn reply transit coins, by op index of the pull
+    /// (`PerAgent` only).
+    reply_lost: BitSet,
+    /// Per-shard query histograms for the parallel ledger build
+    /// (`threads × n` cursors; turned into absolute scatter cursors by
+    /// the offset merge).
+    shard_qcounts: Vec<Vec<u32>>,
+    /// Per-shard push histograms (same life cycle as `shard_qcounts`).
+    shard_pcounts: Vec<Vec<u32>>,
+    /// Per-shard pull totals (sizes the contiguous `pulls` segments).
+    shard_pulls: Vec<u32>,
+    /// Per-shard undelivered counts from the parallel mask resolution,
+    /// merged into [`Metrics`] after the barrier.
+    shard_undelivered: Vec<u64>,
+    /// Per-shard reply meters for `apply_pulls` (kept here so the
+    /// steady-state round does not allocate the merge buffer).
+    shard_meters: Vec<(Tally, u64)>,
 }
 
-/// One push delivery: `from` pushed op `op`; `delivered` is the
-/// exchange-stage verdict of every mask (edge, partition, fault, loss).
+/// One push delivery: `from` pushed op `op`. The mask verdict lives in
+/// [`StagedScratch::push_delivered`] at bit `op`.
 #[derive(Debug, Clone, Copy)]
 struct PushEntry {
     from: AgentId,
     op: u32,
-    delivered: bool,
 }
 
-/// One pull-query delivery to a pullee (`PerAgent` only): `delivered`
-/// gates `on_pull`; `reply_lost` is the pre-drawn transit coin of the
-/// reply leg.
+/// One pull-query delivery to a pullee (`PerAgent` only). The `on_pull`
+/// gate and the pre-drawn reply transit coin live in
+/// [`StagedScratch::query_delivered`] / [`StagedScratch::reply_lost`]
+/// at bit `op`.
 #[derive(Debug, Clone, Copy)]
 struct QueryEntry {
     puller: AgentId,
     op: u32,
-    delivered: bool,
-    reply_lost: bool,
 }
 
 /// One pull, in op order: `qpos` is the index of its query entry in the
@@ -151,6 +196,7 @@ impl<M> StagedScratch<M> {
             plan_bufs: Vec::new(),
             plan_tmp: Vec::new(),
             counts: Vec::new(),
+            counts2: Vec::new(),
             push_off: Vec::new(),
             push_entries: Vec::new(),
             push_scratch: Vec::new(),
@@ -159,6 +205,14 @@ impl<M> StagedScratch<M> {
             pulls: Vec::new(),
             reply_out: Vec::new(),
             reply_inbox: Vec::new(),
+            push_delivered: BitSet::new(),
+            query_delivered: BitSet::new(),
+            reply_lost: BitSet::new(),
+            shard_qcounts: Vec::new(),
+            shard_pcounts: Vec::new(),
+            shard_pulls: Vec::new(),
+            shard_undelivered: Vec::new(),
+            shard_meters: Vec::new(),
         }
     }
 
@@ -171,6 +225,7 @@ impl<M> StagedScratch<M> {
             tmp.clear();
         }
         self.counts.clear();
+        self.counts2.clear();
         self.push_off.clear();
         self.push_entries.clear();
         self.push_scratch.clear();
@@ -179,6 +234,44 @@ impl<M> StagedScratch<M> {
         self.pulls.clear();
         self.reply_out.clear();
         self.reply_inbox.clear();
+        self.push_delivered.reset(0);
+        self.query_delivered.reset(0);
+        self.reply_lost.reset(0);
+        for qc in &mut self.shard_qcounts {
+            qc.clear();
+        }
+        for pc in &mut self.shard_pcounts {
+            pc.clear();
+        }
+        self.shard_pulls.clear();
+        self.shard_undelivered.clear();
+        self.shard_meters.clear();
+    }
+}
+
+/// A raw shared-mutable scatter target for the parallel counting-sort
+/// ledger build. Each shard writes through absolute cursors derived
+/// from the offset merge; the cursor ranges of distinct `(shard,
+/// receiver)` pairs are pairwise disjoint by construction, so no index
+/// is ever written twice and no read happens until the scope joins.
+#[derive(Clone, Copy)]
+struct SharedWriter<T>(*mut T);
+// SAFETY: the writer only ever *writes*, at indices the counting sort
+// proves disjoint across threads; T: Send carries the values across.
+unsafe impl<T: Send> Send for SharedWriter<T> {}
+unsafe impl<T: Send> Sync for SharedWriter<T> {}
+
+impl<T> SharedWriter<T> {
+    fn new(slice: &mut [T]) -> Self {
+        SharedWriter(slice.as_mut_ptr())
+    }
+
+    /// Write `val` at `idx`.
+    ///
+    /// SAFETY: `idx` must be in bounds of the source slice and no other
+    /// thread may touch `idx` during the scope.
+    unsafe fn write(&self, idx: usize, val: T) {
+        unsafe { self.0.add(idx).write(val) }
     }
 }
 
@@ -190,14 +283,22 @@ impl<M> Default for StagedScratch<M> {
 
 impl<M: MsgSize + Send + Sync, A: Agent<M> + Send> Network<M, A> {
     /// Worker threads the staged stages shard over: the configured
-    /// count, `0` meaning available parallelism, capped by `n`.
+    /// count, `0` meaning available parallelism, capped by `n`, then
+    /// clamped by [`NetworkConfig::shard_floor`] so every shard keeps at
+    /// least `shard_floor` agents (the per-agent discipline is
+    /// thread-invariant, so the clamp is a pure throughput knob).
     fn effective_threads(&self) -> usize {
+        let n = self.agents.len();
         let t = if self.config.threads == 0 {
             std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
         } else {
             self.config.threads
         };
-        t.clamp(1, self.agents.len().max(1))
+        let t = t.clamp(1, n.max(1));
+        match self.config.shard_floor {
+            0 => t,
+            floor => t.min((n / floor).max(1)),
+        }
     }
 
     /// Execute one staged round (see the module docs). Output is
@@ -206,19 +307,32 @@ impl<M: MsgSize + Send + Sync, A: Agent<M> + Send> Network<M, A> {
     /// the monolithic [`Network::step`].
     pub fn step_staged(&mut self) {
         let round = self.round;
+        let timed = self.config.time_stages;
+        let t0 = timed.then(std::time::Instant::now);
         self.begin_round(round);
         let threads = self.effective_threads();
         self.plan(round, threads);
+        if let Some(t) = t0 {
+            self.stage_times.plan_us += t.elapsed().as_micros() as u64;
+        }
         self.metrics.record_round(self.ops.len() as u64);
+        let t1 = timed.then(std::time::Instant::now);
         match self.config.rng_discipline {
             RngDiscipline::Sequential => self.exchange_sequential(round),
             RngDiscipline::PerAgent => {
-                self.exchange_per_agent(round);
+                self.exchange_per_agent(round, threads);
                 self.apply_pulls(round, threads);
                 self.log_round_ops(round);
             }
         }
+        if let Some(t) = t1 {
+            self.stage_times.exchange_us += t.elapsed().as_micros() as u64;
+        }
+        let t2 = timed.then(std::time::Instant::now);
         self.apply_deliveries(round, threads);
+        if let Some(t) = t2 {
+            self.stage_times.apply_us += t.elapsed().as_micros() as u64;
+        }
         self.round += 1;
     }
 
@@ -332,8 +446,11 @@ impl<M: MsgSize + Send + Sync, A: Agent<M> + Send> Network<M, A> {
         // Pushes: metering contract first (send time, before any mask),
         // then the exact legacy gate — note the short-circuit: the loss
         // coin is drawn only for reachable, live receivers, precisely as
-        // `deliver_push` does.
+        // `deliver_push` does. Verdicts go into the op-indexed bitset,
+        // which the regroup below permutes around for free.
         self.staged.push_entries.clear();
+        self.staged.push_entries.reserve(ops.len());
+        self.staged.push_delivered.reset(ops.len());
         for (i, (from, op)) in ops.iter().enumerate() {
             if let Op::Push { to, msg } = op {
                 self.metrics.record_message(msg.size_bits(&self.env));
@@ -343,31 +460,30 @@ impl<M: MsgSize + Send + Sync, A: Agent<M> + Send> Network<M, A> {
                 let delivered = self.reachable(*from, *to)
                     && !self.fault_state.is_down(*to)
                     && !self.dropped();
-                if !delivered {
+                if delivered {
+                    self.staged.push_delivered.set(i);
+                } else {
                     self.metrics.record_undelivered();
                 }
-                self.staged.push_entries.push(PushEntry {
-                    from: *from,
-                    op: i as u32,
-                    delivered,
-                });
+                self.staged.push_entries.push(PushEntry { from: *from, op: i as u32 });
             }
         }
         self.ops = ops;
         self.group_pushes_by_receiver();
     }
 
-    /// Per-agent-discipline exchange: meter everything in op order,
-    /// build both delivery ledgers, and resolve every mask and loss coin
-    /// from the per-`(seed, round, agent)` streams — no agent code runs
-    /// here, so the whole apply stage can shard.
-    fn exchange_per_agent(&mut self, round: usize) {
-        let n = self.agents.len();
-        let p = self.current_p;
-        let loss_seed = self.config.loss_seed;
-        let meter_queries = self.config.meter_queries;
-
+    /// Per-agent-discipline exchange: meter everything in op order, then
+    /// build both delivery ledgers — in one pass on a single worker, or
+    /// via the sharded counting-sort pipeline for several. No agent code
+    /// runs here, so the whole apply stage can shard afterwards.
+    ///
+    /// Both builders produce bit-identical ledgers, verdict bitsets, and
+    /// meters: scatter positions come from the same global counting
+    /// sort, and every loss stream is keyed by `(seed, family, round,
+    /// agent)` — never by shard.
+    fn exchange_per_agent(&mut self, round: usize, threads: usize) {
         // Metering, in op order (send time, before any mask).
+        let meter_queries = self.config.meter_queries;
         let ops = std::mem::take(&mut self.ops);
         for (_, op) in &ops {
             match op {
@@ -381,19 +497,36 @@ impl<M: MsgSize + Send + Sync, A: Agent<M> + Send> Network<M, A> {
                 }
             }
         }
+        if threads <= 1 {
+            self.build_ledgers_seq(&ops, round);
+        } else {
+            self.build_ledgers_par(&ops, round, threads);
+        }
+        self.ops = ops;
+    }
 
-        // Build the pull list (op order) and the query ledger grouped by
-        // pullee (counting sort; stable, so a pullee's queries stay in
-        // op order).
-        let st = &mut self.staged;
-        st.pulls.clear();
-        st.query_entries.clear();
-        st.push_entries.clear();
+    /// Single-worker ledger build: one histogram pass over the ops, one
+    /// scatter pass writing both CSR ledgers directly in receiver-grouped
+    /// form (plus the pull list and the pre-drawn reply coins), then
+    /// per-receiver mask/loss resolution in ledger order. No regroup
+    /// pass, no per-entry `Vec` pushes: both entry arrays are sized once
+    /// and block-written through counting-sort cursors.
+    fn build_ledgers_seq(&mut self, ops: &[(AgentId, Op<M>)], round: usize) {
+        let n = self.agents.len();
+        let p = self.current_p;
+        let loss_seed = self.config.loss_seed;
+        let meter_queries = self.config.meter_queries;
+        let Network { staged: st, fault_state, topology, partition, metrics, .. } = self;
+
+        // Histograms (`+ 1` slots so offsets fall out of a prefix sum).
         st.counts.clear();
         st.counts.resize(n + 1, 0);
-        for (_, op) in &ops {
-            if let Op::Pull { from: target, .. } = op {
-                st.counts[*target as usize + 1] += 1;
+        st.counts2.clear();
+        st.counts2.resize(n + 1, 0);
+        for (_, op) in ops {
+            match op {
+                Op::Pull { from: target, .. } => st.counts[*target as usize + 1] += 1,
+                Op::Push { to, .. } => st.counts2[*to as usize + 1] += 1,
             }
         }
         st.query_off.clear();
@@ -404,92 +537,313 @@ impl<M: MsgSize + Send + Sync, A: Agent<M> + Send> Network<M, A> {
             st.query_off.push(acc);
         }
         let total_queries = acc as usize;
-        st.query_entries.resize(
-            total_queries,
-            QueryEntry { puller: 0, op: 0, delivered: false, reply_lost: false },
-        );
-        // Scatter cursors: reuse `counts` as the per-pullee write cursor.
+        st.push_off.clear();
+        st.push_off.reserve(n + 1);
+        let mut acc = 0u32;
+        for &c in &st.counts2 {
+            acc += c;
+            st.push_off.push(acc);
+        }
+        let total_pushes = acc as usize;
+
+        st.query_entries.clear();
+        st.query_entries.resize(total_queries, QueryEntry { puller: 0, op: 0 });
+        st.push_entries.clear();
+        st.push_entries.resize(total_pushes, PushEntry { from: 0, op: 0 });
+        st.pulls.clear();
+        st.pulls.reserve(total_queries);
+        st.query_delivered.reset(ops.len());
+        st.push_delivered.reset(ops.len());
+        st.reply_lost.reset(ops.len());
+
+        // Scatter; cursors start at the offsets, so each receiver's
+        // entries land in op order (the stable counting sort the apply
+        // stage depends on). The reply transit coin is pre-drawn here:
+        // one stream per *puller* per round, one draw per pull, consumed
+        // whether or not the pullee ends up answering (the per-agent
+        // discipline's documented difference from the sequential
+        // stream).
         st.counts.copy_from_slice(&st.query_off);
+        st.counts2.copy_from_slice(&st.push_off);
         for (i, (from, op)) in ops.iter().enumerate() {
-            if let Op::Pull { from: target, .. } = op {
-                let cursor = &mut st.counts[*target as usize];
-                let pos = *cursor;
-                *cursor += 1;
-                st.query_entries[pos as usize] = QueryEntry {
-                    puller: *from,
-                    op: i as u32,
-                    delivered: false,
-                    reply_lost: false,
-                };
-                st.pulls.push(PullRec { puller: *from, pullee: *target, qpos: pos });
-            }
-        }
-
-        // Resolve query masks + loss: one stream per pullee per round,
-        // one draw per inbound query (ledger order), drawn whether or
-        // not a mask already suppresses the delivery — the draws of one
-        // agent's inbox never depend on another agent's traffic.
-        for v in 0..n as AgentId {
-            let lo = st.query_off[v as usize] as usize;
-            let hi = st.query_off[v as usize + 1] as usize;
-            if lo == hi {
-                continue;
-            }
-            let down = self.fault_state.is_down(v);
-            let mut rng = (p > 0.0)
-                .then(|| loss_streams::per_agent(loss_seed, loss_streams::QUERY, round, v));
-            for e in &mut st.query_entries[lo..hi] {
-                let lost = rng.as_mut().map(|r| r.chance(p)).unwrap_or(false);
-                let reachable = self.topology.connected(e.puller, v)
-                    && !matches!(&self.partition, Some(cut) if cut.blocks(e.puller, v));
-                e.delivered = reachable && !down && !lost;
-                if !e.delivered && meter_queries {
-                    self.metrics.record_undelivered();
+            match op {
+                Op::Pull { from: target, .. } => {
+                    let cursor = &mut st.counts[*target as usize];
+                    let pos = *cursor;
+                    *cursor += 1;
+                    st.query_entries[pos as usize] = QueryEntry { puller: *from, op: i as u32 };
+                    st.pulls.push(PullRec { puller: *from, pullee: *target, qpos: pos });
+                    if p > 0.0 {
+                        let mut rng = loss_streams::per_agent(
+                            loss_seed,
+                            loss_streams::REPLY,
+                            round,
+                            *from,
+                        );
+                        if rng.chance(p) {
+                            st.reply_lost.set(i);
+                        }
+                    }
+                }
+                Op::Push { to, .. } => {
+                    let cursor = &mut st.counts2[*to as usize];
+                    let pos = *cursor;
+                    *cursor += 1;
+                    st.push_entries[pos as usize] = PushEntry { from: *from, op: i as u32 };
                 }
             }
         }
 
-        // Pre-draw the reply transit coin: one stream per *puller* per
-        // round, one draw per pull, consumed whether or not the pullee
-        // ends up answering (the per-agent discipline's documented
-        // difference from the sequential stream).
-        if p > 0.0 {
-            for pull in &st.pulls {
-                let mut rng =
-                    loss_streams::per_agent(loss_seed, loss_streams::REPLY, round, pull.puller);
-                st.query_entries[pull.qpos as usize].reply_lost = rng.chance(p);
-            }
-        }
+        let undelivered = resolve_masks_range(
+            0,
+            n,
+            &st.query_entries,
+            &st.query_off,
+            &st.push_entries,
+            &st.push_off,
+            st.query_delivered.as_atomic(),
+            st.push_delivered.as_atomic(),
+            p,
+            loss_seed,
+            round,
+            meter_queries,
+            fault_state,
+            topology,
+            partition.as_ref(),
+        );
+        metrics.record_bulk(&Tally::default(), undelivered);
+    }
 
-        // Push ledger: raw entries in op order, masks and loss per
-        // receiver stream, then group by receiver.
-        for (i, (from, op)) in ops.iter().enumerate() {
-            if let Op::Push { .. } = op {
-                st.push_entries.push(PushEntry { from: *from, op: i as u32, delivered: false });
-            }
+    /// Sharded ledger build. Stage A: each shard histograms its op
+    /// range. Stage B (sequential, `O(n·threads)`): the per-shard counts
+    /// are merged into the global CSR offsets and, in place, into
+    /// absolute scatter cursors — shard `s`'s cursor for receiver `v`
+    /// starts at `off[v] + Σ_{s' < s} counts[s'][v]`, so scatter
+    /// positions reproduce the sequential counting sort exactly. Stage
+    /// C: shards scatter their op ranges through those cursors
+    /// ([`SharedWriter`]; positions pairwise disjoint by construction),
+    /// write pull records into contiguous per-shard `pulls` segments
+    /// (shard order = op order), and pre-draw the reply coins into the
+    /// shared op-indexed bitset (relaxed atomic ORs — each bit has
+    /// exactly one writer, so the verdict is interleaving-independent).
+    /// Stage D: mask/loss resolution shards over *receivers* with the
+    /// same per-receiver streams and ledger order as the sequential
+    /// build, counting undelivered per shard and merging after the
+    /// barrier (a sum, so the merge is exact).
+    fn build_ledgers_par(&mut self, ops: &[(AgentId, Op<M>)], round: usize, threads: usize) {
+        let n = self.agents.len();
+        let p = self.current_p;
+        let loss_seed = self.config.loss_seed;
+        let meter_queries = self.config.meter_queries;
+        let n_ops = ops.len();
+        let chunk = n_ops.div_ceil(threads).max(1);
+        let Network { pool, staged: st, fault_state, topology, partition, metrics, .. } = self;
+        let fault_state: &FaultState = fault_state;
+        let topology: &Topology = topology;
+        let partition = partition.as_ref();
+        let pool = ensure_pool(pool, threads);
+
+        // Stage A: per-shard histograms over disjoint op ranges.
+        if st.shard_qcounts.len() < threads {
+            st.shard_qcounts.resize_with(threads, Vec::new);
         }
-        self.ops = ops;
-        self.group_pushes_by_receiver();
-        let st = &mut self.staged;
-        for v in 0..n as AgentId {
-            let lo = st.push_off[v as usize] as usize;
-            let hi = st.push_off[v as usize + 1] as usize;
-            if lo == hi {
-                continue;
-            }
-            let down = self.fault_state.is_down(v);
-            let mut rng = (p > 0.0)
-                .then(|| loss_streams::per_agent(loss_seed, loss_streams::PUSH, round, v));
-            for e in &mut st.push_entries[lo..hi] {
-                let lost = rng.as_mut().map(|r| r.chance(p)).unwrap_or(false);
-                let reachable = self.topology.connected(e.from, v)
-                    && !matches!(&self.partition, Some(cut) if cut.blocks(e.from, v));
-                e.delivered = reachable && !down && !lost;
-                if !e.delivered {
-                    self.metrics.record_undelivered();
+        if st.shard_pcounts.len() < threads {
+            st.shard_pcounts.resize_with(threads, Vec::new);
+        }
+        st.shard_pulls.clear();
+        st.shard_pulls.resize(threads, 0);
+        pool.scope(|scope| {
+            for (s, ((qc, pc), np)) in st.shard_qcounts[..threads]
+                .iter_mut()
+                .zip(st.shard_pcounts[..threads].iter_mut())
+                .zip(st.shard_pulls.iter_mut())
+                .enumerate()
+            {
+                let lo = s * chunk;
+                let hi = (lo + chunk).min(n_ops);
+                if lo >= hi {
+                    // Stage B still reads this shard's counters.
+                    qc.clear();
+                    qc.resize(n, 0);
+                    pc.clear();
+                    pc.resize(n, 0);
+                    continue;
                 }
+                let ops_range = &ops[lo..hi];
+                scope.spawn(move || {
+                    qc.clear();
+                    qc.resize(n, 0);
+                    pc.clear();
+                    pc.resize(n, 0);
+                    let mut pulls = 0u32;
+                    for (_, op) in ops_range {
+                        match op {
+                            Op::Pull { from: target, .. } => {
+                                qc[*target as usize] += 1;
+                                pulls += 1;
+                            }
+                            Op::Push { to, .. } => pc[*to as usize] += 1,
+                        }
+                    }
+                    *np = pulls;
+                });
+            }
+        });
+
+        // Stage B: offset merge; the per-shard histograms become the
+        // per-shard absolute scatter cursors in place.
+        st.query_off.clear();
+        st.query_off.resize(n + 1, 0);
+        st.push_off.clear();
+        st.push_off.resize(n + 1, 0);
+        let mut qacc = 0u32;
+        let mut pacc = 0u32;
+        for v in 0..n {
+            st.query_off[v] = qacc;
+            st.push_off[v] = pacc;
+            for s in 0..threads {
+                let qc = &mut st.shard_qcounts[s][v];
+                let c = *qc;
+                *qc = qacc;
+                qacc += c;
+                let pc = &mut st.shard_pcounts[s][v];
+                let c = *pc;
+                *pc = pacc;
+                pacc += c;
             }
         }
+        st.query_off[n] = qacc;
+        st.push_off[n] = pacc;
+        let total_queries = qacc as usize;
+        let total_pushes = pacc as usize;
+        debug_assert_eq!(
+            st.shard_pulls.iter().map(|&c| c as usize).sum::<usize>(),
+            total_queries,
+            "per-shard pull totals must cover the query ledger"
+        );
+
+        // Stage C: scatter.
+        st.query_entries.clear();
+        st.query_entries.resize(total_queries, QueryEntry { puller: 0, op: 0 });
+        st.push_entries.clear();
+        st.push_entries.resize(total_pushes, PushEntry { from: 0, op: 0 });
+        st.pulls.clear();
+        st.pulls.resize(total_queries, PullRec { puller: 0, pullee: 0, qpos: 0 });
+        st.query_delivered.reset(n_ops);
+        st.push_delivered.reset(n_ops);
+        st.reply_lost.reset(n_ops);
+        let qw = SharedWriter::new(&mut st.query_entries);
+        let pw = SharedWriter::new(&mut st.push_entries);
+        let reply_lost = st.reply_lost.as_atomic();
+        pool.scope(|scope| {
+            let mut pulls_rest: &mut [PullRec] = &mut st.pulls;
+            for (s, ((qc, pc), &seg_len)) in st.shard_qcounts[..threads]
+                .iter_mut()
+                .zip(st.shard_pcounts[..threads].iter_mut())
+                .zip(st.shard_pulls.iter())
+                .enumerate()
+            {
+                let (seg, rest) = pulls_rest.split_at_mut(seg_len as usize);
+                pulls_rest = rest;
+                let lo = s * chunk;
+                let hi = (lo + chunk).min(n_ops);
+                if lo >= hi {
+                    continue;
+                }
+                let ops_range = &ops[lo..hi];
+                scope.spawn(move || {
+                    let mut seg = seg.iter_mut();
+                    for (off, (from, op)) in ops_range.iter().enumerate() {
+                        let i = lo + off;
+                        match op {
+                            Op::Pull { from: target, .. } => {
+                                let cursor = &mut qc[*target as usize];
+                                let pos = *cursor;
+                                *cursor += 1;
+                                // SAFETY: `pos` walks this shard's
+                                // disjoint cursor range of the
+                                // counting sort; in bounds of
+                                // `query_entries` by the offset merge.
+                                unsafe {
+                                    qw.write(
+                                        pos as usize,
+                                        QueryEntry { puller: *from, op: i as u32 },
+                                    );
+                                }
+                                *seg.next().expect("pull segment sized by its stage-A count") =
+                                    PullRec { puller: *from, pullee: *target, qpos: pos };
+                                if p > 0.0 {
+                                    let mut rng = loss_streams::per_agent(
+                                        loss_seed,
+                                        loss_streams::REPLY,
+                                        round,
+                                        *from,
+                                    );
+                                    if rng.chance(p) {
+                                        atomic_set(reply_lost, i);
+                                    }
+                                }
+                            }
+                            Op::Push { to, .. } => {
+                                let cursor = &mut pc[*to as usize];
+                                let pos = *cursor;
+                                *cursor += 1;
+                                // SAFETY: as above, for `push_entries`.
+                                unsafe {
+                                    pw.write(
+                                        pos as usize,
+                                        PushEntry { from: *from, op: i as u32 },
+                                    );
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+        });
+
+        // Stage D: mask/loss resolution over receiver ranges.
+        let agents_chunk = n.div_ceil(threads).max(1);
+        st.shard_undelivered.clear();
+        st.shard_undelivered.resize(threads, 0);
+        {
+            let q_entries = &st.query_entries[..];
+            let q_off = &st.query_off[..];
+            let p_entries = &st.push_entries[..];
+            let p_off = &st.push_off[..];
+            let query_delivered = st.query_delivered.as_atomic();
+            let push_delivered = st.push_delivered.as_atomic();
+            pool.scope(|scope| {
+                for (s, slot) in st.shard_undelivered.iter_mut().enumerate() {
+                    let lo = s * agents_chunk;
+                    let hi = (lo + agents_chunk).min(n);
+                    if lo >= hi {
+                        continue;
+                    }
+                    scope.spawn(move || {
+                        *slot = resolve_masks_range(
+                            lo,
+                            hi,
+                            q_entries,
+                            q_off,
+                            p_entries,
+                            p_off,
+                            query_delivered,
+                            push_delivered,
+                            p,
+                            loss_seed,
+                            round,
+                            meter_queries,
+                            fault_state,
+                            topology,
+                            partition,
+                        );
+                    });
+                }
+            });
+        }
+        let undelivered: u64 = st.shard_undelivered.iter().sum();
+        metrics.record_bulk(&Tally::default(), undelivered);
     }
 
     /// Regroup `staged.push_entries` (currently in op order, with the
@@ -519,8 +873,7 @@ impl<M: MsgSize + Send + Sync, A: Agent<M> + Send> Network<M, A> {
         }
         st.counts.copy_from_slice(&st.push_off);
         st.push_scratch.clear();
-        st.push_scratch
-            .resize(st.push_entries.len(), PushEntry { from: 0, op: 0, delivered: false });
+        st.push_scratch.resize(st.push_entries.len(), PushEntry { from: 0, op: 0 });
         for e in &st.push_entries {
             let cursor = &mut st.counts[receiver(&self.ops, e)];
             st.push_scratch[*cursor as usize] = *e;
@@ -548,31 +901,35 @@ impl<M: MsgSize + Send + Sync, A: Agent<M> + Send> Network<M, A> {
         let ops: &[(AgentId, Op<M>)] = ops;
         let entries = &st.query_entries[..];
         let off = &st.query_off[..];
+        let delivered = &st.query_delivered;
+        let reply_lost = &st.reply_lost;
         let chunk = n.div_ceil(threads);
-        let mut shard_meters: Vec<(Tally, u64)> = Vec::with_capacity(threads);
+        st.shard_meters.clear();
         if threads <= 1 {
             let meter = apply_pull_chunk(
                 &mut agents[..],
                 0,
                 entries,
                 off,
+                delivered,
+                reply_lost,
                 &mut st.reply_out[..],
                 ops,
                 round,
                 topology,
                 env,
             );
-            shard_meters.push(meter);
+            st.shard_meters.push(meter);
         } else {
             // Shard meters are written in place by the pool jobs (an
             // unused trailing slot stays a zero tally, which merges as
             // a no-op), so shard order is positional, not join order.
-            shard_meters.resize_with(threads, Default::default);
+            st.shard_meters.resize_with(threads, Default::default);
             let pool = ensure_pool(pool, threads);
             pool.scope(|scope| {
                 let mut agents_rest: &mut [A] = agents;
                 let mut reply_rest: &mut [Option<M>] = &mut st.reply_out;
-                let mut meters_rest: &mut [(Tally, u64)] = &mut shard_meters;
+                let mut meters_rest: &mut [(Tally, u64)] = &mut st.shard_meters;
                 let mut consumed = off[0] as usize; // == 0
                 let mut lo = 0usize;
                 while lo < n {
@@ -592,6 +949,8 @@ impl<M: MsgSize + Send + Sync, A: Agent<M> + Send> Network<M, A> {
                             base,
                             entries,
                             off,
+                            delivered,
+                            reply_lost,
                             reply_chunk,
                             ops,
                             round,
@@ -605,7 +964,7 @@ impl<M: MsgSize + Send + Sync, A: Agent<M> + Send> Network<M, A> {
         }
         // Merge per-shard reply meters in shard order — exact, so the
         // totals equal single-threaded metering bit for bit.
-        for (tally, undelivered) in shard_meters {
+        for (tally, undelivered) in st.shard_meters.drain(..) {
             metrics.record_bulk(&tally, undelivered);
         }
         // Gather replies into the per-puller inbox (pull/op order).
@@ -648,6 +1007,7 @@ impl<M: MsgSize + Send + Sync, A: Agent<M> + Send> Network<M, A> {
         let ops: &[(AgentId, Op<M>)] = ops;
         let entries = &st.push_entries[..];
         let off = &st.push_off[..];
+        let delivered = &st.push_delivered;
         let chunk = n.div_ceil(threads);
         if threads <= 1 {
             apply_delivery_chunk(
@@ -655,6 +1015,7 @@ impl<M: MsgSize + Send + Sync, A: Agent<M> + Send> Network<M, A> {
                 0,
                 entries,
                 off,
+                delivered,
                 &st.pulls[..],
                 &mut st.reply_inbox[..],
                 ops,
@@ -687,6 +1048,7 @@ impl<M: MsgSize + Send + Sync, A: Agent<M> + Send> Network<M, A> {
                             base,
                             entries,
                             off,
+                            delivered,
                             pulls_chunk,
                             inbox_chunk,
                             ops,
@@ -714,6 +1076,71 @@ fn ensure_pool(slot: &mut Option<crate::pool::ScopedPool>, threads: usize) -> &m
     slot.as_mut().expect("pool just ensured")
 }
 
+/// Resolve masks and loss coins for the receivers `lo..hi` of both
+/// ledgers, setting op-indexed verdict bits and returning the range's
+/// undelivered count. One loss stream per receiver per family per
+/// round, one draw per inbound entry (ledger order), drawn whether or
+/// not a mask already suppresses the delivery — the draws of one
+/// agent's inbox never depend on another agent's traffic, which is what
+/// makes this callable from any shard decomposition (or none) with
+/// bit-identical results.
+#[allow(clippy::too_many_arguments)]
+fn resolve_masks_range(
+    lo: usize,
+    hi: usize,
+    q_entries: &[QueryEntry],
+    q_off: &[u32],
+    p_entries: &[PushEntry],
+    p_off: &[u32],
+    query_delivered: &[std::sync::atomic::AtomicU64],
+    push_delivered: &[std::sync::atomic::AtomicU64],
+    p: f64,
+    loss_seed: u64,
+    round: usize,
+    meter_queries: bool,
+    fault_state: &FaultState,
+    topology: &Topology,
+    partition: Option<&PartitionCut>,
+) -> u64 {
+    let mut undelivered = 0u64;
+    for v in lo..hi {
+        let va = v as AgentId;
+        let (qlo, qhi) = (q_off[v] as usize, q_off[v + 1] as usize);
+        if qlo != qhi {
+            let down = fault_state.is_down(va);
+            let mut rng = (p > 0.0)
+                .then(|| loss_streams::per_agent(loss_seed, loss_streams::QUERY, round, va));
+            for e in &q_entries[qlo..qhi] {
+                let lost = rng.as_mut().map(|r| r.chance(p)).unwrap_or(false);
+                let reachable = topology.connected(e.puller, va)
+                    && !matches!(partition, Some(cut) if cut.blocks(e.puller, va));
+                if reachable && !down && !lost {
+                    atomic_set(query_delivered, e.op as usize);
+                } else if meter_queries {
+                    undelivered += 1;
+                }
+            }
+        }
+        let (plo, phi) = (p_off[v] as usize, p_off[v + 1] as usize);
+        if plo != phi {
+            let down = fault_state.is_down(va);
+            let mut rng = (p > 0.0)
+                .then(|| loss_streams::per_agent(loss_seed, loss_streams::PUSH, round, va));
+            for e in &p_entries[plo..phi] {
+                let lost = rng.as_mut().map(|r| r.chance(p)).unwrap_or(false);
+                let reachable = topology.connected(e.from, va)
+                    && !matches!(partition, Some(cut) if cut.blocks(e.from, va));
+                if reachable && !down && !lost {
+                    atomic_set(push_delivered, e.op as usize);
+                } else {
+                    undelivered += 1;
+                }
+            }
+        }
+    }
+    undelivered
+}
+
 /// Deliver queries to one contiguous pullee shard (`agents` holds ids
 /// `base..base + agents.len()`); returns the shard's reply meter
 /// `(tally of produced replies, undelivered count)`.
@@ -723,6 +1150,8 @@ fn apply_pull_chunk<M: MsgSize, A: Agent<M>>(
     base: usize,
     entries: &[QueryEntry],
     off: &[u32],
+    delivered: &BitSet,
+    reply_lost: &BitSet,
     reply_out: &mut [Option<M>],
     ops: &[(AgentId, Op<M>)],
     round: usize,
@@ -739,7 +1168,7 @@ fn apply_pull_chunk<M: MsgSize, A: Agent<M>>(
         let hi = off[v + 1] as usize;
         for pos in lo..hi {
             let e = &entries[pos];
-            if !e.delivered {
+            if !delivered.get(e.op as usize) {
                 continue;
             }
             let query = match &ops[e.op as usize].1 {
@@ -751,7 +1180,7 @@ fn apply_pull_chunk<M: MsgSize, A: Agent<M>>(
                 // Metering contract: the reply went on the wire at
                 // production, whether or not it survives transit.
                 tally.record(msg.size_bits(env));
-                if e.reply_lost {
+                if reply_lost.get(e.op as usize) {
                     undelivered += 1;
                 } else {
                     reply_out[pos - e_base] = Some(msg);
@@ -769,6 +1198,7 @@ fn apply_delivery_chunk<M: MsgSize, A: Agent<M>>(
     base: usize,
     entries: &[PushEntry],
     off: &[u32],
+    delivered: &BitSet,
     pulls: &[PullRec],
     inbox: &mut [Option<M>],
     ops: &[(AgentId, Op<M>)],
@@ -779,7 +1209,7 @@ fn apply_delivery_chunk<M: MsgSize, A: Agent<M>>(
     for (local, agent) in agents.iter_mut().enumerate() {
         let v = base + local;
         for e in &entries[off[v] as usize..off[v + 1] as usize] {
-            if !e.delivered {
+            if !delivered.get(e.op as usize) {
                 continue;
             }
             let msg = match &ops[e.op as usize].1 {

@@ -362,6 +362,7 @@ fn sharded_corpus_resumes_bit_identically() {
             let mut cfg = cfg;
             cfg.rng_discipline = RngDiscipline::PerAgent;
             cfg.threads = threads;
+            cfg.shard_floor = Some(0); // tiny n: keep real multi-shard runs
             assert_resume_equivalent(&format!("{label}@t{threads}"), &cfg, seed);
         }
     }
@@ -378,6 +379,7 @@ fn resume_is_thread_count_portable() {
             let mut c = cfg.clone();
             c.rng_discipline = RngDiscipline::PerAgent;
             c.threads = threads;
+            c.shard_floor = Some(0); // tiny n: keep real multi-shard runs
             c
         };
         let from = spell(counts[0]);

@@ -42,6 +42,7 @@ fn lossy_cfg(plan: InstancePlan, threads: usize) -> RunConfig {
         .instances(plan)
         .build();
     cfg.threads = threads;
+    cfg.shard_floor = Some(0); // tiny n: keep real multi-shard runs
     cfg
 }
 

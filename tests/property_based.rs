@@ -59,7 +59,7 @@ proptest! {
         prop_assert_eq!(cert.k, cert.derived_k(m));
         prop_assert!(cert.k < m);
         // Canonical order.
-        prop_assert!(cert.votes.windows(2).all(|w| (w[0].voter, w[0].round) <= (w[1].voter, w[1].round)));
+        prop_assert!(cert.votes.is_canonically_sorted());
     }
 
     /// Modular sum: permutation-invariant and in range.
@@ -160,10 +160,7 @@ proptest! {
             let plan = FaultPlan::fraction(n, frac, placement);
             prop_assert!(plan.n_active() >= 1);
             prop_assert_eq!(plan.n_faulty() + plan.n_active(), n);
-            prop_assert_eq!(
-                plan.flags().iter().filter(|&&f| f).count(),
-                plan.n_faulty()
-            );
+            prop_assert_eq!(plan.flags().count_ones(), plan.n_faulty());
         }
     }
 }

@@ -147,6 +147,9 @@ fn sharded_golden_rows_are_thread_invariant_and_pinned() {
             let mut cfg = cfg.clone();
             cfg.rng_discipline = RngDiscipline::PerAgent;
             cfg.threads = threads;
+            // Disable the agents-per-shard floor: these rows are tiny on
+            // purpose, and the point is to execute *really* sharded.
+            cfg.shard_floor = Some(0);
             let report = run_protocol(&cfg, seed);
             digests.push(report_digest(&report));
             undelivered.push(report.metrics.undelivered);
@@ -193,10 +196,20 @@ fn staged_sequential_spelling_matches_static_golden_path() {
         let sequential = report_digest(&run_protocol(&cfg, seed));
         let mut staged = cfg.clone();
         staged.threads = 4; // Sequential discipline, staged engine
+        staged.shard_floor = Some(0); // below the floor this would fall back
         assert_eq!(
             report_digest(&run_protocol(&staged, seed)),
             sequential,
             "{label}: staged sequential spelling diverged from the monolithic engine"
+        );
+        // With the default floor the same config falls back to the
+        // monolithic engine outright — also digest-identical.
+        let mut floored = cfg.clone();
+        floored.threads = 4;
+        assert_eq!(
+            report_digest(&run_protocol(&floored, seed)),
+            sequential,
+            "{label}: small-n shard-floor fallback diverged from the monolithic engine"
         );
     }
 }
