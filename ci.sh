@@ -116,9 +116,36 @@ if ! diff -q target/ckpt-smoke/digests-a target/ckpt-smoke/digests-b >/dev/null;
 fi
 echo "    resume smoke OK: $(wc -l < target/ckpt-smoke/digests-a) row digests identical across the seam"
 
-echo "==> perf snapshot: e14/e16/e17 --quick -> fresh JSON (two captures for a best-of-2 gate)"
+echo "==> node smoke: two rfc-node processes over a Unix socket must agree (outcome + digest)"
+# The real-wire acceptance check: serve and join are *separate OS
+# processes* talking through the codec frames on an actual socket. Both
+# print "<mode> outcome=... digest=0x..."; consensus AND bit-identical
+# digests are required. Loopback (in-process socketpair) rides along as
+# the fallback diagnostic if the two-process form ever fails.
+rm -f target/rfc-node-smoke.sock
+cargo build --release -q -p rfc-node
+./target/release/rfc-node serve --listen unix:target/rfc-node-smoke.sock \
+    --n 16 --gamma 3.0 --seed 21 --slack 3 > target/rfc-node-serve.out &
+serve_pid=$!
+./target/release/rfc-node join --connect unix:target/rfc-node-smoke.sock \
+    --n 16 --gamma 3.0 --seed 21 --slack 3 > target/rfc-node-join.out
+wait "$serve_pid"
+grep -q "outcome=Consensus" target/rfc-node-serve.out
+grep -q "outcome=Consensus" target/rfc-node-join.out
+digest_serve=$(grep -oE 'digest=0x[0-9a-f]+' target/rfc-node-serve.out)
+digest_join=$(grep -oE 'digest=0x[0-9a-f]+' target/rfc-node-join.out)
+if [ -z "$digest_serve" ] || [ "$digest_serve" != "$digest_join" ]; then
+    echo "FAIL: rfc-node endpoints disagree (serve: ${digest_serve:-none}, join: ${digest_join:-none})" >&2
+    cat target/rfc-node-serve.out target/rfc-node-join.out >&2
+    exit 1
+fi
+echo "    node smoke OK: both processes $(grep -oE 'outcome=[A-Za-z()0-9]+' target/rfc-node-serve.out | head -1), $digest_serve"
+
+echo "==> perf snapshot: e14/e16/e17 --quick + codec -> fresh JSON (two captures for a best-of-2 gate)"
 cargo run --release -q -p experiments --bin rfc-experiments -- e14 e16 e17 --quick --json target/bench-json >/dev/null
 cargo run --release -q -p experiments --bin rfc-experiments -- e14 e16 e17 --quick --json target/bench-json2 >/dev/null
+cargo run --release -q -p rfc-bench --bin rfc-bench -- codec target/bench-json/codec_0.json >/dev/null
+cargo run --release -q -p rfc-bench --bin rfc-bench -- codec target/bench-json2/codec_0.json >/dev/null
 
 echo "==> perf gate: self-test (injected 50% slowdown must trip the comparator)"
 cargo run --release -q -p rfc-bench --bin rfc-bench -- selftest BENCH_scale.json
@@ -135,19 +162,19 @@ echo "==> perf gate: fresh throughput + ΔRSS vs committed BENCH_scale.json (tol
 # machine.
 cargo run --release -q -p rfc-bench --bin rfc-bench -- gate BENCH_scale.json \
     target/bench-json/e14_0.json target/bench-json/e14_1.json target/bench-json/e16_0.json \
-    target/bench-json/e17_0.json \
+    target/bench-json/e17_0.json target/bench-json/codec_0.json \
     target/bench-json2/e14_0.json target/bench-json2/e14_1.json target/bench-json2/e16_0.json \
-    target/bench-json2/e17_0.json
+    target/bench-json2/e17_0.json target/bench-json2/codec_0.json
 
-# Four JSON lines: the trial-level scale sweep (E14), the enum-vs-dyn
-# dispatch comparison (E14b), the intra-trial shard sweep (E16), and
-# the instance-plane sweep (E17) — the perf trajectory tracked across
-# PRs. The committed BENCH_scale.json is the gate's baseline and is
-# deliberately a *floor* (per-cell minimum over repeated captures), so
-# CI does NOT overwrite it; refresh it on purpose with the line below
-# when the floor genuinely moves:
+# Five JSON lines: the trial-level scale sweep (E14), the enum-vs-dyn
+# dispatch comparison (E14b), the intra-trial shard sweep (E16), the
+# instance-plane sweep (E17), and the wire-codec throughput row (E18) —
+# the perf trajectory tracked across PRs. The committed BENCH_scale.json
+# is the gate's baseline and is deliberately a *floor* (per-cell minimum
+# over repeated captures), so CI does NOT overwrite it; refresh it on
+# purpose with the line below when the floor genuinely moves:
 #     cp target/BENCH_scale.fresh.json BENCH_scale.json
-cat target/bench-json/e14_0.json target/bench-json/e14_1.json target/bench-json/e16_0.json target/bench-json/e17_0.json > target/BENCH_scale.fresh.json
-echo "    wrote target/BENCH_scale.fresh.json (scale sweep + dispatch + intra-trial shard + instance-plane rows)"
+cat target/bench-json/e14_0.json target/bench-json/e14_1.json target/bench-json/e16_0.json target/bench-json/e17_0.json target/bench-json/codec_0.json > target/BENCH_scale.fresh.json
+echo "    wrote target/BENCH_scale.fresh.json (scale sweep + dispatch + intra-trial shard + instance-plane + codec rows)"
 
 echo "CI OK"

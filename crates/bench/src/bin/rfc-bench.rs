@@ -12,10 +12,21 @@
 //!     of itself with every throughput cell halved and every ΔRSS cell
 //!     inflated (must FAIL) and against an identical copy (must PASS).
 //!     Exit non-zero if either expectation breaks.
+//!
+//! rfc-bench codec <out.json>
+//!     Measure wire-codec encode/decode throughput over a deterministic
+//!     message corpus and write one gate-compatible table (columns
+//!     `enc msgs/s` / `dec msgs/s`) to <out.json>.
 //! ```
 
+use experiments::Table;
+use gossip_net::rng::DetRng;
 use rfc_bench::gate::{compare, is_gated_column, is_memory_column, parse_tables, TableData};
+use rfc_core::certificate::{CertData, VoteRec};
+use rfc_core::codec::{decode_msg, encode_msg};
+use rfc_core::msg::{IntentEntry, Msg};
 use std::process::ExitCode;
+use std::time::Instant;
 
 fn tolerance() -> f64 {
     match std::env::var("RFC_GATE_TOLERANCE") {
@@ -156,6 +167,112 @@ fn run_selftest(committed_path: &str) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// The parameters of the throughput corpus: the wire shapes a real
+/// `n = 4096, γ = 3` run produces (`q = 36` intent entries and cert
+/// votes, values in `[m] = [n³]`).
+const CODEC_Q: usize = 36;
+const CODEC_M: u64 = 4096u64 * 4096 * 4096;
+
+/// One deterministic message of each class, sized like production
+/// traffic. `class` selects the variant so per-class rows measure pure
+/// encode/decode cost without branch-mix noise.
+fn corpus_msg(class: &str, rng: &mut DetRng) -> Msg {
+    match class {
+        "query" => {
+            if rng.index(2) == 0 {
+                Msg::QIntent
+            } else {
+                Msg::QMinCert
+            }
+        }
+        "vote" => Msg::Vote {
+            value: rng.below(CODEC_M),
+            round: rng.index(CODEC_Q) as u16,
+        },
+        "intents" => Msg::Intents(
+            (0..CODEC_Q)
+                .map(|_| IntentEntry {
+                    value: rng.below(CODEC_M),
+                    target: rng.index(4096) as u32,
+                })
+                .collect::<Vec<_>>()
+                .into(),
+        ),
+        "cert" => {
+            let votes: Vec<VoteRec> = (0..CODEC_Q)
+                .map(|_| VoteRec {
+                    voter: rng.index(4096) as u32,
+                    round: rng.index(CODEC_Q) as u16,
+                    value: rng.below(CODEC_M),
+                })
+                .collect();
+            Msg::cert(CertData::build(
+                rng.index(4096) as u32,
+                rng.index(2) as u32,
+                votes,
+                CODEC_M,
+            ))
+        }
+        other => unreachable!("unknown corpus class {other}"),
+    }
+}
+
+fn run_codec(out_path: &str) -> ExitCode {
+    let mut table = Table::new(
+        "E18 — wire codec throughput (deterministic corpus, single thread)",
+        &["class", "msgs", "bytes", "enc msgs/s", "dec msgs/s"],
+    );
+    for class in ["query", "vote", "intents", "cert"] {
+        let mut rng = DetRng::seeded(0xC0DEC, 0);
+        let corpus: Vec<Msg> = (0..512).map(|_| corpus_msg(class, &mut rng)).collect();
+        // Warm one full pass, then time enough repetitions for a stable
+        // single-digit-millisecond sample per direction.
+        let mut encoded = Vec::new();
+        let mut bounds = vec![0usize];
+        for m in &corpus {
+            encode_msg(m, &mut encoded);
+            bounds.push(encoded.len());
+        }
+        let reps = 200usize;
+        let t = Instant::now();
+        let mut sink = 0usize;
+        for _ in 0..reps {
+            let mut buf = Vec::with_capacity(encoded.len());
+            for m in &corpus {
+                encode_msg(m, &mut buf);
+            }
+            sink = sink.wrapping_add(buf.len());
+        }
+        let enc_s = t.elapsed().as_secs_f64();
+        let t = Instant::now();
+        for _ in 0..reps {
+            for w in bounds.windows(2) {
+                let (m, used) = decode_msg(&encoded[w[0]..w[1]]).expect("corpus decodes");
+                sink = sink.wrapping_add(used + matches!(m, Msg::QIntent) as usize);
+            }
+        }
+        let dec_s = t.elapsed().as_secs_f64();
+        std::hint::black_box(sink);
+        let n_msgs = corpus.len() * reps;
+        table.row(vec![
+            class.to_string(),
+            corpus.len().to_string(),
+            encoded.len().to_string(),
+            format!("{:.0}", n_msgs as f64 / enc_s),
+            format!("{:.0}", n_msgs as f64 / dec_s),
+        ]);
+    }
+    table.note(format!(
+        "corpus: 512 msgs/class, q={CODEC_Q}, m={CODEC_M}, seed 0xC0DEC; x200 reps"
+    ));
+    print!("{}", table.render());
+    if let Err(e) = std::fs::write(out_path, table.to_json()) {
+        eprintln!("rfc-bench: cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.split_first() {
@@ -163,9 +280,10 @@ fn main() -> ExitCode {
             run_gate(&rest[0], &rest[1..])
         }
         Some((cmd, rest)) if cmd == "selftest" && rest.len() == 1 => run_selftest(&rest[0]),
+        Some((cmd, rest)) if cmd == "codec" && rest.len() == 1 => run_codec(&rest[0]),
         _ => {
             eprintln!(
-                "usage: rfc-bench gate <committed.json> <fresh.json>...\n       rfc-bench selftest <committed.json>"
+                "usage: rfc-bench gate <committed.json> <fresh.json>...\n       rfc-bench selftest <committed.json>\n       rfc-bench codec <out.json>"
             );
             ExitCode::FAILURE
         }

@@ -360,7 +360,7 @@ impl GateReport {
 /// Is this column a gated throughput column (floor: fresh must not
 /// drop below the committed value beyond tolerance)?
 pub fn is_gated_column(header: &str) -> bool {
-    header.contains("rounds/s") || header.contains("instances/s")
+    header.contains("rounds/s") || header.contains("instances/s") || header.contains("msgs/s")
 }
 
 /// Is this column a gated memory column (ceiling: fresh must not *rise*

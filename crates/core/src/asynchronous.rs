@@ -20,6 +20,22 @@
 //! If an unlucky agent gets fewer than `q` voting activations, some of its
 //! declared votes are never delivered and Verification can fail the run —
 //! the failure probability decays exponentially in `q` (measured in E12).
+//!
+//! Two drivers share the scheduler discipline:
+//!
+//! * [`run_protocol_async`] — the tick-driven arm: every operation
+//!   completes (pull round-trip included) inside its tick. This is the
+//!   deterministic-replay baseline all historical digests pin.
+//! * [`run_protocol_events`] — the event-driven arm
+//!   ([`gossip_net::network::Network::drive_events`]): messages travel
+//!   through a delivery queue with per-message delays drawn from
+//!   [`DELAY_STREAM`]. With `max_delay == 0` no delay draws are consumed
+//!   and the run is **bit-identical** to `run_protocol_async` (pinned by
+//!   `tests/event_runtime.rs`); with `max_delay > 0` replies can outlive
+//!   the phase budget, and the terminal
+//!   [`drain_in_flight`](gossip_net::network::Network::drain_in_flight)
+//!   keeps the metering contract honest (`messages_sent - undelivered`
+//!   == handler invocations, in-flight messages counted undelivered).
 
 use crate::agent_plane::AgentSlot;
 use crate::engine::ProtocolCore;
@@ -28,17 +44,37 @@ use crate::runner::{build_network_slots, collect_report, RunConfig, RunReport};
 use gossip_net::ids::{AgentId, ColorId};
 use gossip_net::rng::DetRng;
 
-/// Scheduler RNG stream label.
-const SCHEDULER_STREAM: u64 = 0x5EC;
+/// Scheduler RNG stream label: the tick-by-tick wake sequence is
+/// `DetRng::seeded(seed, SCHEDULER_STREAM)`. Public so external drivers
+/// (the `rfc-node` lockstep session) can reproduce the exact wake
+/// sequence of a simulated run.
+pub const SCHEDULER_STREAM: u64 = 0x5EC;
+
+/// Delivery-delay RNG stream label for [`run_protocol_events`]. Distinct
+/// from every other stream in `runner::streams`, so turning delays on
+/// (or off) never perturbs agent, color, fault, loss, or scheduler
+/// randomness.
+pub const DELAY_STREAM: u64 = 0xDE1A;
 
 /// Run protocol `P` under the sequential-GOSSIP scheduler.
 ///
 /// `slack` multiplies the per-phase tick budget (`slack·n·q` ticks per
 /// phase); `slack = 2` already succeeds w.h.p. for moderate `γ`.
+///
+/// # Panics
+///
+/// Panics (with the [`crate::params::ScheduleError`] message) if
+/// `slack·n·q` overflows `usize` — use [`Params::try_async_schedule`] to
+/// pre-flight landmark-scale budgets on narrow targets.
 pub fn run_protocol_async(cfg: &RunConfig, seed: u64, slack: usize) -> RunReport {
     assert!(slack >= 1);
     let params = cfg.params();
-    let schedule = params.async_schedule(slack);
+    // Checked: a silent wrap here would truncate the per-phase tick
+    // loop below (each phase runs exactly `schedule.phase_len` ticks).
+    let schedule = match params.try_async_schedule(slack) {
+        Ok(s) => s,
+        Err(e) => panic!("{e}"),
+    };
     let mut factory = move |id: AgentId,
                             params: Params,
                             color: ColorId,
@@ -52,6 +88,53 @@ pub fn run_protocol_async(cfg: &RunConfig, seed: u64, slack: usize) -> RunReport
         net.enter_phase(phase.name());
         net.run_async(schedule.phase_len, &mut scheduler);
     }
+    net.finalize();
+    collect_report(&net, cfg)
+}
+
+/// Run protocol `P` on the **event-driven** runtime: the same
+/// sequential-GOSSIP wake schedule as [`run_protocol_async`], but every
+/// message is enqueued with a delivery delay uniform in
+/// `[0, max_delay]` ticks per leg, drawn from [`DELAY_STREAM`].
+///
+/// `max_delay == 0` is the digest-pinned replay arm: no delay draws are
+/// consumed and the report is bit-identical to `run_protocol_async(cfg,
+/// seed, slack)`. With `max_delay > 0`, messages can land ticks after
+/// they were sent — in a later phase, or never (budget expiry): the
+/// terminal drain counts those metered-but-undelivered, per the
+/// metering contract.
+pub fn run_protocol_events(
+    cfg: &RunConfig,
+    seed: u64,
+    slack: usize,
+    max_delay: usize,
+) -> RunReport {
+    assert!(slack >= 1);
+    let params = cfg.params();
+    let schedule = match params.try_async_schedule(slack) {
+        Ok(s) => s,
+        Err(e) => panic!("{e}"),
+    };
+    let mut factory = move |id: AgentId,
+                            params: Params,
+                            color: ColorId,
+                            rng: DetRng,
+                            topo: &gossip_net::topology::Topology| {
+        AgentSlot::honest(ProtocolCore::new_on(topo, id, params, schedule, color, rng))
+    };
+    let mut net = build_network_slots(cfg, seed, &mut factory);
+    let mut scheduler = DetRng::seeded(seed, SCHEDULER_STREAM);
+    let mut delays = DetRng::seeded(seed, DELAY_STREAM);
+    for phase in Phase::COMMUNICATING {
+        net.enter_phase(phase.name());
+        // The delivery queue deliberately survives the phase boundary: a
+        // delayed message sent near the end of one phase lands during
+        // the next, exactly as on a real wire.
+        net.drive_events(schedule.phase_len, &mut scheduler, &mut delays, max_delay);
+    }
+    // Budget over: whatever is still in flight was metered at send but
+    // will never reach a handler — count it undelivered.
+    net.drain_in_flight();
     net.finalize();
     collect_report(&net, cfg)
 }
@@ -104,5 +187,43 @@ mod tests {
             .map(|s| run_protocol_async(&cfg, s, 1).outcome.is_consensus())
             .collect();
         assert!(outcomes.iter().any(|&b| b), "some run should succeed");
+    }
+
+    #[test]
+    fn delay_free_events_match_tick_driven_exactly() {
+        // The digest-pinned equivalence lives in tests/event_runtime.rs;
+        // this is the in-crate fast check on one config.
+        let cfg = RunConfig::builder(24).gamma(3.0).colors(vec![12, 12]).build();
+        let tick = run_protocol_async(&cfg, 21, 3);
+        let ev = run_protocol_events(&cfg, 21, 3, 0);
+        assert_eq!(tick.outcome, ev.outcome);
+        assert_eq!(tick.metrics.messages_sent, ev.metrics.messages_sent);
+        assert_eq!(tick.metrics.bits_sent, ev.metrics.bits_sent);
+        assert_eq!(tick.metrics.undelivered, ev.metrics.undelivered);
+        assert_eq!(tick.metrics.ticks, ev.metrics.ticks);
+    }
+
+    #[test]
+    fn delayed_events_still_reach_consensus() {
+        // Small delays relative to the phase budget: the protocol has
+        // enough slack to absorb late deliveries.
+        let cfg = RunConfig::builder(24).gamma(3.0).colors(vec![12, 12]).build();
+        let report = run_protocol_events(&cfg, 21, 4, 2);
+        assert!(
+            report.outcome.is_consensus(),
+            "delayed run should still succeed: {:?}",
+            report.outcome
+        );
+    }
+
+    #[test]
+    fn delayed_events_are_deterministic() {
+        let cfg = RunConfig::builder(16).gamma(3.0).colors(vec![8, 8]).build();
+        let a = run_protocol_events(&cfg, 9, 3, 5);
+        let b = run_protocol_events(&cfg, 9, 3, 5);
+        assert_eq!(a.outcome, b.outcome);
+        assert_eq!(a.metrics.messages_sent, b.metrics.messages_sent);
+        assert_eq!(a.metrics.bits_sent, b.metrics.bits_sent);
+        assert_eq!(a.metrics.undelivered, b.metrics.undelivered);
     }
 }

@@ -54,6 +54,7 @@ pub mod audit;
 pub mod certificate;
 pub mod checkpoint;
 pub mod coalition;
+pub mod codec;
 pub mod election;
 pub mod engine;
 pub mod instances;
@@ -66,12 +67,17 @@ pub mod sharing;
 pub mod strategies;
 
 pub use agent_plane::AgentSlot;
+pub use asynchronous::{run_protocol_async, run_protocol_events, DELAY_STREAM, SCHEDULER_STREAM};
 pub use certificate::{CertData, Certificate, VoteRec};
 pub use checkpoint::{
     checkpoint_network, restore_network, resume_protocol, run_protocol_with_checkpoints,
     CheckpointError,
 };
 pub use coalition::{new_coalition, select_members, Coalition, CoalitionSelection};
+pub use codec::{
+    decode_frame, decode_msg, encode_frame, encode_msg, encode_msg_frame, encoded_msg_len,
+    CodecError, FRAME_MAGIC, FRAME_VERSION,
+};
 pub use engine::{ConsensusAgent, HonestAgent, ProtocolCore, Role, VerifyFailure};
 pub use instances::{
     run_plane, InstanceKind, InstancePlan, InstanceSpec, MuxAgent, PlaneReport, Priority,
@@ -79,7 +85,7 @@ pub use instances::{
 pub use ledger::{ConsistencyError, Declaration, Ledger};
 pub use msg::{Batch, BatchPart, IntentEntry, IntentList, Msg, INSTANCE_TAG_BITS};
 pub use outcome::{combine_decisions, utility, Decision, Outcome};
-pub use params::{Params, Phase, PhaseSchedule};
+pub use params::{Params, Phase, PhaseSchedule, ScheduleError};
 pub use runner::{
     build_network, build_network_slots, collect_report, drive_network, honest_slot_factory,
     run_protocol, run_protocol_boxed, ColorSpec, RunConfig, RunConfigBuilder, RunReport,

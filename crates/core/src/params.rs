@@ -18,6 +18,7 @@
 //! every agent gets `≥ q` activations per phase w.h.p.
 
 use gossip_net::ids::ceil_log2;
+use std::fmt;
 
 /// The protocol's communicating phases, plus the terminal state.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -110,6 +111,34 @@ impl PhaseSchedule {
     }
 }
 
+/// Schedule arithmetic that cannot be represented on this target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// `slack·n·q` ticks per phase (or `4·slack·n·q` total) overflow
+    /// `usize` — the asynchronous run cannot be scheduled at this scale.
+    TickBudgetOverflow {
+        /// The requested slack multiplier.
+        slack: usize,
+        /// The network size.
+        n: usize,
+        /// The per-phase round budget.
+        q: usize,
+    },
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::TickBudgetOverflow { slack, n, q } => write!(
+                f,
+                "async tick budget slack·n·q = {slack}·{n}·{q} overflows usize on this target"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
 /// All protocol parameters, fixed before round 0 and shared by every agent
 /// (each agent knows `n` and the fault-tolerance parameter — paper §3).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -173,11 +202,39 @@ impl Params {
     /// stretched to `slack · n · q` ticks so that every agent is activated
     /// at least `q` times per phase w.h.p. (activations per agent per phase
     /// are Binomial(slack·n·q, 1/n), mean `slack·q`).
+    ///
+    /// Panics if the tick budget overflows `usize`; fallible callers
+    /// (landmark-scale sweeps, 32-bit targets where `slack·n·q` wraps
+    /// well inside realistic parameters) should use
+    /// [`Params::try_async_schedule`].
     pub fn async_schedule(&self, slack: usize) -> PhaseSchedule {
-        assert!(slack >= 1);
-        PhaseSchedule {
-            phase_len: slack * self.n * self.q,
+        match self.try_async_schedule(slack) {
+            Ok(s) => s,
+            Err(e) => panic!("{e}"),
         }
+    }
+
+    /// Checked form of [`Params::async_schedule`]: errors instead of
+    /// silently wrapping when `slack·n·q` (or the 4-phase total the run
+    /// loop iterates) does not fit in `usize`. The unchecked multiply
+    /// wrapped on 32-bit targets at landmark scales — a wrapped budget
+    /// truncates every phase to a sliver of its ticks and the run fails
+    /// *plausibly* instead of loudly.
+    pub fn try_async_schedule(&self, slack: usize) -> Result<PhaseSchedule, ScheduleError> {
+        assert!(slack >= 1);
+        let overflow = || ScheduleError::TickBudgetOverflow {
+            slack,
+            n: self.n,
+            q: self.q,
+        };
+        let phase_len = slack
+            .checked_mul(self.n)
+            .and_then(|v| v.checked_mul(self.q))
+            .ok_or_else(overflow)?;
+        // The driver iterates all four phases back to back; the total
+        // must be addressable too or the round counter itself wraps.
+        phase_len.checked_mul(4).ok_or_else(overflow)?;
+        Ok(PhaseSchedule { phase_len })
     }
 
     /// Total synchronous rounds of the four communicating phases.
@@ -267,6 +324,51 @@ mod tests {
     #[should_panic(expected = "at least two agents")]
     fn rejects_tiny_n() {
         let _ = Params::new(1, 1.0);
+    }
+
+    #[test]
+    fn async_schedule_overflow_is_a_typed_error() {
+        // Params fields are pub, so a landmark-scale config that cannot
+        // exist via `Params::new` on this target is still constructible
+        // for the arithmetic check.
+        let p = Params {
+            n: usize::MAX / 4,
+            q: 16,
+            m: u64::MAX,
+            gamma: 3.0,
+            check_self_votes: true,
+        };
+        let err = p.try_async_schedule(2).unwrap_err();
+        assert!(matches!(
+            err,
+            ScheduleError::TickBudgetOverflow { slack: 2, q: 16, .. }
+        ));
+        assert!(err.to_string().contains("overflows"));
+        // The 4-phase total must fit as well, not just one phase.
+        let p = Params {
+            n: usize::MAX / 3,
+            q: 1,
+            m: u64::MAX,
+            gamma: 3.0,
+            check_self_votes: true,
+        };
+        assert!(p.try_async_schedule(1).is_err());
+        // Sane parameters still succeed and agree with the panicking form.
+        let p = Params::new(64, 1.0);
+        assert_eq!(p.try_async_schedule(2).unwrap(), p.async_schedule(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows usize")]
+    fn unchecked_async_schedule_panics_loudly_on_overflow() {
+        let p = Params {
+            n: usize::MAX / 2,
+            q: 8,
+            m: u64::MAX,
+            gamma: 3.0,
+            check_self_votes: true,
+        };
+        let _ = p.async_schedule(4);
     }
 
     #[test]

@@ -43,12 +43,18 @@ use gossip_net::size::SizeEnv;
 use gossip_net::topology::Topology;
 
 /// RNG stream labels: one sub-stream per independent randomness consumer.
-/// Crate-visible so the instance plane (`crate::instances`) can replicate
-/// the legacy per-agent streams exactly for its instance 0.
-pub(crate) mod streams {
+/// Public so external drivers — the instance plane replicating the legacy
+/// per-agent streams for its instance 0, or the `rfc-node` lockstep
+/// session rebuilding a run's agents outside the simulator — derive the
+/// exact same randomness from `(seed, stream)`.
+pub mod streams {
+    /// Color-assignment permutation stream.
     pub const COLORS: u64 = 0x01;
+    /// Fault-placement stream.
     pub const FAULTS: u64 = 0x02;
+    /// Message-loss process stream.
     pub const LOSS: u64 = 0x03;
+    /// Agent `i`'s private stream is `AGENT_BASE + i`.
     pub const AGENT_BASE: u64 = 0x1000;
 }
 

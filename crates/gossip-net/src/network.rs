@@ -215,6 +215,77 @@ pub struct EngineState {
     pub loss_rng: Option<[u64; 4]>,
 }
 
+/// One wire message in flight inside the event-driven runtime (see
+/// [`Network::drive_events`]): what will happen when it lands.
+#[derive(Debug)]
+enum EventKind<M> {
+    /// A push on its way to `to`'s mailbox.
+    Push {
+        from: AgentId,
+        to: AgentId,
+        msg: M,
+    },
+    /// A pull query on its way to the pullee.
+    Query {
+        puller: AgentId,
+        pullee: AgentId,
+        query: M,
+    },
+    /// A pull reply (or the timeout notification `None`) on its way back
+    /// to the puller.
+    Reply {
+        puller: AgentId,
+        pullee: AgentId,
+        reply: Option<M>,
+    },
+}
+
+/// An in-flight message with its delivery tick. Ordered by `(due, seq)`
+/// — `seq` is the global enqueue counter, so messages with equal delays
+/// deliver in send order and the queue's behavior is deterministic.
+/// The ordering is *reversed* so a max-[`std::collections::BinaryHeap`]
+/// pops the earliest event first.
+#[derive(Debug)]
+struct InFlight<M> {
+    due: usize,
+    seq: u64,
+    kind: EventKind<M>,
+}
+
+impl<M> PartialEq for InFlight<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.seq == other.seq
+    }
+}
+impl<M> Eq for InFlight<M> {}
+impl<M> PartialOrd for InFlight<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for InFlight<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: the heap is a max-heap, we want the earliest due.
+        other
+            .due
+            .cmp(&self.due)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// One delivery-delay draw for the event-driven runtime: uniform in
+/// `[0, max_delay]` ticks. `max_delay == 0` consumes **no** draw, so the
+/// delay-free configuration's RNG streams are bit-identical to
+/// [`Network::run_async`]'s regardless of how `delay_rng` was seeded.
+#[inline]
+fn draw_delay(delay_rng: &mut DetRng, max_delay: usize) -> usize {
+    if max_delay == 0 {
+        0
+    } else {
+        delay_rng.index(max_delay + 1)
+    }
+}
+
 /// A network of agents driven in synchronous GOSSIP rounds.
 ///
 /// `M` is the protocol's message type (`MsgSize` for wire metering;
@@ -258,6 +329,13 @@ pub struct Network<M, A = Box<dyn Agent<M>>> {
     // Staged-engine scratch (CSR ledgers, reply slots, shard buffers) —
     // empty and allocation-free until `step_staged` is first called.
     staged: staged::StagedScratch<M>,
+    // The event-driven runtime's delivery queue (see `drive_events`) —
+    // empty and allocation-free unless events are driven. NOT captured
+    // by `EngineState`: checkpoints are a round-boundary contract of the
+    // tick-driven paths, and `drive_events` runs are finished (drained)
+    // before any snapshot could be cut.
+    events: std::collections::BinaryHeap<InFlight<M>>,
+    event_seq: u64,
     // Cumulative per-stage wall clock, populated only when
     // `config.time_stages` is set (see `StageTimes`).
     stage_times: StageTimes,
@@ -331,6 +409,8 @@ impl<M: MsgSize, A: Agent<M>> Network<M, A> {
             multi_buf: Vec::new(),
             pool: None,
             staged: staged::StagedScratch::new(),
+            events: std::collections::BinaryHeap::new(),
+            event_seq: 0,
             stage_times: StageTimes::default(),
         }
     }
@@ -399,6 +479,8 @@ impl<M: MsgSize, A: Agent<M>> Network<M, A> {
         // is re-sized lazily by the next staged round if the new config
         // wants a different thread count.
         self.staged.clear();
+        self.events.clear();
+        self.event_seq = 0;
         self.stage_times = StageTimes::default();
     }
 
@@ -559,20 +641,47 @@ impl<M: MsgSize, A: Agent<M>> Network<M, A> {
         query: &M,
         round: usize,
     ) -> Option<M> {
+        if !self.send_query_checks(puller, pullee, query) {
+            // The query never reached a live handler (off-edge, cross-cut,
+            // lost, or a faulty/crashed pullee): no reply exists.
+            self.record_pull_op(round, puller, pullee, false);
+            return None;
+        }
+        self.resolve_query(puller, pullee, query, round)
+    }
+
+    /// Send-side half of a pull: meter the query at send time, resolve
+    /// reachability/loss/fault. Returns whether the query reaches a live
+    /// handler; a metered query that does not is counted `undelivered`.
+    fn send_query_checks(&mut self, puller: AgentId, pullee: AgentId, query: &M) -> bool {
         // The pull *query* travels on the wire regardless of the answer.
         if self.config.meter_queries {
             self.metrics.record_message(query.size_bits(&self.env));
         }
+        // The loss draw is consumed unconditionally (matching the
+        // historical stream even for off-edge queries).
         let reachable = self.reachable(puller, pullee);
         let query_lost = self.dropped();
-        let reply = if !reachable || query_lost || self.fault_state.is_down(pullee) {
-            // The query never reached a live handler (off-edge, cross-cut,
-            // lost, or a faulty/crashed pullee): undelivered if metered.
+        if !reachable || query_lost || self.fault_state.is_down(pullee) {
             if self.config.meter_queries {
                 self.metrics.record_undelivered();
             }
-            None
-        } else {
+            return false;
+        }
+        true
+    }
+
+    /// Receive-side half of a pull, for a query that reached its live
+    /// pullee: invoke [`Agent::on_pull`], meter any produced reply at
+    /// send time, draw its transit loss, and log the op.
+    fn resolve_query(
+        &mut self,
+        puller: AgentId,
+        pullee: AgentId,
+        query: &M,
+        round: usize,
+    ) -> Option<M> {
+        let reply = {
             let ctx = RoundCtx {
                 round,
                 topology: &self.topology,
@@ -594,25 +703,42 @@ impl<M: MsgSize, A: Agent<M>> Network<M, A> {
         } else {
             reply
         };
+        self.record_pull_op(round, puller, pullee, reply.is_some());
+        reply
+    }
+
+    /// Op-log record for a completed pull attempt (answered or not).
+    fn record_pull_op(&mut self, round: usize, puller: AgentId, pullee: AgentId, answered: bool) {
         if self.config.record_ops {
-            let kind = if reply.is_some() {
+            let kind = if answered {
                 OpKind::Pull
             } else {
                 OpKind::PullUnanswered
             };
             self.oplog.record(round as u32, kind, puller, pullee);
         }
-        reply
     }
 
     fn deliver_push(&mut self, from: AgentId, to: AgentId, msg: &M, round: usize) {
-        // Metering contract: a push is metered HERE, at send time —
-        // *before* the edge/partition/fault/loss checks below. A push
-        // addressed off-edge (no such link), across an installed
-        // partition cut, to a faulty or crashed receiver, or lost in
-        // transit was still *sent* by its author and still occupied the
-        // wire on the sender's side, so it counts toward messages_sent
-        // and bits_sent even though it is never delivered.
+        if self.send_push_checks(from, to, msg, round) {
+            let ctx = RoundCtx {
+                round,
+                topology: &self.topology,
+            };
+            // By-ref delivery: no clone on the push path.
+            self.agents[to as usize].on_push(from, msg, &ctx);
+        }
+    }
+
+    /// Send-side half of a push. Metering contract: a push is metered
+    /// HERE, at send time — *before* the edge/partition/fault/loss checks
+    /// below. A push addressed off-edge (no such link), across an
+    /// installed partition cut, to a faulty or crashed receiver, or lost
+    /// in transit was still *sent* by its author and still occupied the
+    /// wire on the sender's side, so it counts toward messages_sent and
+    /// bits_sent even though it is never delivered. Returns whether the
+    /// push survives to delivery.
+    fn send_push_checks(&mut self, from: AgentId, to: AgentId, msg: &M, round: usize) -> bool {
         self.metrics.record_message(msg.size_bits(&self.env));
         if self.config.record_ops {
             self.oplog.record(round as u32, OpKind::Push, from, to);
@@ -620,14 +746,9 @@ impl<M: MsgSize, A: Agent<M>> Network<M, A> {
         if !self.reachable(from, to) || self.fault_state.is_down(to) || self.dropped() {
             // No such edge / cross-cut, quiescent receiver, or lost.
             self.metrics.record_undelivered();
-            return;
+            return false;
         }
-        let ctx = RoundCtx {
-            round,
-            topology: &self.topology,
-        };
-        // By-ref delivery: no clone on the push path.
-        self.agents[to as usize].on_push(from, msg, &ctx);
+        true
     }
 
     /// Run the **asynchronous (sequential) GOSSIP** variant: `ticks`
@@ -680,6 +801,206 @@ impl<M: MsgSize, A: Agent<M>> Network<M, A> {
             self.metrics.record_round(performed);
             self.round += 1;
         }
+    }
+
+    /// Run the **event-driven** generalization of [`Network::run_async`]:
+    /// the same one-uniformly-random-activation-per-tick scheduler, but
+    /// every message travels through a delivery queue with a per-message
+    /// delay of `delay_rng.index(max_delay + 1)` ticks per leg (a pull
+    /// costs two legs: query out, reply back). `max_delay == 0` consumes
+    /// **no** delay draws and delivers everything inside its send tick —
+    /// bit-identical to `run_async` in every metric, handler invocation,
+    /// op-log entry and loss draw (the digest-pinned replay arm).
+    ///
+    /// Metering is unchanged from the module contract — every message is
+    /// metered at send time — with one addendum real delays force: a
+    /// message still in flight when the run's tick budget expires was
+    /// sent but never delivered, so [`Network::drain_in_flight`] counts
+    /// it `undelivered` (keeping `messages_sent - undelivered` == exact
+    /// handler invocations). Mid-flight crashes likewise: a delivery
+    /// whose receiver went down after the send checks is counted
+    /// `undelivered` at its delivery tick.
+    ///
+    /// A query that fails its send checks (off-edge, lost, pullee down)
+    /// produces no reply message; the puller still learns — by timeout,
+    /// modeled as a `None` reply delivered after one round-trip delay.
+    pub fn drive_events(
+        &mut self,
+        ticks: usize,
+        scheduler_rng: &mut DetRng,
+        delay_rng: &mut DetRng,
+        max_delay: usize,
+    ) {
+        let n = self.agents.len();
+        for _ in 0..ticks {
+            let round = self.round;
+            self.begin_round(round);
+            self.metrics.record_tick();
+            // Land everything due from earlier ticks before anyone acts.
+            self.pump_events(round, delay_rng, max_delay);
+            let id = scheduler_rng.index(n) as AgentId;
+            if self.fault_state.is_down(id) {
+                self.metrics.record_round(0); // activation with no op
+                self.round += 1;
+                continue;
+            }
+            let op = {
+                let ctx = RoundCtx {
+                    round,
+                    topology: &self.topology,
+                };
+                self.agents[id as usize].act(&ctx)
+            };
+            let performed = op.is_some() as u64;
+            match op {
+                None => {}
+                Some(Op::Push { to, msg }) => {
+                    if self.send_push_checks(id, to, &msg, round) {
+                        let due = round + draw_delay(delay_rng, max_delay);
+                        self.enqueue(due, EventKind::Push { from: id, to, msg });
+                    }
+                }
+                Some(Op::Pull { from: target, query }) => {
+                    if self.send_query_checks(id, target, &query) {
+                        let due = round + draw_delay(delay_rng, max_delay);
+                        self.enqueue(
+                            due,
+                            EventKind::Query {
+                                puller: id,
+                                pullee: target,
+                                query,
+                            },
+                        );
+                    } else {
+                        // The query never reaches a live handler; the
+                        // puller learns by timeout after a round trip.
+                        self.record_pull_op(round, id, target, false);
+                        let due = round + draw_delay(delay_rng, max_delay);
+                        self.enqueue(
+                            due,
+                            EventKind::Reply {
+                                puller: id,
+                                pullee: target,
+                                reply: None,
+                            },
+                        );
+                    }
+                }
+            }
+            // Flush what this tick's op made due *now* (the whole tick,
+            // with `max_delay == 0`): a zero-delay pull completes its
+            // query → reply → `on_reply` chain before the tick closes,
+            // replaying `run_async` exactly.
+            self.pump_events(round, delay_rng, max_delay);
+            self.metrics.record_round(performed);
+            self.round += 1;
+        }
+    }
+
+    /// Deliver every queued event due at or before `now`, in `(due,
+    /// send-order)` order — including events enqueued *by* these
+    /// deliveries that are themselves already due (a zero-delay reply
+    /// chases its zero-delay query inside one call).
+    fn pump_events(&mut self, now: usize, delay_rng: &mut DetRng, max_delay: usize) {
+        while let Some(ev) = self.events.peek() {
+            if ev.due > now {
+                break;
+            }
+            let ev = self.events.pop().expect("peeked event");
+            match ev.kind {
+                EventKind::Push { from, to, msg } => {
+                    if self.fault_state.is_down(to) {
+                        // Crashed after the send checks passed.
+                        self.metrics.record_undelivered();
+                    } else {
+                        let ctx = RoundCtx {
+                            round: now,
+                            topology: &self.topology,
+                        };
+                        self.agents[to as usize].on_push(from, &msg, &ctx);
+                    }
+                }
+                EventKind::Query { puller, pullee, query } => {
+                    if self.fault_state.is_down(pullee) {
+                        // Crashed mid-flight: the metered query lands on
+                        // a dead mailbox; the puller gets the timeout.
+                        if self.config.meter_queries {
+                            self.metrics.record_undelivered();
+                        }
+                        self.record_pull_op(now, puller, pullee, false);
+                        let due = now + draw_delay(delay_rng, max_delay);
+                        self.enqueue(due, EventKind::Reply { puller, pullee, reply: None });
+                    } else {
+                        let reply = self.resolve_query(puller, pullee, &query, now);
+                        let due = now + draw_delay(delay_rng, max_delay);
+                        self.enqueue(due, EventKind::Reply { puller, pullee, reply });
+                    }
+                }
+                EventKind::Reply { puller, pullee, reply } => {
+                    if self.fault_state.is_down(puller) {
+                        // The puller crashed while its reply was in
+                        // flight; a produced (metered) reply is lost.
+                        if reply.is_some() {
+                            self.metrics.record_undelivered();
+                        }
+                    } else {
+                        let ctx = RoundCtx {
+                            round: now,
+                            topology: &self.topology,
+                        };
+                        self.agents[puller as usize].on_reply(pullee, reply, &ctx);
+                    }
+                }
+            }
+        }
+    }
+
+    fn enqueue(&mut self, due: usize, kind: EventKind<M>) {
+        let seq = self.event_seq;
+        self.event_seq += 1;
+        self.events.push(InFlight { due, seq, kind });
+    }
+
+    /// Number of messages currently in the delivery queue (timeout
+    /// notifications included).
+    pub fn events_in_flight(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Terminal honesty pass of the event-driven runtime: every message
+    /// still in flight when the tick budget expires was **metered at
+    /// send time but never delivered** — a pull issued in an agent's
+    /// last activation, say, whose reply outlives the run. Count each
+    /// such metered message `undelivered` (pushes; queries, when query
+    /// metering is on; produced `Some` replies — a `None` timeout was
+    /// never a wire message), preserving the contract that
+    /// `messages_sent - undelivered` is the exact number of handler
+    /// invocations. Returns how many undelivered messages were drained.
+    pub fn drain_in_flight(&mut self) -> u64 {
+        let round = self.round;
+        let mut dropped = 0u64;
+        while let Some(ev) = self.events.pop() {
+            match ev.kind {
+                EventKind::Push { .. } => {
+                    self.metrics.record_undelivered();
+                    dropped += 1;
+                }
+                EventKind::Query { puller, pullee, .. } => {
+                    if self.config.meter_queries {
+                        self.metrics.record_undelivered();
+                        dropped += 1;
+                    }
+                    self.record_pull_op(round, puller, pullee, false);
+                }
+                EventKind::Reply { reply, .. } => {
+                    if reply.is_some() {
+                        self.metrics.record_undelivered();
+                        dropped += 1;
+                    }
+                }
+            }
+        }
+        dropped
     }
 
     /// Call [`Agent::finalize`] on every agent active **at finalization
@@ -1521,6 +1842,92 @@ mod tests {
             let got = run(&mut arena);
             assert_eq!(got, expected, "reset network must be indistinguishable");
         }
+    }
+
+    #[test]
+    fn drive_events_zero_delay_replays_run_async_bit_for_bit() {
+        // The digest-pinned contract: with max_delay == 0 the event
+        // queue delivers everything inside its send tick and the whole
+        // run — metrics, loss draws, op log, handler effects — is
+        // bit-identical to the tick-driven scheduler. Checked on a lossy
+        // config so the loss-stream alignment is exercised too.
+        let mk = || {
+            Network::with_config(
+                Topology::complete(2),
+                SizeEnv::for_n(2),
+                vec![CountingPuller::new(1), CountingPuller::new(0)],
+                FaultPlan::none(2),
+                NetworkConfig {
+                    record_ops: true,
+                    loss_probability: 0.5,
+                    loss_seed: 9,
+                    ..NetworkConfig::default()
+                },
+            )
+        };
+        let mut tick = mk();
+        let mut sched = DetRng::seeded(3, 0);
+        tick.run_async(400, &mut sched);
+
+        let mut ev = mk();
+        let mut sched = DetRng::seeded(3, 0);
+        let mut delays = DetRng::seeded(99, 1); // seed is irrelevant: 0 draws
+        ev.drive_events(400, &mut sched, &mut delays, 0);
+        assert_eq!(ev.events_in_flight(), 0, "zero-delay queue must be empty");
+        assert_eq!(ev.drain_in_flight(), 0);
+
+        assert_eq!(tick.metrics().clone(), ev.metrics().clone());
+        assert_eq!(tick.oplog().len(), ev.oplog().len());
+        let sums = |n: &Network<Num, CountingPuller>| {
+            (
+                n.agents().iter().map(|a| a.produced).sum::<u64>(),
+                n.agents().iter().map(|a| a.delivered).sum::<u64>(),
+            )
+        };
+        assert_eq!(sums(&tick), sums(&ev));
+    }
+
+    #[test]
+    fn budget_expired_pull_replies_count_undelivered() {
+        // Regression (metering contract, real delays): a pull issued in
+        // an agent's last activations whose query or reply is still in
+        // flight when the tick budget expires was metered at send time
+        // but never reaches a handler. The terminal drain must count
+        // every such message `undelivered`, preserving
+        // `messages_sent - undelivered == exact handler invocations`.
+        let mut net = Network::new(
+            Topology::complete(2),
+            SizeEnv::for_n(2),
+            vec![CountingPuller::new(1), CountingPuller::new(0)],
+            FaultPlan::none(2),
+        );
+        let ticks = 50u64;
+        let mut sched = DetRng::seeded(3, 0);
+        let mut delays = DetRng::seeded(3, 1);
+        net.drive_events(ticks as usize, &mut sched, &mut delays, 10);
+        assert!(
+            net.events_in_flight() > 0,
+            "with delays up to 10 ticks, the last sends must still be in flight"
+        );
+        let drained = net.drain_in_flight();
+        assert!(drained > 0, "in-flight metered messages must drain as undelivered");
+        assert_eq!(net.events_in_flight(), 0);
+
+        // Every tick issues one metered pull query; replies are metered
+        // when produced. The invariant the old accounting broke:
+        let produced: u64 = net.agents().iter().map(|a| a.produced).sum();
+        let delivered: u64 = net.agents().iter().map(|a| a.delivered).sum();
+        let m = net.metrics();
+        assert_eq!(m.messages_sent, ticks + produced);
+        assert_eq!(
+            m.messages_sent - m.undelivered,
+            produced + delivered,
+            "metered-but-undelivered in-flight messages must not count as handled"
+        );
+        assert!(
+            delivered < produced,
+            "some produced replies expired with the budget"
+        );
     }
 
     #[test]

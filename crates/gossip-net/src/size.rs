@@ -34,10 +34,25 @@ pub struct SizeEnv {
 
 impl SizeEnv {
     /// Per-message variant tag, charged on every message.
+    ///
+    /// Three bits price up to [`SizeEnv::MAX_TAGGED_VARIANTS`] = 8
+    /// distinct message kinds; the protocol uses five. The real wire
+    /// codec (`rfc_core::codec`) asserts this bound in its per-variant
+    /// honesty test, so growing the message enum past 8 variants is a
+    /// compile-the-tests-and-find-out breakage, not a silent one.
     pub const TAG_BITS: u64 = 3;
 
+    /// Number of message variants [`SizeEnv::TAG_BITS`] can address.
+    pub const MAX_TAGGED_VARIANTS: usize = 1 << Self::TAG_BITS as usize;
+
+    /// The canonical `γ` the idealized widths assume (the repo-wide
+    /// default `RunConfig` gamma): [`SizeEnv::for_n`] must price a
+    /// round index in `[q]` with `q = ceil(γ·log₂ n)`.
+    pub const CANONICAL_GAMMA: u64 = 3;
+
     /// Environment for the paper's canonical parameters on `n` agents:
-    /// `m = n³`, `q = O(log n)` rounds per phase, colors bounded by `n`
+    /// `m = n³`, `q = γ·log₂ n` rounds per phase with the canonical
+    /// `γ = 3` ([`SizeEnv::CANONICAL_GAMMA`]), colors bounded by `n`
     /// (leader election is the worst case: `|Σ| = n`).
     pub fn for_n(n: usize) -> Self {
         let n = n.max(2) as u64;
@@ -45,7 +60,13 @@ impl SizeEnv {
         SizeEnv {
             id_bits,
             value_bits: 3 * id_bits, // log2(n^3) = 3 log2(n)
-            round_bits: bits_for((2 * bits_for(n) as u64).max(2)),
+            // Price a round index in [q] for the canonical q = γ·log₂ n.
+            // (Historically this used γ = 2, which cannot represent the
+            // top round indices of a default γ = 3 run — e.g. n = 256:
+            // 4 bits for indices up to 23. The real codec's round-trip
+            // proves those indices exist on the wire; `covers_round`
+            // pins the fix.)
+            round_bits: bits_for((Self::CANONICAL_GAMMA * bits_for(n) as u64).max(2)),
             color_bits: id_bits,
         }
     }
@@ -73,6 +94,33 @@ impl SizeEnv {
     pub fn vote_record_bits(&self) -> u64 {
         self.id_bits as u64 + self.round_bits as u64 + self.value_bits as u64
     }
+
+    /// Can `id_bits` represent every id in `[n]`? The idealized widths
+    /// are only honest if each field's width covers its value range —
+    /// the real codec's per-variant test asserts these for the values
+    /// it round-trips.
+    #[inline]
+    pub fn covers_id(&self, n: usize) -> bool {
+        width_covers(self.id_bits, n.saturating_sub(1) as u64)
+    }
+
+    /// Can `value_bits` represent every vote value in `[m]`?
+    #[inline]
+    pub fn covers_value(&self, m: u64) -> bool {
+        width_covers(self.value_bits, m.saturating_sub(1))
+    }
+
+    /// Can `round_bits` represent every round index in `[q]`?
+    #[inline]
+    pub fn covers_round(&self, q: usize) -> bool {
+        width_covers(self.round_bits, q.saturating_sub(1) as u64)
+    }
+}
+
+/// Does a `width`-bit field represent `max_value`?
+#[inline]
+fn width_covers(width: u32, max_value: u64) -> bool {
+    width >= 64 || max_value < (1u64 << width)
 }
 
 /// Types that know their wire size in bits under a given [`SizeEnv`].
@@ -128,5 +176,42 @@ mod tests {
             let e = SizeEnv::for_n(1usize << exp);
             assert_eq!(e.value_bits, 3 * e.id_bits);
         }
+    }
+
+    /// Regression (size-accounting honesty): `for_n`'s round width must
+    /// cover the round indices a canonical γ = 3 run actually puts on
+    /// the wire. The old accounting used γ = 2, so at e.g. n = 256
+    /// (`q = 24`) it priced a round index at 4 bits — unable to
+    /// represent indices 16..=23 that every default run sends.
+    #[test]
+    fn for_n_round_width_covers_canonical_q() {
+        for exp in 3..24u32 {
+            let n = 1usize << exp;
+            let e = SizeEnv::for_n(n);
+            let q = (SizeEnv::CANONICAL_GAMMA as usize) * exp as usize;
+            assert!(
+                e.covers_round(q),
+                "n=2^{exp}: round_bits={} cannot represent q={q} round indices",
+                e.round_bits
+            );
+            assert!(e.covers_id(n));
+            assert!(e.covers_value((n as u64).saturating_pow(3)));
+        }
+    }
+
+    #[test]
+    fn coverage_predicates_bound_exact_ranges() {
+        let e = SizeEnv::with_params(1024, 1024, 40, 2);
+        assert!(e.covers_id(1024) && !e.covers_id(1025));
+        assert!(e.covers_value(1024) && !e.covers_value(2048));
+        assert!(e.covers_round(40) && !e.covers_round(65));
+        // Degenerate widths never panic.
+        assert!(width_covers(64, u64::MAX));
+        assert!(e.covers_id(0));
+    }
+
+    #[test]
+    fn tag_space_bounds_variant_count() {
+        assert_eq!(SizeEnv::MAX_TAGGED_VARIANTS, 8);
     }
 }

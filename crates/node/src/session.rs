@@ -1,0 +1,522 @@
+//! The lockstep session: two processes, one sequential-GOSSIP run.
+//!
+//! Both endpoints derive the **same world** from `(n, γ, seed, slack)`:
+//! the same [`RunConfig`], the same complete topology, the same color
+//! assignment, the same per-agent RNG streams
+//! ([`rfc_core::runner::streams`]), and — crucially — the same scheduler
+//! stream ([`rfc_core::asynchronous::SCHEDULER_STREAM`]), so they agree
+//! tick by tick on **which agent wakes** without exchanging a byte.
+//!
+//! The serve side hosts agents `[0, n/2)`, the join side `[n/2, n)`.
+//! Each tick, the side hosting the woken agent executes its one
+//! operation; cross-process traffic (and only cross-process traffic)
+//! goes over the socket as [`Packet`]s carrying real
+//! `rfc_core::codec` frames. The owner of a tick always sends exactly
+//! one tick packet — [`Packet::TickNothing`] when the operation stayed
+//! local — so the peer never guesses; a [`Packet::TickQuery`] blocks the
+//! owner until the peer's [`Packet::Reply`] lands, completing the pull
+//! inside its tick exactly like the simulator's `run_async`.
+//!
+//! After the last phase both sides exchange [`Packet::Summary`] and
+//! independently combine the full decision vector — same outcome, same
+//! digest, or the session (and the CI smoke) fails.
+
+use crate::wire::{read_packet, write_packet, Packet};
+use gossip_net::agent::{Agent, Op, RoundCtx};
+use gossip_net::ids::{AgentId, ColorId};
+use gossip_net::rng::DetRng;
+use gossip_net::topology::Topology;
+use rfc_core::agent_plane::AgentSlot;
+use rfc_core::asynchronous::SCHEDULER_STREAM;
+use rfc_core::codec::FRAME_VERSION;
+use rfc_core::engine::{ConsensusAgent, ProtocolCore};
+use rfc_core::outcome::{combine_decisions, Decision, Outcome};
+use rfc_core::params::Phase;
+use rfc_core::runner::{streams, RunConfig};
+use std::io::{self, Read, Write};
+
+/// Which half of the id space this endpoint hosts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Side {
+    /// Agents `[0, n/2)` — the `serve` endpoint.
+    Low,
+    /// Agents `[n/2, n)` — the `join` endpoint.
+    High,
+}
+
+impl Side {
+    fn byte(self) -> u8 {
+        match self {
+            Side::Low => 0,
+            Side::High => 1,
+        }
+    }
+}
+
+/// Session parameters both endpoints must agree on.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeParams {
+    /// Number of agents across both endpoints.
+    pub n: usize,
+    /// The protocol's `γ` (`q = ceil(γ·log₂ n)`).
+    pub gamma: f64,
+    /// Master seed: world derivation and the shared wake schedule.
+    pub seed: u64,
+    /// Async tick-budget multiplier (`slack·n·q` ticks per phase).
+    pub slack: usize,
+}
+
+impl NodeParams {
+    /// Session fingerprint: both ends must derive the same value or the
+    /// handshake fails (they would silently disagree on every tick).
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.write(self.n as u64);
+        h.write(self.gamma.to_bits());
+        h.write(self.seed);
+        h.write(self.slack as u64);
+        h.write(FRAME_VERSION as u64);
+        h.finish()
+    }
+}
+
+/// What one endpoint observed over a finished session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionReport {
+    /// The combined outcome over **all** `n` agents.
+    pub outcome: Outcome,
+    /// FNV-1a digest of the full decision vector — both endpoints must
+    /// report the same value.
+    pub digest: u64,
+    /// Ticks executed (`4·slack·n·q`).
+    pub ticks: u64,
+    /// Protocol messages this endpoint put on the socket (pushes,
+    /// queries, produced replies — the metering contract's send events).
+    pub msgs_sent: u64,
+    /// Total packet bytes this endpoint wrote.
+    pub bytes_sent: u64,
+    /// The full per-agent decision vector.
+    pub decisions: Vec<Decision>,
+}
+
+/// FNV-1a over u64 words (the same fold the test-suite digests use).
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+    fn write(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+fn proto_err(what: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, what.into())
+}
+
+fn hosts(side: Side, mid: usize, id: AgentId) -> bool {
+    match side {
+        Side::Low => (id as usize) < mid,
+        Side::High => (id as usize) >= mid,
+    }
+}
+
+/// Mutable access to a hosted agent, as a free function so the borrow
+/// of `slots` stays disjoint from the topology borrow inside `RoundCtx`.
+fn slot_mut(
+    slots: &mut [Option<AgentSlot>],
+    side: Side,
+    mid: usize,
+    id: AgentId,
+) -> io::Result<&mut AgentSlot> {
+    if !hosts(side, mid, id) {
+        return Err(proto_err(format!("agent {id} is not hosted here")));
+    }
+    slots
+        .get_mut(id as usize)
+        .and_then(|s| s.as_mut())
+        .ok_or_else(|| proto_err(format!("agent {id} missing")))
+}
+
+/// One endpoint's live state: the locally hosted agents (by id), plus
+/// the world every endpoint shares.
+struct Endpoint {
+    side: Side,
+    mid: usize,
+    n: usize,
+    topology: Topology,
+    /// `slots[id]` is `Some` iff this endpoint hosts `id`.
+    slots: Vec<Option<AgentSlot>>,
+    msgs_sent: u64,
+    bytes_sent: u64,
+}
+
+impl Endpoint {
+    fn build(np: &NodeParams, side: Side) -> io::Result<(Self, usize)> {
+        if np.n < 4 {
+            return Err(proto_err("need n >= 4 (two agents per endpoint)"));
+        }
+        let mid = np.n / 2;
+        let cfg = RunConfig::builder(np.n)
+            .gamma(np.gamma)
+            .colors(vec![np.n - np.n / 2, np.n / 2])
+            .build();
+        let params = cfg.params();
+        let schedule = params
+            .try_async_schedule(np.slack)
+            .map_err(|e| proto_err(e.to_string()))?;
+        let topology = cfg.topology(np.seed);
+        let colors = cfg.assign_colors(np.seed);
+        let hosted = match side {
+            Side::Low => 0..mid,
+            Side::High => mid..np.n,
+        };
+        let mut slots: Vec<Option<AgentSlot>> = (0..np.n).map(|_| None).collect();
+        for id in hosted {
+            let rng = DetRng::seeded(np.seed, streams::AGENT_BASE + id as u64);
+            let core = ProtocolCore::new_on(
+                &topology,
+                id as AgentId,
+                params,
+                schedule,
+                colors[id],
+                rng,
+            );
+            slots[id] = Some(AgentSlot::honest(core));
+        }
+        Ok((
+            Endpoint {
+                side,
+                mid,
+                n: np.n,
+                topology,
+                slots,
+                msgs_sent: 0,
+                bytes_sent: 0,
+            },
+            schedule.phase_len,
+        ))
+    }
+
+    fn hosts(&self, id: AgentId) -> bool {
+        hosts(self.side, self.mid, id)
+    }
+
+    fn send<S: Write>(&mut self, sock: &mut S, pkt: &Packet) -> io::Result<()> {
+        self.msgs_sent += match pkt {
+            Packet::TickPush { .. } | Packet::TickQuery { .. } => 1,
+            Packet::Reply { reply: Some(_) } => 1,
+            _ => 0,
+        };
+        self.bytes_sent += write_packet(sock, pkt)? as u64;
+        Ok(())
+    }
+
+    /// Execute one tick this endpoint owns: run the woken agent's op,
+    /// resolve locally when possible, otherwise over the wire.
+    fn own_tick<S: Read + Write>(
+        &mut self,
+        sock: &mut S,
+        wake: AgentId,
+        round: usize,
+    ) -> io::Result<()> {
+        let op = {
+            let ctx = RoundCtx {
+                round,
+                topology: &self.topology,
+            };
+            slot_mut(&mut self.slots, self.side, self.mid, wake)?.act(&ctx)
+        };
+        match op {
+            None => self.send(sock, &Packet::TickNothing)?,
+            Some(Op::Push { to, msg }) => {
+                if self.hosts(to) {
+                    let ctx = RoundCtx {
+                        round,
+                        topology: &self.topology,
+                    };
+                    slot_mut(&mut self.slots, self.side, self.mid, to)?.on_push(wake, &msg, &ctx);
+                    self.msgs_sent += 1; // a local push is still a send
+                    self.send(sock, &Packet::TickNothing)?;
+                } else {
+                    self.send(sock, &Packet::TickPush { to, msg })?;
+                }
+            }
+            Some(Op::Pull { from: target, query }) => {
+                let reply = if self.hosts(target) {
+                    self.msgs_sent += 1; // the query
+                    let ctx = RoundCtx {
+                        round,
+                        topology: &self.topology,
+                    };
+                    let reply = slot_mut(&mut self.slots, self.side, self.mid, target)?
+                        .on_pull(wake, &query, &ctx);
+                    self.msgs_sent += reply.is_some() as u64;
+                    self.send(sock, &Packet::TickNothing)?;
+                    reply
+                } else {
+                    self.send(sock, &Packet::TickQuery { to: target, query })?;
+                    match read_packet(sock)? {
+                        Packet::Reply { reply } => reply,
+                        other => {
+                            return Err(proto_err(format!(
+                                "expected Reply to query, got {other:?}"
+                            )))
+                        }
+                    }
+                };
+                let ctx = RoundCtx {
+                    round,
+                    topology: &self.topology,
+                };
+                slot_mut(&mut self.slots, self.side, self.mid, wake)?.on_reply(target, reply, &ctx);
+            }
+        }
+        Ok(())
+    }
+
+    /// Execute one tick the peer owns: block for its tick packet and
+    /// resolve whatever lands on our agents.
+    fn peer_tick<S: Read + Write>(
+        &mut self,
+        sock: &mut S,
+        wake: AgentId,
+        round: usize,
+    ) -> io::Result<()> {
+        match read_packet(sock)? {
+            Packet::TickNothing => {}
+            Packet::TickPush { to, msg } => {
+                let ctx = RoundCtx {
+                    round,
+                    topology: &self.topology,
+                };
+                slot_mut(&mut self.slots, self.side, self.mid, to)?.on_push(wake, &msg, &ctx);
+            }
+            Packet::TickQuery { to, query } => {
+                let reply = {
+                    let ctx = RoundCtx {
+                        round,
+                        topology: &self.topology,
+                    };
+                    slot_mut(&mut self.slots, self.side, self.mid, to)?.on_pull(wake, &query, &ctx)
+                };
+                self.send(sock, &Packet::Reply { reply })?;
+            }
+            other => return Err(proto_err(format!("unexpected tick packet {other:?}"))),
+        }
+        Ok(())
+    }
+}
+
+/// Run one full lockstep session over `sock`. Returns this endpoint's
+/// report; the peer's must match (`outcome`, `digest`).
+pub fn run_session<S: Read + Write>(
+    mut sock: S,
+    side: Side,
+    np: &NodeParams,
+) -> io::Result<SessionReport> {
+    let (mut ep, phase_len) = Endpoint::build(np, side)?;
+
+    // Handshake: Low speaks first (a fixed order keeps the socket
+    // strictly half-duplex, so lockstep reads never deadlock).
+    let hello = Packet::Hello {
+        fingerprint: np.fingerprint(),
+        side: side.byte(),
+    };
+    let peer = match side {
+        Side::Low => {
+            ep.send(&mut sock, &hello)?;
+            read_packet(&mut sock)?
+        }
+        Side::High => {
+            let p = read_packet(&mut sock)?;
+            ep.send(&mut sock, &hello)?;
+            p
+        }
+    };
+    match peer {
+        Packet::Hello { fingerprint, side: s } => {
+            if fingerprint != np.fingerprint() {
+                return Err(proto_err(
+                    "peer derives a different session fingerprint (n/gamma/seed/slack mismatch?)",
+                ));
+            }
+            if s == side.byte() {
+                return Err(proto_err("both endpoints claim the same half"));
+            }
+        }
+        other => return Err(proto_err(format!("expected Hello, got {other:?}"))),
+    }
+
+    // The shared wake schedule: same seed, same stream, both ends.
+    let mut scheduler = DetRng::seeded(np.seed, SCHEDULER_STREAM);
+    let mut round = 0usize;
+    for _phase in Phase::COMMUNICATING {
+        for _ in 0..phase_len {
+            let wake = scheduler.index(ep.n) as AgentId;
+            if ep.hosts(wake) {
+                ep.own_tick(&mut sock, wake, round)?;
+            } else {
+                ep.peer_tick(&mut sock, wake, round)?;
+            }
+            round += 1;
+        }
+    }
+
+    // Finalize the local half and exchange summaries (Low speaks first).
+    let ctx = RoundCtx {
+        round,
+        topology: &ep.topology,
+    };
+    let mut local: Vec<(AgentId, Option<ColorId>)> = Vec::new();
+    for id in 0..ep.n as AgentId {
+        if let Some(slot) = ep.slots[id as usize].as_mut() {
+            slot.finalize(&ctx);
+            local.push((id, slot.core().decision()));
+        }
+    }
+    let summary = Packet::Summary {
+        decisions: local.clone(),
+    };
+    let peer = match side {
+        Side::Low => {
+            ep.send(&mut sock, &summary)?;
+            read_packet(&mut sock)?
+        }
+        Side::High => {
+            let p = read_packet(&mut sock)?;
+            ep.send(&mut sock, &summary)?;
+            p
+        }
+    };
+    let remote = match peer {
+        Packet::Summary { decisions } => decisions,
+        other => return Err(proto_err(format!("expected Summary, got {other:?}"))),
+    };
+
+    // Assemble the full decision vector in id order.
+    let mut merged: Vec<Option<Option<ColorId>>> = vec![None; ep.n];
+    for (id, d) in local.iter().chain(remote.iter()) {
+        let slot = merged
+            .get_mut(*id as usize)
+            .ok_or_else(|| proto_err("summary id out of range"))?;
+        if slot.replace(*d).is_some() {
+            return Err(proto_err(format!("agent {id} reported twice")));
+        }
+    }
+    let decisions: Vec<Decision> = merged
+        .into_iter()
+        .enumerate()
+        .map(|(id, d)| {
+            d.map(|opt| match opt {
+                Some(c) => Decision::Decided(c),
+                None => Decision::Failed,
+            })
+            .ok_or_else(|| proto_err(format!("agent {id} missing from summaries")))
+        })
+        .collect::<io::Result<_>>()?;
+
+    let outcome = combine_decisions(&decisions);
+    let mut h = Fnv::new();
+    for (id, d) in decisions.iter().enumerate() {
+        h.write(id as u64);
+        match d {
+            Decision::Faulty => h.write(0),
+            Decision::Failed => h.write(1),
+            Decision::Decided(c) => {
+                h.write(2);
+                h.write(*c as u64);
+            }
+        }
+    }
+    Ok(SessionReport {
+        outcome,
+        digest: h.finish(),
+        ticks: 4 * phase_len as u64,
+        msgs_sent: ep.msgs_sent,
+        bytes_sent: ep.bytes_sent,
+        decisions,
+    })
+}
+
+/// Run both endpoints of a session inside one process over a Unix
+/// socketpair — the CI-friendly smoke that needs no filesystem path or
+/// port. Returns `(low report, high report)`.
+pub fn run_loopback(np: &NodeParams) -> io::Result<(SessionReport, SessionReport)> {
+    let (a, b) = std::os::unix::net::UnixStream::pair()?;
+    let np_high = *np;
+    let high = std::thread::spawn(move || run_session(b, Side::High, &np_high));
+    let low = run_session(a, Side::Low, np)?;
+    let high = high
+        .join()
+        .map_err(|_| proto_err("high endpoint thread panicked"))??;
+    Ok((low, high))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loopback_session_reaches_matching_consensus() {
+        let np = NodeParams {
+            n: 16,
+            gamma: 3.0,
+            seed: 21,
+            slack: 3,
+        };
+        let (low, high) = run_loopback(&np).expect("session");
+        assert!(
+            low.outcome.is_consensus(),
+            "loopback session should converge: {:?}",
+            low.outcome
+        );
+        assert_eq!(low.outcome, high.outcome);
+        assert_eq!(low.digest, high.digest, "endpoints must agree bit-for-bit");
+        assert_eq!(low.decisions, high.decisions);
+        assert_eq!(low.ticks, high.ticks);
+        assert!(low.bytes_sent > 0 && high.bytes_sent > 0, "real bytes moved");
+    }
+
+    #[test]
+    fn loopback_is_deterministic_across_runs() {
+        let np = NodeParams {
+            n: 12,
+            gamma: 3.0,
+            seed: 7,
+            slack: 3,
+        };
+        let (a1, b1) = run_loopback(&np).unwrap();
+        let (a2, b2) = run_loopback(&np).unwrap();
+        assert_eq!(a1.digest, a2.digest);
+        assert_eq!(b1.digest, b2.digest);
+        assert_eq!(a1.msgs_sent, a2.msgs_sent);
+        assert_eq!(a1.bytes_sent, a2.bytes_sent);
+    }
+
+    #[test]
+    fn mismatched_fingerprints_fail_the_handshake() {
+        let (a, b) = std::os::unix::net::UnixStream::pair().unwrap();
+        let np_low = NodeParams {
+            n: 12,
+            gamma: 3.0,
+            seed: 7,
+            slack: 3,
+        };
+        let np_high = NodeParams {
+            seed: 8, // disagrees
+            ..np_low
+        };
+        let t = std::thread::spawn(move || run_session(b, Side::High, &np_high));
+        let low = run_session(a, Side::Low, &np_low);
+        let high = t.join().unwrap();
+        assert!(low.is_err() || high.is_err(), "handshake must reject");
+    }
+}

@@ -1,0 +1,295 @@
+//! The node-to-node packet layer.
+//!
+//! One lockstep session exchanges **packets**; protocol messages inside
+//! packets travel as full `rfc_core::codec` frames (magic, version,
+//! kind, length — the same bytes a standalone capture of the socket
+//! would have to parse). Packet layout:
+//!
+//! ```text
+//! packet := type (1 byte) | varint body_len | body
+//! ```
+//!
+//! | type | packet | body |
+//! |---|---|---|
+//! | `0` | `Hello`       | varint fingerprint, side byte |
+//! | `1` | `TickNothing` | — (the tick owner acted locally or not at all) |
+//! | `2` | `TickPush`    | varint to, codec frame |
+//! | `3` | `TickQuery`   | varint to, codec frame |
+//! | `4` | `Reply`       | `0` \| `1` + codec frame |
+//! | `5` | `Summary`     | varint count, count × (varint id, decision) |
+//!
+//! A decision is `0` (failed) or `1` followed by a varint color.
+
+use gossip_net::ids::{AgentId, ColorId};
+use rfc_core::codec::{self, CodecError};
+use rfc_core::msg::Msg;
+use std::io::{self, Read, Write};
+
+/// One lockstep packet.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Packet {
+    /// Handshake: both sides must derive the same session fingerprint
+    /// from their CLI parameters, and must sit on opposite sides.
+    Hello {
+        /// Fingerprint of `(n, γ, seed, slack, wire version)`.
+        fingerprint: u64,
+        /// `0` = low half (serve), `1` = high half (join).
+        side: u8,
+    },
+    /// The tick owner performed no cross-process communication.
+    TickNothing,
+    /// The tick owner pushed `msg` to the peer-hosted agent `to`.
+    TickPush {
+        /// The receiving agent (hosted by the packet's receiver).
+        to: AgentId,
+        /// The pushed message.
+        msg: Msg,
+    },
+    /// The tick owner pulls the peer-hosted agent `to`; a [`Packet::Reply`]
+    /// must come back before the tick completes.
+    TickQuery {
+        /// The pullee (hosted by the packet's receiver).
+        to: AgentId,
+        /// The query message.
+        query: Msg,
+    },
+    /// The pull reply (`None` = the pullee stayed silent).
+    Reply {
+        /// The reply message, if the pullee produced one.
+        reply: Option<Msg>,
+    },
+    /// Terminal exchange: the sender's local agents' decisions.
+    Summary {
+        /// `(agent id, terminal color or failure)` for every hosted agent.
+        decisions: Vec<(AgentId, Option<ColorId>)>,
+    },
+}
+
+const PKT_HELLO: u8 = 0;
+const PKT_TICK_NOTHING: u8 = 1;
+const PKT_TICK_PUSH: u8 = 2;
+const PKT_TICK_QUERY: u8 = 3;
+const PKT_REPLY: u8 = 4;
+const PKT_SUMMARY: u8 = 5;
+
+fn bad(what: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, what.into())
+}
+
+fn codec_err(e: CodecError) -> io::Error {
+    bad(format!("wire codec: {e}"))
+}
+
+/// Serialize `pkt` into `out` (appended).
+pub fn encode_packet(pkt: &Packet, out: &mut Vec<u8>) {
+    let mut body = Vec::new();
+    let ty = match pkt {
+        Packet::Hello { fingerprint, side } => {
+            codec::put_varint(&mut body, *fingerprint);
+            body.push(*side);
+            PKT_HELLO
+        }
+        Packet::TickNothing => PKT_TICK_NOTHING,
+        Packet::TickPush { to, msg } => {
+            codec::put_varint(&mut body, *to as u64);
+            codec::encode_msg_frame(msg, &mut body);
+            PKT_TICK_PUSH
+        }
+        Packet::TickQuery { to, query } => {
+            codec::put_varint(&mut body, *to as u64);
+            codec::encode_msg_frame(query, &mut body);
+            PKT_TICK_QUERY
+        }
+        Packet::Reply { reply } => {
+            match reply {
+                None => body.push(0),
+                Some(msg) => {
+                    body.push(1);
+                    codec::encode_msg_frame(msg, &mut body);
+                }
+            }
+            PKT_REPLY
+        }
+        Packet::Summary { decisions } => {
+            codec::put_varint(&mut body, decisions.len() as u64);
+            for (id, d) in decisions {
+                codec::put_varint(&mut body, *id as u64);
+                match d {
+                    None => body.push(0),
+                    Some(c) => {
+                        body.push(1);
+                        codec::put_varint(&mut body, *c as u64);
+                    }
+                }
+            }
+            PKT_SUMMARY
+        }
+    };
+    out.push(ty);
+    codec::put_varint(out, body.len() as u64);
+    out.extend_from_slice(&body);
+}
+
+/// Write one packet and flush (lockstep turns require the bytes out now).
+pub fn write_packet<W: Write>(w: &mut W, pkt: &Packet) -> io::Result<usize> {
+    let mut buf = Vec::new();
+    encode_packet(pkt, &mut buf);
+    w.write_all(&buf)?;
+    w.flush()?;
+    Ok(buf.len())
+}
+
+fn read_exact_varint<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let mut b = [0u8; 1];
+        r.read_exact(&mut b)?;
+        let b = b[0];
+        if shift == 63 && b > 1 {
+            return Err(bad("varint overflows u64"));
+        }
+        v |= ((b & 0x7f) as u64) << shift;
+        if b & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(bad("varint too long"));
+        }
+    }
+}
+
+/// Upper bound on a packet body: a `Summary` for the largest plausible
+/// network plus slack. Anything bigger is a corrupt length, not a
+/// message — refuse before allocating.
+const MAX_BODY: u64 = 64 << 20;
+
+fn take_msg_frame(body: &[u8], pos: &mut usize) -> io::Result<Msg> {
+    let (batch, used) = codec::decode_frame(&body[*pos..]).map_err(codec_err)?;
+    *pos += used;
+    let mut parts = batch.into_parts();
+    if parts.len() != 1 || parts[0].instance != 0 {
+        return Err(bad("node packets carry single-instance frames"));
+    }
+    Ok(parts.remove(0).payload)
+}
+
+fn take_agent_id(body: &[u8], pos: &mut usize) -> io::Result<AgentId> {
+    let v = codec::get_varint(body, pos).map_err(codec_err)?;
+    AgentId::try_from(v).map_err(|_| bad("agent id exceeds u32"))
+}
+
+/// Read one packet (blocking until it fully arrives).
+pub fn read_packet<R: Read>(r: &mut R) -> io::Result<Packet> {
+    let mut ty = [0u8; 1];
+    r.read_exact(&mut ty)?;
+    let len = read_exact_varint(r)?;
+    if len > MAX_BODY {
+        return Err(bad(format!("packet body of {len} bytes exceeds cap")));
+    }
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body)?;
+    let mut pos = 0usize;
+    let pkt = match ty[0] {
+        PKT_HELLO => {
+            let fingerprint = codec::get_varint(&body, &mut pos).map_err(codec_err)?;
+            let side = *body.get(pos).ok_or_else(|| bad("hello truncated"))?;
+            pos += 1;
+            Packet::Hello { fingerprint, side }
+        }
+        PKT_TICK_NOTHING => Packet::TickNothing,
+        PKT_TICK_PUSH => {
+            let to = take_agent_id(&body, &mut pos)?;
+            let msg = take_msg_frame(&body, &mut pos)?;
+            Packet::TickPush { to, msg }
+        }
+        PKT_TICK_QUERY => {
+            let to = take_agent_id(&body, &mut pos)?;
+            let query = take_msg_frame(&body, &mut pos)?;
+            Packet::TickQuery { to, query }
+        }
+        PKT_REPLY => {
+            let has = *body.get(pos).ok_or_else(|| bad("reply truncated"))?;
+            pos += 1;
+            let reply = match has {
+                0 => None,
+                1 => Some(take_msg_frame(&body, &mut pos)?),
+                _ => return Err(bad("reply flag must be 0 or 1")),
+            };
+            Packet::Reply { reply }
+        }
+        PKT_SUMMARY => {
+            let count = codec::get_varint(&body, &mut pos).map_err(codec_err)?;
+            if count > len {
+                return Err(bad("summary count exceeds body"));
+            }
+            let mut decisions = Vec::with_capacity(count as usize);
+            for _ in 0..count {
+                let id = take_agent_id(&body, &mut pos)?;
+                let has = *body.get(pos).ok_or_else(|| bad("summary truncated"))?;
+                pos += 1;
+                let d = match has {
+                    0 => None,
+                    1 => {
+                        let c = codec::get_varint(&body, &mut pos).map_err(codec_err)?;
+                        Some(ColorId::try_from(c).map_err(|_| bad("color exceeds u32"))?)
+                    }
+                    _ => return Err(bad("decision flag must be 0 or 1")),
+                };
+                decisions.push((id, d));
+            }
+            Packet::Summary { decisions }
+        }
+        other => return Err(bad(format!("unknown packet type {other}"))),
+    };
+    if pos != body.len() {
+        return Err(bad("trailing bytes after packet body"));
+    }
+    Ok(pkt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(pkt: Packet) {
+        let mut buf = Vec::new();
+        encode_packet(&pkt, &mut buf);
+        let back = read_packet(&mut buf.as_slice()).expect("round trip");
+        assert_eq!(back, pkt);
+    }
+
+    #[test]
+    fn packets_round_trip() {
+        roundtrip(Packet::Hello { fingerprint: 0xDEAD_BEEF, side: 1 });
+        roundtrip(Packet::TickNothing);
+        roundtrip(Packet::TickPush { to: 7, msg: Msg::Vote { value: 300, round: 2 } });
+        roundtrip(Packet::TickQuery { to: 1, query: Msg::QIntent });
+        roundtrip(Packet::Reply { reply: None });
+        roundtrip(Packet::Reply { reply: Some(Msg::QMinCert) });
+        roundtrip(Packet::Summary {
+            decisions: vec![(0, Some(3)), (1, None), (2, Some(0))],
+        });
+    }
+
+    #[test]
+    fn truncated_packets_error_cleanly() {
+        let mut buf = Vec::new();
+        encode_packet(
+            &Packet::TickPush { to: 3, msg: Msg::Vote { value: 9, round: 1 } },
+            &mut buf,
+        );
+        for cut in 0..buf.len() {
+            assert!(read_packet(&mut &buf[..cut]).is_err(), "prefix {cut} parsed");
+        }
+    }
+
+    #[test]
+    fn absurd_length_is_rejected_before_allocation() {
+        // type byte + varint(huge): must refuse, not try to allocate.
+        let mut buf = vec![PKT_SUMMARY];
+        codec::put_varint(&mut buf, u64::MAX / 2);
+        assert!(read_packet(&mut buf.as_slice()).is_err());
+    }
+}

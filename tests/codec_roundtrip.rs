@@ -1,0 +1,125 @@
+//! Property-based wire-codec corpus: for *random* messages and batches —
+//! every `Msg` variant, arbitrary intention lists and vote sets, batch
+//! tag elision — encode → decode must be the identity, and the two
+//! negative paths every real decoder meets (truncated prefix, flipped
+//! byte) must return `CodecError`s, never panic. The hand-written rows
+//! in `rfc_core::codec`'s unit tests pin the format; this file searches
+//! the message space around them, mirroring how `checkpoint_prop.rs`
+//! searches around `checkpoint_resume.rs`.
+
+use proptest::prelude::*;
+use rfc_core::certificate::{CertData, VoteRec};
+use rfc_core::codec::{
+    decode_frame, decode_msg, encode_frame, encode_msg, encode_msg_frame, encoded_msg_len,
+};
+use rfc_core::msg::{Batch, IntentEntry, Msg};
+
+/// Value domain `[m]` used by the certificate strategy (`m = n³` in the
+/// protocol; any bound below `u64::MAX` works for the codec).
+const M: u64 = 1 << 40;
+
+fn intent_entries() -> impl Strategy<Value = Vec<IntentEntry>> {
+    proptest::collection::vec(
+        (0u64..M, any::<u32>()).prop_map(|(value, target)| IntentEntry { value, target }),
+        0..24,
+    )
+}
+
+fn vote_recs() -> impl Strategy<Value = Vec<VoteRec>> {
+    proptest::collection::vec(
+        (any::<u32>(), any::<u16>(), 0u64..M).prop_map(|(voter, round, value)| VoteRec {
+            voter,
+            round,
+            value,
+        }),
+        0..24,
+    )
+}
+
+fn msgs() -> impl Strategy<Value = Msg> {
+    prop_oneof![
+        Just(Msg::QIntent),
+        intent_entries().prop_map(|e| Msg::Intents(e.into())),
+        (any::<u64>(), any::<u16>()).prop_map(|(value, round)| Msg::Vote { value, round }),
+        Just(Msg::QMinCert),
+        (any::<u32>(), any::<u32>(), vote_recs())
+            .prop_map(|(owner, color, votes)| Msg::cert(CertData::build(owner, color, votes, M))),
+    ]
+}
+
+fn batches() -> impl Strategy<Value = Batch<Msg>> {
+    proptest::collection::vec((any::<u32>(), msgs()), 1..5).prop_map(|parts| {
+        let mut it = parts.into_iter();
+        let (instance, payload) = it.next().unwrap();
+        let mut b = Batch::single(instance, payload);
+        for (instance, payload) in it {
+            b.push(instance, payload);
+        }
+        b
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn every_message_round_trips(msg in msgs()) {
+        let mut buf = Vec::new();
+        encode_msg(&msg, &mut buf);
+        prop_assert_eq!(buf.len(), encoded_msg_len(&msg), "length oracle disagrees");
+        let (back, used) = decode_msg(&buf).expect("round trip");
+        prop_assert_eq!(used, buf.len());
+        prop_assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn every_batch_round_trips_through_a_frame(batch in batches()) {
+        let mut buf = Vec::new();
+        encode_frame(&batch, &mut buf);
+        let (back, used) = decode_frame(&buf).expect("round trip");
+        prop_assert_eq!(used, buf.len());
+        prop_assert_eq!(back.parts(), batch.parts());
+    }
+
+    #[test]
+    fn singleton_instance0_elision_is_invisible_to_decoders(msg in msgs()) {
+        // The realized first-part tag elision: framing the bare message
+        // and framing its singleton instance-0 batch are the same bytes,
+        // and both decode to the same batch.
+        let mut bare = Vec::new();
+        encode_msg_frame(&msg, &mut bare);
+        let mut asbatch = Vec::new();
+        encode_frame(&Batch::single(0, msg.clone()), &mut asbatch);
+        prop_assert_eq!(&bare, &asbatch, "elision must be bit-for-bit");
+        let (back, _) = decode_frame(&bare).expect("decode");
+        prop_assert_eq!(back.parts().len(), 1);
+        prop_assert_eq!(back.parts()[0].instance, 0);
+        prop_assert_eq!(&back.parts()[0].payload, &msg);
+    }
+
+    #[test]
+    fn truncated_prefixes_error_and_never_panic(batch in batches()) {
+        let mut buf = Vec::new();
+        encode_frame(&batch, &mut buf);
+        for cut in 0..buf.len() {
+            prop_assert!(
+                decode_frame(&buf[..cut]).is_err(),
+                "a {cut}-byte prefix of a {}-byte frame parsed", buf.len()
+            );
+        }
+    }
+
+    #[test]
+    fn bit_flips_never_panic(batch in batches(), pos in any::<usize>(), bit in 0u8..8) {
+        let mut buf = Vec::new();
+        encode_frame(&batch, &mut buf);
+        let pos = pos % buf.len();
+        buf[pos] ^= 1 << bit;
+        // A flipped byte may still decode (a changed value is a legal
+        // different message) — the contract is a clean Ok/Err, no panic,
+        // and a consumed length that never exceeds the input.
+        if let Ok((_, used)) = decode_frame(&buf) {
+            prop_assert!(used <= buf.len());
+        }
+    }
+}

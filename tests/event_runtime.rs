@@ -1,0 +1,76 @@
+//! Event-runtime equivalence pins: on delay-free configurations the
+//! message-triggered driver (`run_protocol_events` over
+//! `Network::drive_events`) must replay the tick-driven
+//! `run_protocol_async` **bit for bit** — same outcome, same meters,
+//! same `report_digest` — across sizes and seeds. This is the contract
+//! that keeps the simulator a deterministic-replay arm of the event
+//! runtime rather than a second, divergent implementation.
+//!
+//! With real delays the digests legitimately differ (delivery order
+//! changes which votes land inside their phase); there the pin is
+//! determinism — same (config, seed, max_delay) twice → same report.
+
+mod common;
+
+use common::report_digest;
+use rfc_core::runner::RunConfig;
+use rfc_core::{run_protocol_async, run_protocol_events};
+
+fn cfg(n: usize) -> RunConfig {
+    RunConfig::builder(n)
+        .gamma(3.0)
+        .colors(vec![n - n / 2, n / 2])
+        .build()
+}
+
+#[test]
+fn delay_free_event_runtime_replays_tick_driven_digests() {
+    for (n, seed, slack) in [
+        (16usize, 21u64, 3usize),
+        (16, 97, 3),
+        (24, 7, 3),
+        (32, 5, 2),
+        (48, 1234, 3),
+    ] {
+        let c = cfg(n);
+        let tick = run_protocol_async(&c, seed, slack);
+        let event = run_protocol_events(&c, seed, slack, 0);
+        assert_eq!(
+            report_digest(&tick),
+            report_digest(&event),
+            "delay-free event run diverged from tick-driven (n={n}, seed={seed}, slack={slack})"
+        );
+        assert_eq!(tick.metrics.undelivered, event.metrics.undelivered);
+    }
+}
+
+#[test]
+fn delayed_event_runtime_is_deterministic() {
+    let c = cfg(24);
+    for max_delay in [1usize, 3, 8] {
+        let a = run_protocol_events(&c, 42, 4, max_delay);
+        let b = run_protocol_events(&c, 42, 4, max_delay);
+        assert_eq!(
+            report_digest(&a),
+            report_digest(&b),
+            "same-seed delayed runs diverged (max_delay={max_delay})"
+        );
+        assert_eq!(a.metrics.undelivered, b.metrics.undelivered);
+    }
+}
+
+#[test]
+fn delayed_runs_still_meter_honestly() {
+    // The metering contract under real delays: everything metered at
+    // send; whatever the budget expiry strands in flight is drained as
+    // undelivered, so sent − undelivered still counts exact deliveries.
+    let c = cfg(24);
+    let r = run_protocol_events(&c, 11, 3, 6);
+    assert!(r.metrics.messages_sent > 0);
+    assert!(
+        r.metrics.undelivered <= r.metrics.messages_sent,
+        "undelivered ({}) cannot exceed sent ({})",
+        r.metrics.undelivered,
+        r.metrics.messages_sent
+    );
+}
