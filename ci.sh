@@ -62,17 +62,22 @@ cargo run --release -q -p experiments --bin rfc-experiments -- e15 --quick >/dev
 echo "==> staged-engine smoke: e16 --quick (intra-trial shard sweep + digest assert)"
 cargo run --release -q -p experiments --bin rfc-experiments -- e16 --quick >/dev/null
 
-echo "==> staged-engine speedup: e16 2-shard >= monolithic at n=4096 (needs >1 core)"
+echo "==> staged-engine speedup: e16 sharded >= monolithic at n=4096 (needs >1 core)"
 # The tentpole claim of the SoA/parallel-ledger work: with real cores,
 # two shards must beat one at n >= 4096 (below that the shard floor
-# falls back to the monolithic engine by design). On a 1-core box the
-# comparison is meaningless — both rows time-slice the same core and
-# the sharded one pays dispatch overhead — so it is skipped, documented
-# here: the digest-equality assertions inside e16 still run everywhere.
+# falls back to the monolithic engine by design), and with >= 4 cores
+# four shards must too — the drained serial sections (sharded metering,
+# scattered op log, scattered plan concat) are what keeps the curve
+# from flattening. On a 1-core box the comparison is meaningless — all
+# rows time-slice the same core and the sharded ones pay dispatch
+# overhead — so it is skipped, documented here: the digest-equality
+# assertions inside e16 still run everywhere.
 if [ "$(nproc)" -ge 2 ]; then
+    shard_list="1,2"; threads=2
+    if [ "$(nproc)" -ge 4 ]; then shard_list="1,2,4"; threads=4; fi
     rm -rf target/e16-speedup
     cargo run --release -q -p experiments --bin rfc-experiments -- \
-        e16 --sizes 4096 --shards 1,2 --threads 2 --json target/e16-speedup >/dev/null
+        e16 --sizes 4096 --shards "$shard_list" --threads "$threads" --json target/e16-speedup >/dev/null
     r1=$(grep -oE '\["4096","[0-9]+","1","[^"]+","[0-9.]+"' target/e16-speedup/e16_0.json | sed -E 's/.*"([0-9.]+)"$/\1/')
     r2=$(grep -oE '\["4096","[0-9]+","2","[^"]+","[0-9.]+"' target/e16-speedup/e16_0.json | sed -E 's/.*"([0-9.]+)"$/\1/')
     if [ -z "$r1" ] || [ -z "$r2" ]; then
@@ -84,6 +89,20 @@ if [ "$(nproc)" -ge 2 ]; then
         exit 1
     fi
     echo "    speedup OK: n=4096 monolithic $r1 rounds/s -> 2 shards $r2 rounds/s"
+    if [ "$(nproc)" -ge 4 ]; then
+        r4=$(grep -oE '\["4096","[0-9]+","4","[^"]+","[0-9.]+"' target/e16-speedup/e16_0.json | sed -E 's/.*"([0-9.]+)"$/\1/')
+        if [ -z "$r4" ]; then
+            echo "FAIL: could not extract the e16 4-shard rounds/s cell" >&2
+            exit 1
+        fi
+        if ! awk -v mono="$r1" -v sharded="$r4" 'BEGIN { exit !(sharded >= mono) }'; then
+            echo "FAIL: staged 4-shard run ($r4 rounds/s) is slower than monolithic ($r1 rounds/s) at n=4096" >&2
+            exit 1
+        fi
+        echo "    speedup OK: n=4096 monolithic $r1 rounds/s -> 4 shards $r4 rounds/s"
+    else
+        echo "    4-shard check skipped: $(nproc) core(s) < 4"
+    fi
 else
     echo "    skipped: $(nproc) core(s) — sharding cannot win without parallel hardware"
 fi
@@ -141,11 +160,13 @@ if [ -z "$digest_serve" ] || [ "$digest_serve" != "$digest_join" ]; then
 fi
 echo "    node smoke OK: both processes $(grep -oE 'outcome=[A-Za-z()0-9]+' target/rfc-node-serve.out | head -1), $digest_serve"
 
-echo "==> perf snapshot: e14/e16/e17 --quick + codec -> fresh JSON (two captures for a best-of-2 gate)"
+echo "==> perf snapshot: e14/e16/e17 --quick + codec + serial -> fresh JSON (two captures for a best-of-2 gate)"
 cargo run --release -q -p experiments --bin rfc-experiments -- e14 e16 e17 --quick --json target/bench-json >/dev/null
 cargo run --release -q -p experiments --bin rfc-experiments -- e14 e16 e17 --quick --json target/bench-json2 >/dev/null
 cargo run --release -q -p rfc-bench --bin rfc-bench -- codec target/bench-json/codec_0.json >/dev/null
 cargo run --release -q -p rfc-bench --bin rfc-bench -- codec target/bench-json2/codec_0.json >/dev/null
+cargo run --release -q -p rfc-bench --bin rfc-bench -- serial target/bench-json/serial_0.json >/dev/null
+cargo run --release -q -p rfc-bench --bin rfc-bench -- serial target/bench-json2/serial_0.json >/dev/null
 
 echo "==> perf gate: self-test (injected 50% slowdown must trip the comparator)"
 cargo run --release -q -p rfc-bench --bin rfc-bench -- selftest BENCH_scale.json
@@ -162,19 +183,20 @@ echo "==> perf gate: fresh throughput + ΔRSS vs committed BENCH_scale.json (tol
 # machine.
 cargo run --release -q -p rfc-bench --bin rfc-bench -- gate BENCH_scale.json \
     target/bench-json/e14_0.json target/bench-json/e14_1.json target/bench-json/e16_0.json \
-    target/bench-json/e17_0.json target/bench-json/codec_0.json \
+    target/bench-json/e17_0.json target/bench-json/codec_0.json target/bench-json/serial_0.json \
     target/bench-json2/e14_0.json target/bench-json2/e14_1.json target/bench-json2/e16_0.json \
-    target/bench-json2/e17_0.json target/bench-json2/codec_0.json
+    target/bench-json2/e17_0.json target/bench-json2/codec_0.json target/bench-json2/serial_0.json
 
-# Five JSON lines: the trial-level scale sweep (E14), the enum-vs-dyn
+# Six JSON lines: the trial-level scale sweep (E14), the enum-vs-dyn
 # dispatch comparison (E14b), the intra-trial shard sweep (E16), the
-# instance-plane sweep (E17), and the wire-codec throughput row (E18) —
-# the perf trajectory tracked across PRs. The committed BENCH_scale.json
-# is the gate's baseline and is deliberately a *floor* (per-cell minimum
-# over repeated captures), so CI does NOT overwrite it; refresh it on
-# purpose with the line below when the floor genuinely moves:
+# instance-plane sweep (E17), the wire-codec throughput row (E18), and
+# the serial-section drain micro-bench (E19) — the perf trajectory
+# tracked across PRs. The committed BENCH_scale.json is the gate's
+# baseline and is deliberately a *floor* (per-cell minimum over repeated
+# captures), so CI does NOT overwrite it; refresh it on purpose with the
+# line below when the floor genuinely moves:
 #     cp target/BENCH_scale.fresh.json BENCH_scale.json
-cat target/bench-json/e14_0.json target/bench-json/e14_1.json target/bench-json/e16_0.json target/bench-json/e17_0.json target/bench-json/codec_0.json > target/BENCH_scale.fresh.json
-echo "    wrote target/BENCH_scale.fresh.json (scale sweep + dispatch + intra-trial shard + instance-plane + codec rows)"
+cat target/bench-json/e14_0.json target/bench-json/e14_1.json target/bench-json/e16_0.json target/bench-json/e17_0.json target/bench-json/codec_0.json target/bench-json/serial_0.json > target/BENCH_scale.fresh.json
+echo "    wrote target/BENCH_scale.fresh.json (scale sweep + dispatch + intra-trial shard + instance-plane + codec + serial-section rows)"
 
 echo "CI OK"

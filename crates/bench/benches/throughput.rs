@@ -262,6 +262,138 @@ fn bench_ledger_build(c: &mut Criterion) {
     }
 }
 
+fn bench_serial_sections(c: &mut Criterion) {
+    // The three per-round sections the staged engine drained, isolated
+    // head-to-head at 1/2/4/8 shards: op-order metering vs per-shard
+    // Tally merge, sequential op-log append vs pre-sized scatter, and
+    // serial plan-buffer concat vs offset scatter. `rfc-bench serial`
+    // runs the same comparison as a gate-compatible table; this group is
+    // the criterion-grade version with per-arm statistics.
+    use gossip_net::metrics::{Metrics, Tally};
+    use gossip_net::oplog::{OpEvent, OpKind, OpLog};
+    use gossip_net::rng::DetRng;
+    use gossip_net::ScopedPool;
+
+    let n = 1usize << 16;
+    let mut rng = DetRng::seeded(0x5E41A1, 1);
+    let bits: Vec<u64> = (0..n).map(|_| rng.below(100_000)).collect();
+    let events: Vec<OpEvent> = (0..n)
+        .map(|i| OpEvent {
+            round: (i / 4096) as u32,
+            kind: if rng.index(2) == 0 { OpKind::Push } else { OpKind::Pull },
+            from: rng.index(4096) as u32,
+            to: rng.index(4096) as u32,
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("serial_sections");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("metering_serial", |b| {
+        b.iter(|| {
+            let mut m = Metrics::default();
+            m.enter_phase("bench");
+            for &x in &bits {
+                m.record_message(x);
+            }
+            black_box(m.bits_sent)
+        })
+    });
+    group.bench_function("oplog_append_serial", |b| {
+        b.iter(|| {
+            let mut log = OpLog::new();
+            for e in &events {
+                log.record(e.round, e.kind, e.from, e.to);
+            }
+            black_box(log.len())
+        })
+    });
+    group.bench_function("concat_serial", |b| {
+        let mut ops: Vec<OpEvent> = Vec::with_capacity(n);
+        b.iter(|| {
+            ops.clear();
+            for part in events.chunks(n.div_ceil(4)) {
+                ops.extend_from_slice(part);
+            }
+            black_box(ops.len())
+        })
+    });
+    for shards in [1usize, 2, 4, 8] {
+        let chunk = n.div_ceil(shards).max(1);
+        group.bench_with_input(
+            BenchmarkId::new("metering_sharded", shards),
+            &shards,
+            |b, &shards| {
+                let mut pool = ScopedPool::new(shards);
+                b.iter(|| {
+                    let mut m = Metrics::default();
+                    m.enter_phase("bench");
+                    let mut tallies = vec![Tally::default(); shards];
+                    pool.scope(|s| {
+                        for (t, part) in tallies.iter_mut().zip(bits.chunks(chunk)) {
+                            s.spawn(move || {
+                                for &x in part {
+                                    t.record(x);
+                                }
+                            });
+                        }
+                    });
+                    for t in &tallies {
+                        m.record_bulk(t, 0);
+                    }
+                    black_box(m.bits_sent)
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("oplog_scatter", shards),
+            &shards,
+            |b, _| {
+                let mut pool = ScopedPool::new(shards);
+                b.iter(|| {
+                    let mut log = OpLog::new();
+                    let tail = log.scatter_tail(n);
+                    pool.scope(|s| {
+                        for (dst, src) in tail.chunks_mut(chunk).zip(events.chunks(chunk)) {
+                            s.spawn(move || {
+                                for (slot, e) in dst.iter_mut().zip(src) {
+                                    *slot = *e;
+                                }
+                            });
+                        }
+                    });
+                    black_box(log.len())
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("concat_scatter", shards),
+            &shards,
+            |b, _| {
+                let mut pool = ScopedPool::new(shards);
+                let mut ops: Vec<OpEvent> = Vec::with_capacity(n);
+                b.iter(|| {
+                    ops.clear();
+                    let spare = &mut ops.spare_capacity_mut()[..n];
+                    pool.scope(|s| {
+                        for (dst, src) in spare.chunks_mut(chunk).zip(events.chunks(chunk)) {
+                            s.spawn(move || {
+                                for (slot, e) in dst.iter_mut().zip(src) {
+                                    slot.write(*e);
+                                }
+                            });
+                        }
+                    });
+                    // SAFETY: the chunks partition 0..n; every slot written.
+                    unsafe { ops.set_len(n) };
+                    black_box(ops.len())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 fn bench_pool_spawn(c: &mut Criterion) {
     // Isolates the per-round worker-spawn overhead the staged engine
     // used to pay: each "round" dispatches `workers` trivial jobs,
@@ -328,6 +460,7 @@ criterion_group!(
     bench_intra_trial,
     bench_soa_agent_plane,
     bench_ledger_build,
+    bench_serial_sections,
     bench_pool_spawn
 );
 criterion_main!(benches);

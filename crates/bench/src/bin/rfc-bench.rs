@@ -17,6 +17,15 @@
 //!     Measure wire-codec encode/decode throughput over a deterministic
 //!     message corpus and write one gate-compatible table (columns
 //!     `enc msgs/s` / `dec msgs/s`) to <out.json>.
+//!
+//! rfc-bench serial <out.json>
+//!     Measure the staged engine's drained serial sections head-to-head:
+//!     op-order metering vs per-shard Tally merge, sequential op-log
+//!     append vs prefix-summed scatter, and serial plan-buffer concat vs
+//!     parallel scatter — at 1/2/4/8 shards over a deterministic event
+//!     stream. Writes one gate-compatible table (columns `serial Mops/s`
+//!     / `sharded Mops/s`) to <out.json>. Every sharded arm's output is
+//!     asserted bit-identical to its serial arm before timing counts.
 //! ```
 
 use experiments::Table;
@@ -273,6 +282,220 @@ fn run_codec(out_path: &str) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Event-stream size and repetition count for `rfc-bench serial`: large
+/// enough that one timed arm is tens of milliseconds (stable against
+/// scheduler noise), small enough that all 12 rows finish in seconds.
+const SERIAL_N: usize = 1 << 17;
+const SERIAL_REPS: usize = 24;
+
+/// Time `reps` runs of `f` and return Mops/s over `SERIAL_N` events each.
+fn mops(reps: usize, mut f: impl FnMut()) -> f64 {
+    let t = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    (reps * SERIAL_N) as f64 / 1e6 / t.elapsed().as_secs_f64()
+}
+
+fn run_serial(out_path: &str) -> ExitCode {
+    use gossip_net::metrics::{Metrics, Tally};
+    use gossip_net::oplog::{OpEvent, OpKind, OpLog};
+    use gossip_net::ScopedPool;
+
+    // One deterministic event stream shared by all three sections: bit
+    // sizes for the metering arms, op events for the log arms, and
+    // (id, op)-shaped payloads for the concat arms.
+    let mut rng = DetRng::seeded(0x5E41A1, 0);
+    let bits: Vec<u64> = (0..SERIAL_N).map(|_| rng.below(100_000)).collect();
+    let events: Vec<OpEvent> = (0..SERIAL_N)
+        .map(|i| OpEvent {
+            round: (i / 4096) as u32,
+            kind: match rng.index(3) {
+                0 => OpKind::Push,
+                1 => OpKind::Pull,
+                _ => OpKind::PullUnanswered,
+            },
+            from: rng.index(4096) as u32,
+            to: rng.index(4096) as u32,
+        })
+        .collect();
+    let payload: Vec<(u32, u64)> = (0..SERIAL_N)
+        .map(|_| (rng.index(4096) as u32, rng.below(CODEC_M)))
+        .collect();
+
+    let mut table = Table::new(
+        "E19 — staged-engine serial-section drains (deterministic event stream)",
+        &["section", "shards", "events", "serial Mops/s", "sharded Mops/s"],
+    );
+    for shards in [1usize, 2, 4, 8] {
+        let chunk = SERIAL_N.div_ceil(shards).max(1);
+        let mut pool = ScopedPool::new(shards);
+
+        // -- metering: op-order record_message walk vs per-shard exact
+        //    Tallys merged in shard order (the engine's send-time path).
+        let meter_serial = |out: &mut Metrics| {
+            out.enter_phase("bench");
+            for &b in &bits {
+                out.record_message(b);
+            }
+        };
+        let meter_sharded = |out: &mut Metrics, pool: &mut ScopedPool| {
+            out.enter_phase("bench");
+            let mut tallies = vec![Tally::default(); shards];
+            if shards == 1 {
+                for &b in &bits {
+                    tallies[0].record(b);
+                }
+            } else {
+                pool.scope(|s| {
+                    for (t, part) in tallies.iter_mut().zip(bits.chunks(chunk)) {
+                        s.spawn(move || {
+                            for &b in part {
+                                t.record(b);
+                            }
+                        });
+                    }
+                });
+            }
+            for t in &tallies {
+                out.record_bulk(t, 0);
+            }
+        };
+        let (mut a, mut b) = (Metrics::default(), Metrics::default());
+        meter_serial(&mut a);
+        meter_sharded(&mut b, &mut pool);
+        assert_eq!(a, b, "sharded metering must be bit-identical");
+        let s_serial = mops(SERIAL_REPS, || {
+            let mut m = Metrics::default();
+            meter_serial(&mut m);
+            std::hint::black_box(m.bits_sent);
+        });
+        let s_sharded = mops(SERIAL_REPS, || {
+            let mut m = Metrics::default();
+            meter_sharded(&mut m, &mut pool);
+            std::hint::black_box(m.bits_sent);
+        });
+        table.row(vec![
+            "metering".into(),
+            shards.to_string(),
+            SERIAL_N.to_string(),
+            format!("{s_serial:.1}"),
+            format!("{s_sharded:.1}"),
+        ]);
+
+        // -- op log: sequential append vs pre-sized scatter (the engine
+        //    prefix-sums per-shard event counts; here the split is the
+        //    same contiguous chunking).
+        let log_serial = |log: &mut OpLog| {
+            for e in &events {
+                log.record(e.round, e.kind, e.from, e.to);
+            }
+        };
+        let log_scatter = |log: &mut OpLog, pool: &mut ScopedPool| {
+            let tail = log.scatter_tail(events.len());
+            if shards == 1 {
+                for (slot, e) in tail.iter_mut().zip(&events) {
+                    *slot = *e;
+                }
+            } else {
+                pool.scope(|s| {
+                    for (dst, src) in tail.chunks_mut(chunk).zip(events.chunks(chunk)) {
+                        s.spawn(move || {
+                            for (slot, e) in dst.iter_mut().zip(src) {
+                                *slot = *e;
+                            }
+                        });
+                    }
+                });
+            }
+        };
+        let (mut a, mut b) = (OpLog::new(), OpLog::new());
+        log_serial(&mut a);
+        log_scatter(&mut b, &mut pool);
+        assert_eq!(a.events(), b.events(), "scattered op log must be bit-identical");
+        let s_serial = mops(SERIAL_REPS, || {
+            let mut log = OpLog::new();
+            log_serial(&mut log);
+            std::hint::black_box(log.len());
+        });
+        let s_sharded = mops(SERIAL_REPS, || {
+            let mut log = OpLog::new();
+            log_scatter(&mut log, &mut pool);
+            std::hint::black_box(log.len());
+        });
+        table.row(vec![
+            "oplog".into(),
+            shards.to_string(),
+            SERIAL_N.to_string(),
+            format!("{s_serial:.1}"),
+            format!("{s_sharded:.1}"),
+        ]);
+
+        // -- plan concat: per-shard buffers appended serially vs scattered
+        //    into a pre-sized Vec at prefix-summed offsets.
+        let bufs: Vec<&[(u32, u64)]> = payload.chunks(chunk).collect();
+        let concat_serial = |ops: &mut Vec<(u32, u64)>| {
+            ops.clear();
+            for buf in &bufs {
+                ops.extend_from_slice(buf);
+            }
+        };
+        let concat_scatter = |ops: &mut Vec<(u32, u64)>, pool: &mut ScopedPool| {
+            ops.clear();
+            ops.reserve(SERIAL_N);
+            let spare = &mut ops.spare_capacity_mut()[..SERIAL_N];
+            if shards == 1 {
+                for (slot, v) in spare.iter_mut().zip(&payload) {
+                    slot.write(*v);
+                }
+            } else {
+                pool.scope(|s| {
+                    for (dst, src) in spare.chunks_mut(chunk).zip(&bufs) {
+                        s.spawn(move || {
+                            for (slot, v) in dst.iter_mut().zip(*src) {
+                                slot.write(*v);
+                            }
+                        });
+                    }
+                });
+            }
+            // SAFETY: every one of the SERIAL_N spare slots above was
+            // written exactly once (the chunks partition 0..SERIAL_N).
+            unsafe { ops.set_len(SERIAL_N) };
+        };
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        concat_serial(&mut a);
+        concat_scatter(&mut b, &mut pool);
+        assert_eq!(a, b, "scattered concat must be bit-identical");
+        let mut ops: Vec<(u32, u64)> = Vec::with_capacity(SERIAL_N);
+        let s_serial = mops(SERIAL_REPS, || {
+            concat_serial(&mut ops);
+            std::hint::black_box(ops.len());
+        });
+        let s_sharded = mops(SERIAL_REPS, || {
+            concat_scatter(&mut ops, &mut pool);
+            std::hint::black_box(ops.len());
+        });
+        table.row(vec![
+            "concat".into(),
+            shards.to_string(),
+            SERIAL_N.to_string(),
+            format!("{s_serial:.1}"),
+            format!("{s_sharded:.1}"),
+        ]);
+    }
+    table.note(format!(
+        "stream: {SERIAL_N} events, seed 0x5E41A1; x{SERIAL_REPS} reps; sharded arms use real worker threads (shards=1 runs the engine's inline fallback)"
+    ));
+    table.note("every sharded arm asserted bit-identical to its serial arm before timing");
+    print!("{}", table.render());
+    if let Err(e) = std::fs::write(out_path, table.to_json()) {
+        eprintln!("rfc-bench: cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.split_first() {
@@ -281,9 +504,10 @@ fn main() -> ExitCode {
         }
         Some((cmd, rest)) if cmd == "selftest" && rest.len() == 1 => run_selftest(&rest[0]),
         Some((cmd, rest)) if cmd == "codec" && rest.len() == 1 => run_codec(&rest[0]),
+        Some((cmd, rest)) if cmd == "serial" && rest.len() == 1 => run_serial(&rest[0]),
         _ => {
             eprintln!(
-                "usage: rfc-bench gate <committed.json> <fresh.json>...\n       rfc-bench selftest <committed.json>\n       rfc-bench codec <out.json>"
+                "usage: rfc-bench gate <committed.json> <fresh.json>...\n       rfc-bench selftest <committed.json>\n       rfc-bench codec <out.json>\n       rfc-bench serial <out.json>"
             );
             ExitCode::FAILURE
         }

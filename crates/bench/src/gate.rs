@@ -358,9 +358,13 @@ impl GateReport {
 }
 
 /// Is this column a gated throughput column (floor: fresh must not
-/// drop below the committed value beyond tolerance)?
+/// drop below the committed value beyond tolerance)? `ops/s` also
+/// matches the serial-section micro-bench's `Mops/s` columns.
 pub fn is_gated_column(header: &str) -> bool {
-    header.contains("rounds/s") || header.contains("instances/s") || header.contains("msgs/s")
+    header.contains("rounds/s")
+        || header.contains("instances/s")
+        || header.contains("msgs/s")
+        || header.contains("ops/s")
 }
 
 /// Is this column a gated memory column (ceiling: fresh must not *rise*
@@ -657,6 +661,8 @@ mod tests {
     fn instances_per_s_columns_are_gated() {
         assert!(is_gated_column("instances/s"));
         assert!(is_gated_column("rounds/s"));
+        assert!(is_gated_column("serial Mops/s"));
+        assert!(is_gated_column("sharded Mops/s"));
         assert!(!is_gated_column("rtd mean"));
         let base = vec![table("E17", &["instances", "instances/s"], &[&["1000", "500"]])];
         let slow = vec![table("E17", &["instances", "instances/s"], &[&["1000", "200"]])];

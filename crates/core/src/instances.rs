@@ -1052,6 +1052,7 @@ fn legacy_report(net: &Network<PlaneMsg, MuxAgent>, cfg: &RunConfig) -> RunRepor
         verify_failures,
         audit: None,
         stage_times: None,
+        shard_schedule: None,
     }
 }
 

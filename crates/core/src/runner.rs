@@ -164,6 +164,18 @@ pub struct RunConfig {
     /// unaffected. Only the staged engine is instrumented; monolithic
     /// runs report `None`.
     pub time_stages: bool,
+    /// Autotune the shard count per phase: each communicating phase
+    /// probes the power-of-two shard counts up to `threads` for a few
+    /// rounds and runs the rest at the fastest
+    /// ([`gossip_net::Network::run_staged_autotuned`]). Pull-heavy
+    /// phases (Find-Min, Commitment) and push-heavy ones (Voting) hit
+    /// their sharding cliffs at different counts, so one fixed count
+    /// leaves throughput on the table. A pure throughput knob — the
+    /// tuner only ever moves `threads`, which is thread-invariant, so
+    /// digests are unaffected and checkpoint fingerprints normalize it
+    /// away like `threads` itself. The chosen schedule is reported in
+    /// [`RunReport::shard_schedule`]. Ignored on the monolithic path.
+    pub autotune_shards: bool,
     /// Concurrent protocol instances multiplexed over the network (the
     /// instance plane, `crate::instances`). The default — one consensus
     /// instance starting at round 0 — is what every legacy entry point
@@ -279,6 +291,7 @@ impl RunConfigBuilder {
                 threads: 1,
                 shard_floor: None,
                 time_stages: false,
+                autotune_shards: false,
                 instances: crate::instances::InstancePlan::single_consensus(),
             },
         }
@@ -410,6 +423,13 @@ impl RunConfigBuilder {
         self
     }
 
+    /// Autotune the shard count per phase; see
+    /// [`RunConfig::autotune_shards`].
+    pub fn autotune_shards(mut self, on: bool) -> Self {
+        self.cfg.autotune_shards = on;
+        self
+    }
+
     /// Set the instance plan consumed by [`crate::instances::run_plane`]
     /// (legacy single-run entry points ignore it).
     pub fn instances(mut self, plan: crate::instances::InstancePlan) -> Self {
@@ -454,6 +474,11 @@ pub struct RunReport {
     /// [`RunConfig::time_stages`] was set and the run took the staged
     /// engine). Observability only — never part of a digest.
     pub stage_times: Option<StageTimes>,
+    /// Per-phase shard counts the autotuner settled on (present when
+    /// [`RunConfig::autotune_shards`] was set and the run took the
+    /// staged engine), in phase order. Observability only — a pure
+    /// throughput outcome, never part of a digest.
+    pub shard_schedule: Option<Vec<(String, usize)>>,
 }
 
 impl RunReport {
@@ -662,8 +687,10 @@ impl TrialArena {
             }
         }
         let net = self.net.as_mut().expect("arena network just ensured");
-        drive_network(net, cfg);
-        collect_report(net, cfg)
+        let schedule = drive_network(net, cfg);
+        let mut report = collect_report(net, cfg);
+        report.shard_schedule = schedule;
+        report
     }
 }
 
@@ -699,7 +726,14 @@ fn color_space_size(cfg: &RunConfig) -> usize {
 /// `Network<Batch<InstPayload>, MuxAgent>` through this exact function on
 /// its single-instance path, which is what pins its phase cadence (and
 /// the metrics phase table) to the legacy one.
-pub fn drive_network<M, A>(net: &mut Network<M, A>, cfg: &RunConfig)
+/// Returns the autotuner's per-phase shard schedule when
+/// [`RunConfig::autotune_shards`] was set and the run took the staged
+/// engine, `None` otherwise (throughput observability only — most
+/// callers ignore it).
+pub fn drive_network<M, A>(
+    net: &mut Network<M, A>,
+    cfg: &RunConfig,
+) -> Option<Vec<(String, usize)>>
 where
     M: gossip_net::size::MsgSize + Send + Sync,
     A: Agent<M> + Send,
@@ -707,6 +741,8 @@ where
     let params = cfg.params();
     let q = params.q;
     let staged = use_staged_engine(cfg);
+    let candidates = (cfg.autotune_shards && staged).then(|| shard_candidates(cfg));
+    let mut schedule = candidates.as_ref().map(|_| Vec::new());
     for phase in Phase::COMMUNICATING {
         if phase == Phase::Coherence && cfg.skip_coherence {
             // Ablation: the phase's rounds simply don't happen; agents
@@ -714,13 +750,36 @@ where
             break;
         }
         net.enter_phase(phase.name());
-        if staged {
+        if let (Some(cands), Some(sched)) = (&candidates, &mut schedule) {
+            let chosen = net.run_staged_autotuned(q, cands);
+            sched.push((phase.name().to_string(), chosen));
+        } else if staged {
             net.run_staged(q);
         } else {
             net.run(q);
         }
     }
     net.finalize();
+    schedule
+}
+
+/// The autotuner's candidate shard counts: the powers of two up to the
+/// run's resolved thread budget (`threads == 0` means available
+/// parallelism). The per-round [`RunConfig::shard_floor`] clamp still
+/// applies on top, inside the network.
+fn shard_candidates(cfg: &RunConfig) -> Vec<usize> {
+    let max = if cfg.threads == 0 {
+        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+    } else {
+        cfg.threads
+    };
+    let mut cands = vec![1usize];
+    let mut c = 2usize;
+    while c <= max {
+        cands.push(c);
+        c *= 2;
+    }
+    cands
 }
 
 /// Extract a [`RunReport`] from a finished network.
@@ -787,6 +846,7 @@ pub fn collect_report<A: ConsensusAgent>(net: &Network<Msg, A>, cfg: &RunConfig)
         verify_failures,
         audit,
         stage_times,
+        shard_schedule: None,
     }
 }
 
@@ -815,8 +875,10 @@ pub(crate) fn effective_decision(core: &ProtocolCore, cfg: &RunConfig) -> Option
 /// across trials; both produce bit-identical reports.)
 pub fn run_protocol(cfg: &RunConfig, seed: u64) -> RunReport {
     let mut net = build_network_slots(cfg, seed, &mut honest_slot_factory);
-    drive_network(&mut net, cfg);
-    collect_report(&net, cfg)
+    let schedule = drive_network(&mut net, cfg);
+    let mut report = collect_report(&net, cfg);
+    report.shard_schedule = schedule;
+    report
 }
 
 /// [`run_protocol`] over the legacy boxed-dyn pipeline: rebuilds a
@@ -831,8 +893,10 @@ pub fn run_protocol_boxed(cfg: &RunConfig, seed: u64) -> RunReport {
             Box::new(HonestAgent::new(core)) as Box<dyn ConsensusAgent>
         };
     let mut net = build_network(cfg, seed, &mut factory);
-    drive_network(&mut net, cfg);
-    collect_report(&net, cfg)
+    let schedule = drive_network(&mut net, cfg);
+    let mut report = collect_report(&net, cfg);
+    report.shard_schedule = schedule;
+    report
 }
 
 #[cfg(test)]

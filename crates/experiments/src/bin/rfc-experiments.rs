@@ -24,6 +24,10 @@
 //!     --sizes <n1,n2,..>       override the n sweep (E16); underscores
 //!                     allowed: --sizes 10_000_000
 //!     --shards <k1,k2,..>      override the shard-count sweep (E16)
+//!     --no-oplog      skip op-log recording in the audit-bearing
+//!                     experiments (digests unchanged; audits report "off")
+//!     --autotune-shards        probe per-phase shard counts and run each
+//!                     phase at the fastest (E16; throughput only)
 //! ```
 
 use experiments::{all_experiments, ExpOptions};
@@ -108,6 +112,8 @@ fn main() {
                 let spec = it.next().unwrap_or_else(|| die("--shards needs a comma list"));
                 opts.shards = Some(Box::leak(spec.into_boxed_str()));
             }
+            "--no-oplog" => opts.oplog = false,
+            "--autotune-shards" => opts.autotune = true,
             "list" => list_only = true,
             "all" => {
                 selected = all_experiments().iter().map(|e| e.id.to_string()).collect();
@@ -185,7 +191,7 @@ fn parse_u64(s: &str) -> Option<u64> {
 
 fn usage() {
     eprintln!(
-        "usage: rfc-experiments <list | all | e01..e17...> [--quick] [--seed N] [--threads K] [--csv DIR] [--json DIR] [--checkpoint-every K] [--checkpoint-dir DIR] [--resume-from DIR] [--instances K] [--instance-kind rumor|consensus] [--stage-times] [--sizes N1,N2,..] [--shards K1,K2,..]"
+        "usage: rfc-experiments <list | all | e01..e17...> [--quick] [--seed N] [--threads K] [--csv DIR] [--json DIR] [--checkpoint-every K] [--checkpoint-dir DIR] [--resume-from DIR] [--instances K] [--instance-kind rumor|consensus] [--stage-times] [--sizes N1,N2,..] [--shards K1,K2,..] [--no-oplog] [--autotune-shards]"
     );
 }
 

@@ -48,6 +48,17 @@ pub struct ExpOptions {
     /// Honored by E16; useful to pin `"1"` on single-core boxes where
     /// sweeping shard counts only re-measures the same core.
     pub shards: Option<&'static str>,
+    /// Record the op log for the audit-bearing experiments (default
+    /// on; `--no-oplog` clears it). Digests and `Metrics` are pinned
+    /// identical with it off — only the good-execution audit goes
+    /// missing, so an experiment that needs the audit degrades to
+    /// reporting "off" instead of panicking.
+    pub oplog: bool,
+    /// Autotune the per-phase shard count in the experiments that run
+    /// the staged engine (E16): probe the power-of-two shard counts up
+    /// to `--threads` each phase and run the rest at the fastest.
+    /// Throughput-only; digests are unaffected.
+    pub autotune: bool,
 }
 
 impl Default for ExpOptions {
@@ -64,6 +75,8 @@ impl Default for ExpOptions {
             stage_times: false,
             sizes: None,
             shards: None,
+            oplog: true,
+            autotune: false,
         }
     }
 }

@@ -160,21 +160,49 @@ impl Default for NetworkConfig {
 /// (see [`NetworkConfig::time_stages`]). `exchange_us` covers the
 /// exchange proper plus the pull-apply leg and op-log pass of the
 /// per-agent discipline — everything between the plan barrier and the
-/// final delivery fan-out.
+/// final delivery fan-out — and is itself broken into the four
+/// sub-clocks below under [`RngDiscipline::PerAgent`] (the sequential
+/// discipline replays the monolithic engine in one interleaved pass, so
+/// its sub-clocks stay zero).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StageTimes {
-    /// Scenario replay + the sharded plan stage.
+    /// Scenario replay + the sharded plan stage (including the parallel
+    /// scatter of per-shard plan buffers into the flat op list).
     pub plan_us: u64,
-    /// Ledger build, mask/loss resolution, pull handling.
+    /// Everything between the plan barrier and the delivery fan-out
+    /// (the sum of the four sub-clocks, plus loose change like the
+    /// `mem::take` bookkeeping the sub-clocks don't cover).
     pub exchange_us: u64,
     /// The sharded push/reply delivery stage.
     pub apply_us: u64,
+    /// Sub-clock of `exchange_us`: the send-time metering pass
+    /// (per-shard exact tallies merged in shard order).
+    pub meter_us: u64,
+    /// Sub-clock of `exchange_us`: CSR ledger construction — histograms,
+    /// the offset prefix sum, and the entry scatter.
+    pub build_us: u64,
+    /// Sub-clock of `exchange_us`: the op-log write (zero when
+    /// [`NetworkConfig::record_ops`] is off).
+    pub log_us: u64,
+    /// Sub-clock of `exchange_us`: mask/loss verdict resolution plus the
+    /// pull-apply leg (`on_pull` handlers and reply metering).
+    pub resolve_us: u64,
 }
 
 impl StageTimes {
-    /// Total time attributed to staged rounds, µs.
+    /// Total time attributed to staged rounds, µs. The exchange
+    /// sub-clocks (`meter_us`, `build_us`, `log_us`, `resolve_us`) are
+    /// components *of* `exchange_us`, not additional time, so they do
+    /// not contribute here.
     pub fn total_us(&self) -> u64 {
         self.plan_us + self.exchange_us + self.apply_us
+    }
+
+    /// The metering + op-log share of the exchange clock — the two
+    /// formerly serial sections the prefix-sum drain attacked; reported
+    /// by E16's breakdown table.
+    pub fn meter_log_us(&self) -> u64 {
+        self.meter_us + self.log_us
     }
 }
 
@@ -488,6 +516,22 @@ impl<M: MsgSize, A: Agent<M>> Network<M, A> {
     /// [`NetworkConfig::time_stages`] was set and staged rounds ran).
     pub fn stage_times(&self) -> StageTimes {
         self.stage_times
+    }
+
+    /// Re-aim the staged engine at a different worker-thread count,
+    /// effective from the next round. `threads` is a pure throughput
+    /// knob — staged output is bit-identical for every value — so this
+    /// is safe to call mid-run; the per-phase shard autotuner does
+    /// exactly that at phase boundaries. The worker pool is re-sized
+    /// lazily by the next staged round.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.config.threads = threads;
+    }
+
+    /// The configured staged-engine worker-thread count (`0` = available
+    /// parallelism; see [`NetworkConfig::threads`]).
+    pub fn threads(&self) -> usize {
+        self.config.threads
     }
 
     /// Open round (or async tick) `round`: apply every scenario event

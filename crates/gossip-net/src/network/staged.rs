@@ -36,14 +36,20 @@
 //! ## Determinism: bit-identical for any thread count
 //!
 //! Nothing any stage computes depends on the shard count: plan buffers
-//! merge in shard order (= id order), ledger scatter positions come
-//! from a global counting sort whether built serially or sharded,
-//! per-shard reply meters are exact [`Tally`]s merged in shard order
-//! (sums and maxes commute), the op log is written sequentially after
-//! the pull barrier, and every loss draw comes from a stream whose
-//! identity is independent of sharding. `threads` is a pure throughput
-//! knob — pinned by the thread-invariance suite (`tests/sharded_engine.rs`)
-//! and the sharded golden rows.
+//! scatter into the flat op list at offsets prefix-summed in shard
+//! order (= id order), ledger scatter positions come from a global
+//! counting sort whether built serially or sharded, send-time meters
+//! and per-shard reply meters are exact [`Tally`]s merged in shard
+//! order (sums and maxes commute), op-log events scatter into a
+//! pre-sized buffer at positions prefix-summed from per-shard event
+//! counts (reproducing the sequential all-pulls-then-all-pushes round
+//! shape exactly), and every loss draw comes from a stream whose
+//! identity is independent of sharding. No per-round pass over the op
+//! list remains serial. `threads` is a pure throughput knob — pinned by
+//! the thread-invariance suite (`tests/sharded_engine.rs`) and the
+//! sharded golden rows — which is also what makes the per-phase shard
+//! autotuner ([`Network::run_staged_autotuned`]) digest-invariant by
+//! construction: it only ever moves that knob.
 //!
 //! ## The two RNG disciplines
 //!
@@ -69,21 +75,26 @@
 //!   has its own golden rows; with `p = 0` it differs from `Sequential`
 //!   only in handler interleaving, which is unobservable.
 //!
-//! ## Metering contract addendum (sharded apply)
+//! ## Metering contract addendum (sharded apply + sharded send-time)
 //!
-//! The send-time metering contract of [`crate::network`] is unchanged:
-//! pushes and pull queries are metered sequentially in the exchange
-//! stage, in op order, before any mask. Pull replies are metered where
+//! The send-time metering contract of [`crate::network`] is unchanged
+//! in *meaning*: pushes and pull queries are metered at send time, in
+//! op order, before any mask. Its *implementation* is now sharded too:
+//! each exchange shard folds its contiguous op range into an exact
+//! per-shard [`Tally`] and the tallies are merged into [`Metrics`] in
+//! shard order ([`Metrics::record_bulk`]). A [`Tally`] is three sums
+//! and a max, all of which commute and associate, so the merged meters
+//! equal the sequential op-order pass bit for bit (pinned by a proptest
+//! in `staged_properties.rs`). Pull replies are likewise metered where
 //! they are *produced* — inside the parallel pull-apply shards — into
-//! per-shard [`Tally`]s that are merged into [`Metrics`] in shard order
-//! ([`Metrics::record_bulk`]); since tallies are sums and maxes, the
-//! merged meters equal the sequential ones exactly. A produced reply
-//! whose pre-drawn transit coin came up "lost" is metered and counted
+//! per-shard [`Tally`]s merged in shard order. A produced reply whose
+//! pre-drawn transit coin came up "lost" is metered and counted
 //! undelivered, like every other lost message.
 
 use super::*;
 use crate::bits::{atomic_set, BitSet};
 use crate::metrics::Tally;
+use crate::oplog::OpEvent;
 use crate::rng::loss_streams;
 
 /// Tuned default for [`NetworkConfig::shard_floor`]: below ~2048 agents
@@ -159,6 +170,9 @@ pub struct StagedScratch<M> {
     /// Per-shard reply meters for `apply_pulls` (kept here so the
     /// steady-state round does not allocate the merge buffer).
     shard_meters: Vec<(Tally, u64)>,
+    /// Per-shard send-time meters for the exchange stage's sharded
+    /// metering pass (merged in shard order).
+    meter_tallies: Vec<Tally>,
 }
 
 /// One push delivery: `from` pushed op `op`. The mask verdict lives in
@@ -213,6 +227,7 @@ impl<M> StagedScratch<M> {
             shard_pulls: Vec::new(),
             shard_undelivered: Vec::new(),
             shard_meters: Vec::new(),
+            meter_tallies: Vec::new(),
         }
     }
 
@@ -246,6 +261,7 @@ impl<M> StagedScratch<M> {
         self.shard_pulls.clear();
         self.shard_undelivered.clear();
         self.shard_meters.clear();
+        self.meter_tallies.clear();
     }
 }
 
@@ -254,12 +270,20 @@ impl<M> StagedScratch<M> {
 /// from the offset merge; the cursor ranges of distinct `(shard,
 /// receiver)` pairs are pairwise disjoint by construction, so no index
 /// is ever written twice and no read happens until the scope joins.
-#[derive(Clone, Copy)]
 struct SharedWriter<T>(*mut T);
 // SAFETY: the writer only ever *writes*, at indices the counting sort
 // proves disjoint across threads; T: Send carries the values across.
 unsafe impl<T: Send> Send for SharedWriter<T> {}
 unsafe impl<T: Send> Sync for SharedWriter<T> {}
+// Manual impls: a raw pointer is always copyable — the derive would
+// needlessly bound `T: Copy`, and the plan scatter moves non-`Copy`
+// ops through this.
+impl<T> Clone for SharedWriter<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SharedWriter<T> {}
 
 impl<T> SharedWriter<T> {
     fn new(slice: &mut [T]) -> Self {
@@ -272,6 +296,15 @@ impl<T> SharedWriter<T> {
     /// thread may touch `idx` during the scope.
     unsafe fn write(&self, idx: usize, val: T) {
         unsafe { self.0.add(idx).write(val) }
+    }
+
+    /// Move `len` values from `src` into `idx..idx + len`.
+    ///
+    /// SAFETY: the range must be in bounds and untouched by any other
+    /// thread during the scope, `src..src + len` must not overlap it,
+    /// and the caller must forget the source values (this is a move).
+    unsafe fn write_block(&self, idx: usize, src: *const T, len: usize) {
+        unsafe { std::ptr::copy_nonoverlapping(src, self.0.add(idx), len) }
     }
 }
 
@@ -322,7 +355,11 @@ impl<M: MsgSize + Send + Sync, A: Agent<M> + Send> Network<M, A> {
             RngDiscipline::PerAgent => {
                 self.exchange_per_agent(round, threads);
                 self.apply_pulls(round, threads);
-                self.log_round_ops(round);
+                let tl = timed.then(std::time::Instant::now);
+                self.log_round_ops(round, threads);
+                if let Some(t) = tl {
+                    self.stage_times.log_us += t.elapsed().as_micros() as u64;
+                }
             }
         }
         if let Some(t) = t1 {
@@ -341,6 +378,51 @@ impl<M: MsgSize + Send + Sync, A: Agent<M> + Send> Network<M, A> {
         for _ in 0..rounds {
             self.step_staged();
         }
+    }
+
+    /// Run `rounds` staged rounds, autotuning the shard count for this
+    /// phase: each candidate is probed for a few rounds, wall-clocked
+    /// per round, and the fastest candidate runs the remainder. Returns
+    /// the chosen count.
+    ///
+    /// Digest-invariant by construction: the only knob this moves is
+    /// `threads`, which the thread-invariance suite pins as a pure
+    /// throughput knob — so a probe round *is* a real round, and none
+    /// is wasted or replayed. Candidates are still clamped per round by
+    /// [`NetworkConfig::shard_floor`] via `effective_threads`, so the
+    /// tuner can only pick within the floor's envelope. Pull-heavy
+    /// phases (Find-Min, Commitment — `on_pull` work dominates) and
+    /// push-heavy ones (Voting) hit their sharding cliffs at different
+    /// counts, which is why the choice is per phase, not per run.
+    pub fn run_staged_autotuned(&mut self, rounds: usize, candidates: &[usize]) -> usize {
+        let mut remaining = rounds;
+        let mut best = self.config.threads.max(1);
+        if candidates.len() > 1 {
+            // Probe depth: enough rounds to damp per-round noise, never
+            // so many that probing eats the phase budget.
+            let probe = (rounds / (candidates.len() * 4)).clamp(1, 8);
+            let mut best_us = u64::MAX;
+            for &cand in candidates {
+                if remaining == 0 {
+                    break;
+                }
+                let take = probe.min(remaining);
+                remaining -= take;
+                self.config.threads = cand;
+                let t = std::time::Instant::now();
+                self.run_staged(take);
+                let per_round = t.elapsed().as_micros() as u64 / take as u64;
+                if per_round < best_us {
+                    best_us = per_round;
+                    best = cand;
+                }
+            }
+        } else if let Some(&only) = candidates.first() {
+            best = only;
+        }
+        self.config.threads = best;
+        self.run_staged(remaining);
+        best
     }
 
     // ------------------------------------------------------------------
@@ -409,9 +491,39 @@ impl<M: MsgSize + Send + Sync, A: Agent<M> + Send> Network<M, A> {
                 });
             }
         });
-        for buf in staged.plan_bufs[..threads].iter_mut() {
-            ops.append(buf);
-        }
+        // Concatenate in shard order — as a parallel scatter: a length
+        // prefix sum over the shard buffers gives each shard its
+        // destination offset in the pre-sized `ops` Vec, so the serial
+        // shard-order `append` loop this replaces becomes one more
+        // disjoint-range parallel write. The result is the identical
+        // id-ordered op list.
+        let total: usize = staged.plan_bufs[..threads].iter().map(Vec::len).sum();
+        ops.reserve(total);
+        let dst = SharedWriter(ops.as_mut_ptr());
+        pool.scope(|scope| {
+            let mut base = 0usize;
+            for buf in staged.plan_bufs[..threads].iter_mut() {
+                let lo = base;
+                base += buf.len();
+                if buf.is_empty() {
+                    continue;
+                }
+                scope.spawn(move || {
+                    // SAFETY: `lo..lo + buf.len()` is this shard's
+                    // disjoint slot of the reserved tail, and the
+                    // block write + `set_len(0)` pair *moves* the
+                    // elements out of `buf` — nothing is dropped or
+                    // duplicated.
+                    unsafe {
+                        dst.write_block(lo, buf.as_ptr(), buf.len());
+                        buf.set_len(0);
+                    }
+                });
+            }
+        });
+        // SAFETY: every slot in `0..total` was initialized by exactly
+        // one shard above.
+        unsafe { ops.set_len(total) };
         debug_assert!(
             ops.windows(2).all(|w| w[0].0 <= w[1].0),
             "plan merge must produce id-ordered ops"
@@ -472,7 +584,8 @@ impl<M: MsgSize + Send + Sync, A: Agent<M> + Send> Network<M, A> {
         self.group_pushes_by_receiver();
     }
 
-    /// Per-agent-discipline exchange: meter everything in op order, then
+    /// Per-agent-discipline exchange: meter everything (sharded exact
+    /// tallies, merged in shard order — see the metering addendum), then
     /// build both delivery ledgers — in one pass on a single worker, or
     /// via the sharded counting-sort pipeline for several. No agent code
     /// runs here, so the whole apply stage can shard afterwards.
@@ -482,20 +595,12 @@ impl<M: MsgSize + Send + Sync, A: Agent<M> + Send> Network<M, A> {
     /// sort, and every loss stream is keyed by `(seed, family, round,
     /// agent)` — never by shard.
     fn exchange_per_agent(&mut self, round: usize, threads: usize) {
-        // Metering, in op order (send time, before any mask).
-        let meter_queries = self.config.meter_queries;
+        let timed = self.config.time_stages;
         let ops = std::mem::take(&mut self.ops);
-        for (_, op) in &ops {
-            match op {
-                Op::Pull { query, .. } => {
-                    if meter_queries {
-                        self.metrics.record_message(query.size_bits(&self.env));
-                    }
-                }
-                Op::Push { msg, .. } => {
-                    self.metrics.record_message(msg.size_bits(&self.env));
-                }
-            }
+        let t0 = timed.then(std::time::Instant::now);
+        self.meter_ops(&ops, threads);
+        if let Some(t) = t0 {
+            self.stage_times.meter_us += t.elapsed().as_micros() as u64;
         }
         if threads <= 1 {
             self.build_ledgers_seq(&ops, round);
@@ -503,6 +608,44 @@ impl<M: MsgSize + Send + Sync, A: Agent<M> + Send> Network<M, A> {
             self.build_ledgers_par(&ops, round, threads);
         }
         self.ops = ops;
+    }
+
+    /// Send-time metering over the round's op list (before any mask).
+    /// Instead of a serial op-order `record_message` walk, each shard
+    /// folds its contiguous op range into an exact [`Tally`] and the
+    /// tallies merge into [`Metrics`] in shard order — sums and maxes
+    /// commute, so the result equals the sequential pass bit for bit.
+    /// Even single-threaded this is a win: one phase lookup per round
+    /// instead of one per message.
+    fn meter_ops(&mut self, ops: &[(AgentId, Op<M>)], threads: usize) {
+        let meter_queries = self.config.meter_queries;
+        let n_ops = ops.len();
+        let Network { pool, staged: st, metrics, env, .. } = self;
+        let env: &SizeEnv = env;
+        if threads <= 1 || n_ops < threads {
+            let mut tally = Tally::default();
+            tally_ops(ops, meter_queries, env, &mut tally);
+            metrics.record_bulk(&tally, 0);
+            return;
+        }
+        let chunk = n_ops.div_ceil(threads).max(1);
+        st.meter_tallies.clear();
+        st.meter_tallies.resize_with(threads, Tally::default);
+        let pool = ensure_pool(pool, threads);
+        pool.scope(|scope| {
+            for (s, tally) in st.meter_tallies.iter_mut().enumerate() {
+                let lo = s * chunk;
+                let hi = (lo + chunk).min(n_ops);
+                if lo >= hi {
+                    continue;
+                }
+                let ops_range = &ops[lo..hi];
+                scope.spawn(move || tally_ops(ops_range, meter_queries, env, tally));
+            }
+        });
+        for tally in st.meter_tallies.drain(..) {
+            metrics.record_bulk(&tally, 0);
+        }
     }
 
     /// Single-worker ledger build: one histogram pass over the ops, one
@@ -516,7 +659,10 @@ impl<M: MsgSize + Send + Sync, A: Agent<M> + Send> Network<M, A> {
         let p = self.current_p;
         let loss_seed = self.config.loss_seed;
         let meter_queries = self.config.meter_queries;
-        let Network { staged: st, fault_state, topology, partition, metrics, .. } = self;
+        let timed = self.config.time_stages;
+        let Network { staged: st, fault_state, topology, partition, metrics, stage_times, .. } =
+            self;
+        let t_build = timed.then(std::time::Instant::now);
 
         // Histograms (`+ 1` slots so offsets fall out of a prefix sum).
         st.counts.clear();
@@ -594,6 +740,10 @@ impl<M: MsgSize + Send + Sync, A: Agent<M> + Send> Network<M, A> {
             }
         }
 
+        if let Some(t) = t_build {
+            stage_times.build_us += t.elapsed().as_micros() as u64;
+        }
+        let t_resolve = timed.then(std::time::Instant::now);
         let undelivered = resolve_masks_range(
             0,
             n,
@@ -612,6 +762,9 @@ impl<M: MsgSize + Send + Sync, A: Agent<M> + Send> Network<M, A> {
             partition.as_ref(),
         );
         metrics.record_bulk(&Tally::default(), undelivered);
+        if let Some(t) = t_resolve {
+            stage_times.resolve_us += t.elapsed().as_micros() as u64;
+        }
     }
 
     /// Sharded ledger build. Stage A: each shard histograms its op
@@ -637,11 +790,15 @@ impl<M: MsgSize + Send + Sync, A: Agent<M> + Send> Network<M, A> {
         let meter_queries = self.config.meter_queries;
         let n_ops = ops.len();
         let chunk = n_ops.div_ceil(threads).max(1);
-        let Network { pool, staged: st, fault_state, topology, partition, metrics, .. } = self;
+        let timed = self.config.time_stages;
+        let Network {
+            pool, staged: st, fault_state, topology, partition, metrics, stage_times, ..
+        } = self;
         let fault_state: &FaultState = fault_state;
         let topology: &Topology = topology;
         let partition = partition.as_ref();
         let pool = ensure_pool(pool, threads);
+        let t_build = timed.then(std::time::Instant::now);
 
         // Stage A: per-shard histograms over disjoint op ranges.
         if st.shard_qcounts.len() < threads {
@@ -802,6 +959,11 @@ impl<M: MsgSize + Send + Sync, A: Agent<M> + Send> Network<M, A> {
             }
         });
 
+        if let Some(t) = t_build {
+            stage_times.build_us += t.elapsed().as_micros() as u64;
+        }
+        let t_resolve = timed.then(std::time::Instant::now);
+
         // Stage D: mask/loss resolution over receiver ranges.
         let agents_chunk = n.div_ceil(threads).max(1);
         st.shard_undelivered.clear();
@@ -844,6 +1006,9 @@ impl<M: MsgSize + Send + Sync, A: Agent<M> + Send> Network<M, A> {
         }
         let undelivered: u64 = st.shard_undelivered.iter().sum();
         metrics.record_bulk(&Tally::default(), undelivered);
+        if let Some(t) = t_resolve {
+            stage_times.resolve_us += t.elapsed().as_micros() as u64;
+        }
     }
 
     /// Regroup `staged.push_entries` (currently in op order, with the
@@ -977,21 +1142,94 @@ impl<M: MsgSize + Send + Sync, A: Agent<M> + Send> Network<M, A> {
     /// `PerAgent` op-log pass: pull outcomes in op order, then pushes in
     /// op order — the same per-round shape the monolithic engine writes
     /// (its stage 2 then stage 3). Runs after the pull barrier, when
-    /// outcomes are known; sequential, so the log is shard-independent.
-    fn log_round_ops(&mut self, round: usize) {
+    /// outcomes are known.
+    ///
+    /// With several workers the round's events scatter in parallel into
+    /// a pre-sized tail of the log ([`OpLog::scatter_tail`]): every op
+    /// is a pull or a push, so the tail holds exactly `n_ops` events —
+    /// `[pulls in op order][pushes in op order]` — and the per-shard
+    /// pull counts from the ledger build's stage A prefix-sum into each
+    /// shard's disjoint pull and push cursor ranges. The scattered log
+    /// is byte-identical to the sequential append it replaces.
+    fn log_round_ops(&mut self, round: usize, threads: usize) {
         if !self.config.record_ops {
             return;
         }
-        let st = &self.staged;
-        for (pull, reply) in st.pulls.iter().zip(&st.reply_inbox) {
-            let kind = if reply.is_some() { OpKind::Pull } else { OpKind::PullUnanswered };
-            self.oplog.record(round as u32, kind, pull.puller, pull.pullee);
-        }
-        for (from, op) in &self.ops {
-            if let Op::Push { to, .. } = op {
-                self.oplog.record(round as u32, OpKind::Push, *from, *to);
+        if threads <= 1 {
+            // `shard_pulls` is only populated by the parallel ledger
+            // build; the single-worker round appends directly.
+            let st = &self.staged;
+            for (pull, reply) in st.pulls.iter().zip(&st.reply_inbox) {
+                let kind = if reply.is_some() { OpKind::Pull } else { OpKind::PullUnanswered };
+                self.oplog.record(round as u32, kind, pull.puller, pull.pullee);
             }
+            for (from, op) in &self.ops {
+                if let Op::Push { to, .. } = op {
+                    self.oplog.record(round as u32, OpKind::Push, *from, *to);
+                }
+            }
+            return;
         }
+        let n_ops = self.ops.len();
+        let chunk = n_ops.div_ceil(threads).max(1); // = the ledger build's op chunking
+        let Network { pool, staged: st, ops, oplog, .. } = self;
+        let ops: &[(AgentId, Op<M>)] = ops;
+        let inbox: &[Option<M>] = &st.reply_inbox;
+        let pulls_total: usize = st.shard_pulls.iter().map(|&c| c as usize).sum();
+        let w = SharedWriter::new(oplog.scatter_tail(n_ops));
+        let pool = ensure_pool(pool, threads);
+        pool.scope(|scope| {
+            let mut pulls_before = 0usize;
+            for (s, &np) in st.shard_pulls[..threads].iter().enumerate() {
+                let lo = s * chunk;
+                let hi = (lo + chunk).min(n_ops);
+                let q_base = pulls_before;
+                pulls_before += np as usize;
+                if lo >= hi {
+                    continue;
+                }
+                let ops_range = &ops[lo..hi];
+                scope.spawn(move || {
+                    // This shard's cursor ranges: pulls `q_base..q_base
+                    // + np`, pushes `pulls_total + (lo - q_base) ..` —
+                    // contiguous across shards, pairwise disjoint, and
+                    // together exactly `0..n_ops`.
+                    let mut q = q_base;
+                    let mut p = pulls_total + lo - q_base;
+                    for (from, op) in ops_range {
+                        match op {
+                            Op::Pull { from: target, .. } => {
+                                // `q` is this pull's global op-order
+                                // index, which is how `reply_inbox` is
+                                // aligned.
+                                let kind = if inbox[q].is_some() {
+                                    OpKind::Pull
+                                } else {
+                                    OpKind::PullUnanswered
+                                };
+                                let ev =
+                                    OpEvent { round: round as u32, kind, from: *from, to: *target };
+                                // SAFETY: disjoint cursor ranges, in
+                                // bounds by the prefix sum.
+                                unsafe { w.write(q, ev) };
+                                q += 1;
+                            }
+                            Op::Push { to, .. } => {
+                                let ev = OpEvent {
+                                    round: round as u32,
+                                    kind: OpKind::Push,
+                                    from: *from,
+                                    to: *to,
+                                };
+                                // SAFETY: as above.
+                                unsafe { w.write(p, ev) };
+                                p += 1;
+                            }
+                        }
+                    }
+                });
+            }
+        });
     }
 
     /// Apply, final leg (both disciplines): deliver gated pushes to
@@ -1074,6 +1312,28 @@ fn ensure_pool(slot: &mut Option<crate::pool::ScopedPool>, threads: usize) -> &m
         *slot = Some(crate::pool::ScopedPool::new(threads));
     }
     slot.as_mut().expect("pool just ensured")
+}
+
+/// Fold one contiguous op range into a send-time meter tally: every
+/// push, and (when `meter_queries`) every pull query, metered at its
+/// wire size. The shard decomposition is invisible to the result —
+/// tallies merged in shard order equal one op-order pass exactly.
+fn tally_ops<M: MsgSize>(
+    ops: &[(AgentId, Op<M>)],
+    meter_queries: bool,
+    env: &SizeEnv,
+    tally: &mut Tally,
+) {
+    for (_, op) in ops {
+        match op {
+            Op::Pull { query, .. } => {
+                if meter_queries {
+                    tally.record(query.size_bits(env));
+                }
+            }
+            Op::Push { msg, .. } => tally.record(msg.size_bits(env)),
+        }
+    }
 }
 
 /// Resolve masks and loss coins for the receivers `lo..hi` of both
@@ -1330,6 +1590,26 @@ mod tests {
             net.run_staged(10);
             assert_eq!(observe(&net), want, "threads={threads} changed per-agent output");
         }
+    }
+
+    #[test]
+    fn autotuned_run_matches_fixed_run_bit_for_bit() {
+        // The tuner only moves `threads`, so whatever it probes and
+        // picks, every observable must match a fixed single-shard run.
+        let cfg = NetworkConfig {
+            record_ops: true,
+            loss_probability: 0.2,
+            loss_seed: 5,
+            rng_discipline: RngDiscipline::PerAgent,
+            ..NetworkConfig::default()
+        };
+        let mut fixed = mk_net(24, NetworkConfig { threads: 1, ..cfg.clone() });
+        fixed.run_staged(12);
+        let want = observe(&fixed);
+        let mut tuned = mk_net(24, NetworkConfig { threads: 2, ..cfg.clone() });
+        let chosen = tuned.run_staged_autotuned(12, &[1, 2, 4]);
+        assert!([1, 2, 4].contains(&chosen));
+        assert_eq!(observe(&tuned), want, "autotuning changed observables");
     }
 
     #[test]

@@ -69,6 +69,24 @@ impl OpLog {
         &self.events
     }
 
+    /// Extend the log by `count` placeholder events and return the new
+    /// tail as a mutable slice for scatter-writing.
+    ///
+    /// The staged engine's parallel op-log pass sizes one round's worth
+    /// of events up front (a prefix sum over per-shard event counts)
+    /// and has each shard write its events directly at their final
+    /// positions — this is the pre-sized buffer that scatter lands in.
+    /// The caller must overwrite **every** slot of the returned slice;
+    /// a slot left untouched would hold a placeholder `Push 0→0` event.
+    pub fn scatter_tail(&mut self, count: usize) -> &mut [OpEvent] {
+        let start = self.events.len();
+        self.events.resize(
+            start + count,
+            OpEvent { round: 0, kind: OpKind::Push, from: 0, to: 0 },
+        );
+        &mut self.events[start..]
+    }
+
     /// Forget all events, retaining the backing allocation (arena reuse).
     pub fn clear(&mut self) {
         self.events.clear();

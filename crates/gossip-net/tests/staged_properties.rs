@@ -225,3 +225,61 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The sharded send-time metering contract: folding an op stream into
+    /// per-shard [`Tally`]s (the staged engine's contiguous chunking) and
+    /// merging them in shard order via [`Metrics::record_bulk`] is
+    /// bit-identical to walking the stream sequentially through
+    /// [`Metrics::record_message`] — sums and maxes commute, and phase
+    /// attribution lands in the same scope either way.
+    #[test]
+    fn sharded_tally_merge_equals_sequential_metering(
+        bits in prop::collection::vec(0u64..100_000, 0..300),
+        shards in 1usize..12,
+        phased in any::<bool>(),
+    ) {
+        use gossip_net::metrics::Tally;
+
+        // Sequential spelling: one record_message per message, in order.
+        let mut seq = Metrics::default();
+        if phased {
+            seq.enter_phase("find-min");
+        }
+        for &b in &bits {
+            seq.record_message(b);
+        }
+
+        // Sharded spelling: contiguous chunks (the engine's op-range
+        // split), one exact Tally per shard, merged in shard order.
+        let mut sharded = Metrics::default();
+        if phased {
+            sharded.enter_phase("find-min");
+        }
+        let chunk = bits.len().div_ceil(shards).max(1);
+        let mut tallies = vec![Tally::default(); shards];
+        for (s, part) in bits.chunks(chunk).enumerate() {
+            for &b in part {
+                tallies[s].record(b);
+            }
+        }
+        for t in &tallies {
+            sharded.record_bulk(t, 0);
+        }
+        prop_assert_eq!(&sharded, &seq, "sharded metering diverged");
+
+        // The pure Tally algebra underneath: merge of the per-shard
+        // tallies equals one sequential tally.
+        let mut one = Tally::default();
+        for &b in &bits {
+            one.record(b);
+        }
+        let mut merged = Tally::default();
+        for t in &tallies {
+            merged.merge(t);
+        }
+        prop_assert_eq!(merged, one);
+    }
+}

@@ -243,6 +243,16 @@ fn sharded_corpus() -> Vec<(&'static str, RunConfig, u64)> {
             RunConfig::builder(40).gamma(3.0).leader_election().build(),
             7,
         ),
+        (
+            "sharded/complete/n64/record-ops+loss",
+            RunConfig::builder(64)
+                .gamma(3.0)
+                .colors(vec![32, 32])
+                .record_ops(true)
+                .message_loss(0.15)
+                .build(),
+            8,
+        ),
     ]
 }
 

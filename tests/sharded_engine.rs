@@ -114,6 +114,19 @@ fn corpus() -> Vec<(&'static str, RunConfig, u64)> {
             RunConfig::builder(40).gamma(3.0).leader_election().build(),
             7,
         ),
+        // Larger record-ops row: at 8 threads the op-log scatter runs with
+        // several non-trivial shards per round, exercising the prefix-summed
+        // pull/push cursor split (tiny rows collapse to 1–2 live shards).
+        (
+            "sharded/complete/n64/record-ops+loss",
+            RunConfig::builder(64)
+                .gamma(3.0)
+                .colors(vec![32, 32])
+                .record_ops(true)
+                .message_loss(0.15)
+                .build(),
+            8,
+        ),
     ]
 }
 
@@ -130,6 +143,7 @@ const GOLDEN: &[(&str, u64, u64)] = &[
     ("sharded/dynamic/n32/churn+burst", 0x564e41a4bee73899, 366),
     ("sharded/dynamic/n32/partition-heal", 0xc9c3f4a0da86baaa, 119),
     ("sharded/complete/n40/leader-election", 0xbf5e42b65f80c015, 0),
+    ("sharded/complete/n64/record-ops+loss", 0x412d4dc3f4a301f4, 991),
 ];
 
 #[test]
@@ -183,6 +197,72 @@ fn sharded_golden_rows_are_thread_invariant_and_pinned() {
         "sharded corpus diverged:\n{}",
         failures.join("\n")
     );
+}
+
+#[test]
+fn oplog_toggle_changes_audit_only() {
+    // `record_ops` is pure observability: switching it off must leave the
+    // digest (audit stripped — `report_digest` hashes `r.audit`) and the
+    // full `Metrics` bit-identical, dropping only the good-execution audit.
+    // This is what lets production-scale rows (E16) skip the op log.
+    for (label, cfg, seed) in corpus() {
+        let mut on = cfg.clone();
+        on.rng_discipline = RngDiscipline::PerAgent;
+        on.threads = 4;
+        on.shard_floor = Some(0);
+        on.record_ops = true;
+        let mut off = on.clone();
+        off.record_ops = false;
+        let mut r_on = run_protocol(&on, seed);
+        let r_off = run_protocol(&off, seed);
+        assert!(r_on.audit.is_some(), "{label}: record_ops=true must audit");
+        assert!(r_off.audit.is_none(), "{label}: record_ops=false must not");
+        assert_eq!(
+            r_on.metrics, r_off.metrics,
+            "{label}: op-log toggle changed Metrics"
+        );
+        r_on.audit = None;
+        assert_eq!(
+            report_digest(&r_on),
+            report_digest(&r_off),
+            "{label}: op-log toggle changed the digest beyond the audit"
+        );
+    }
+}
+
+#[test]
+fn autotuned_shards_reproduce_pinned_digests() {
+    // The per-phase shard autotuner only moves the thread count between
+    // phases — a pure throughput knob — so an autotuned run must reproduce
+    // the pinned sharded digests bit for bit and report its schedule.
+    for (label, cfg, seed) in corpus() {
+        let Some((_, want, want_u)) = GOLDEN.iter().find(|(l, _, _)| *l == label) else {
+            continue;
+        };
+        let mut cfg = cfg.clone();
+        cfg.rng_discipline = RngDiscipline::PerAgent;
+        cfg.threads = 8;
+        cfg.shard_floor = Some(0);
+        cfg.autotune_shards = true;
+        let report = run_protocol(&cfg, seed);
+        assert_eq!(
+            report_digest(&report),
+            *want,
+            "{label}: autotuned digest diverged from the pinned capture"
+        );
+        assert_eq!(report.metrics.undelivered, *want_u, "{label}: undelivered");
+        let schedule = report
+            .shard_schedule
+            .as_ref()
+            .expect("autotuned staged run must report its shard schedule");
+        assert!(!schedule.is_empty(), "{label}: empty shard schedule");
+        for (phase, chosen) in schedule {
+            assert!(
+                [1, 2, 4, 8].contains(chosen),
+                "{label}/{phase}: chose non-candidate shard count {chosen}"
+            );
+        }
+    }
 }
 
 #[test]
